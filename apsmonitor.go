@@ -1,0 +1,257 @@
+// Package apsmonitor is a Go implementation of "Data-driven Design of
+// Context-aware Monitors for Hazard Prediction in Artificial Pancreas
+// Systems" (Zhou et al., DSN 2021): context-aware safety monitors for
+// closed-loop insulin delivery that detect unsafe control actions before
+// they become hypo-/hyperglycemia hazards, with their decision thresholds
+// learned from fault-injected simulation traces.
+//
+// The package is a facade over the full system:
+//
+//   - two virtual-patient simulators (a Glucosym-style Medtronic Virtual
+//     Patient model and a UVA-Padova S2013-style model) with ten-patient
+//     synthetic cohorts;
+//   - two controllers (OpenAPS-style temp-basal and hospital basal-bolus);
+//   - a closed-loop engine, source-level fault-injection campaigns, and
+//     risk-index hazard labeling;
+//   - a bounded-time STL engine with robustness semantics and a parser;
+//   - L-BFGS-B threshold learning with the TMEE tightness loss;
+//   - the full monitor suite (CAWT, CAWOT, Guideline, MPC, DT, MLP, LSTM)
+//     plus hazard mitigation, and the paper's evaluation metrics.
+//
+// # Quick start
+//
+//	traces, err := apsmonitor.RunCampaign(apsmonitor.CampaignConfig{
+//		Platform:  apsmonitor.MustPlatform("glucosym"),
+//		Patients:  []int{0},
+//		Scenarios: apsmonitor.QuickScenarios(20),
+//	})
+//
+// then learn a monitor with BuildSuite and evaluate it with EvaluateAll.
+// See examples/ for runnable programs and DESIGN.md for the experiment
+// index.
+package apsmonitor
+
+import (
+	"repro/internal/closedloop"
+	"repro/internal/control"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/risk"
+	"repro/internal/scs"
+	"repro/internal/stl"
+	"repro/internal/stllearn"
+	"repro/internal/trace"
+)
+
+// Core data model.
+type (
+	// Trace is one closed-loop simulation run with per-cycle samples.
+	Trace = trace.Trace
+	// Sample is one control-cycle record.
+	Sample = trace.Sample
+	// Action is the discrete control-action vocabulary u1..u4.
+	Action = trace.Action
+	// HazardType distinguishes H1 (hypo) from H2 (hyper).
+	HazardType = trace.HazardType
+	// FaultInfo annotates a trace with its injection scenario.
+	FaultInfo = trace.FaultInfo
+)
+
+// Control actions and hazard types.
+const (
+	ActionDecrease = trace.ActionDecrease
+	ActionIncrease = trace.ActionIncrease
+	ActionStop     = trace.ActionStop
+	ActionKeep     = trace.ActionKeep
+
+	HazardNone = trace.HazardNone
+	HazardH1   = trace.HazardH1
+	HazardH2   = trace.HazardH2
+)
+
+// Closed-loop simulation.
+type (
+	// LoopConfig assembles one simulation run.
+	LoopConfig = closedloop.Config
+	// MitigationConfig enables Algorithm 1 hazard mitigation.
+	MitigationConfig = closedloop.MitigationConfig
+	// Monitor is the safety-monitor contract.
+	Monitor = closedloop.Monitor
+	// Observation is the per-cycle monitor input.
+	Observation = closedloop.Observation
+	// Verdict is the per-cycle monitor output.
+	Verdict = closedloop.Verdict
+	// Patient is the virtual-patient surface.
+	Patient = closedloop.Patient
+	// Controller is the APS controller surface.
+	Controller = control.Controller
+)
+
+// RunLoop executes one closed-loop simulation.
+func RunLoop(cfg LoopConfig) (*Trace, error) { return closedloop.Run(cfg) }
+
+// Fault injection.
+type (
+	// Fault describes one injection scenario (Table II).
+	Fault = fault.Fault
+	// FaultKind enumerates truncate/hold/max/min/add/sub.
+	FaultKind = fault.Kind
+	// Scenario couples a fault with an initial condition.
+	Scenario = fault.Scenario
+)
+
+// Fault kinds of Table II.
+const (
+	FaultTruncate = fault.KindTruncate
+	FaultHold     = fault.KindHold
+	FaultMax      = fault.KindMax
+	FaultMin      = fault.KindMin
+	FaultAdd      = fault.KindAdd
+	FaultSub      = fault.KindSub
+)
+
+// FullCampaign enumerates the paper's 882-scenario per-patient matrix.
+func FullCampaign() []Scenario { return fault.Campaign(nil) }
+
+// QuickScenarios thins the full campaign to one in k scenarios.
+func QuickScenarios(k int) []Scenario { return experiment.ScenarioSubset(k) }
+
+// Platforms and campaigns.
+type (
+	// Platform couples a patient cohort with its controller.
+	Platform = experiment.Platform
+	// CampaignConfig describes a fault-injection campaign.
+	CampaignConfig = experiment.CampaignConfig
+	// Suite holds the trained monitor collection for one platform.
+	Suite = experiment.Suite
+	// SuiteConfig tunes monitor training.
+	SuiteConfig = experiment.SuiteConfig
+	// Eval is one monitor's metric bundle.
+	Eval = experiment.Eval
+)
+
+// GlucosymPlatform is the MVP-cohort + OpenAPS test bed.
+func GlucosymPlatform() Platform { return experiment.Glucosym() }
+
+// T1DS2013Platform is the Dalla Man cohort + Basal-Bolus test bed.
+func T1DS2013Platform() Platform { return experiment.T1DS2013() }
+
+// PlatformByName resolves "glucosym" or "t1ds2013".
+func PlatformByName(name string) (Platform, error) { return experiment.PlatformByName(name) }
+
+// MustPlatform is PlatformByName for statically known names.
+func MustPlatform(name string) Platform {
+	p, err := experiment.PlatformByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RunCampaign executes a fault-injection campaign and returns labeled
+// traces in deterministic order.
+func RunCampaign(cfg CampaignConfig) ([]*Trace, error) { return experiment.Run(cfg) }
+
+// RunFaultFree runs the fault-free scenario set for a platform.
+func RunFaultFree(p Platform, patients []int) ([]*Trace, error) {
+	return experiment.FaultFree(p, patients, 0)
+}
+
+// BuildSuite trains the full monitor suite from labeled traces.
+func BuildSuite(p Platform, training, faultFree []*Trace, cfg SuiteConfig) (*Suite, error) {
+	return experiment.BuildSuite(p, training, faultFree, cfg)
+}
+
+// MonitorNames lists the suite's monitors in the paper's order.
+var MonitorNames = experiment.MonitorNames
+
+// Safety Context Specification and learning.
+type (
+	// Rule is one Table I Safety Context Specification row.
+	Rule = scs.Rule
+	// Thresholds maps rule IDs to learned β values.
+	Thresholds = scs.Thresholds
+	// LearnConfig tunes threshold learning.
+	LearnConfig = stllearn.Config
+	// LearnReport summarizes a learning run.
+	LearnReport = stllearn.Report
+)
+
+// TableI returns the twelve Safety Context Specification rules.
+func TableI() []Rule { return scs.TableI() }
+
+// LearnThresholds fits rule thresholds from labeled traces with
+// L-BFGS-B under the configured tightness loss (TMEE by default).
+func LearnThresholds(rules []Rule, traces []*Trace, cfg LearnConfig) (Thresholds, LearnReport, error) {
+	return stllearn.Learn(rules, traces, cfg)
+}
+
+// NewCAWTMonitor builds the context-aware monitor with learned
+// thresholds.
+func NewCAWTMonitor(rules []Rule, th Thresholds) (Monitor, error) {
+	return monitor.NewCAWT(rules, th, scs.Params{})
+}
+
+// NewCAWOTMonitor builds the context-aware baseline with default
+// thresholds.
+func NewCAWOTMonitor(rules []Rule) (Monitor, error) {
+	return monitor.NewCAWOT(rules, scs.Params{})
+}
+
+// STL.
+type (
+	// STLFormula is a bounded-time STL formula.
+	STLFormula = stl.Formula
+	// STLTrace is a sampled multi-variable signal.
+	STLTrace = stl.Trace
+)
+
+// ParseSTL parses the package's STL concrete syntax.
+func ParseSTL(src string) (STLFormula, error) { return stl.Parse(src) }
+
+// NewSTLTrace creates an empty signal trace with the given sampling
+// period in minutes.
+func NewSTLTrace(dtMin float64) (*STLTrace, error) { return stl.NewTrace(dtMin) }
+
+// Metrics.
+type (
+	// Confusion is a binary confusion matrix with FPR/FNR/ACC/F1.
+	Confusion = metrics.Confusion
+	// TTHStats summarizes the time-to-hazard distribution.
+	TTHStats = metrics.TTHStats
+	// ReactionStats summarizes monitor timeliness.
+	ReactionStats = metrics.ReactionStats
+	// MitigationOutcome is a Table VII row.
+	MitigationOutcome = metrics.MitigationOutcome
+)
+
+// SampleLevelMetrics scores per-sample predictions with the tolerance
+// window (0 selects the default one-hour window).
+func SampleLevelMetrics(tr *Trace, deltaCycles int) Confusion {
+	return metrics.SampleLevel(tr, deltaCycles)
+}
+
+// SimulationLevelMetrics scores a whole trace with the two-region scheme.
+func SimulationLevelMetrics(tr *Trace) Confusion { return metrics.SimulationLevel(tr) }
+
+// HazardCoverage is the fraction of faulty traces that became hazardous.
+func HazardCoverage(traces []*Trace) float64 { return metrics.HazardCoverage(traces) }
+
+// TimeToHazard summarizes the TTH distribution (Fig. 7b).
+func TimeToHazard(traces []*Trace) TTHStats { return metrics.TTH(traces) }
+
+// ReactionTime summarizes monitor timeliness (Fig. 9).
+func ReactionTime(traces []*Trace) ReactionStats { return metrics.ReactionTime(traces) }
+
+// LabelHazards assigns risk-index hazard labels to a trace
+// (Section IV-C2).
+func LabelHazards(tr *Trace) { risk.Labeler{}.Label(tr) }
+
+// RiskIndex returns the BG risk function of Eq. 5.
+func RiskIndex(bg float64) float64 { return risk.Value(bg) }
+
+// AnnotateMonitor replays a monitor over a recorded trace, writing
+// alarms into the samples.
+func AnnotateMonitor(m Monitor, tr *Trace) { monitor.Annotate(m, tr) }

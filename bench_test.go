@@ -1,0 +1,351 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark measures
+// the cost of reproducing its artifact from a prepared campaign fixture
+// and reports the headline numbers via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as a results summary:
+//
+//   - Fig. 3: loss-function curves
+//   - Figs. 7a/7b, 8: baseline resilience analysis
+//   - Tables V/VI, Fig. 9: monitor accuracy and timeliness
+//   - Table VII: mitigation study
+//   - Table VIII: patient-specific vs population thresholds
+//   - Section V-E6: per-cycle monitor overhead (the ns/op of
+//     BenchmarkMonitorOverhead/* is the paper's resource-utilization row)
+//   - Section VI: ablations
+//
+// Campaign scale: the fixture thins the 882-scenario matrix by 8 to keep
+// a full bench run in minutes; cmd/experiments -thin 1 runs paper scale.
+package apsmonitor_test
+
+import (
+	"sync"
+	"testing"
+
+	apsmonitor "repro"
+	"repro/internal/experiment"
+	"repro/internal/monitor"
+	"repro/internal/stllearn"
+	"repro/internal/trace"
+)
+
+type fixture struct {
+	platform  experiment.Platform
+	traces    []*trace.Trace
+	train     []*trace.Trace
+	test      []*trace.Trace
+	faultFree []*trace.Trace
+	suite     *experiment.Suite
+}
+
+var (
+	fixtures  = map[string]*fixture{}
+	fixtureMu sync.Mutex
+	benchSeed = int64(1)
+	benchThin = 8
+)
+
+// getFixture lazily builds the campaign + suite for a platform.
+func getFixture(b *testing.B, platformName string) *fixture {
+	b.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if f, ok := fixtures[platformName]; ok {
+		return f
+	}
+	platform, err := experiment.PlatformByName(platformName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	traces, err := experiment.Run(experiment.CampaignConfig{
+		Platform:  platform,
+		Scenarios: experiment.ScenarioSubset(benchThin),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	folds := stllearn.Folds(traces, 4)
+	train := stllearn.TrainingSet(folds, 0)
+	test := folds[0]
+	faultFree, err := experiment.FaultFree(platform, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite, err := experiment.BuildSuite(platform, train, faultFree, experiment.SuiteConfig{
+		Seed: benchSeed, MaxMLSamples: 10000, MaxLSTMWindows: 2000,
+		MLPEpochs: 8, LSTMEpochs: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fixture{
+		platform: platform, traces: traces, train: train, test: test,
+		faultFree: faultFree, suite: suite,
+	}
+	fixtures[platformName] = f
+	return f
+}
+
+func BenchmarkFig3LossFunctions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := experiment.LossCurves(-2, 4, 121)
+		if len(curves.Curves) != 4 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+func BenchmarkFig7aHazardCoverage(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	b.ResetTimer()
+	var overall float64
+	for i := 0; i < b.N; i++ {
+		overall = experiment.HazardCoverageByPatient(f.traces).Overall
+	}
+	b.ReportMetric(100*overall, "coverage_%")
+}
+
+func BenchmarkFig7bTTH(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	b.ResetTimer()
+	var st apsmonitor.TTHStats
+	for i := 0; i < b.N; i++ {
+		st = experiment.TTHDistribution(f.traces)
+	}
+	b.ReportMetric(st.MeanMin, "mean_TTH_min")
+	b.ReportMetric(100*st.NegativeFrac, "negative_TTH_%")
+}
+
+func BenchmarkFig8FaultTypes(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := experiment.CoverageByFaultAndBG(f.traces)
+		if len(m.Faults) == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+// benchTableV measures the non-ML monitor comparison on one platform.
+func benchTableV(b *testing.B, platformName string) {
+	f := getFixture(b, platformName)
+	names := []string{"Guideline", "MPC", "CAWOT", "CAWT"}
+	b.ResetTimer()
+	var evals []experiment.Eval
+	for i := 0; i < b.N; i++ {
+		var err error
+		evals, err = f.suite.EvaluateAll(names, f.test)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, ev := range evals {
+		if ev.Monitor == "CAWT" {
+			b.ReportMetric(ev.Sample.F1(), "CAWT_F1")
+			b.ReportMetric(ev.Sample.FPR(), "CAWT_FPR")
+		}
+		if ev.Monitor == "Guideline" {
+			b.ReportMetric(ev.Sample.F1(), "Guideline_F1")
+		}
+	}
+}
+
+func BenchmarkTableVNonMLGlucosym(b *testing.B) { benchTableV(b, "glucosym") }
+func BenchmarkTableVNonMLT1DS2013(b *testing.B) { benchTableV(b, "t1ds2013") }
+
+func BenchmarkTableVIML(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	names := []string{"CAWT", "DT", "MLP", "LSTM"}
+	b.ResetTimer()
+	var evals []experiment.Eval
+	for i := 0; i < b.N; i++ {
+		var err error
+		evals, err = f.suite.EvaluateAll(names, f.test)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, ev := range evals {
+		switch ev.Monitor {
+		case "CAWT":
+			b.ReportMetric(ev.Simulation.F1(), "CAWT_simF1")
+		case "DT":
+			b.ReportMetric(ev.Simulation.FPR(), "DT_simFPR")
+		case "LSTM":
+			b.ReportMetric(ev.Sample.F1(), "LSTM_F1")
+		}
+	}
+}
+
+func BenchmarkFig9ReactionTime(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	m, err := f.suite.NewMonitor("CAWT", f.test[0].PatientID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rt apsmonitor.ReactionStats
+	for i := 0; i < b.N; i++ {
+		for _, tr := range f.test {
+			monitor.Annotate(m, tr)
+		}
+		rt = apsmonitor.ReactionTime(f.test)
+	}
+	b.ReportMetric(rt.MeanMin, "CAWT_reaction_min")
+	b.ReportMetric(100*rt.EarlyRate, "CAWT_EDR_%")
+}
+
+func BenchmarkTableVIIMitigation(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	scenarios := experiment.ScenarioSubset(benchThin * 8)
+	baseline, err := experiment.Run(experiment.CampaignConfig{
+		Platform: f.platform, Scenarios: scenarios,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res experiment.MitigationResult
+	for i := 0; i < b.N; i++ {
+		res, err = f.suite.EvaluateMitigation("CAWT", baseline, experiment.CampaignConfig{
+			Scenarios: scenarios,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Outcome.RecoveryRate, "recovery_%")
+	b.ReportMetric(float64(res.Outcome.NewHazards), "new_hazards")
+	b.ReportMetric(res.Outcome.AverageRisk, "avg_risk")
+}
+
+func BenchmarkTableVIIIPatientSpecific(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	b.ResetTimer()
+	var rows []experiment.PatientVsPopulation
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = f.suite.TableVIII(f.test, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var specF1, popF1 float64
+	for _, r := range rows {
+		specF1 += r.Specific.Sample.F1()
+		popF1 += r.Pop.Sample.F1()
+	}
+	if n := float64(len(rows)); n > 0 {
+		b.ReportMetric(specF1/n, "specific_F1")
+		b.ReportMetric(popF1/n, "population_F1")
+	}
+}
+
+// BenchmarkMonitorOverhead is the Section V-E6 resource-utilization
+// comparison: ns/op is the per-cycle decision cost of each monitor.
+func BenchmarkMonitorOverhead(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	obs := experiment.ObservationForBench()
+	for _, name := range experiment.MonitorNames {
+		b.Run(name, func(b *testing.B) {
+			m, err := f.suite.NewMonitor(name, "glucosym-0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(obs)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationLossFunctions(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	b.ResetTimer()
+	var rows []experiment.LossAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.LossAblation(f.train, f.test)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Loss == "TMEE" {
+			b.ReportMetric(r.Eval.Sample.F1(), "TMEE_F1")
+		}
+		if r.Loss == "TeLEx" {
+			b.ReportMetric(r.Eval.Sample.F1(), "TeLEx_F1")
+		}
+	}
+}
+
+func BenchmarkAblationAdversarialTraining(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	b.ResetTimer()
+	var res experiment.AdversarialAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.AdversarialAblation(f.faultFree, f.train, f.test)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Adversarial.Sample.F1(), "adversarial_F1")
+	b.ReportMetric(res.FaultFreeTrained.Sample.F1(), "faultfree_F1")
+}
+
+func BenchmarkAblationFaultFreeGeneralization(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	names := []string{"CAWT", "DT"}
+	b.ResetTimer()
+	var rows []experiment.FaultFreeGeneralization
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = f.suite.EvaluateFaultFreeGeneralization(names, f.test, f.faultFree)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Monitor == "DT" {
+			b.ReportMetric(r.FaultFreeFPR, "DT_cleanFPR")
+		}
+		if r.Monitor == "CAWT" {
+			b.ReportMetric(r.FaultFreeFPR, "CAWT_cleanFPR")
+		}
+	}
+}
+
+// BenchmarkClosedLoopSimulation measures one full 150-cycle simulation —
+// the unit of work behind every campaign number.
+func BenchmarkClosedLoopSimulation(b *testing.B) {
+	platform := experiment.Glucosym()
+	scenario := experiment.ScenarioSubset(1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiment.Run(experiment.CampaignConfig{
+			Platform:  platform,
+			Patients:  []int{0},
+			Scenarios: []apsmonitor.Scenario{scenario},
+			Parallel:  1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdLearning measures one full L-BFGS-B threshold fit
+// over the training fold (the Section III-C2 refinement step).
+func BenchmarkThresholdLearning(b *testing.B) {
+	f := getFixture(b, "glucosym")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := stllearn.Learn(apsmonitor.TableI(), f.train, stllearn.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command apsim runs one closed-loop APS simulation, optionally with an
+// injected fault, and prints the trace as a summary or CSV.
+//
+// Usage:
+//
+//	apsim -platform glucosym -patient 0 -bg 140 \
+//	      -fault max:glucose -start 10 -duration 60 [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	apsmonitor "repro"
+	"repro/internal/fault"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "glucosym", "platform: glucosym or t1ds2013")
+		patientIdx   = flag.Int("patient", 0, "cohort patient index (0-9)")
+		initialBG    = flag.Float64("bg", 120, "initial blood glucose, mg/dL")
+		steps        = flag.Int("steps", 150, "control cycles (5 minutes each)")
+		faultSpec    = flag.String("fault", "", "fault as kind:target (e.g. max:glucose); empty for fault-free")
+		faultStart   = flag.Int("start", 10, "fault start cycle")
+		faultDur     = flag.Int("duration", 60, "fault duration in cycles")
+		faultValue   = flag.Float64("value", 0, "fault magnitude (0 = kind/target default)")
+		asCSV        = flag.Bool("csv", false, "emit the full trace as CSV")
+	)
+	flag.Parse()
+
+	tr, err := run(*platformName, *patientIdx, *initialBG, *steps,
+		*faultSpec, *faultStart, *faultDur, *faultValue)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apsim:", err)
+		os.Exit(1)
+	}
+	if *asCSV {
+		if err := tr.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "apsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printSummary(tr)
+}
+
+func run(platformName string, patientIdx int, initialBG float64, steps int,
+	faultSpec string, start, dur int, value float64) (*apsmonitor.Trace, error) {
+	platform, err := apsmonitor.PlatformByName(platformName)
+	if err != nil {
+		return nil, err
+	}
+	scenario := apsmonitor.Scenario{InitialBG: initialBG}
+	if faultSpec != "" {
+		parts := strings.SplitN(faultSpec, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("fault %q is not kind:target", faultSpec)
+		}
+		kind, err := fault.ParseKind(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		if value == 0 {
+			value = fault.DefaultValue(kind, parts[1])
+		}
+		scenario.Fault = apsmonitor.Fault{
+			Kind: kind, Target: parts[1], Value: value,
+			StartStep: start, Duration: dur,
+		}
+	}
+	traces, err := apsmonitor.RunCampaign(apsmonitor.CampaignConfig{
+		Platform:  platform,
+		Patients:  []int{patientIdx},
+		Scenarios: []apsmonitor.Scenario{scenario},
+		Steps:     steps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return traces[0], nil
+}
+
+func printSummary(tr *apsmonitor.Trace) {
+	fmt.Printf("platform   %s\n", tr.Platform)
+	fmt.Printf("patient    %s\n", tr.PatientID)
+	fmt.Printf("initial BG %.0f mg/dL\n", tr.InitialBG)
+	if tr.Faulty() {
+		fmt.Printf("fault      %s value=%g cycles [%d,%d)\n",
+			tr.Fault.Name, tr.Fault.Value, tr.Fault.StartStep, tr.Fault.StartStep+tr.Fault.Duration)
+	} else {
+		fmt.Println("fault      none")
+	}
+	minBG, maxBG := tr.Samples[0].BG, tr.Samples[0].BG
+	var insulin float64
+	for _, s := range tr.Samples {
+		if s.BG < minBG {
+			minBG = s.BG
+		}
+		if s.BG > maxBG {
+			maxBG = s.BG
+		}
+		insulin += s.Delivered * tr.CycleMin / 60
+	}
+	fmt.Printf("BG range   [%.0f, %.0f] mg/dL over %.1f h\n",
+		minBG, maxBG, float64(tr.Len())*tr.CycleMin/60)
+	fmt.Printf("insulin    %.1f U total\n", insulin)
+	if tr.Hazardous() {
+		tth, _ := tr.TimeToHazardMin()
+		fmt.Printf("hazard     %s at cycle %d (TTH %.0f min)\n",
+			tr.DominantHazard(), tr.FirstHazardStep(), tth)
+	} else {
+		fmt.Println("hazard     none")
+	}
+	// Compact BG strip chart, one row per hour.
+	fmt.Println("\n  t(h)   BG trace (one column per cycle, * = hazard)")
+	for row := 0; row*12 < tr.Len(); row++ {
+		fmt.Printf("  %4.0f   ", float64(row))
+		for i := row * 12; i < (row+1)*12 && i < tr.Len(); i++ {
+			s := tr.Samples[i]
+			mark := glyph(s.BG)
+			if s.Hazard != apsmonitor.HazardNone {
+				mark = "*"
+			}
+			fmt.Printf("%4.0f%s", s.BG, mark)
+		}
+		fmt.Println()
+	}
+}
+
+func glyph(bg float64) string {
+	switch {
+	case bg < 70:
+		return "v"
+	case bg > 180:
+		return "^"
+	default:
+		return " "
+	}
+}

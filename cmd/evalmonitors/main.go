@@ -1,0 +1,66 @@
+// Command evalmonitors reproduces the monitor-accuracy comparison of
+// Tables V and VI and the reaction-time analysis of Fig. 9 for one
+// platform: it runs the campaign, trains the monitor suite on the
+// training folds, and evaluates every monitor on the held-out fold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	apsmonitor "repro"
+	"repro/internal/experiment"
+	"repro/internal/stllearn"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "glucosym", "platform: glucosym or t1ds2013")
+		thin         = flag.Int("thin", 1, "run every k-th campaign scenario")
+		seed         = flag.Int64("seed", 1, "training seed")
+	)
+	flag.Parse()
+	if err := run(*platformName, *thin, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "evalmonitors:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platformName string, thin int, seed int64) error {
+	platform, err := apsmonitor.PlatformByName(platformName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running campaign on %s...\n", platform.Name)
+	traces, err := apsmonitor.RunCampaign(apsmonitor.CampaignConfig{
+		Platform:  platform,
+		Scenarios: apsmonitor.QuickScenarios(thin),
+	})
+	if err != nil {
+		return err
+	}
+	folds := stllearn.Folds(traces, 4)
+	train := stllearn.TrainingSet(folds, 0)
+	test := folds[0]
+	faultFree, err := apsmonitor.RunFaultFree(platform, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training monitor suite on %d traces...\n", len(train))
+	suite, err := apsmonitor.BuildSuite(platform, train, faultFree, apsmonitor.SuiteConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	evals, err := suite.EvaluateAll(nil, test)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(experiment.RenderEvals(
+		fmt.Sprintf("Tables V & VI — monitors on %s (held-out fold, %d traces)", platform.Name, len(test)),
+		evals))
+	fmt.Println()
+	fmt.Print(experiment.RenderReaction(evals))
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command faultcampaign runs the fault-injection campaign of Section V-B
+// against a platform and reports the resilience analysis of Section V-E1:
+// hazard coverage per patient (Fig. 7a), the time-to-hazard distribution
+// (Fig. 7b), and coverage by fault type and initial glucose (Fig. 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	apsmonitor "repro"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "glucosym", "platform: glucosym or t1ds2013")
+		thin         = flag.Int("thin", 1, "run every k-th scenario (1 = full 882-per-patient campaign)")
+		patients     = flag.Int("patients", 0, "limit to the first N patients (0 = all)")
+	)
+	flag.Parse()
+
+	platform, err := apsmonitor.PlatformByName(*platformName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(1)
+	}
+	cfg := apsmonitor.CampaignConfig{
+		Platform:  platform,
+		Scenarios: apsmonitor.QuickScenarios(*thin),
+	}
+	if *patients > 0 {
+		for i := 0; i < *patients; i++ {
+			cfg.Patients = append(cfg.Patients, i)
+		}
+	}
+	traces, err := apsmonitor.RunCampaign(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("campaign: %d simulations on %s (%d samples)\n\n",
+		len(traces), platform.Name, totalSamples(traces))
+	fmt.Print(experiment.HazardCoverageByPatient(traces).Render())
+	fmt.Println()
+	fmt.Print(experiment.RenderTTH(experiment.TTHDistribution(traces)))
+	fmt.Println()
+	fmt.Print(experiment.CoverageByFaultAndBG(traces).Render())
+}
+
+func totalSamples(traces []*apsmonitor.Trace) int {
+	var n int
+	for _, tr := range traces {
+		n += tr.Len()
+	}
+	return n
+}

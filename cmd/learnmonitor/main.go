@@ -1,0 +1,81 @@
+// Command learnmonitor runs a fault-injection campaign and learns the
+// patient-specific STL thresholds of the CAWT monitor (Section III-C2),
+// printing each Table I rule with its learned β and the resulting STL
+// formula.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	apsmonitor "repro"
+	"repro/internal/scs"
+	"repro/internal/stllearn"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "glucosym", "platform: glucosym or t1ds2013")
+		thin         = flag.Int("thin", 4, "run every k-th campaign scenario")
+		patient      = flag.Int("patient", -1, "learn for one patient (-1 = population)")
+		lossName     = flag.String("loss", "TMEE", "tightness loss: TMEE, TeLEx, MSE, MAE")
+	)
+	flag.Parse()
+
+	if err := run(*platformName, *thin, *patient, *lossName); err != nil {
+		fmt.Fprintln(os.Stderr, "learnmonitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platformName string, thin, patient int, lossName string) error {
+	platform, err := apsmonitor.PlatformByName(platformName)
+	if err != nil {
+		return err
+	}
+	loss, err := stllearn.LossByName(lossName)
+	if err != nil {
+		return err
+	}
+	cfg := apsmonitor.CampaignConfig{
+		Platform:  platform,
+		Scenarios: apsmonitor.QuickScenarios(thin),
+	}
+	if patient >= 0 {
+		cfg.Patients = []int{patient}
+	}
+	fmt.Printf("running campaign on %s...\n", platform.Name)
+	traces, err := apsmonitor.RunCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	hazardous := 0
+	for _, tr := range traces {
+		if tr.Hazardous() {
+			hazardous++
+		}
+	}
+	fmt.Printf("%d simulations, %d hazardous (%.1f%% coverage)\n\n",
+		len(traces), hazardous, 100*apsmonitor.HazardCoverage(traces))
+
+	rules := apsmonitor.TableI()
+	th, report, err := apsmonitor.LearnThresholds(rules, traces, apsmonitor.LearnConfig{Loss: loss})
+	if err != nil {
+		return err
+	}
+	sort.Slice(report.Rules, func(i, j int) bool { return report.Rules[i].RuleID < report.Rules[j].RuleID })
+	fmt.Printf("learned thresholds (%s loss, %d examples total):\n\n", loss.Name(), report.TotalExamples)
+	params := scs.Params{}.WithDefaults()
+	for _, r := range rules {
+		rr := report.Rules[r.ID-1]
+		origin := "learned"
+		if rr.UsedDefault {
+			origin = "default (no matching examples)"
+		}
+		fmt.Printf("rule %-2d  β = %8.3f  (%s, n=%d)\n", r.ID, th[r.ID], origin, rr.Examples)
+		fmt.Printf("         %s\n\n", r.GlobalSTL(params, th[r.ID]))
+	}
+	return nil
+}

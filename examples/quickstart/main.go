@@ -1,0 +1,73 @@
+// Quickstart: run one closed-loop APS simulation with an injected sensor
+// attack, attach the context-aware safety monitor with its default
+// thresholds, and print what happens.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apsmonitor "repro"
+)
+
+func main() {
+	// A "max glucose" integrity attack on the controller's glucose input:
+	// the control software believes the patient is at 400 mg/dL for five
+	// hours and delivers insulin accordingly.
+	attack := apsmonitor.Fault{
+		Kind:      apsmonitor.FaultMax,
+		Target:    "glucose",
+		Value:     400,
+		StartStep: 10,
+		Duration:  60,
+	}
+
+	// The context-aware monitor (CAWOT flavor: Table I rules with generic
+	// thresholds — no training data needed).
+	mon, err := apsmonitor.NewCAWOTMonitor(apsmonitor.TableI())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	platform := apsmonitor.MustPlatform("glucosym")
+	traces, err := apsmonitor.RunCampaign(apsmonitor.CampaignConfig{
+		Platform:  platform,
+		Patients:  []int{0},
+		Scenarios: []apsmonitor.Scenario{{Fault: attack, InitialBG: 140}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := traces[0]
+	apsmonitor.AnnotateMonitor(mon, tr)
+
+	fmt.Printf("patient %s, attack %s for %d cycles\n", tr.PatientID, tr.Fault.Name, tr.Fault.Duration)
+	if h := tr.FirstHazardStep(); h >= 0 {
+		fmt.Printf("hazard:  %s begins at t=%.0f min\n", tr.DominantHazard(), float64(h)*tr.CycleMin)
+	} else {
+		fmt.Println("hazard:  none (the controller absorbed this attack)")
+	}
+	if d := tr.FirstAlarmStep(); d >= 0 {
+		fmt.Printf("monitor: first alarm at t=%.0f min (%s predicted)\n",
+			float64(d)*tr.CycleMin, tr.Samples[d].AlarmHazard)
+	} else {
+		fmt.Println("monitor: never alarmed")
+	}
+	if rt := apsmonitor.ReactionTime([]*apsmonitor.Trace{tr}); rt.Count > 0 {
+		fmt.Printf("reaction time: %.0f minutes before the hazard\n", rt.MeanMin)
+	}
+
+	fmt.Println("\n  time   true BG   controller-seen   insulin U/h   alarm")
+	for i := 0; i < tr.Len(); i += 6 {
+		s := tr.Samples[i]
+		seen := s.CGM
+		if s.FaultActive {
+			seen = 400
+		}
+		alarm := ""
+		if s.Alarm {
+			alarm = "ALARM " + s.AlarmHazard.String()
+		}
+		fmt.Printf("  %4.0fm %8.0f %12.0f %13.2f   %s\n", s.TimeMin, s.BG, seen, s.Rate, alarm)
+	}
+}

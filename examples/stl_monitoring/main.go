@@ -1,0 +1,77 @@
+// STL monitoring: author a safety property in the package's Signal
+// Temporal Logic syntax, check it online against a streaming closed-loop
+// simulation, and inspect quantitative robustness margins — the formal
+// machinery underneath the context-aware monitor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apsmonitor "repro"
+	"repro/internal/stl"
+)
+
+func main() {
+	// Rule 9 of Table I in concrete syntax: in hyperglycemia, do not stop
+	// insulin while the insulin-on-board estimate is low.
+	src := "(BG > 180 and IOB < 0.5) => not (u == 3)"
+	formula, err := apsmonitor.ParseSTL(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("property: %s\n", formula)
+
+	online, err := stl.NewOnlineMonitor(formula, 5) // 5-minute sampling
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive a closed-loop run with a "truncate glucose" availability
+	// attack: the controller sees 0 mg/dL, engages low-glucose suspend,
+	// and stops insulin while the patient is actually hyperglycemic.
+	traces, err := apsmonitor.RunCampaign(apsmonitor.CampaignConfig{
+		Platform: apsmonitor.MustPlatform("glucosym"),
+		Patients: []int{2},
+		Scenarios: []apsmonitor.Scenario{{
+			Fault: apsmonitor.Fault{
+				Kind: apsmonitor.FaultTruncate, Target: "glucose",
+				StartStep: 20, Duration: 80,
+			},
+			InitialBG: 170,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := traces[0]
+
+	fmt.Println("\n  time    BG    IOB   action   satisfied   robustness")
+	var firstViolation int = -1
+	for _, s := range tr.Samples {
+		sat, err := online.Push(map[string]float64{
+			"BG": s.CGM, "IOB": s.IOB, "u": float64(s.Action),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rob, err := online.Robustness()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !sat && firstViolation < 0 {
+			firstViolation = s.Step
+		}
+		if s.Step%10 == 0 || (!sat && s.Step == firstViolation) {
+			fmt.Printf("  %4.0fm %5.0f %6.2f   %-7s %-10v %10.2f\n",
+				s.TimeMin, s.CGM, s.IOB, s.Action.Short(), sat, rob)
+		}
+	}
+	violations, evaluated := online.Violations()
+	fmt.Printf("\nG[t0,te] verdict: %d of %d cycles violated the property\n", violations, evaluated)
+	if firstViolation >= 0 {
+		fmt.Printf("first unsafe control action at t=%.0f min — %.0f min before the hazard\n",
+			float64(firstViolation)*tr.CycleMin,
+			float64(tr.FirstHazardStep()-firstViolation)*tr.CycleMin)
+	}
+}

@@ -1,0 +1,279 @@
+// Package closedloop wires a virtual patient, an APS controller, an
+// optional fault injector, and an optional safety monitor into the
+// closed-loop simulation of Fig. 5a: 150 five-minute control cycles
+// (about 12 hours) starting from a configurable initial glucose.
+package closedloop
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/control"
+	"repro/internal/fault"
+	"repro/internal/risk"
+	"repro/internal/trace"
+)
+
+// Monitor is the safety-monitor interface the loop drives. It matches
+// internal/monitor.Monitor structurally; closedloop declares its own copy
+// to avoid a dependency cycle (monitors are tested against the loop).
+type Monitor interface {
+	Name() string
+	Reset()
+	Step(obs Observation) Verdict
+}
+
+// Observation is the monitor's view of one control cycle: the clean
+// sensor value, the monitor's own derived estimates, and the controller's
+// commanded action (Section II: the monitor wraps the controller's
+// input-output interface).
+type Observation struct {
+	Step     int
+	TimeMin  float64
+	CycleMin float64
+	CGM      float64 // clean sensed glucose, mg/dL
+	BGPrime  float64 // dCGM/dt, mg/dL/min
+	IOB      float64 // monitor-side net IOB estimate, U
+	IOBPrime float64 // dIOB/dt, U/min
+	Rate     float64 // controller's commanded rate, U/h
+	PrevRate float64 // previously delivered rate, U/h
+	Action   trace.Action
+	Basal    float64 // patient's scheduled basal, U/h
+}
+
+// Verdict is the monitor's decision for the cycle.
+type Verdict struct {
+	Alarm  bool
+	Hazard trace.HazardType // predicted hazard class when Alarm
+}
+
+// Pump bounds the actuator.
+type Pump struct {
+	MaxRate float64 // hardware ceiling, U/h
+}
+
+// DefaultPump is a typical insulin pump limit.
+var DefaultPump = Pump{MaxRate: 30}
+
+// Patient is the virtual-patient surface the loop needs; satisfied by
+// *glucosym.Patient and *uvapadova.Patient.
+type Patient interface {
+	ID() string
+	Step(insulinUPerH, carbGPerMin, dtMin float64)
+	BG() float64
+	CGM() float64
+	Basal() float64
+	Reset(initialBG float64)
+}
+
+// MitigationConfig enables Algorithm 1: when the monitor raises an alarm
+// the unsafe command is replaced — zero insulin for a predicted H1,
+// a fixed maximum insulin rate for a predicted H2 — until the monitor
+// stops alarming.
+type MitigationConfig struct {
+	Enabled bool
+	// MaxInsulin is the corrective rate for H2 mitigation, U/h. Zero
+	// selects 4x the patient basal (the temp-basal ceiling), the fixed
+	// value used for the paper's fair cross-monitor comparison.
+	MaxInsulin float64
+	// Corrective optionally selects a context-dependent corrective rate
+	// (the f(ρ(µ(x)), u) of Algorithm 1, e.g. an scs.HMS). Returning
+	// false falls back to the fixed strategy above.
+	Corrective func(hazard trace.HazardType, obs Observation) (float64, bool)
+}
+
+// Config assembles one simulation run.
+type Config struct {
+	Platform   string // label recorded on the trace, e.g. "glucosym/openaps"
+	Steps      int    // control cycles (default 150)
+	CycleMin   float64
+	InitialBG  float64
+	Patient    Patient
+	Controller control.Controller
+	Fault      *fault.Fault // nil for a fault-free run
+	Monitor    Monitor      // nil to run without a safety monitor
+	Mitigation MitigationConfig
+	Pump       Pump
+	Labeler    risk.Labeler
+	// DIA/PeakT parameterize the monitor-side IOB estimate.
+	DIA   float64
+	PeakT float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Patient == nil {
+		return c, fmt.Errorf("closedloop: nil patient")
+	}
+	if c.Controller == nil {
+		return c, fmt.Errorf("closedloop: nil controller")
+	}
+	if c.Steps == 0 {
+		c.Steps = 150
+	}
+	if c.Steps < 1 {
+		return c, fmt.Errorf("closedloop: invalid step count %d", c.Steps)
+	}
+	if c.CycleMin == 0 {
+		c.CycleMin = 5
+	}
+	if c.CycleMin <= 0 {
+		return c, fmt.Errorf("closedloop: invalid cycle length %v", c.CycleMin)
+	}
+	if c.InitialBG == 0 {
+		c.InitialBG = 120
+	}
+	if c.Pump.MaxRate == 0 {
+		c.Pump = DefaultPump
+	}
+	if c.Mitigation.Enabled && c.Mitigation.MaxInsulin == 0 {
+		c.Mitigation.MaxInsulin = 4 * c.Patient.Basal()
+	}
+	if c.DIA == 0 {
+		c.DIA = 300
+	}
+	if c.PeakT == 0 {
+		c.PeakT = 75
+	}
+	return c, nil
+}
+
+// Run executes one closed-loop simulation and returns the labeled trace.
+func Run(cfg Config) (*trace.Trace, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Patient.Reset(cfg.InitialBG)
+	cfg.Controller.Reset()
+	if cfg.Monitor != nil {
+		cfg.Monitor.Reset()
+	}
+
+	var injector *fault.Injector
+	if cfg.Fault != nil {
+		injector, err = fault.NewInjector(*cfg.Fault)
+		if err != nil {
+			return nil, fmt.Errorf("closedloop: %w", err)
+		}
+		cfg.Controller.SetPerturb(injector.Perturb)
+		defer cfg.Controller.SetPerturb(nil)
+	}
+
+	curve, err := control.NewExponentialCurve(cfg.DIA, cfg.PeakT)
+	if err != nil {
+		return nil, fmt.Errorf("closedloop: monitor IOB curve: %w", err)
+	}
+	monIOB := control.NewIOBTracker(curve, cfg.Patient.Basal())
+
+	tr := &trace.Trace{
+		PatientID: cfg.Patient.ID(),
+		Platform:  cfg.Platform,
+		InitialBG: cfg.InitialBG,
+		CycleMin:  cfg.CycleMin,
+	}
+	if cfg.Fault != nil {
+		tr.Fault = cfg.Fault.Info()
+	}
+	tr.Samples = make([]trace.Sample, 0, cfg.Steps)
+
+	prevCGM := math.NaN()
+	prevIOB := 0.0
+	prevDelivered := cfg.Patient.Basal()
+
+	for step := 0; step < cfg.Steps; step++ {
+		now := float64(step) * cfg.CycleMin
+		cgm := cfg.Patient.CGM()
+		iob := monIOB.IOB()
+
+		bgPrime := 0.0
+		if !math.IsNaN(prevCGM) {
+			bgPrime = (cgm - prevCGM) / cfg.CycleMin
+		}
+		iobPrime := 0.0
+		if step > 0 {
+			iobPrime = (iob - prevIOB) / cfg.CycleMin
+		}
+
+		if injector != nil {
+			injector.BeginStep(step)
+		}
+		out := cfg.Controller.Decide(control.Input{
+			TimeMin:  now,
+			CGM:      cgm,
+			CycleMin: cfg.CycleMin,
+		})
+		rate := clampRate(out.RateUPerH, cfg.Pump)
+		action := trace.ClassifyAction(rate, cfg.Patient.Basal())
+
+		s := trace.Sample{
+			Step:    step,
+			TimeMin: now,
+			BG:      cfg.Patient.BG(),
+			CGM:     cgm,
+			IOB:     iob,
+			BGPrime: bgPrime, IOBPrime: iobPrime,
+			Rate:   rate,
+			Action: action,
+		}
+		if cfg.Fault != nil {
+			s.FaultActive = cfg.Fault.Active(step)
+		}
+
+		delivered := rate
+		if cfg.Monitor != nil {
+			obs := Observation{
+				Step: step, TimeMin: now, CycleMin: cfg.CycleMin,
+				CGM: cgm, BGPrime: bgPrime, IOB: iob, IOBPrime: iobPrime,
+				Rate: rate, PrevRate: prevDelivered, Action: action,
+				Basal: cfg.Patient.Basal(),
+			}
+			v := cfg.Monitor.Step(obs)
+			s.Alarm = v.Alarm
+			s.AlarmHazard = v.Hazard
+			if v.Alarm && cfg.Mitigation.Enabled {
+				delivered = mitigate(v.Hazard, cfg.Mitigation, cfg.Pump)
+				if cfg.Mitigation.Corrective != nil {
+					if r, ok := cfg.Mitigation.Corrective(v.Hazard, obs); ok {
+						delivered = clampRate(r, cfg.Pump)
+					}
+				}
+				s.Mitigated = true
+			}
+		}
+		s.Delivered = delivered
+		tr.Samples = append(tr.Samples, s)
+
+		cfg.Patient.Step(delivered, 0, cfg.CycleMin)
+		cfg.Controller.RecordDelivery(delivered, cfg.CycleMin)
+		monIOB.Record(delivered, cfg.CycleMin)
+
+		prevCGM = cgm
+		prevIOB = iob
+		prevDelivered = delivered
+	}
+
+	cfg.Labeler.Label(tr)
+	return tr, nil
+}
+
+// mitigate implements the corrective action of Algorithm 1.
+func mitigate(h trace.HazardType, m MitigationConfig, p Pump) float64 {
+	switch h {
+	case trace.HazardH1:
+		return 0 // too much insulin on the way: cut it
+	case trace.HazardH2:
+		return clampRate(m.MaxInsulin, p) // too little insulin: add the fixed max
+	default:
+		return 0
+	}
+}
+
+func clampRate(rate float64, p Pump) float64 {
+	if rate < 0 || math.IsNaN(rate) {
+		return 0
+	}
+	if rate > p.MaxRate {
+		return p.MaxRate
+	}
+	return rate
+}

@@ -1,0 +1,312 @@
+package closedloop
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/fault"
+	"repro/internal/sim/glucosym"
+	"repro/internal/sim/uvapadova"
+	"repro/internal/trace"
+)
+
+func newGlucosymRig(t *testing.T, idx int) (Patient, control.Controller) {
+	t.Helper()
+	p, err := glucosym.New(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := control.NewOpenAPS(control.OpenAPSConfig{Basal: p.Basal(), ISF: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ctrl
+}
+
+func newUVARig(t *testing.T, idx int) (Patient, control.Controller) {
+	t.Helper()
+	p, err := uvapadova.New(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := control.NewBasalBolus(control.BasalBolusConfig{Basal: p.Basal(), ISF: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ctrl
+}
+
+func TestConfigValidation(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	if _, err := Run(Config{Controller: ctrl}); err == nil {
+		t.Error("nil patient should fail")
+	}
+	if _, err := Run(Config{Patient: p}); err == nil {
+		t.Error("nil controller should fail")
+	}
+	if _, err := Run(Config{Patient: p, Controller: ctrl, Steps: -3}); err == nil {
+		t.Error("negative steps should fail")
+	}
+	if _, err := Run(Config{Patient: p, Controller: ctrl, CycleMin: -1}); err == nil {
+		t.Error("negative cycle should fail")
+	}
+}
+
+func TestFaultFreeRunStaysEuglycemic(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	tr, err := Run(Config{
+		Platform: "glucosym/openaps", Patient: p, Controller: ctrl,
+		InitialBG: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("trace length %d, want 150", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if tr.Faulty() {
+		t.Error("fault-free run marked faulty")
+	}
+	for _, s := range tr.Samples {
+		if s.BG < 60 || s.BG > 250 {
+			t.Fatalf("step %d: BG %v escaped euglycemic control", s.Step, s.BG)
+		}
+	}
+}
+
+func TestFaultFreeRunsFromAllInitialBGs(t *testing.T) {
+	for _, bg := range fault.DefaultInitialBGs {
+		p, ctrl := newGlucosymRig(t, 1)
+		tr, err := Run(Config{Patient: p, Controller: ctrl, InitialBG: bg})
+		if err != nil {
+			t.Fatalf("bg %v: %v", bg, err)
+		}
+		last := tr.Samples[tr.Len()-1].BG
+		if last < 60 || last > 220 {
+			t.Errorf("initial %v: final BG %v not brought toward range", bg, last)
+		}
+	}
+}
+
+func TestMaxGlucoseFaultDrivesHypo(t *testing.T) {
+	// Spoofing maximum glucose makes OpenAPS over-deliver, driving the
+	// patient toward hypoglycemia (H1) — the paper's most damaging fault
+	// class (Fig. 8 discussion).
+	p, ctrl := newGlucosymRig(t, 0)
+	f := &fault.Fault{Kind: fault.KindMax, Target: "glucose", Value: 400, StartStep: 10, Duration: 42}
+	tr, err := Run(Config{Patient: p, Controller: ctrl, InitialBG: 120, Fault: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Faulty() {
+		t.Fatal("trace should be faulty")
+	}
+	minBG := 1000.0
+	for _, s := range tr.Samples {
+		minBG = math.Min(minBG, s.BG)
+	}
+	if minBG > 80 {
+		t.Errorf("min BG %v under max-glucose fault, want hypoglycemia", minBG)
+	}
+	if !tr.Hazardous() {
+		t.Error("max-glucose fault should label a hazard")
+	}
+	if tr.DominantHazard() != trace.HazardH1 {
+		t.Errorf("dominant hazard %v, want H1", tr.DominantHazard())
+	}
+}
+
+func TestMinGlucoseFaultDrivesHyper(t *testing.T) {
+	// Spoofing minimum glucose suspends insulin; BG drifts up (H2).
+	p, ctrl := newGlucosymRig(t, 2) // high-EGP patient rises faster
+	f := &fault.Fault{Kind: fault.KindMin, Target: "glucose", Value: 40, StartStep: 10, Duration: 60}
+	tr, err := Run(Config{Patient: p, Controller: ctrl, InitialBG: 160, Fault: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBG := 0.0
+	for _, s := range tr.Samples {
+		maxBG = math.Max(maxBG, s.BG)
+	}
+	if maxBG < 200 {
+		t.Errorf("max BG %v under min-glucose fault, want hyperglycemia", maxBG)
+	}
+}
+
+func TestFaultActiveFlagsMatchWindow(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	f := &fault.Fault{Kind: fault.KindHold, Target: "glucose", StartStep: 20, Duration: 10}
+	tr, err := Run(Config{Patient: p, Controller: ctrl, Fault: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Samples {
+		want := s.Step >= 20 && s.Step < 30
+		if s.FaultActive != want {
+			t.Fatalf("step %d: FaultActive=%v, want %v", s.Step, s.FaultActive, want)
+		}
+	}
+}
+
+func TestUVAPlatformRuns(t *testing.T) {
+	p, ctrl := newUVARig(t, 0)
+	tr, err := Run(Config{
+		Platform: "uvapadova/basalbolus", Patient: p, Controller: ctrl,
+		InitialBG: 140,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	last := tr.Samples[tr.Len()-1].BG
+	if last < 60 || last > 250 {
+		t.Errorf("final BG %v out of plausible control band", last)
+	}
+}
+
+// recordingMonitor alarms whenever CGM exceeds a threshold.
+type recordingMonitor struct {
+	threshold float64
+	calls     int
+}
+
+func (m *recordingMonitor) Name() string { return "recording" }
+func (m *recordingMonitor) Reset()       { m.calls = 0 }
+func (m *recordingMonitor) Step(obs Observation) Verdict {
+	m.calls++
+	if obs.CGM > m.threshold {
+		return Verdict{Alarm: true, Hazard: trace.HazardH2}
+	}
+	return Verdict{}
+}
+
+func TestMonitorReceivesEveryCycle(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	mon := &recordingMonitor{threshold: 1e9}
+	_, err := Run(Config{Patient: p, Controller: ctrl, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.calls != 150 {
+		t.Errorf("monitor called %d times, want 150", mon.calls)
+	}
+}
+
+func TestMitigationOverridesCommand(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 2)
+	// Force hyperglycemia via min-glucose fault, with an H2-alarming
+	// monitor and mitigation on: delivered rate must exceed commanded.
+	f := &fault.Fault{Kind: fault.KindMin, Target: "glucose", Value: 40, StartStep: 5, Duration: 60}
+	mon := &recordingMonitor{threshold: 200}
+	tr, err := Run(Config{
+		Patient: p, Controller: ctrl, InitialBG: 160, Fault: f,
+		Monitor:    mon,
+		Mitigation: MitigationConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * p.Basal() // fixed H2 corrective rate
+	var sawMitigation bool
+	for _, s := range tr.Samples {
+		if s.Mitigated {
+			sawMitigation = true
+			if math.Abs(s.Delivered-want) > 1e-9 {
+				t.Fatalf("step %d: H2 mitigation delivered %v, want fixed %v", s.Step, s.Delivered, want)
+			}
+		} else if s.Delivered != s.Rate {
+			t.Fatalf("step %d: unmitigated sample has delivered %v != rate %v", s.Step, s.Delivered, s.Rate)
+		}
+	}
+	if !sawMitigation {
+		t.Error("expected at least one mitigated cycle")
+	}
+}
+
+func TestMitigationH1CutsInsulin(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	f := &fault.Fault{Kind: fault.KindMax, Target: "glucose", Value: 400, StartStep: 5, Duration: 42}
+	// Monitor that alarms H1 when CGM is falling under heavy dosing.
+	mon := monitorFunc(func(obs Observation) Verdict {
+		if obs.Rate > 2*obs.Basal {
+			return Verdict{Alarm: true, Hazard: trace.HazardH1}
+		}
+		return Verdict{}
+	})
+	tr, err := Run(Config{
+		Patient: p, Controller: ctrl, Fault: f,
+		Monitor:    mon,
+		Mitigation: MitigationConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Samples {
+		if s.Mitigated && s.Delivered != 0 {
+			t.Fatalf("step %d: H1 mitigation delivered %v, want 0", s.Step, s.Delivered)
+		}
+	}
+}
+
+type monitorFunc func(Observation) Verdict
+
+func (monitorFunc) Name() string                 { return "func" }
+func (monitorFunc) Reset()                       {}
+func (f monitorFunc) Step(o Observation) Verdict { return f(o) }
+
+func TestPumpClampsRateFaults(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	f := &fault.Fault{Kind: fault.KindAdd, Target: "rate", Value: 500, StartStep: 0, Duration: 150}
+	tr, err := Run(Config{Patient: p, Controller: ctrl, Fault: f, Pump: Pump{MaxRate: 25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Samples {
+		if s.Rate > 25 || s.Delivered > 25 {
+			t.Fatalf("step %d: rate %v exceeds pump limit", s.Step, s.Rate)
+		}
+	}
+}
+
+func TestActionsClassified(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	f := &fault.Fault{Kind: fault.KindMax, Target: "glucose", Value: 400, StartStep: 10, Duration: 30}
+	tr, err := Run(Config{Patient: p, Controller: ctrl, Fault: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[trace.Action]int)
+	for _, s := range tr.Samples {
+		counts[s.Action]++
+	}
+	if len(counts) < 2 {
+		t.Errorf("only %d distinct actions observed: %v", len(counts), counts)
+	}
+	if counts[trace.ActionUnknown] > 0 {
+		t.Error("unclassified actions in trace")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *trace.Trace {
+		p, ctrl := newGlucosymRig(t, 3)
+		f := &fault.Fault{Kind: fault.KindSub, Target: "glucose", Value: 75, StartStep: 20, Duration: 36}
+		tr, err := Run(Config{Patient: p, Controller: ctrl, InitialBG: 140, Fault: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := run(), run()
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("non-deterministic at step %d:\n%+v\n%+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// BasalBolusConfig parameterizes the Basal-Bolus protocol controller.
+type BasalBolusConfig struct {
+	Basal        float64 // scheduled basal rate, U/h (required)
+	ISF          float64 // correction factor, mg/dL per U (required)
+	TargetBG     float64 // correction target, mg/dL (default 120)
+	CorrectAbove float64 // give a correction bolus when CGM exceeds this (default 150)
+	IntervalMin  float64 // minimum minutes between correction boluses (default 30)
+	LGSThreshold float64 // low-glucose suspend threshold (default 70)
+	MaxBolus     float64 // per-correction bolus cap, U (default 5)
+	MaxIOB       float64 // skip corrections above this IOB, U (default 3)
+	DIA          float64 // duration of insulin action, min (default 300)
+	PeakT        float64 // activity peak, min (default 75)
+}
+
+func (c BasalBolusConfig) withDefaults() (BasalBolusConfig, error) {
+	if c.Basal <= 0 {
+		return c, fmt.Errorf("control: basal-bolus needs positive basal, got %v", c.Basal)
+	}
+	if c.ISF <= 0 {
+		return c, fmt.Errorf("control: basal-bolus needs positive ISF, got %v", c.ISF)
+	}
+	// Defaults follow the hospital basal-bolus protocol the paper cites
+	// (Chertok Shacham et al.): corrections toward a conservative
+	// 140 mg/dL target, issued at most every 4 hours when BG exceeds
+	// 180 mg/dL — far looser than closed-loop control, which is what
+	// differentiates this platform's dynamics.
+	if c.TargetBG == 0 {
+		c.TargetBG = 140
+	}
+	if c.CorrectAbove == 0 {
+		c.CorrectAbove = 180
+	}
+	if c.IntervalMin == 0 {
+		c.IntervalMin = 240
+	}
+	if c.LGSThreshold == 0 {
+		c.LGSThreshold = 70
+	}
+	if c.MaxBolus == 0 {
+		c.MaxBolus = 5
+	}
+	if c.MaxIOB == 0 {
+		c.MaxIOB = 3
+	}
+	if c.DIA == 0 {
+		c.DIA = 300
+	}
+	if c.PeakT == 0 {
+		c.PeakT = 75
+	}
+	return c, nil
+}
+
+// BasalBolus is the hospital basal-bolus insulin protocol used as the
+// paper's second controller: a fixed basal infusion plus periodic
+// correction boluses proportional to the glucose excursion above target,
+// with low-glucose suspend.
+type BasalBolus struct {
+	cfg     BasalBolusConfig
+	tracker *IOBTracker
+
+	vars    map[string]*float64
+	perturb PerturbFunc
+
+	glucose float64
+	iob     float64
+	isf     float64
+	rate    float64
+
+	lastBolusMin float64
+	hasBolused   bool
+}
+
+var _ Controller = (*BasalBolus)(nil)
+
+// NewBasalBolus constructs the controller.
+func NewBasalBolus(cfg BasalBolusConfig) (*BasalBolus, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	curve, err := NewExponentialCurve(cfg.DIA, cfg.PeakT)
+	if err != nil {
+		return nil, fmt.Errorf("control: basal-bolus insulin curve: %w", err)
+	}
+	c := &BasalBolus{
+		cfg:     cfg,
+		tracker: NewIOBTracker(curve, cfg.Basal),
+		isf:     cfg.ISF,
+	}
+	c.vars = map[string]*float64{
+		"glucose": &c.glucose,
+		"iob":     &c.iob,
+		"isf":     &c.isf,
+		"rate":    &c.rate,
+	}
+	return c, nil
+}
+
+// Name implements Controller.
+func (c *BasalBolus) Name() string { return "basal-bolus" }
+
+// Vars implements Controller.
+func (c *BasalBolus) Vars() map[string]*float64 { return c.vars }
+
+// SetPerturb attaches the fault-injection hook (nil detaches).
+func (c *BasalBolus) SetPerturb(h PerturbFunc) { c.perturb = h }
+
+// Decide implements Controller.
+func (c *BasalBolus) Decide(in Input) Output {
+	c.glucose = in.CGM
+	c.iob = c.tracker.IOB()
+	c.isf = c.cfg.ISF
+	if c.perturb != nil {
+		c.perturb(StagePre, c.vars)
+	}
+
+	cycle := in.CycleMin
+	if cycle <= 0 {
+		cycle = 5
+	}
+	switch {
+	case c.glucose < c.cfg.LGSThreshold:
+		c.rate = 0
+	case c.glucose > c.cfg.CorrectAbove && c.dueForBolus(in.TimeMin) && c.iob < c.cfg.MaxIOB:
+		bolus := (c.glucose - c.cfg.TargetBG) / c.isf
+		bolus = math.Min(bolus, c.cfg.MaxBolus)
+		bolus = math.Min(bolus, c.cfg.MaxIOB-c.iob)
+		if bolus < 0 {
+			bolus = 0
+		}
+		// Deliver the bolus spread over this cycle on top of basal.
+		c.rate = c.cfg.Basal + bolus*60/cycle
+		c.lastBolusMin = in.TimeMin
+		c.hasBolused = true
+	default:
+		c.rate = c.cfg.Basal
+	}
+
+	if c.perturb != nil {
+		c.perturb(StagePost, c.vars)
+	}
+	if c.rate < 0 {
+		c.rate = 0
+	}
+	return Output{RateUPerH: c.rate, IOB: c.iob}
+}
+
+func (c *BasalBolus) dueForBolus(nowMin float64) bool {
+	return !c.hasBolused || nowMin-c.lastBolusMin >= c.cfg.IntervalMin
+}
+
+// RecordDelivery implements Controller.
+func (c *BasalBolus) RecordDelivery(rateUPerH, dtMin float64) {
+	c.tracker.Record(rateUPerH, dtMin)
+}
+
+// Reset implements Controller.
+func (c *BasalBolus) Reset() {
+	c.tracker.Reset()
+	c.glucose = 0
+	c.iob = 0
+	c.isf = c.cfg.ISF
+	c.rate = 0
+	c.lastBolusMin = 0
+	c.hasBolused = false
+}

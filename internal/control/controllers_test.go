@@ -1,0 +1,250 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func newOpenAPS(t *testing.T) *OpenAPS {
+	t.Helper()
+	c, err := NewOpenAPS(OpenAPSConfig{Basal: 1.0, ISF: 40})
+	if err != nil {
+		t.Fatalf("NewOpenAPS: %v", err)
+	}
+	return c
+}
+
+func TestOpenAPSValidation(t *testing.T) {
+	if _, err := NewOpenAPS(OpenAPSConfig{Basal: 0, ISF: 40}); err == nil {
+		t.Error("zero basal should fail")
+	}
+	if _, err := NewOpenAPS(OpenAPSConfig{Basal: 1, ISF: 0}); err == nil {
+		t.Error("zero ISF should fail")
+	}
+}
+
+func TestOpenAPSSteadyAtTarget(t *testing.T) {
+	c := newOpenAPS(t)
+	out := c.Decide(Input{TimeMin: 0, CGM: 110, CycleMin: 5})
+	if math.Abs(out.RateUPerH-1.0) > 1e-9 {
+		t.Errorf("rate at target = %v, want basal 1.0", out.RateUPerH)
+	}
+}
+
+func TestOpenAPSLowGlucoseSuspend(t *testing.T) {
+	c := newOpenAPS(t)
+	out := c.Decide(Input{TimeMin: 0, CGM: 60, CycleMin: 5})
+	if out.RateUPerH != 0 {
+		t.Errorf("rate at CGM 60 = %v, want 0 (LGS)", out.RateUPerH)
+	}
+}
+
+func TestOpenAPSHighGlucoseIncreases(t *testing.T) {
+	c := newOpenAPS(t)
+	c.Decide(Input{TimeMin: 0, CGM: 200, CycleMin: 5})
+	c.RecordDelivery(1, 5)
+	out := c.Decide(Input{TimeMin: 5, CGM: 205, CycleMin: 5})
+	if out.RateUPerH <= 1.0 {
+		t.Errorf("rate at CGM 205 rising = %v, want above basal", out.RateUPerH)
+	}
+	if out.RateUPerH > c.cfg.MaxBasal {
+		t.Errorf("rate %v exceeds max basal %v", out.RateUPerH, c.cfg.MaxBasal)
+	}
+}
+
+func TestOpenAPSLowTrendReduces(t *testing.T) {
+	c := newOpenAPS(t)
+	c.Decide(Input{TimeMin: 0, CGM: 100, CycleMin: 5})
+	c.RecordDelivery(1, 5)
+	out := c.Decide(Input{TimeMin: 5, CGM: 88, CycleMin: 5})
+	if out.RateUPerH >= 1.0 {
+		t.Errorf("rate while falling toward hypo = %v, want below basal", out.RateUPerH)
+	}
+}
+
+func TestOpenAPSMaxIOBCap(t *testing.T) {
+	c := newOpenAPS(t)
+	// Build large IOB by recording heavy deliveries.
+	for i := 0; i < 12; i++ {
+		c.RecordDelivery(10, 5)
+	}
+	out := c.Decide(Input{TimeMin: 60, CGM: 250, CycleMin: 5})
+	if out.IOB < c.cfg.MaxIOB {
+		t.Skipf("setup did not reach IOB cap (iob=%v)", out.IOB)
+	}
+	if out.RateUPerH > c.cfg.Basal+1e-9 {
+		t.Errorf("rate with IOB %v above cap = %v, want basal", out.IOB, out.RateUPerH)
+	}
+}
+
+func TestOpenAPSPerturbGlucose(t *testing.T) {
+	c := newOpenAPS(t)
+	c.SetPerturb(func(stage Stage, vars map[string]*float64) {
+		if stage == StagePre {
+			*vars["glucose"] = 300 // spoof hyperglycemia
+		}
+	})
+	c.Decide(Input{TimeMin: 0, CGM: 110, CycleMin: 5})
+	c.RecordDelivery(1, 5)
+	out := c.Decide(Input{TimeMin: 5, CGM: 110, CycleMin: 5})
+	if out.RateUPerH <= 1.0 {
+		t.Errorf("perturbed-glucose rate = %v, want above basal", out.RateUPerH)
+	}
+	c.SetPerturb(nil)
+	out = c.Decide(Input{TimeMin: 10, CGM: 110, CycleMin: 5})
+	if out.RateUPerH > 3 {
+		t.Errorf("rate after detaching perturbation = %v, want near basal", out.RateUPerH)
+	}
+}
+
+func TestOpenAPSPerturbRate(t *testing.T) {
+	c := newOpenAPS(t)
+	c.SetPerturb(func(stage Stage, vars map[string]*float64) {
+		if stage == StagePost {
+			*vars["rate"] = 12
+		}
+	})
+	out := c.Decide(Input{TimeMin: 0, CGM: 110, CycleMin: 5})
+	if out.RateUPerH != 12 {
+		t.Errorf("post-stage perturbed rate = %v, want 12", out.RateUPerH)
+	}
+}
+
+func TestOpenAPSNegativeRateClamped(t *testing.T) {
+	c := newOpenAPS(t)
+	c.SetPerturb(func(stage Stage, vars map[string]*float64) {
+		if stage == StagePost {
+			*vars["rate"] = -4
+		}
+	})
+	out := c.Decide(Input{TimeMin: 0, CGM: 110, CycleMin: 5})
+	if out.RateUPerH != 0 {
+		t.Errorf("negative perturbed rate = %v, want clamp to 0", out.RateUPerH)
+	}
+}
+
+func TestOpenAPSReset(t *testing.T) {
+	c := newOpenAPS(t)
+	c.Decide(Input{TimeMin: 0, CGM: 200, CycleMin: 5})
+	c.RecordDelivery(4, 5)
+	c.Reset()
+	if c.tracker.IOB() != 0 {
+		t.Error("Reset should clear IOB history")
+	}
+	out := c.Decide(Input{TimeMin: 0, CGM: 110, CycleMin: 5})
+	if math.Abs(out.RateUPerH-1.0) > 1e-9 {
+		t.Errorf("rate after reset = %v, want basal", out.RateUPerH)
+	}
+}
+
+func TestOpenAPSVarsExposed(t *testing.T) {
+	c := newOpenAPS(t)
+	for _, name := range []string{"glucose", "iob", "isf", "eventual_bg", "rate"} {
+		if _, ok := c.Vars()[name]; !ok {
+			t.Errorf("missing fault-injectable var %q", name)
+		}
+	}
+}
+
+func newBB(t *testing.T) *BasalBolus {
+	t.Helper()
+	c, err := NewBasalBolus(BasalBolusConfig{Basal: 1.0, ISF: 40})
+	if err != nil {
+		t.Fatalf("NewBasalBolus: %v", err)
+	}
+	return c
+}
+
+func TestBasalBolusValidation(t *testing.T) {
+	if _, err := NewBasalBolus(BasalBolusConfig{Basal: 0, ISF: 40}); err == nil {
+		t.Error("zero basal should fail")
+	}
+	if _, err := NewBasalBolus(BasalBolusConfig{Basal: 1, ISF: 0}); err == nil {
+		t.Error("zero ISF should fail")
+	}
+}
+
+func TestBasalBolusDefaultsToBasal(t *testing.T) {
+	c := newBB(t)
+	out := c.Decide(Input{TimeMin: 0, CGM: 120, CycleMin: 5})
+	if math.Abs(out.RateUPerH-1.0) > 1e-9 {
+		t.Errorf("rate at 120 = %v, want basal", out.RateUPerH)
+	}
+}
+
+func TestBasalBolusLGS(t *testing.T) {
+	c := newBB(t)
+	out := c.Decide(Input{TimeMin: 0, CGM: 55, CycleMin: 5})
+	if out.RateUPerH != 0 {
+		t.Errorf("rate at 55 = %v, want 0", out.RateUPerH)
+	}
+}
+
+func TestBasalBolusCorrection(t *testing.T) {
+	c := newBB(t)
+	out := c.Decide(Input{TimeMin: 0, CGM: 240, CycleMin: 5})
+	if out.RateUPerH <= 1.0 {
+		t.Errorf("rate at 240 = %v, want correction above basal", out.RateUPerH)
+	}
+	// (240-140)/40 = 2.5 U over 5 min on top of basal.
+	want := 1.0 + 2.5*60/5.0
+	if math.Abs(out.RateUPerH-want) > 1e-6 {
+		t.Errorf("correction rate = %v, want %v", out.RateUPerH, want)
+	}
+}
+
+func TestBasalBolusIntervalGate(t *testing.T) {
+	c := newBB(t)
+	first := c.Decide(Input{TimeMin: 0, CGM: 240, CycleMin: 5})
+	if first.RateUPerH <= 1 {
+		t.Fatal("first correction should fire")
+	}
+	c.RecordDelivery(first.RateUPerH, 5)
+	second := c.Decide(Input{TimeMin: 5, CGM: 240, CycleMin: 5})
+	if second.RateUPerH > 1+1e-9 {
+		t.Errorf("correction refired within interval: %v", second.RateUPerH)
+	}
+}
+
+func TestBasalBolusMaxIOBSkips(t *testing.T) {
+	c := newBB(t)
+	for i := 0; i < 12; i++ {
+		c.RecordDelivery(8, 5)
+	}
+	out := c.Decide(Input{TimeMin: 60, CGM: 240, CycleMin: 5})
+	if out.IOB < c.cfg.MaxIOB {
+		t.Skipf("setup did not reach IOB cap (iob=%v)", out.IOB)
+	}
+	if out.RateUPerH > 1+1e-9 {
+		t.Errorf("correction fired above IOB cap: %v", out.RateUPerH)
+	}
+}
+
+func TestBasalBolusPerturbAndReset(t *testing.T) {
+	c := newBB(t)
+	c.SetPerturb(func(stage Stage, vars map[string]*float64) {
+		if stage == StagePre {
+			*vars["glucose"] = 0 // spoofed sensor zero -> LGS
+		}
+	})
+	out := c.Decide(Input{TimeMin: 0, CGM: 240, CycleMin: 5})
+	if out.RateUPerH != 0 {
+		t.Errorf("spoofed-zero rate = %v, want 0", out.RateUPerH)
+	}
+	c.Reset()
+	if c.hasBolused || c.tracker.IOB() != 0 {
+		t.Error("Reset should clear bolus gate and IOB")
+	}
+}
+
+func TestControllersImplementInterface(t *testing.T) {
+	var cs []Controller
+	oa := newOpenAPS(t)
+	bb := newBB(t)
+	cs = append(cs, oa, bb)
+	for _, c := range cs {
+		if c.Name() == "" {
+			t.Error("empty controller name")
+		}
+	}
+}

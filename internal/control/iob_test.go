@@ -1,0 +1,230 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustExpCurve(t *testing.T) *ExponentialCurve {
+	t.Helper()
+	c, err := NewExponentialCurve(300, 75)
+	if err != nil {
+		t.Fatalf("NewExponentialCurve: %v", err)
+	}
+	return c
+}
+
+func TestExponentialCurveValidation(t *testing.T) {
+	tests := []struct {
+		name      string
+		dia, peak float64
+	}{
+		{"zero dia", 0, 75},
+		{"zero peak", 300, 0},
+		{"peak at half dia", 300, 150},
+		{"peak beyond half dia", 300, 200},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewExponentialCurve(tt.dia, tt.peak); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestExponentialCurveBoundaries(t *testing.T) {
+	c := mustExpCurve(t)
+	if got := c.IOBFraction(0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("IOBFraction(0) = %v, want 1", got)
+	}
+	if got := c.IOBFraction(300); got > 0.001 {
+		t.Errorf("IOBFraction(DIA) = %v, want ~0", got)
+	}
+	if got := c.IOBFraction(-5); got != 1 {
+		t.Errorf("IOBFraction(-5) = %v, want 1", got)
+	}
+	if got := c.IOBFraction(400); got != 0 {
+		t.Errorf("IOBFraction(past DIA) = %v, want 0", got)
+	}
+	if got := c.Activity(-1); got != 0 {
+		t.Errorf("Activity(-1) = %v, want 0", got)
+	}
+	if got := c.Activity(301); got != 0 {
+		t.Errorf("Activity(past DIA) = %v, want 0", got)
+	}
+	if c.DIA() != 300 {
+		t.Errorf("DIA = %v", c.DIA())
+	}
+}
+
+func TestExponentialCurvePeak(t *testing.T) {
+	c := mustExpCurve(t)
+	// Activity should peak near the configured 75 minutes.
+	best, bestT := 0.0, 0.0
+	for tm := 1.0; tm <= 299; tm++ {
+		if a := c.Activity(tm); a > best {
+			best, bestT = a, tm
+		}
+	}
+	if math.Abs(bestT-75) > 5 {
+		t.Errorf("activity peak at %v min, want ~75", bestT)
+	}
+}
+
+func TestExponentialCurveMonotoneIOB(t *testing.T) {
+	c := mustExpCurve(t)
+	prev := 1.0
+	for tm := 0.0; tm <= 300; tm += 5 {
+		f := c.IOBFraction(tm)
+		if f > prev+1e-9 {
+			t.Fatalf("IOBFraction increased at t=%v: %v > %v", tm, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestExponentialActivityIntegratesToOne(t *testing.T) {
+	c := mustExpCurve(t)
+	var integral float64
+	const h = 0.1
+	for tm := 0.0; tm < 300; tm += h {
+		integral += c.Activity(tm+h/2) * h
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("activity integral = %v, want ~1", integral)
+	}
+}
+
+func TestExponentialActivityMatchesIOBDerivative(t *testing.T) {
+	c := mustExpCurve(t)
+	for tm := 10.0; tm < 290; tm += 20 {
+		const h = 0.01
+		num := -(c.IOBFraction(tm+h) - c.IOBFraction(tm-h)) / (2 * h)
+		if math.Abs(num-c.Activity(tm)) > 1e-3 {
+			t.Errorf("at t=%v: -dIOB/dt = %v, Activity = %v", tm, num, c.Activity(tm))
+		}
+	}
+}
+
+func TestBilinearCurve(t *testing.T) {
+	if _, err := NewBilinearCurve(0); err == nil {
+		t.Error("zero DIA should fail")
+	}
+	c, err := NewBilinearCurve(240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.IOBFraction(0); got != 1 {
+		t.Errorf("IOBFraction(0) = %v", got)
+	}
+	if got := c.IOBFraction(240); math.Abs(got) > 1e-9 {
+		t.Errorf("IOBFraction(DIA) = %v, want 0", got)
+	}
+	// Peak at 0.25*DIA = 60.
+	if c.Activity(60) <= c.Activity(30) || c.Activity(60) <= c.Activity(120) {
+		t.Error("bilinear activity should peak at DIA/4")
+	}
+	var integral float64
+	const h = 0.05
+	for tm := 0.0; tm < 240; tm += h {
+		integral += c.Activity(tm+h/2) * h
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("bilinear activity integral = %v, want ~1", integral)
+	}
+	prev := 1.0
+	for tm := 0.0; tm <= 240; tm += 2 {
+		f := c.IOBFraction(tm)
+		if f > prev+1e-9 {
+			t.Fatalf("bilinear IOBFraction increased at t=%v", tm)
+		}
+		prev = f
+	}
+}
+
+func TestIOBTrackerBasalIsZero(t *testing.T) {
+	c := mustExpCurve(t)
+	tr := NewIOBTracker(c, 1.0)
+	for i := 0; i < 100; i++ {
+		tr.Record(1.0, 5)
+	}
+	if iob := tr.IOB(); math.Abs(iob) > 1e-9 {
+		t.Errorf("IOB at exact basal = %v, want 0", iob)
+	}
+}
+
+func TestIOBTrackerAboveBasal(t *testing.T) {
+	c := mustExpCurve(t)
+	tr := NewIOBTracker(c, 1.0)
+	tr.Record(13.0, 5) // 1 U net over 5 min
+	iob := tr.IOB()
+	if iob < 0.9 || iob > 1.0 {
+		t.Errorf("IOB just after 1U net dose = %v, want ~1", iob)
+	}
+	// Decay to ~0 after DIA.
+	for i := 0; i < 61; i++ {
+		tr.Record(1.0, 5)
+	}
+	if iob := tr.IOB(); iob > 0.01 {
+		t.Errorf("IOB after DIA = %v, want ~0", iob)
+	}
+}
+
+func TestIOBTrackerBelowBasal(t *testing.T) {
+	c := mustExpCurve(t)
+	tr := NewIOBTracker(c, 1.0)
+	tr.Record(0, 30) // suspension: -0.5 U net
+	if iob := tr.IOB(); iob > -0.4 {
+		t.Errorf("IOB after suspension = %v, want ~-0.5", iob)
+	}
+}
+
+func TestIOBTrackerActivitySign(t *testing.T) {
+	c := mustExpCurve(t)
+	tr := NewIOBTracker(c, 1.0)
+	tr.Record(13, 5)
+	tr.Record(1, 60) // let activity develop
+	if a := tr.Activity(); a <= 0 {
+		t.Errorf("activity after positive dose = %v, want > 0", a)
+	}
+	tr.Reset()
+	tr.Record(0, 60)
+	tr.Record(1, 30)
+	if a := tr.Activity(); a >= 0 {
+		t.Errorf("activity after under-dosing = %v, want < 0", a)
+	}
+}
+
+func TestIOBTrackerReset(t *testing.T) {
+	c := mustExpCurve(t)
+	tr := NewIOBTracker(c, 1.0)
+	tr.Record(10, 5)
+	tr.Reset()
+	if tr.IOB() != 0 || tr.Now() != 0 {
+		t.Error("Reset should clear state")
+	}
+}
+
+// Property: IOB is bounded by total net units delivered within DIA.
+func TestIOBTrackerBoundedProperty(t *testing.T) {
+	c := mustExpCurve(t)
+	f := func(rates []uint8) bool {
+		tr := NewIOBTracker(c, 1.0)
+		var maxNet float64
+		for _, r := range rates {
+			rate := float64(r%80) / 10 // 0..7.9 U/h
+			tr.Record(rate, 5)
+			net := (rate - 1.0) * 5 / 60
+			if net > 0 {
+				maxNet += net
+			}
+		}
+		iob := tr.IOB()
+		return iob <= maxNet+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

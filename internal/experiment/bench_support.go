@@ -1,0 +1,18 @@
+package experiment
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// ObservationForBench returns a representative mid-campaign observation
+// used by the monitor-overhead microbenchmarks (Section V-E6): a
+// hyperglycemic, rising state with active insulin on board.
+func ObservationForBench() monitor.Observation {
+	return monitor.Observation{
+		Step: 60, TimeMin: 300, CycleMin: 5,
+		CGM: 190, BGPrime: 1.2, IOB: 1.4, IOBPrime: -0.01,
+		Rate: 2.6, PrevRate: 2.2, Action: trace.ActionIncrease,
+		Basal: 1.3,
+	}
+}

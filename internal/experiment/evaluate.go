@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// Eval is one monitor's evaluation over a trace set.
+type Eval struct {
+	Monitor    string
+	Sample     metrics.Confusion
+	Simulation metrics.Confusion
+	Reaction   metrics.ReactionStats
+	// StepTime is the mean wall-clock cost of one monitor step
+	// (Section V-E6's resource-utilization comparison).
+	StepTime time.Duration
+}
+
+// EvaluateMonitor replays a monitor over every trace (instantiated per
+// patient), annotates alarms in place, and aggregates the paper's
+// accuracy and timeliness metrics.
+func (s *Suite) EvaluateMonitor(name string, traces []*trace.Trace) (Eval, error) {
+	ev := Eval{Monitor: name}
+	monitors := make(map[string]monitor.Monitor)
+	var steps int
+	var elapsed time.Duration
+	for _, tr := range traces {
+		m, ok := monitors[tr.PatientID]
+		if !ok {
+			var err error
+			m, err = s.NewMonitor(name, tr.PatientID)
+			if err != nil {
+				return Eval{}, fmt.Errorf("experiment: %s for %s: %w", name, tr.PatientID, err)
+			}
+			monitors[tr.PatientID] = m
+		}
+		start := time.Now()
+		monitor.Annotate(m, tr)
+		elapsed += time.Since(start)
+		steps += tr.Len()
+
+		ev.Sample.Add(metrics.SampleLevel(tr, 0))
+		ev.Simulation.Add(metrics.SimulationLevel(tr))
+	}
+	ev.Reaction = metrics.ReactionTime(traces)
+	if steps > 0 {
+		ev.StepTime = elapsed / time.Duration(steps)
+	}
+	return ev, nil
+}
+
+// EvaluateAll runs every named monitor over the trace set.
+func (s *Suite) EvaluateAll(names []string, traces []*trace.Trace) ([]Eval, error) {
+	if len(names) == 0 {
+		names = MonitorNames
+	}
+	out := make([]Eval, 0, len(names))
+	for _, name := range names {
+		ev, err := s.EvaluateMonitor(name, traces)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// MitigationResult is one monitor's Table VII row.
+type MitigationResult struct {
+	Monitor string
+	Outcome metrics.MitigationOutcome
+}
+
+// EvaluateMitigation reruns the campaign scenarios with the monitor in
+// the loop and Algorithm 1 enabled, comparing against the baseline
+// (no-monitor) traces of the same scenarios.
+func (s *Suite) EvaluateMitigation(name string, baseline []*trace.Trace, cfg CampaignConfig) (MitigationResult, error) {
+	cfg.Platform = s.Platform
+	cfg.Mitigate = true
+	cfg.NewMonitor = func(patientIdx int) (monitor.Monitor, error) {
+		p, err := s.Platform.NewPatient(patientIdx)
+		if err != nil {
+			return nil, err
+		}
+		return s.NewMonitor(name, p.ID())
+	}
+	mitigated, err := Run(cfg)
+	if err != nil {
+		return MitigationResult{}, err
+	}
+	if len(mitigated) != len(baseline) {
+		return MitigationResult{}, fmt.Errorf("experiment: mitigated %d traces vs baseline %d — configs must match",
+			len(mitigated), len(baseline))
+	}
+	return MitigationResult{
+		Monitor: name,
+		Outcome: metrics.Mitigation(baseline, mitigated),
+	}, nil
+}

@@ -1,0 +1,319 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/stllearn"
+	"repro/internal/trace"
+)
+
+// Fig7a: per-patient hazard coverage of the baseline (no-monitor)
+// campaign, plus the overall mean.
+type CoverageByPatient struct {
+	Patients []string
+	Coverage []float64
+	Overall  float64
+}
+
+// HazardCoverageByPatient reproduces Fig. 7a.
+func HazardCoverageByPatient(traces []*trace.Trace) CoverageByPatient {
+	groups := ByPatient(traces)
+	ids := make([]string, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := CoverageByPatient{Patients: ids}
+	for _, id := range ids {
+		out.Coverage = append(out.Coverage, metrics.HazardCoverage(groups[id]))
+	}
+	out.Overall = metrics.HazardCoverage(traces)
+	return out
+}
+
+// Render prints the figure as a text bar chart.
+func (c CoverageByPatient) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7a — Hazard coverage by patient (overall %.1f%%)\n", 100*c.Overall)
+	for i, id := range c.Patients {
+		fmt.Fprintf(&b, "  %-14s %6.1f%% %s\n", id, 100*c.Coverage[i], bar(c.Coverage[i], 40))
+	}
+	return b.String()
+}
+
+// TTHDistribution reproduces Fig. 7b.
+func TTHDistribution(traces []*trace.Trace) metrics.TTHStats {
+	return metrics.TTH(traces)
+}
+
+// RenderTTH prints the TTH histogram and summary.
+func RenderTTH(st metrics.TTHStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7b — Time-to-Hazard: n=%d mean=%.0f min median=%.0f min range=[%.0f,%.0f] negative=%.1f%%\n",
+		st.Count, st.MeanMin, st.MedianMin, st.MinMin, st.MaxMin, 100*st.NegativeFrac)
+	if st.Count == 0 {
+		return b.String()
+	}
+	// Histogram in 60-minute buckets.
+	buckets := map[int]int{}
+	minB, maxB := 1<<30, -(1 << 30)
+	for _, v := range st.Values {
+		k := int(v) / 60
+		if v < 0 {
+			k = int(v)/60 - 1
+		}
+		buckets[k]++
+		if k < minB {
+			minB = k
+		}
+		if k > maxB {
+			maxB = k
+		}
+	}
+	for k := minB; k <= maxB; k++ {
+		frac := float64(buckets[k]) / float64(st.Count)
+		fmt.Fprintf(&b, "  [%4dh,%4dh) %5.1f%% %s\n", k, k+1, 100*frac, bar(frac, 40))
+	}
+	return b.String()
+}
+
+// FaultBGCoverage is Fig. 8: hazard coverage by fault name and initial BG.
+type FaultBGCoverage struct {
+	Faults    []string // "kind:target"
+	InitialBG []float64
+	// Coverage[fault][bg] in the above orders.
+	Coverage [][]float64
+}
+
+// CoverageByFaultAndBG reproduces Fig. 8 from baseline campaign traces.
+func CoverageByFaultAndBG(traces []*trace.Trace) FaultBGCoverage {
+	type key struct {
+		fault string
+		bg    float64
+	}
+	counts := map[key][2]int{} // {hazardous, total}
+	faultSet := map[string]bool{}
+	bgSet := map[float64]bool{}
+	for _, tr := range traces {
+		if !tr.Faulty() {
+			continue
+		}
+		k := key{fault: tr.Fault.Name, bg: tr.InitialBG}
+		c := counts[k]
+		c[1]++
+		if tr.Hazardous() {
+			c[0]++
+		}
+		counts[k] = c
+		faultSet[tr.Fault.Name] = true
+		bgSet[tr.InitialBG] = true
+	}
+	out := FaultBGCoverage{}
+	for f := range faultSet {
+		out.Faults = append(out.Faults, f)
+	}
+	sort.Strings(out.Faults)
+	for bg := range bgSet {
+		out.InitialBG = append(out.InitialBG, bg)
+	}
+	sort.Float64s(out.InitialBG)
+	out.Coverage = make([][]float64, len(out.Faults))
+	for i, f := range out.Faults {
+		out.Coverage[i] = make([]float64, len(out.InitialBG))
+		for j, bg := range out.InitialBG {
+			c := counts[key{fault: f, bg: bg}]
+			if c[1] > 0 {
+				out.Coverage[i][j] = float64(c[0]) / float64(c[1])
+			}
+		}
+	}
+	return out
+}
+
+// Render prints the Fig. 8 matrix.
+func (f FaultBGCoverage) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 8 — Hazard coverage by fault type and initial BG\n")
+	fmt.Fprintf(&b, "  %-18s", "fault")
+	for _, bg := range f.InitialBG {
+		fmt.Fprintf(&b, " %6.0f", bg)
+	}
+	b.WriteString("\n")
+	for i, name := range f.Faults {
+		fmt.Fprintf(&b, "  %-18s", name)
+		for j := range f.InitialBG {
+			fmt.Fprintf(&b, " %5.0f%%", 100*f.Coverage[i][j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// LossCurves reproduces Fig. 3: the four loss functions sampled over a
+// margin range.
+type LossCurvesResult struct {
+	Margins []float64
+	Curves  map[string][]float64
+}
+
+// LossCurves samples MSE/MAE (Fig. 3a) and TeLEx/TMEE (Fig. 3b).
+func LossCurves(lo, hi float64, n int) LossCurvesResult {
+	losses := []stllearn.Loss{stllearn.MSE{}, stllearn.MAE{}, stllearn.TeLEx{}, stllearn.TMEE{}}
+	out := LossCurvesResult{Curves: make(map[string][]float64, len(losses))}
+	for _, l := range losses {
+		rs, vs := stllearn.Curve(l, lo, hi, n)
+		out.Margins = rs
+		out.Curves[l.Name()] = vs
+	}
+	return out
+}
+
+// Render prints the loss curves as aligned columns.
+func (l LossCurvesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 3 — Loss functions over margin r\n")
+	names := make([]string, 0, len(l.Curves))
+	for n := range l.Curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "  %8s", "r")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %10s", n)
+	}
+	b.WriteString("\n")
+	for i, r := range l.Margins {
+		fmt.Fprintf(&b, "  %8.2f", r)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %10.4f", l.Curves[n][i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderEvals prints a Table V / Table VI style block.
+func RenderEvals(title string, evals []Eval) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  %-10s %22s %22s %14s\n", "", "sample level (δ window)", "simulation level", "timing")
+	fmt.Fprintf(&b, "  %-10s %5s %5s %5s %5s  %5s %5s %5s %5s  %9s\n",
+		"monitor", "FPR", "FNR", "ACC", "F1", "FPR", "FNR", "ACC", "F1", "step")
+	for _, e := range evals {
+		fmt.Fprintf(&b, "  %-10s %5.2f %5.2f %5.2f %5.2f  %5.2f %5.2f %5.2f %5.2f  %9s\n",
+			e.Monitor,
+			e.Sample.FPR(), e.Sample.FNR(), e.Sample.Accuracy(), e.Sample.F1(),
+			e.Simulation.FPR(), e.Simulation.FNR(), e.Simulation.Accuracy(), e.Simulation.F1(),
+			e.StepTime)
+	}
+	return b.String()
+}
+
+// RenderReaction prints the Fig. 9 comparison.
+func RenderReaction(evals []Eval) string {
+	var b strings.Builder
+	b.WriteString("Fig 9 — Reaction time (minutes before hazard; positive = early)\n")
+	for _, e := range evals {
+		fmt.Fprintf(&b, "  %-10s mean %7.1f  std %7.1f  early-detection %5.1f%%\n",
+			e.Monitor, e.Reaction.MeanMin, e.Reaction.StdMin, 100*e.Reaction.EarlyRate)
+	}
+	return b.String()
+}
+
+// RenderMitigation prints Table VII.
+func RenderMitigation(results []MitigationResult) string {
+	var b strings.Builder
+	b.WriteString("Table VII — Mitigation with Algorithm 1\n")
+	fmt.Fprintf(&b, "  %-10s %14s %12s %10s\n", "monitor", "recovery rate", "new hazards", "avg risk")
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %-10s %13.1f%% %12d %10.3f\n",
+			r.Monitor, 100*r.Outcome.RecoveryRate, r.Outcome.NewHazards, r.Outcome.AverageRisk)
+	}
+	return b.String()
+}
+
+// PatientVsPopulation is one Table VIII row pair.
+type PatientVsPopulation struct {
+	Patient  string
+	Specific Eval
+	Pop      Eval
+}
+
+// TableVIII compares patient-specific and population thresholds on each
+// patient's own test traces.
+func (s *Suite) TableVIII(test []*trace.Trace, patients []string) ([]PatientVsPopulation, error) {
+	groups := ByPatient(test)
+	if len(patients) == 0 {
+		for id := range groups {
+			patients = append(patients, id)
+		}
+		sort.Strings(patients)
+	}
+	var out []PatientVsPopulation
+	for _, id := range patients {
+		traces := groups[id]
+		if len(traces) == 0 {
+			continue
+		}
+		spec, err := s.EvaluateMonitor("CAWT", traces)
+		if err != nil {
+			return nil, err
+		}
+		pop, err := s.EvaluateMonitor("CAWT-pop", traces)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PatientVsPopulation{Patient: id, Specific: spec, Pop: pop})
+	}
+	return out, nil
+}
+
+// RenderTableVIII prints the comparison.
+func RenderTableVIII(rows []PatientVsPopulation) string {
+	var b strings.Builder
+	b.WriteString("Table VIII — Patient-specific vs population thresholds (sample level)\n")
+	fmt.Fprintf(&b, "  %-14s %-12s %6s %6s %6s %8s %6s\n",
+		"patient", "threshold", "FPR", "FNR", "ACC", "F1", "EDR")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %-12s %6.3f %6.3f %6.3f %8.3f %5.1f%%\n",
+			r.Patient, "specific",
+			r.Specific.Sample.FPR(), r.Specific.Sample.FNR(),
+			r.Specific.Sample.Accuracy(), r.Specific.Sample.F1(),
+			100*r.Specific.Reaction.EarlyRate)
+		fmt.Fprintf(&b, "  %-14s %-12s %6.3f %6.3f %6.3f %8.3f %5.1f%%\n",
+			"", "population",
+			r.Pop.Sample.FPR(), r.Pop.Sample.FNR(),
+			r.Pop.Sample.Accuracy(), r.Pop.Sample.F1(),
+			100*r.Pop.Reaction.EarlyRate)
+	}
+	return b.String()
+}
+
+// ScenarioSubset thins the full campaign deterministically to 1-in-k
+// scenarios, for quick runs and benchmarks.
+func ScenarioSubset(k int) []fault.Scenario {
+	all := fault.Campaign(nil)
+	if k <= 1 {
+		return all
+	}
+	var out []fault.Scenario
+	for i := 0; i < len(all); i += k {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n)
+}

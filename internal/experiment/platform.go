@@ -1,0 +1,92 @@
+// Package experiment is the evaluation harness of Section V: it runs
+// fault-injection campaigns over the two closed-loop platforms, trains
+// and evaluates the monitor suite, and regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md for the index).
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/closedloop"
+	"repro/internal/control"
+	"repro/internal/sim/glucosym"
+	"repro/internal/sim/uvapadova"
+)
+
+// Platform couples a patient simulator with its controller, matching the
+// paper's two test beds (Fig. 5a): Glucosym + OpenAPS and UVA-Padova
+// T1DS2013 + Basal-Bolus.
+type Platform struct {
+	Name        string
+	NumPatients int
+	// NewPatient builds cohort patient idx.
+	NewPatient func(idx int) (closedloop.Patient, error)
+	// NewController builds the platform's controller for a patient with
+	// the given basal rate.
+	NewController func(basalUPerH float64) (control.Controller, error)
+}
+
+// isfFor derives an insulin sensitivity factor from the basal rate via
+// the 1800-rule on an estimated total daily dose (basal is roughly half
+// the TDD), clamped to the clinically plausible range.
+func isfFor(basal float64) float64 {
+	tdd := basal * 24 * 2
+	isf := 1800 / tdd
+	if isf < 15 {
+		isf = 15
+	}
+	if isf > 120 {
+		isf = 120
+	}
+	return isf
+}
+
+// Glucosym returns the main platform: MVP-model cohort + OpenAPS.
+func Glucosym() Platform {
+	return Platform{
+		Name:        "glucosym",
+		NumPatients: glucosym.NumPatients,
+		NewPatient: func(idx int) (closedloop.Patient, error) {
+			return glucosym.New(idx)
+		},
+		NewController: func(basal float64) (control.Controller, error) {
+			return control.NewOpenAPS(control.OpenAPSConfig{
+				Basal: basal,
+				ISF:   isfFor(basal),
+			})
+		},
+	}
+}
+
+// T1DS2013 returns the generalization platform: Dalla Man cohort +
+// Basal-Bolus controller.
+func T1DS2013() Platform {
+	return Platform{
+		Name:        "t1ds2013",
+		NumPatients: uvapadova.NumPatients,
+		NewPatient: func(idx int) (closedloop.Patient, error) {
+			return uvapadova.New(idx)
+		},
+		NewController: func(basal float64) (control.Controller, error) {
+			return control.NewBasalBolus(control.BasalBolusConfig{
+				Basal: basal,
+				ISF:   isfFor(basal),
+			})
+		},
+	}
+}
+
+// Platforms returns both test beds.
+func Platforms() []Platform {
+	return []Platform{Glucosym(), T1DS2013()}
+}
+
+// PlatformByName resolves a platform.
+func PlatformByName(name string) (Platform, error) {
+	for _, p := range Platforms() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("experiment: unknown platform %q (want glucosym or t1ds2013)", name)
+}

@@ -1,0 +1,132 @@
+package fault
+
+// Campaign generation matching the paper's arithmetic (Section V-B): for
+// each patient, 6 fault kinds x 3 target variables x 7 start/duration
+// pairs x 7 initial glucose values = 882 fault injections, i.e. 8,820
+// simulations per 10-patient platform.
+
+// Targets are the perturbed controller variables: the glucose input as
+// received by the control software, the internal IOB estimate, and the
+// output insulin rate command.
+var Targets = []string{"glucose", "iob", "rate"}
+
+// DefaultInitialBGs are the seven initial glucose values of Section V-A
+// (simulations begin between 80 and 200 mg/dL).
+var DefaultInitialBGs = []float64{80, 100, 120, 140, 160, 180, 200}
+
+// window is an injection start/duration pair in control cycles.
+type window struct{ start, duration int }
+
+// defaultWindows are the seven start/duration combinations (5-minute
+// cycles). Durations span 2.5-10 hours: the human glucose system is slow
+// (hours from fault activation to hazard, Fig. 7b), so short glitches
+// are absorbed by the controller and only sustained faults exercise the
+// hazard space — including the hyperglycemic drift, which needs the
+// longest exposures.
+var defaultWindows = []window{
+	{10, 120},
+	{10, 60},
+	{25, 100},
+	{40, 80},
+	{55, 60},
+	{70, 50},
+	{90, 40},
+}
+
+// DefaultValue returns the campaign's injected magnitude for a
+// kind/target pair (zero for kinds that ignore the magnitude).
+func DefaultValue(kind Kind, target string) float64 { return valueFor(kind, target) }
+
+// valueFor returns the injected magnitude for a kind/target pair.
+// Magnitudes stay inside each variable's "acceptable range" as the
+// paper's source-level FI does: CGM hardware reports 40-400 mg/dL,
+// net IOB estimates live within roughly +-10 U, and pump rates within
+// [0, 30] U/h.
+func valueFor(kind Kind, target string) float64 {
+	switch kind {
+	case KindMax:
+		switch target {
+		case "glucose":
+			return 400
+		case "iob":
+			return 10
+		case "rate":
+			return 30
+		}
+	case KindMin:
+		switch target {
+		case "glucose":
+			return 40
+		case "iob":
+			return -10
+		case "rate":
+			return 0
+		}
+	case KindAdd:
+		switch target {
+		case "glucose":
+			return 75
+		case "iob":
+			return 3
+		case "rate":
+			return 4
+		}
+	case KindSub:
+		switch target {
+		case "glucose":
+			return 75
+		case "iob":
+			return 3
+		case "rate":
+			return 4
+		}
+	}
+	return 0
+}
+
+// Scenario couples one fault with the initial condition of the run.
+type Scenario struct {
+	Fault     Fault
+	InitialBG float64
+}
+
+// Campaign enumerates the full per-patient scenario matrix. With the
+// default seven initial BGs it yields exactly 882 scenarios.
+func Campaign(initialBGs []float64) []Scenario {
+	if len(initialBGs) == 0 {
+		initialBGs = DefaultInitialBGs
+	}
+	out := make([]Scenario, 0, len(Kinds)*len(Targets)*len(defaultWindows)*len(initialBGs))
+	for _, kind := range Kinds {
+		for _, target := range Targets {
+			for _, w := range defaultWindows {
+				for _, bg := range initialBGs {
+					out = append(out, Scenario{
+						Fault: Fault{
+							Kind:      kind,
+							Target:    target,
+							Value:     valueFor(kind, target),
+							StartStep: w.start,
+							Duration:  w.duration,
+						},
+						InitialBG: bg,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FaultFreeScenarios returns one fault-free run per initial BG, used for
+// baseline resilience measurements and fault-free training data.
+func FaultFreeScenarios(initialBGs []float64) []Scenario {
+	if len(initialBGs) == 0 {
+		initialBGs = DefaultInitialBGs
+	}
+	out := make([]Scenario, 0, len(initialBGs))
+	for _, bg := range initialBGs {
+		out = append(out, Scenario{InitialBG: bg})
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/control"
+)
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("round trip %v -> %v", k, got)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) should fail")
+	}
+	if s := Kind(99).String(); s != "kind(99)" {
+		t.Errorf("unknown kind string %q", s)
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	good := Fault{Kind: KindMax, Target: "glucose", Value: 400, StartStep: 5, Duration: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid fault rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		f    Fault
+	}{
+		{"bad kind", Fault{Kind: 0, Target: "glucose", Duration: 1}},
+		{"empty target", Fault{Kind: KindMax, Duration: 1}},
+		{"negative start", Fault{Kind: KindMax, Target: "x", StartStep: -1, Duration: 1}},
+		{"zero duration", Fault{Kind: KindMax, Target: "x", Duration: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.f.Validate(); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestFaultInfoAndName(t *testing.T) {
+	f := Fault{Kind: KindHold, Target: "iob", StartStep: 3, Duration: 4, Value: 1}
+	if f.Name() != "hold:iob" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	info := f.Info()
+	if info.Kind != "hold" || info.Target != "iob" || info.StartStep != 3 || info.Duration != 4 {
+		t.Errorf("Info = %+v", info)
+	}
+}
+
+// applyAt runs the injector against a variable map at a given step and
+// returns the resulting value of the target.
+func applyAt(t *testing.T, in *Injector, step int, stage control.Stage, name string, val float64) float64 {
+	t.Helper()
+	v := val
+	vars := map[string]*float64{name: &v}
+	in.BeginStep(step)
+	in.Perturb(stage, vars)
+	return v
+}
+
+func TestInjectorKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		kind Kind
+		val  float64
+		in   float64
+		want float64
+	}{
+		{"truncate zeroes", KindTruncate, 0, 180, 0},
+		{"max forces value", KindMax, 400, 180, 400},
+		{"min forces value", KindMin, 40, 180, 40},
+		{"add offsets", KindAdd, 75, 180, 255},
+		{"sub offsets", KindSub, 75, 180, 105},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in, err := NewInjector(Fault{Kind: tt.kind, Target: "glucose", Value: tt.val, StartStep: 2, Duration: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := applyAt(t, in, 2, control.StagePre, "glucose", tt.in); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInjectorHold(t *testing.T) {
+	in, err := NewInjector(Fault{Kind: KindHold, Target: "glucose", StartStep: 2, Duration: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First active step captures the value.
+	if got := applyAt(t, in, 2, control.StagePre, "glucose", 150); got != 150 {
+		t.Errorf("hold first step = %v, want 150", got)
+	}
+	// Later steps replay the captured value.
+	if got := applyAt(t, in, 3, control.StagePre, "glucose", 190); got != 150 {
+		t.Errorf("hold second step = %v, want 150", got)
+	}
+	// After the window, pass through and forget.
+	if got := applyAt(t, in, 5, control.StagePre, "glucose", 210); got != 210 {
+		t.Errorf("post-window = %v, want 210", got)
+	}
+	// A second activation (after Reset) captures fresh.
+	in.Reset()
+	if got := applyAt(t, in, 2, control.StagePre, "glucose", 99); got != 99 {
+		t.Errorf("hold after reset = %v, want 99", got)
+	}
+}
+
+func TestInjectorWindowing(t *testing.T) {
+	in, err := NewInjector(Fault{Kind: KindTruncate, Target: "glucose", StartStep: 5, Duration: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := applyAt(t, in, 4, control.StagePre, "glucose", 120); got != 120 {
+		t.Error("fault fired before window")
+	}
+	if got := applyAt(t, in, 5, control.StagePre, "glucose", 120); got != 0 {
+		t.Error("fault inactive at window start")
+	}
+	if got := applyAt(t, in, 6, control.StagePre, "glucose", 120); got != 0 {
+		t.Error("fault inactive inside window")
+	}
+	if got := applyAt(t, in, 7, control.StagePre, "glucose", 120); got != 120 {
+		t.Error("fault fired after window")
+	}
+}
+
+func TestInjectorStageGating(t *testing.T) {
+	// A rate fault must act only at StagePost.
+	in, err := NewInjector(Fault{Kind: KindMax, Target: "rate", Value: 30, StartStep: 0, Duration: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := applyAt(t, in, 0, control.StagePre, "rate", 1); got != 1 {
+		t.Error("rate fault fired at StagePre")
+	}
+	if got := applyAt(t, in, 0, control.StagePost, "rate", 1); got != 30 {
+		t.Error("rate fault missing at StagePost")
+	}
+	// A glucose fault must act only at StagePre.
+	in2, err := NewInjector(Fault{Kind: KindMax, Target: "glucose", Value: 400, StartStep: 0, Duration: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := applyAt(t, in2, 0, control.StagePost, "glucose", 100); got != 100 {
+		t.Error("glucose fault fired at StagePost")
+	}
+}
+
+func TestInjectorMissingTargetIsNoop(t *testing.T) {
+	in, err := NewInjector(Fault{Kind: KindMax, Target: "nonexistent", Value: 1, StartStep: 0, Duration: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 42.0
+	in.BeginStep(0)
+	in.Perturb(control.StagePre, map[string]*float64{"glucose": &v})
+	if v != 42 {
+		t.Errorf("missing target perturbed an unrelated var: %v", v)
+	}
+}
+
+func TestCampaignArithmetic(t *testing.T) {
+	scenarios := Campaign(nil)
+	// 6 kinds x 3 targets x 7 windows x 7 initial BGs = 882, the paper's
+	// per-patient count (Section V-B).
+	if len(scenarios) != 882 {
+		t.Fatalf("campaign size %d, want 882", len(scenarios))
+	}
+	seen := make(map[string]bool, len(scenarios))
+	for _, s := range scenarios {
+		if err := s.Fault.Validate(); err != nil {
+			t.Fatalf("invalid campaign fault %+v: %v", s.Fault, err)
+		}
+		key := s.Fault.Name() + string(rune(s.Fault.StartStep)) + string(rune(int(s.InitialBG)))
+		seen[key] = true
+		if s.InitialBG < 80 || s.InitialBG > 200 {
+			t.Errorf("initial BG %v outside [80,200]", s.InitialBG)
+		}
+		if s.Fault.StartStep+s.Fault.Duration > 150 {
+			t.Errorf("fault window %d+%d exceeds 150-step simulation", s.Fault.StartStep, s.Fault.Duration)
+		}
+	}
+}
+
+func TestCampaignCustomBGs(t *testing.T) {
+	scenarios := Campaign([]float64{120})
+	if len(scenarios) != 126 { // 6*3*7
+		t.Fatalf("campaign size %d, want 126", len(scenarios))
+	}
+}
+
+func TestFaultFreeScenarios(t *testing.T) {
+	ff := FaultFreeScenarios(nil)
+	if len(ff) != 7 {
+		t.Fatalf("got %d fault-free scenarios, want 7", len(ff))
+	}
+	for _, s := range ff {
+		if s.Fault.Duration != 0 || s.Fault.Kind != 0 {
+			t.Errorf("fault-free scenario has fault %+v", s.Fault)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package metrics implements the paper's evaluation metrics
+// (Section V-D): hazard coverage, time-to-hazard, sample-level prediction
+// accuracy with a tolerance window (Table IV / Fig. 6), simulation-level
+// two-region accuracy, reaction time, early detection rate, recovery
+// rate, and average risk (Eq. 9).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/risk"
+	"repro/internal/trace"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Add accumulates another matrix.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+	c.TN += o.TN
+}
+
+// FPR is FP / (FP + TN); zero denominators yield 0.
+func (c Confusion) FPR() float64 { return ratio(c.FP, c.FP+c.TN) }
+
+// FNR is FN / (FN + TP).
+func (c Confusion) FNR() float64 { return ratio(c.FN, c.FN+c.TP) }
+
+// Accuracy is (TP+TN) / total.
+func (c Confusion) Accuracy() float64 {
+	return ratio(c.TP+c.TN, c.TP+c.TN+c.FP+c.FN)
+}
+
+// Precision is TP / (TP + FP).
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// Recall is TP / (TP + FN).
+func (c Confusion) Recall() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// DefaultToleranceWindow is δ in control cycles: one hour of 5-minute
+// cycles, matching the paper's hazard-labeling window.
+const DefaultToleranceWindow = 12
+
+// SampleLevel scores per-sample predictions against ground truth with
+// tolerance window δ (in cycles), per Table IV / Fig. 6:
+//
+//   - an alarm at t is a TP if a hazard occurs in [t, t+δ], else an FP;
+//   - a hazardous sample t is an FN only when no alarm has fired since δ
+//     cycles before its hazard episode began (Table IV's "window ending
+//     with a positive ground truth that includes t") — an alarm at or
+//     ahead of the episode covers every sample of that episode;
+//   - a silent sample with no hazard in [t, t+δ] is a TN.
+func SampleLevel(tr *trace.Trace, delta int) Confusion {
+	if delta <= 0 {
+		delta = DefaultToleranceWindow
+	}
+	var c Confusion
+	n := tr.Len()
+	episode := episodeStarts(tr)
+	// The prediction region runs from fault activation to the first
+	// hazardous sample (Fig. 1b): erroneous control actions are live
+	// there, so alarms inside it are correct early predictions even when
+	// they lead the hazard by more than δ.
+	predLo, predHi := -1, -1
+	if h := tr.FirstHazardStep(); h >= 0 {
+		predLo = 0
+		if tr.Faulty() && tr.Fault.StartStep < h {
+			predLo = tr.Fault.StartStep
+		}
+		predHi = h
+	}
+	for t := 0; t < n; t++ {
+		s := &tr.Samples[t]
+		if s.Alarm {
+			if hazardWithin(tr, t, t+delta) || (t >= predLo && t <= predHi && predLo >= 0) {
+				c.TP++
+			} else {
+				c.FP++
+			}
+			continue
+		}
+		hazardNow := s.Hazard != trace.HazardNone
+		switch {
+		case hazardNow && !alarmWithin(tr, episode[t]-delta, t):
+			c.FN++
+		case hazardNow:
+			// Covered by an alarm at or ahead of the episode: the alarm
+			// sample already carries the TP credit.
+		case !hazardWithin(tr, t, t+delta):
+			c.TN++
+		default:
+			// Silent sample shortly before a hazard: the alarm (if any)
+			// will be scored on its own sample; no double counting.
+		}
+	}
+	return c
+}
+
+// episodeStarts maps each sample index to the start index of the
+// contiguous hazard episode containing it (or its own index when not
+// hazardous).
+func episodeStarts(tr *trace.Trace) []int {
+	n := tr.Len()
+	out := make([]int, n)
+	for t := 0; t < n; t++ {
+		out[t] = t
+		if tr.Samples[t].Hazard != trace.HazardNone && t > 0 &&
+			tr.Samples[t-1].Hazard != trace.HazardNone {
+			out[t] = out[t-1]
+		}
+	}
+	return out
+}
+
+func hazardWithin(tr *trace.Trace, lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	n := tr.Len()
+	for t := lo; t <= hi && t < n; t++ {
+		if tr.Samples[t].Hazard != trace.HazardNone {
+			return true
+		}
+	}
+	return false
+}
+
+func alarmWithin(tr *trace.Trace, lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	n := tr.Len()
+	for t := lo; t <= hi && t < n; t++ {
+		if tr.Samples[t].Alarm {
+			return true
+		}
+	}
+	return false
+}
+
+// SimulationLevel scores a whole trace using the two-region scheme of
+// Section V-D: the pre-fault region [0, tf) must stay silent (any alarm
+// there is an FP), and the post-fault region [tf, te] is judged by
+// whether the trace is hazardous (alarm→TP, silence→FN) or not
+// (alarm→FP, silence→TN). Fault-free traces have a single region.
+func SimulationLevel(tr *trace.Trace) Confusion {
+	var c Confusion
+	tf := 0
+	if tr.Faulty() {
+		tf = tr.Fault.StartStep
+	}
+	// Region 1: before fault activation. Hazards here (hazard predates
+	// fault, Section V-E1) make alarms legitimate.
+	if tf > 0 {
+		alarmed, hazardous := regionFlags(tr, 0, tf-1)
+		switch {
+		case alarmed && hazardous:
+			c.TP++
+		case alarmed:
+			c.FP++
+		case hazardous:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	// Region 2: from fault activation to the end.
+	alarmed, hazardous := regionFlags(tr, tf, tr.Len()-1)
+	switch {
+	case alarmed && hazardous:
+		c.TP++
+	case alarmed:
+		c.FP++
+	case hazardous:
+		c.FN++
+	default:
+		c.TN++
+	}
+	return c
+}
+
+func regionFlags(tr *trace.Trace, lo, hi int) (alarmed, hazardous bool) {
+	for t := lo; t <= hi && t < tr.Len(); t++ {
+		if t < 0 {
+			continue
+		}
+		if tr.Samples[t].Alarm {
+			alarmed = true
+		}
+		if tr.Samples[t].Hazard != trace.HazardNone {
+			hazardous = true
+		}
+	}
+	return alarmed, hazardous
+}
+
+// HazardCoverage is the fraction of faulty traces that became hazardous
+// (Section V-D): the conditional probability that an activated fault
+// leads to a hazard.
+func HazardCoverage(traces []*trace.Trace) float64 {
+	var faulty, hazardous int
+	for _, tr := range traces {
+		if !tr.Faulty() {
+			continue
+		}
+		faulty++
+		if tr.Hazardous() {
+			hazardous++
+		}
+	}
+	return ratio(hazardous, faulty)
+}
+
+// TTHStats summarizes the Time-to-Hazard distribution (Fig. 7b).
+type TTHStats struct {
+	Count        int
+	MeanMin      float64
+	MedianMin    float64
+	MinMin       float64
+	MaxMin       float64
+	NegativeFrac float64 // fraction of hazards predating the fault
+	Values       []float64
+}
+
+// TTH computes time-to-hazard statistics over hazardous traces.
+func TTH(traces []*trace.Trace) TTHStats {
+	var vals []float64
+	neg := 0
+	for _, tr := range traces {
+		tth, ok := tr.TimeToHazardMin()
+		if !ok {
+			continue
+		}
+		vals = append(vals, tth)
+		if tth < 0 {
+			neg++
+		}
+	}
+	st := TTHStats{Count: len(vals), Values: vals}
+	if len(vals) == 0 {
+		return st
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	st.MeanMin = sum / float64(len(vals))
+	st.MedianMin = sorted[len(sorted)/2]
+	st.MinMin = sorted[0]
+	st.MaxMin = sorted[len(sorted)-1]
+	st.NegativeFrac = float64(neg) / float64(len(vals))
+	return st
+}
+
+// ReactionStats summarizes monitor timeliness (Fig. 9).
+type ReactionStats struct {
+	Count   int
+	MeanMin float64
+	StdMin  float64
+	// EarlyRate is the fraction of hazardous traces where the first
+	// alarm precedes the first hazardous sample (early detection rate).
+	EarlyRate float64
+}
+
+// ReactionTime computes, over hazardous traces with at least one alarm,
+// the time from the first alarm to the first hazard (positive = early).
+// Hazardous traces without any alarm are missed detections and excluded
+// from the mean but counted against EarlyRate's denominator.
+func ReactionTime(traces []*trace.Trace) ReactionStats {
+	var vals []float64
+	var hazardous, early int
+	for _, tr := range traces {
+		h := tr.FirstHazardStep()
+		if h < 0 {
+			continue
+		}
+		hazardous++
+		d := tr.FirstAlarmStep()
+		if d < 0 {
+			continue
+		}
+		rt := float64(h-d) * tr.CycleMin
+		vals = append(vals, rt)
+		if rt > 0 {
+			early++
+		}
+	}
+	st := ReactionStats{Count: len(vals)}
+	if hazardous > 0 {
+		st.EarlyRate = float64(early) / float64(hazardous)
+	}
+	if len(vals) == 0 {
+		return st
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	st.MeanMin = sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		d := v - st.MeanMin
+		ss += d * d
+	}
+	st.StdMin = math.Sqrt(ss / float64(len(vals)))
+	return st
+}
+
+// MitigationOutcome compares a baseline campaign (no mitigation) with a
+// mitigated rerun of the same scenarios, keyed by scenario identity
+// (Table VII).
+type MitigationOutcome struct {
+	BaselineHazards int
+	Prevented       int     // hazardous before, clean after
+	NewHazards      int     // clean before, hazardous after
+	RecoveryRate    float64 // Prevented / BaselineHazards
+	AverageRisk     float64 // Eq. 9
+}
+
+// Mitigation evaluates mitigation performance. baseline and mitigated
+// must be parallel slices of the same scenarios in the same order.
+// FN simulations are mitigated runs that stayed hazardous (patient
+// endangered without effective intervention); new hazards are mitigated
+// runs that became hazardous.
+func Mitigation(baseline, mitigated []*trace.Trace) MitigationOutcome {
+	var out MitigationOutcome
+	n := len(baseline)
+	if n == 0 || len(mitigated) != n {
+		return out
+	}
+	var riskSum float64
+	for i := 0; i < n; i++ {
+		wasHaz := baseline[i].Hazardous()
+		isHaz := mitigated[i].Hazardous()
+		if wasHaz {
+			out.BaselineHazards++
+			if !isHaz {
+				out.Prevented++
+			} else {
+				// Unprevented hazard: contributes its mean risk index.
+				riskSum += risk.MeanRiskIndex(mitigated[i].BGSeries())
+			}
+		} else if isHaz {
+			out.NewHazards++
+			riskSum += risk.MeanRiskIndex(mitigated[i].BGSeries())
+		}
+	}
+	out.RecoveryRate = ratio(out.Prevented, out.BaselineHazards)
+	out.AverageRisk = riskSum / float64(n)
+	return out
+}
+
+// AverageRisk implements Eq. 9 directly over annotated traces: the mean
+// risk index of FN simulations (hazardous, never alarmed) plus new
+// hazards introduced by mitigating FPs, averaged over all simulations.
+func AverageRisk(traces []*trace.Trace, newHazards []*trace.Trace) float64 {
+	if len(traces) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, tr := range traces {
+		if tr.Hazardous() && tr.FirstAlarmStep() < 0 {
+			sum += risk.MeanRiskIndex(tr.BGSeries())
+		}
+	}
+	for _, tr := range newHazards {
+		sum += risk.MeanRiskIndex(tr.BGSeries())
+	}
+	return sum / float64(len(traces))
+}

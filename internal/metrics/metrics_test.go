@@ -1,0 +1,308 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestConfusionRatios(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 2, TN: 88}
+	if got := c.FPR(); math.Abs(got-2.0/90) > 1e-12 {
+		t.Errorf("FPR %v", got)
+	}
+	if got := c.FNR(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("FNR %v", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.96) > 1e-12 {
+		t.Errorf("ACC %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("P %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("R %v", got)
+	}
+	if got := c.F1(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("F1 %v", got)
+	}
+	var zero Confusion
+	if zero.FPR() != 0 || zero.F1() != 0 || zero.Accuracy() != 0 {
+		t.Error("zero matrix should not divide by zero")
+	}
+	zero.Add(c)
+	if zero != c {
+		t.Error("Add broken")
+	}
+}
+
+// mk builds a trace with hazard and alarm masks (equal length strings of
+// '.', 'H' for hazard, 'A' for alarm, 'B' for both).
+func mk(pattern string, fault trace.FaultInfo) *trace.Trace {
+	tr := &trace.Trace{CycleMin: 5, Fault: fault}
+	for i, ch := range pattern {
+		s := trace.Sample{Step: i, BG: 120, CGM: 120}
+		switch ch {
+		case 'H':
+			s.Hazard = trace.HazardH1
+		case 'A':
+			s.Alarm = true
+		case 'B':
+			s.Hazard = trace.HazardH1
+			s.Alarm = true
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr
+}
+
+func TestSampleLevelEarlyAlarmIsTP(t *testing.T) {
+	// Alarm 3 cycles before the hazard, δ=12: TP.
+	tr := mk("....A....HHH", trace.FaultInfo{})
+	c := SampleLevel(tr, 12)
+	if c.TP != 1 {
+		t.Errorf("TP=%d, want 1 (early alarm within window)", c.TP)
+	}
+	if c.FP != 0 {
+		t.Errorf("FP=%d, want 0", c.FP)
+	}
+	if c.FN != 0 {
+		t.Errorf("FN=%d, want 0 (hazard covered by prior alarm)", c.FN)
+	}
+}
+
+func TestSampleLevelEarlyAlarmInPredictionRegion(t *testing.T) {
+	// Alarm 7 cycles before hazard with δ=2: the alarm sits inside the
+	// prediction region (fault-to-hazard), so it is a TP even though it
+	// leads the hazard by more than δ. The hazard samples themselves are
+	// still FNs: no alarm within the 2-cycle episode lookback.
+	tr := mk("A......HH", trace.FaultInfo{})
+	c := SampleLevel(tr, 2)
+	if c.TP != 1 {
+		t.Errorf("TP=%d, want 1 (early alarm in prediction region)", c.TP)
+	}
+	if c.FN != 2 {
+		t.Errorf("FN=%d, want 2", c.FN)
+	}
+}
+
+func TestSampleLevelAlarmBeforeFaultIsFP(t *testing.T) {
+	// Alarm before the fault even activates: nothing to predict -> FP.
+	fault := trace.FaultInfo{Name: "x", StartStep: 3, Duration: 2}
+	tr := mk("A.......HH", fault)
+	c := SampleLevel(tr, 2)
+	if c.FP != 1 {
+		t.Errorf("FP=%d, want 1 (pre-fault alarm)", c.FP)
+	}
+	if c.TP != 0 {
+		t.Errorf("TP=%d, want 0", c.TP)
+	}
+}
+
+func TestSampleLevelAlarmInHazardFreeTraceIsFP(t *testing.T) {
+	fault := trace.FaultInfo{Name: "x", StartStep: 1, Duration: 2}
+	tr := mk("....A....", fault)
+	c := SampleLevel(tr, 2)
+	if c.FP != 1 || c.TP != 0 {
+		t.Errorf("got %+v, want one FP", c)
+	}
+}
+
+func TestSampleLevelFalseAlarm(t *testing.T) {
+	tr := mk("..A.......", trace.FaultInfo{})
+	c := SampleLevel(tr, 3)
+	if c.FP != 1 || c.TP != 0 {
+		t.Errorf("got %+v, want one FP", c)
+	}
+	if c.TN != 9 {
+		t.Errorf("TN=%d, want 9", c.TN)
+	}
+}
+
+func TestSampleLevelMissedHazard(t *testing.T) {
+	tr := mk(".....HHH..", trace.FaultInfo{})
+	c := SampleLevel(tr, 2)
+	if c.FN != 3 {
+		t.Errorf("FN=%d, want 3", c.FN)
+	}
+	if c.TP != 0 {
+		t.Errorf("TP=%d", c.TP)
+	}
+}
+
+func TestSampleLevelAlarmDuringHazard(t *testing.T) {
+	tr := mk(".....HBH..", trace.FaultInfo{})
+	c := SampleLevel(tr, 2)
+	if c.TP != 1 {
+		t.Errorf("TP=%d, want 1", c.TP)
+	}
+	// Hazard sample at index 5: alarm at 6 is NOT within [3,5]... so FN.
+	if c.FN != 1 {
+		t.Errorf("FN=%d, want 1 (first hazard sample preceded the alarm)", c.FN)
+	}
+}
+
+func TestSampleLevelDefaultDelta(t *testing.T) {
+	tr := mk("A...........H", trace.FaultInfo{})
+	c := SampleLevel(tr, 0) // default 12
+	if c.TP != 1 {
+		t.Errorf("default δ should cover 12 cycles, got %+v", c)
+	}
+}
+
+func TestSimulationLevelRegions(t *testing.T) {
+	fault := trace.FaultInfo{Name: "max:glucose", StartStep: 4, Duration: 3}
+	tests := []struct {
+		name    string
+		pattern string
+		want    Confusion
+	}{
+		// Clean pre-fault region (TN) + hazardous post-fault with alarm (TP).
+		{"detected hazard", "....AHHH", Confusion{TP: 1, TN: 1}},
+		// Pre-fault false alarm (FP) + detected hazard (TP): the
+		// pre-fault alarm cannot claim credit for the later hazard.
+		{"early false alarm", "A...ABHH", Confusion{TP: 1, FP: 1}},
+		// Hazard missed entirely: TN pre-fault + FN post-fault.
+		{"missed hazard", ".....HHH", Confusion{FN: 1, TN: 1}},
+		// No hazard, no alarm.
+		{"clean", "........", Confusion{TN: 2}},
+		// No hazard but post-fault alarm.
+		{"false alarm post fault", "......A.", Confusion{FP: 1, TN: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := SimulationLevel(mk(tt.pattern, fault))
+			if c != tt.want {
+				t.Errorf("got %+v, want %+v", c, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimulationLevelFaultFree(t *testing.T) {
+	c := SimulationLevel(mk("....", trace.FaultInfo{}))
+	if (c != Confusion{TN: 1}) {
+		t.Errorf("fault-free clean run: %+v", c)
+	}
+	c = SimulationLevel(mk(".A..", trace.FaultInfo{}))
+	if (c != Confusion{FP: 1}) {
+		t.Errorf("fault-free false alarm: %+v", c)
+	}
+}
+
+func TestHazardCoverage(t *testing.T) {
+	fault := trace.FaultInfo{Name: "x", StartStep: 0, Duration: 2}
+	traces := []*trace.Trace{
+		mk("..HH", fault),
+		mk("....", fault),
+		mk("..HH", fault),
+		mk("HH..", trace.FaultInfo{}), // fault-free: excluded
+	}
+	if got := HazardCoverage(traces); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("coverage %v, want 2/3", got)
+	}
+	if HazardCoverage(nil) != 0 {
+		t.Error("empty coverage should be 0")
+	}
+}
+
+func TestTTHStats(t *testing.T) {
+	fault := trace.FaultInfo{Name: "x", StartStep: 2, Duration: 2}
+	traces := []*trace.Trace{
+		mk("....HH", fault), // hazard at 4, fault at 2 -> +10 min
+		mk("H.....", fault), // hazard at 0 -> -10 min (predates fault)
+		mk("......", fault), // no hazard
+	}
+	st := TTH(traces)
+	if st.Count != 2 {
+		t.Fatalf("count %d", st.Count)
+	}
+	if st.MeanMin != 0 {
+		t.Errorf("mean %v, want 0 ((-10+10)/2)", st.MeanMin)
+	}
+	if math.Abs(st.NegativeFrac-0.5) > 1e-12 {
+		t.Errorf("negative frac %v", st.NegativeFrac)
+	}
+	if st.MinMin != -10 || st.MaxMin != 10 {
+		t.Errorf("range [%v,%v]", st.MinMin, st.MaxMin)
+	}
+	empty := TTH(nil)
+	if empty.Count != 0 {
+		t.Error("empty TTH")
+	}
+}
+
+func TestReactionTime(t *testing.T) {
+	traces := []*trace.Trace{
+		mk("..A...HH", trace.FaultInfo{}), // alarm 4 cycles early: +20 min
+		mk("....HHAH", trace.FaultInfo{}), // alarm 2 cycles late: -10 min
+		mk(".....HHH", trace.FaultInfo{}), // never alarmed: excluded from mean
+	}
+	st := ReactionTime(traces)
+	if st.Count != 2 {
+		t.Fatalf("count %d", st.Count)
+	}
+	if math.Abs(st.MeanMin-5) > 1e-12 {
+		t.Errorf("mean %v, want 5", st.MeanMin)
+	}
+	if math.Abs(st.EarlyRate-1.0/3) > 1e-12 {
+		t.Errorf("early rate %v, want 1/3", st.EarlyRate)
+	}
+	if st.StdMin <= 0 {
+		t.Errorf("std %v", st.StdMin)
+	}
+}
+
+func TestMitigation(t *testing.T) {
+	fault := trace.FaultInfo{Name: "x", StartStep: 0, Duration: 1}
+	baseline := []*trace.Trace{
+		mk("..HH", fault), // hazard prevented
+		mk("..HH", fault), // hazard persists
+		mk("....", fault), // clean stays clean
+		mk("....", fault), // clean becomes hazardous (mitigation harm)
+	}
+	mitigated := []*trace.Trace{
+		mk("....", fault),
+		mk("..HH", fault),
+		mk("....", fault),
+		mk("HH..", fault),
+	}
+	out := Mitigation(baseline, mitigated)
+	if out.BaselineHazards != 2 || out.Prevented != 1 || out.NewHazards != 1 {
+		t.Errorf("outcome %+v", out)
+	}
+	if math.Abs(out.RecoveryRate-0.5) > 1e-12 {
+		t.Errorf("recovery %v", out.RecoveryRate)
+	}
+	if out.AverageRisk <= 0 {
+		t.Errorf("average risk %v, want positive (unprevented + new hazards)", out.AverageRisk)
+	}
+	// Mismatched inputs yield zero value.
+	if got := Mitigation(baseline, mitigated[:2]); got.BaselineHazards != 0 {
+		t.Error("mismatched inputs should yield zero outcome")
+	}
+}
+
+func TestAverageRisk(t *testing.T) {
+	traces := []*trace.Trace{
+		mk(".....HHH", trace.FaultInfo{}), // FN: hazardous, no alarm
+		mk("..A..HHH", trace.FaultInfo{}), // detected: no contribution
+		mk("........", trace.FaultInfo{}),
+	}
+	// Give the FN trace risky BG values.
+	for i := range traces[0].Samples {
+		traces[0].Samples[i].BG = 45
+	}
+	r := AverageRisk(traces, nil)
+	if r <= 0 {
+		t.Errorf("average risk %v, want positive", r)
+	}
+	r2 := AverageRisk(traces, []*trace.Trace{traces[0]})
+	if r2 <= r {
+		t.Error("new hazards should add risk")
+	}
+	if AverageRisk(nil, nil) != 0 {
+		t.Error("empty input")
+	}
+}

@@ -1,0 +1,407 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTMConfig tunes the stacked-LSTM baseline. The zero value selects the
+// paper's best architecture (Section IV-C4): two stacked LSTM layers of
+// 128 and 64 units over a 6-step input window, a softmax head, Adam at
+// 0.001, and early stopping.
+type LSTMConfig struct {
+	Units        []int   // default {128, 64}
+	Classes      int     // default 2
+	Window       int     // expected timesteps, default 6
+	LearningRate float64 // default 0.001
+	Epochs       int     // default 20
+	BatchSize    int     // default 32
+	ValFraction  float64 // default 0.1
+	Patience     int     // default 4
+	ClipNorm     float64 // gradient clipping, default 5
+}
+
+func (c LSTMConfig) withDefaults() LSTMConfig {
+	if len(c.Units) == 0 {
+		c.Units = []int{128, 64}
+	}
+	if c.Classes <= 0 {
+		c.Classes = 2
+	}
+	if c.Window <= 0 {
+		c.Window = 6
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.001
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.ValFraction <= 0 || c.ValFraction >= 0.5 {
+		c.ValFraction = 0.1
+	}
+	if c.Patience <= 0 {
+		c.Patience = 4
+	}
+	if c.ClipNorm <= 0 {
+		c.ClipNorm = 5
+	}
+	return c
+}
+
+// lstmLayer holds one LSTM layer's parameters in four gate blocks
+// (input, forget, cell, output), each sized units x (in + units + 1).
+type lstmLayer struct {
+	in, units int
+	w         []float64 // 4 * units * (in + units + 1)
+	g         []float64
+	adam      *Adam
+}
+
+func newLSTMLayer(in, units int, lr float64, rng *rand.Rand) *lstmLayer {
+	n := 4 * units * (in + units + 1)
+	l := &lstmLayer{in: in, units: units, w: make([]float64, n), g: make([]float64, n)}
+	scale := 1 / math.Sqrt(float64(in+units))
+	for i := range l.w {
+		l.w[i] = rng.NormFloat64() * scale
+	}
+	// Forget-gate bias initialized to 1 (standard trick for gradient flow).
+	stride := in + units + 1
+	forgetBase := 1 * units * stride
+	for u := 0; u < units; u++ {
+		l.w[forgetBase+u*stride+in+units] = 1
+	}
+	l.adam = NewAdam(n, lr)
+	return l
+}
+
+// gateWeights returns the weight row for gate g (0=i,1=f,2=g,3=o), unit u.
+func (l *lstmLayer) gateRow(w []float64, gate, u int) []float64 {
+	stride := l.in + l.units + 1
+	base := (gate*l.units + u) * stride
+	return w[base : base+stride]
+}
+
+// lstmStep is the cached forward state of one timestep.
+type lstmStep struct {
+	x           []float64 // input at t
+	i, f, gg, o []float64 // gate activations
+	c, h        []float64 // cell and hidden state after t
+	cPrev       []float64
+	hPrev       []float64
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// forward runs the layer over a sequence, returning cached steps.
+func (l *lstmLayer) forward(seq [][]float64) []lstmStep {
+	steps := make([]lstmStep, len(seq))
+	hPrev := make([]float64, l.units)
+	cPrev := make([]float64, l.units)
+	for t, x := range seq {
+		st := lstmStep{
+			x: x,
+			i: make([]float64, l.units), f: make([]float64, l.units),
+			gg: make([]float64, l.units), o: make([]float64, l.units),
+			c: make([]float64, l.units), h: make([]float64, l.units),
+			cPrev: append([]float64(nil), cPrev...),
+			hPrev: append([]float64(nil), hPrev...),
+		}
+		for u := 0; u < l.units; u++ {
+			var z [4]float64
+			for gate := 0; gate < 4; gate++ {
+				row := l.gateRow(l.w, gate, u)
+				sum := row[l.in+l.units] // bias
+				for j, xj := range x {
+					sum += row[j] * xj
+				}
+				for j, hj := range hPrev {
+					sum += row[l.in+j] * hj
+				}
+				z[gate] = sum
+			}
+			st.i[u] = sigmoid(z[0])
+			st.f[u] = sigmoid(z[1])
+			st.gg[u] = math.Tanh(z[2])
+			st.o[u] = sigmoid(z[3])
+			st.c[u] = st.f[u]*cPrev[u] + st.i[u]*st.gg[u]
+			st.h[u] = st.o[u] * math.Tanh(st.c[u])
+		}
+		copy(cPrev, st.c)
+		copy(hPrev, st.h)
+		steps[t] = st
+	}
+	return steps
+}
+
+// backward runs BPTT over cached steps. dhLast is the gradient wrt the
+// final hidden state; dhSeq (optional, same length as steps) carries
+// per-timestep hidden-state gradients from an upper layer. It returns
+// per-timestep gradients wrt the inputs.
+func (l *lstmLayer) backward(steps []lstmStep, dhLast []float64, dhSeq [][]float64) [][]float64 {
+	T := len(steps)
+	dx := make([][]float64, T)
+	dhNext := make([]float64, l.units)
+	dcNext := make([]float64, l.units)
+	if dhLast != nil {
+		copy(dhNext, dhLast)
+	}
+	for t := T - 1; t >= 0; t-- {
+		st := &steps[t]
+		dx[t] = make([]float64, l.in)
+		if dhSeq != nil && dhSeq[t] != nil {
+			for u := range dhNext {
+				dhNext[u] += dhSeq[t][u]
+			}
+		}
+		dhPrev := make([]float64, l.units)
+		dcPrev := make([]float64, l.units)
+		for u := 0; u < l.units; u++ {
+			tanhC := math.Tanh(st.c[u])
+			do := dhNext[u] * tanhC
+			dc := dhNext[u]*st.o[u]*(1-tanhC*tanhC) + dcNext[u]
+			di := dc * st.gg[u]
+			dg := dc * st.i[u]
+			df := dc * st.cPrev[u]
+			dcPrev[u] = dc * st.f[u]
+
+			// Pre-activation gradients.
+			dzi := di * st.i[u] * (1 - st.i[u])
+			dzf := df * st.f[u] * (1 - st.f[u])
+			dzg := dg * (1 - st.gg[u]*st.gg[u])
+			dzo := do * st.o[u] * (1 - st.o[u])
+
+			for gate, dz := range [4]float64{dzi, dzf, dzg, dzo} {
+				if dz == 0 {
+					continue
+				}
+				wRow := l.gateRow(l.w, gate, u)
+				gRow := l.gateRow(l.g, gate, u)
+				for j, xj := range st.x {
+					gRow[j] += dz * xj
+					dx[t][j] += dz * wRow[j]
+				}
+				for j, hj := range st.hPrev {
+					gRow[l.in+j] += dz * hj
+					dhPrev[j] += dz * wRow[l.in+j]
+				}
+				gRow[l.in+l.units] += dz
+			}
+		}
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+	return dx
+}
+
+func (l *lstmLayer) step(batch, clip float64) {
+	inv := 1 / batch
+	var norm float64
+	for i := range l.g {
+		l.g[i] *= inv
+		norm += l.g[i] * l.g[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm > clip {
+		s := clip / norm
+		for i := range l.g {
+			l.g[i] *= s
+		}
+	}
+	l.adam.Step(l.w, l.g)
+	for i := range l.g {
+		l.g[i] = 0
+	}
+}
+
+// LSTM is the stacked-LSTM baseline monitor model: LSTM layers followed
+// by a dense softmax head applied to the final hidden state.
+type LSTM struct {
+	cfg    LSTMConfig
+	layers []*lstmLayer
+	head   *denseLayer
+	std    *Standardizer
+}
+
+var _ SequenceClassifier = (*LSTM)(nil)
+
+// FitLSTM trains the model on windows (samples x timesteps x features).
+func FitLSTM(X [][][]float64, y []int, cfg LSTMConfig, rng *rand.Rand) (*LSTM, error) {
+	cfg = cfg.withDefaults()
+	if len(X) == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("ml: %d windows but %d labels", len(X), len(y))
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("ml: nil rng")
+	}
+	for i, w := range X {
+		if len(w) != cfg.Window {
+			return nil, fmt.Errorf("ml: window %d has %d timesteps, want %d", i, len(w), cfg.Window)
+		}
+	}
+	// Standardize over flattened frames.
+	flat := make([][]float64, 0, len(X)*cfg.Window)
+	for _, w := range X {
+		flat = append(flat, w...)
+	}
+	std, err := FitStandardizer(flat)
+	if err != nil {
+		return nil, err
+	}
+
+	model := &LSTM{cfg: cfg, std: std}
+	in := len(X[0][0])
+	dims := append([]int{in}, cfg.Units...)
+	for i := 0; i+1 < len(dims); i++ {
+		model.layers = append(model.layers, newLSTMLayer(dims[i], dims[i+1], cfg.LearningRate, rng))
+	}
+	model.head = newDenseLayer(cfg.Units[len(cfg.Units)-1], cfg.Classes, cfg.LearningRate, rng)
+
+	trainIdx, valIdx := TrainTestSplit(len(X), cfg.ValFraction, rng)
+	probs := make([]float64, cfg.Classes)
+	logits := make([]float64, cfg.Classes)
+	deltaLogits := make([]float64, cfg.Classes)
+
+	bestVal := math.Inf(1)
+	bestW := model.snapshot()
+	bad := 0
+
+	order := append([]int(nil), trainIdx...)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, idx := range order[start:end] {
+				seq := model.standardizeWindow(X[idx])
+				// Forward through the stack, caching each layer.
+				caches := make([][]lstmStep, len(model.layers))
+				cur := seq
+				for li, l := range model.layers {
+					caches[li] = l.forward(cur)
+					cur = hiddenSeq(caches[li])
+				}
+				hLast := cur[len(cur)-1]
+				model.head.forward(hLast, logits)
+				softmax(logits, probs)
+				for c := range deltaLogits {
+					deltaLogits[c] = probs[c]
+					if c == y[idx] {
+						deltaLogits[c]--
+					}
+				}
+				dhLast := make([]float64, len(hLast))
+				model.head.backward(hLast, deltaLogits, dhLast)
+				// Backprop through the stack.
+				var dhSeq [][]float64
+				dh := dhLast
+				for li := len(model.layers) - 1; li >= 0; li-- {
+					dx := model.layers[li].backward(caches[li], dh, dhSeq)
+					dhSeq = dx
+					dh = nil
+				}
+			}
+			batch := float64(end - start)
+			for _, l := range model.layers {
+				l.step(batch, cfg.ClipNorm)
+			}
+			model.head.step(batch)
+		}
+		valLoss := model.meanLoss(X, y, valIdx)
+		if valLoss < bestVal-1e-6 {
+			bestVal = valLoss
+			bestW = model.snapshot()
+			bad = 0
+		} else {
+			bad++
+			if bad >= cfg.Patience {
+				break
+			}
+		}
+	}
+	model.restore(bestW)
+	return model, nil
+}
+
+func hiddenSeq(steps []lstmStep) [][]float64 {
+	out := make([][]float64, len(steps))
+	for i := range steps {
+		out[i] = steps[i].h
+	}
+	return out
+}
+
+func (m *LSTM) standardizeWindow(w [][]float64) [][]float64 {
+	out := make([][]float64, len(w))
+	for i, frame := range w {
+		out[i] = m.std.Transform(frame)
+	}
+	return out
+}
+
+func (m *LSTM) meanLoss(X [][][]float64, y []int, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range idx {
+		p := m.PredictProba(X[i])
+		sum += crossEntropy(p, y[i])
+	}
+	return sum / float64(len(idx))
+}
+
+func (m *LSTM) snapshot() [][]float64 {
+	var out [][]float64
+	for _, l := range m.layers {
+		w := make([]float64, len(l.w))
+		copy(w, l.w)
+		out = append(out, w)
+	}
+	hw := make([]float64, len(m.head.w))
+	copy(hw, m.head.w)
+	hb := make([]float64, len(m.head.b))
+	copy(hb, m.head.b)
+	out = append(out, hw, hb)
+	return out
+}
+
+func (m *LSTM) restore(weights [][]float64) {
+	for i, l := range m.layers {
+		copy(l.w, weights[i])
+	}
+	copy(m.head.w, weights[len(m.layers)])
+	copy(m.head.b, weights[len(m.layers)+1])
+}
+
+// PredictProba implements SequenceClassifier.
+func (m *LSTM) PredictProba(window [][]float64) []float64 {
+	cur := m.standardizeWindow(window)
+	for _, l := range m.layers {
+		cur = hiddenSeq(l.forward(cur))
+	}
+	hLast := cur[len(cur)-1]
+	logits := make([]float64, m.cfg.Classes)
+	m.head.forward(hLast, logits)
+	out := make([]float64, m.cfg.Classes)
+	softmax(logits, out)
+	return out
+}
+
+// Predict implements SequenceClassifier.
+func (m *LSTM) Predict(window [][]float64) int { return argmax(m.PredictProba(window)) }
+
+// Classes implements SequenceClassifier.
+func (m *LSTM) Classes() int { return m.cfg.Classes }
+
+// Window returns the expected number of timesteps.
+func (m *LSTM) Window() int { return m.cfg.Window }

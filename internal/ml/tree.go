@@ -1,0 +1,231 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TreeConfig tunes the CART classifier.
+type TreeConfig struct {
+	MaxDepth       int // default 8
+	MinLeafSamples int // default 5
+	Classes        int // default 2
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeafSamples <= 0 {
+		c.MinLeafSamples = 5
+	}
+	if c.Classes <= 0 {
+		c.Classes = 2
+	}
+	return c
+}
+
+// Tree is a CART decision-tree classifier with Gini impurity, the DT
+// baseline monitor of Section IV-C4.
+type Tree struct {
+	cfg  TreeConfig
+	root *treeNode
+}
+
+var _ Classifier = (*Tree)(nil)
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	proba     []float64 // leaf class distribution (nil for internal nodes)
+}
+
+// FitTree trains a CART tree.
+func FitTree(X [][]float64, y []int, cfg TreeConfig) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := validateXY(X, y, cfg.Classes); err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{cfg: cfg}
+	t.root = t.build(X, y, idx, 0)
+	return t, nil
+}
+
+func (t *Tree) build(X [][]float64, y []int, idx []int, depth int) *treeNode {
+	counts := make([]int, t.cfg.Classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	node := &treeNode{}
+	pure := false
+	for _, c := range counts {
+		if c == len(idx) {
+			pure = true
+		}
+	}
+	if depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeafSamples || pure {
+		node.proba = probaFromCounts(counts)
+		return node
+	}
+
+	feature, threshold, gain := t.bestSplit(X, y, idx)
+	if gain <= 1e-12 {
+		node.proba = probaFromCounts(counts)
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinLeafSamples || len(right) < t.cfg.MinLeafSamples {
+		node.proba = probaFromCounts(counts)
+		return node
+	}
+	node.feature = feature
+	node.threshold = threshold
+	node.left = t.build(X, y, left, depth+1)
+	node.right = t.build(X, y, right, depth+1)
+	return node
+}
+
+// bestSplit scans every feature's sorted values for the split with the
+// highest Gini gain.
+func (t *Tree) bestSplit(X [][]float64, y []int, idx []int) (feature int, threshold, gain float64) {
+	nFeatures := len(X[idx[0]])
+	parent := giniOf(y, idx, t.cfg.Classes)
+	bestGain := 0.0
+	bestFeature, bestThreshold := -1, 0.0
+
+	order := make([]int, len(idx))
+	leftCounts := make([]int, t.cfg.Classes)
+	rightCounts := make([]int, t.cfg.Classes)
+	for f := 0; f < nFeatures; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+			rightCounts[c] = 0
+		}
+		for _, i := range order {
+			rightCounts[y[i]]++
+		}
+		nLeft, nRight := 0, len(order)
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			leftCounts[y[i]]++
+			rightCounts[y[i]]--
+			nLeft++
+			nRight--
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue // cannot split between equal values
+			}
+			g := parent - (float64(nLeft)*giniCounts(leftCounts, nLeft)+
+				float64(nRight)*giniCounts(rightCounts, nRight))/float64(len(order))
+			if g > bestGain {
+				bestGain = g
+				bestFeature = f
+				bestThreshold = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return 0, 0, 0
+	}
+	return bestFeature, bestThreshold, bestGain
+}
+
+func giniOf(y []int, idx []int, classes int) float64 {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	return giniCounts(counts, len(idx))
+}
+
+func giniCounts(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func probaFromCounts(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(counts))
+		}
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// PredictProba implements Classifier.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	n := t.root
+	for n.proba == nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	out := make([]float64, len(n.proba))
+	copy(out, n.proba)
+	return out
+}
+
+// Predict implements Classifier.
+func (t *Tree) Predict(x []float64) int { return argmax(t.PredictProba(x)) }
+
+// Classes implements Classifier.
+func (t *Tree) Classes() int { return t.cfg.Classes }
+
+// Depth returns the tree's depth (diagnostics).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.proba != nil {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// NodeCount returns the number of nodes (diagnostics).
+func (t *Tree) NodeCount() int { return countNodes(t.root) }
+
+func countNodes(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.left) + countNodes(n.right)
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("CART(depth=%d nodes=%d classes=%d)", t.Depth(), t.NodeCount(), t.cfg.Classes)
+}

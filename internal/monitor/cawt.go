@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scs"
+	"repro/internal/trace"
+)
+
+// ContextAware is the rule-based safety monitor of Section III: it
+// evaluates the Table I Safety Context Specification online each control
+// cycle and alarms when the issued action is unsafe in the current
+// context. With data-driven thresholds it is the paper's CAWT monitor;
+// with the generic defaults it is the CAWOT baseline.
+type ContextAware struct {
+	name       string
+	rules      []scs.Rule
+	thresholds scs.Thresholds
+	params     scs.Params
+
+	lastFired []int // rule IDs fired at the last step (diagnostics)
+}
+
+var _ Monitor = (*ContextAware)(nil)
+
+// NewCAWT builds the context-aware monitor with learned thresholds.
+func NewCAWT(rules []scs.Rule, th scs.Thresholds, p scs.Params) (*ContextAware, error) {
+	return newContextAware("CAWT", rules, th, p)
+}
+
+// NewCAWOT builds the context-aware baseline with default thresholds.
+func NewCAWOT(rules []scs.Rule, p scs.Params) (*ContextAware, error) {
+	return newContextAware("CAWOT", rules, scs.Defaults(rules), p)
+}
+
+func newContextAware(name string, rules []scs.Rule, th scs.Thresholds, p scs.Params) (*ContextAware, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("monitor: %s needs at least one rule", name)
+	}
+	for _, r := range rules {
+		if _, ok := th[r.ID]; !ok {
+			return nil, fmt.Errorf("monitor: %s missing threshold for rule %d", name, r.ID)
+		}
+	}
+	return &ContextAware{
+		name:       name,
+		rules:      rules,
+		thresholds: th,
+		params:     p.WithDefaults(),
+	}, nil
+}
+
+// Name implements Monitor.
+func (m *ContextAware) Name() string { return m.name }
+
+// Reset implements Monitor.
+func (m *ContextAware) Reset() { m.lastFired = m.lastFired[:0] }
+
+// Step implements Monitor: evaluate every rule on the current context;
+// the predicted hazard is the type of the violated rule (H1 wins ties,
+// being the acute hazard).
+func (m *ContextAware) Step(obs Observation) Verdict {
+	st := scs.State{
+		BG:       obs.CGM,
+		BGPrime:  obs.BGPrime,
+		IOB:      obs.IOB,
+		IOBPrime: obs.IOBPrime,
+		Action:   obs.Action,
+	}
+	m.lastFired = m.lastFired[:0]
+	var hazard trace.HazardType
+	for _, r := range m.rules {
+		if r.Violated(st, m.params, m.thresholds[r.ID]) {
+			m.lastFired = append(m.lastFired, r.ID)
+			if hazard == trace.HazardNone || r.Hazard == trace.HazardH1 {
+				hazard = r.Hazard
+			}
+		}
+	}
+	if hazard == trace.HazardNone {
+		return Verdict{}
+	}
+	sort.Ints(m.lastFired)
+	return Verdict{Alarm: true, Hazard: hazard}
+}
+
+// FiredRules returns the rule IDs that fired at the last step.
+func (m *ContextAware) FiredRules() []int {
+	out := make([]int, len(m.lastFired))
+	copy(out, m.lastFired)
+	return out
+}
+
+// Thresholds returns the monitor's threshold table.
+func (m *ContextAware) Thresholds() scs.Thresholds { return m.thresholds }

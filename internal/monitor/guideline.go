@@ -1,0 +1,168 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// GuidelineConfig parameterizes the medical-guidelines baseline of
+// Table III (the data-authenticity monitor of Young et al.): BG must
+// stay in [70, 180] mg/dL, must not change faster than (−5, +3) mg/dL
+// per cycle, and excursions beyond the patient's 10th/90th percentile
+// must recover within α minutes.
+type GuidelineConfig struct {
+	BGLow     float64 // default 70
+	BGHigh    float64 // default 180
+	DeltaLow  float64 // default -5 (mg/dL per cycle)
+	DeltaHigh float64 // default +3
+	AlphaMin  float64 // recovery deadline, default 25 minutes
+	// Lambda10/Lambda90 are the patient-specific BG percentiles of rules
+	// φ3/φ4; derive them with PercentilesFromTraces.
+	Lambda10 float64
+	Lambda90 float64
+}
+
+func (c GuidelineConfig) withDefaults() GuidelineConfig {
+	if c.BGLow == 0 {
+		c.BGLow = 70
+	}
+	if c.BGHigh == 0 {
+		c.BGHigh = 180
+	}
+	if c.DeltaLow == 0 {
+		c.DeltaLow = -5
+	}
+	if c.DeltaHigh == 0 {
+		c.DeltaHigh = 3
+	}
+	if c.AlphaMin == 0 {
+		c.AlphaMin = 25
+	}
+	if c.Lambda10 == 0 {
+		c.Lambda10 = 80
+	}
+	if c.Lambda90 == 0 {
+		c.Lambda90 = 170
+	}
+	return c
+}
+
+// Guideline is the Table III medical-guidelines monitor.
+type Guideline struct {
+	cfg GuidelineConfig
+
+	prevCGM    float64
+	havePrev   bool
+	belowSince float64 // time BG fell below λ10; NaN when not below
+	aboveSince float64
+}
+
+var _ Monitor = (*Guideline)(nil)
+
+// NewGuideline builds the monitor.
+func NewGuideline(cfg GuidelineConfig) (*Guideline, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BGLow >= cfg.BGHigh {
+		return nil, fmt.Errorf("monitor: guideline BG range [%v,%v] empty", cfg.BGLow, cfg.BGHigh)
+	}
+	if cfg.Lambda10 >= cfg.Lambda90 {
+		return nil, fmt.Errorf("monitor: guideline percentiles λ10=%v ≥ λ90=%v", cfg.Lambda10, cfg.Lambda90)
+	}
+	g := &Guideline{cfg: cfg}
+	g.Reset()
+	return g, nil
+}
+
+// Name implements Monitor.
+func (g *Guideline) Name() string { return "Guideline" }
+
+// Reset implements Monitor.
+func (g *Guideline) Reset() {
+	g.prevCGM = 0
+	g.havePrev = false
+	g.belowSince = math.NaN()
+	g.aboveSince = math.NaN()
+}
+
+// Step implements Monitor. Timer bookkeeping for the φ3/φ4 recovery
+// deadlines happens before any rule fires, so an alarm from one rule
+// never desynchronizes another rule's state.
+func (g *Guideline) Step(obs Observation) Verdict {
+	hadPrev, prev := g.havePrev, g.prevCGM
+	g.prevCGM = obs.CGM
+	g.havePrev = true
+
+	if obs.CGM < g.cfg.Lambda10 {
+		if math.IsNaN(g.belowSince) {
+			g.belowSince = obs.TimeMin
+		}
+	} else {
+		g.belowSince = math.NaN()
+	}
+	if obs.CGM > g.cfg.Lambda90 {
+		if math.IsNaN(g.aboveSince) {
+			g.aboveSince = obs.TimeMin
+		}
+	} else {
+		g.aboveSince = math.NaN()
+	}
+
+	// φ1: hard range.
+	if obs.CGM < g.cfg.BGLow {
+		return Verdict{Alarm: true, Hazard: trace.HazardH1}
+	}
+	if obs.CGM > g.cfg.BGHigh {
+		return Verdict{Alarm: true, Hazard: trace.HazardH2}
+	}
+	// φ2: rate of change per cycle.
+	if hadPrev {
+		delta := obs.CGM - prev
+		if delta < g.cfg.DeltaLow {
+			return Verdict{Alarm: true, Hazard: trace.HazardH1}
+		}
+		if delta > g.cfg.DeltaHigh {
+			return Verdict{Alarm: true, Hazard: trace.HazardH2}
+		}
+	}
+	// φ3: recovery deadline below λ10.
+	if !math.IsNaN(g.belowSince) && obs.TimeMin-g.belowSince >= g.cfg.AlphaMin {
+		return Verdict{Alarm: true, Hazard: trace.HazardH1}
+	}
+	// φ4: recovery deadline above λ90.
+	if !math.IsNaN(g.aboveSince) && obs.TimeMin-g.aboveSince >= g.cfg.AlphaMin {
+		return Verdict{Alarm: true, Hazard: trace.HazardH2}
+	}
+	return Verdict{}
+}
+
+// PercentilesFromTraces computes the 10th and 90th percentile of the
+// sensed glucose across fault-free traces, the λ10/λ90 of Table III.
+func PercentilesFromTraces(traces []*trace.Trace) (lambda10, lambda90 float64, err error) {
+	var bgs []float64
+	for _, tr := range traces {
+		bgs = append(bgs, tr.CGMSeries()...)
+	}
+	if len(bgs) == 0 {
+		return 0, 0, fmt.Errorf("monitor: no samples for percentile estimation")
+	}
+	sort.Float64s(bgs)
+	return percentile(bgs, 0.10), percentile(bgs, 0.90), nil
+}
+
+// percentile returns the p-quantile of sorted data (linear interpolation).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,56 @@
+// Package monitor implements the paper's safety monitors: the proposed
+// context-aware monitor with learned thresholds (CAWT), its unlearned
+// variant (CAWOT), and the baselines — medical-guideline rules
+// (Table III), model-predictive control (Eq. 6), and wrappers around the
+// ML classifiers of internal/ml.
+//
+// Every monitor observes only the controller's input-output interface:
+// the clean sensed glucose, a monitor-side IOB estimate, and the issued
+// command (Section II's wrapper assumption).
+package monitor
+
+import (
+	"repro/internal/closedloop"
+	"repro/internal/trace"
+)
+
+// Monitor re-exports the closed-loop monitor contract for implementers.
+type Monitor = closedloop.Monitor
+
+// Observation is the per-cycle monitor input.
+type Observation = closedloop.Observation
+
+// Verdict is the per-cycle monitor output.
+type Verdict = closedloop.Verdict
+
+// Replay drives a monitor over a recorded trace offline, returning the
+// per-sample alarms. It mirrors exactly what the closed loop feeds the
+// monitor online, so offline evaluation (Tables V and VI) agrees with
+// online behavior.
+func Replay(m Monitor, tr *trace.Trace) []Verdict {
+	m.Reset()
+	out := make([]Verdict, tr.Len())
+	prevRate := 0.0
+	for i := range tr.Samples {
+		s := &tr.Samples[i]
+		if i == 0 {
+			prevRate = s.Rate
+		}
+		out[i] = m.Step(Observation{
+			Step: s.Step, TimeMin: s.TimeMin, CycleMin: tr.CycleMin,
+			CGM: s.CGM, BGPrime: s.BGPrime, IOB: s.IOB, IOBPrime: s.IOBPrime,
+			Rate: s.Rate, PrevRate: prevRate, Action: s.Action,
+		})
+		prevRate = s.Delivered
+	}
+	return out
+}
+
+// Annotate writes a monitor's replayed verdicts into the trace samples.
+func Annotate(m Monitor, tr *trace.Trace) {
+	verdicts := Replay(m, tr)
+	for i := range tr.Samples {
+		tr.Samples[i].Alarm = verdicts[i].Alarm
+		tr.Samples[i].AlarmHazard = verdicts[i].Hazard
+	}
+}

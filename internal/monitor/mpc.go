@@ -1,0 +1,149 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MPCConfig parameterizes the model-predictive baseline monitor of
+// Section IV-C2, built on the Bergman & Sherwin minimal model (Eq. 6):
+//
+//	dBG/dt = −(GEZI + IEFF)·BG + EGP + RA(t)
+//
+// The monitor integrates a population-parameter copy of this model
+// forward over the prediction horizon, assuming the issued command is
+// sustained, and alarms when the predicted BG leaves [70, 180] mg/dL.
+type MPCConfig struct {
+	GEZI float64 // glucose effectiveness at zero insulin, 1/min (default 0.0022)
+	EGP  float64 // endogenous glucose production, mg/dL/min (default 1.33)
+	SI   float64 // insulin sensitivity, mL/µU/min (default 6.5e-4)
+	CI   float64 // insulin clearance, mL/min (default 2010)
+	Tau1 float64 // SC insulin time constant, min (default 49)
+	Tau2 float64 // plasma insulin time constant, min (default 47)
+	P2   float64 // insulin action rate, 1/min (default 0.0106)
+
+	HorizonMin float64 // prediction horizon, minutes (default 60)
+	BGLow      float64 // default 70
+	BGHigh     float64 // default 180
+	Basal      float64 // scheduled basal for steady-state init, U/h (required)
+}
+
+func (c MPCConfig) withDefaults() (MPCConfig, error) {
+	if c.Basal <= 0 {
+		return c, fmt.Errorf("monitor: mpc needs positive basal")
+	}
+	if c.GEZI == 0 {
+		c.GEZI = 0.0022
+	}
+	if c.EGP == 0 {
+		c.EGP = 1.33
+	}
+	if c.SI == 0 {
+		c.SI = 6.5e-4
+	}
+	if c.CI == 0 {
+		c.CI = 2010
+	}
+	if c.Tau1 == 0 {
+		c.Tau1 = 49
+	}
+	if c.Tau2 == 0 {
+		c.Tau2 = 47
+	}
+	if c.P2 == 0 {
+		c.P2 = 0.0106
+	}
+	if c.HorizonMin == 0 {
+		c.HorizonMin = 60
+	}
+	if c.BGLow == 0 {
+		c.BGLow = 70
+	}
+	if c.BGHigh == 0 {
+		c.BGHigh = 180
+	}
+	return c, nil
+}
+
+// MPC is the model-predictive baseline monitor. It tracks its own copy
+// of the insulin compartments (driven by the actually delivered rates)
+// and forward-simulates the Bergman model each cycle.
+type MPC struct {
+	cfg MPCConfig
+
+	isc, ip, ieff float64 // monitor-side insulin model state
+	initialized   bool
+}
+
+var _ Monitor = (*MPC)(nil)
+
+// NewMPC builds the monitor.
+func NewMPC(cfg MPCConfig) (*MPC, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &MPC{cfg: cfg}
+	m.Reset()
+	return m, nil
+}
+
+// Name implements Monitor.
+func (m *MPC) Name() string { return "MPC" }
+
+// Reset implements Monitor.
+func (m *MPC) Reset() {
+	// Start the insulin compartments at the basal steady state.
+	id := m.cfg.Basal * 1e6 / 60 // µU/min
+	ipStar := id / m.cfg.CI
+	m.isc = ipStar
+	m.ip = ipStar
+	m.ieff = m.cfg.SI * ipStar
+	m.initialized = true
+}
+
+// advance integrates the monitor's insulin + glucose model by dtMin under
+// a constant rate, starting from glucose bg; returns the ending glucose
+// and updates the given insulin state in place.
+func (m *MPC) advance(bg *float64, isc, ip, ieff *float64, rateUPerH, dtMin float64) {
+	const h = 1.0 // 1-minute Euler steps are ample for this smooth model
+	id := rateUPerH * 1e6 / 60
+	steps := int(dtMin/h + 0.5)
+	for k := 0; k < steps; k++ {
+		dIsc := -*isc/m.cfg.Tau1 + id/(m.cfg.Tau1*m.cfg.CI)
+		dIp := -(*ip - *isc) / m.cfg.Tau2
+		dIeff := -m.cfg.P2**ieff + m.cfg.P2*m.cfg.SI**ip
+		dBG := -(m.cfg.GEZI+*ieff)**bg + m.cfg.EGP
+		*isc += h * dIsc
+		*ip += h * dIp
+		*ieff += h * dIeff
+		*bg += h * dBG
+		if *bg < 1 {
+			*bg = 1
+		}
+	}
+}
+
+// Step implements Monitor: predict BG after executing the command for
+// the horizon; alarm when the prediction exits the safe range.
+func (m *MPC) Step(obs Observation) Verdict {
+	// Predict from the current observation with a scratch copy of the
+	// insulin state.
+	bg := obs.CGM
+	isc, ip, ieff := m.isc, m.ip, m.ieff
+	m.advance(&bg, &isc, &ip, &ieff, obs.Rate, m.cfg.HorizonMin)
+
+	// Commit the monitor's insulin state by one cycle at the issued rate
+	// (the best estimate of what will be delivered).
+	m.advance(new(float64), &m.isc, &m.ip, &m.ieff, obs.Rate, obs.CycleMin)
+
+	switch {
+	case bg < m.cfg.BGLow:
+		return Verdict{Alarm: true, Hazard: trace.HazardH1}
+	case bg > m.cfg.BGHigh:
+		return Verdict{Alarm: true, Hazard: trace.HazardH2}
+	default:
+		return Verdict{}
+	}
+}

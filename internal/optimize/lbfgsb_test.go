@@ -1,0 +1,245 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	if _, err := Minimize(Problem{F: f}, nil, Options{}); err == nil {
+		t.Error("empty start should fail")
+	}
+	if _, err := Minimize(Problem{}, []float64{1}, Options{}); err == nil {
+		t.Error("nil objective should fail")
+	}
+	if _, err := Minimize(Problem{F: f, Lower: []float64{0, 0}}, []float64{1}, Options{}); err == nil {
+		t.Error("bound length mismatch should fail")
+	}
+	if _, err := Minimize(Problem{F: f, Lower: []float64{2}, Upper: []float64{1}}, []float64{1}, Options{}); err == nil {
+		t.Error("crossed bounds should fail")
+	}
+}
+
+func TestQuadratic1D(t *testing.T) {
+	f := func(x []float64) float64 { return (x[0] - 3) * (x[0] - 3) }
+	res, err := Minimize(Problem{F: f}, []float64{-10}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: %s", res.Status)
+	}
+	if math.Abs(res.X[0]-3) > 1e-5 {
+		t.Errorf("x = %v, want 3", res.X[0])
+	}
+}
+
+func TestQuadraticND(t *testing.T) {
+	// f = sum (x_i - i)^2 with analytic gradient.
+	f := func(x []float64) float64 {
+		var s float64
+		for i, v := range x {
+			d := v - float64(i)
+			s += d * d
+		}
+		return s
+	}
+	g := func(x, grad []float64) {
+		for i, v := range x {
+			grad[i] = 2 * (v - float64(i))
+		}
+	}
+	x0 := make([]float64, 10)
+	res, err := Minimize(Problem{F: f, Grad: g}, x0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-float64(i)) > 1e-5 {
+			t.Errorf("x[%d] = %v, want %d", i, v, i)
+		}
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	g := func(x, grad []float64) {
+		grad[0] = -2*(1-x[0]) - 400*x[0]*(x[1]-x[0]*x[0])
+		grad[1] = 200 * (x[1] - x[0]*x[0])
+	}
+	res, err := Minimize(Problem{F: f, Grad: g}, []float64{-1.2, 1}, Options{MaxIterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("x = %v, want (1,1); status %s after %d iters", res.X, res.Status, res.Iterations)
+	}
+}
+
+func TestRosenbrockNumericalGradient(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := Minimize(Problem{F: f}, []float64{-1.2, 1}, Options{MaxIterations: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Errorf("x = %v, want (1,1) with numerical gradient", res.X)
+	}
+}
+
+func TestActiveBound(t *testing.T) {
+	// Unconstrained minimum at 3; box [5,10] makes 5 the solution.
+	f := func(x []float64) float64 { return (x[0] - 3) * (x[0] - 3) }
+	res, err := Minimize(Problem{
+		F:     f,
+		Lower: []float64{5},
+		Upper: []float64{10},
+	}, []float64{8}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-5) > 1e-8 {
+		t.Errorf("x = %v, want bound 5", res.X[0])
+	}
+	if !res.Converged {
+		t.Errorf("should converge at active bound: %s", res.Status)
+	}
+}
+
+func TestStartOutsideBoxIsProjected(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	res, err := Minimize(Problem{
+		F:     f,
+		Lower: []float64{-1},
+		Upper: []float64{1},
+	}, []float64{100}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]) > 1e-6 {
+		t.Errorf("x = %v, want 0", res.X[0])
+	}
+}
+
+func TestMixedBounds(t *testing.T) {
+	// Minimize sum of shifted quadratics with some active constraints.
+	f := func(x []float64) float64 {
+		targets := []float64{-5, 0.5, 7}
+		var s float64
+		for i, v := range x {
+			d := v - targets[i]
+			s += d * d
+		}
+		return s
+	}
+	res, err := Minimize(Problem{
+		F:     f,
+		Lower: []float64{0, 0, 0},
+		Upper: []float64{1, 1, 1},
+	}, []float64{0.5, 0.5, 0.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-5 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestNonSmoothAbs(t *testing.T) {
+	// |x - 2| is non-smooth at the solution; solver should still get close.
+	f := func(x []float64) float64 { return math.Abs(x[0] - 2) }
+	res, err := Minimize(Problem{F: f}, []float64{-7}, Options{MaxIterations: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-3 {
+		t.Errorf("x = %v, want ~2", res.X[0])
+	}
+}
+
+func TestExponentialLossShape(t *testing.T) {
+	// The package's actual workload: a TMEE-style tight loss
+	// loss(b) = mean over data of (e^{-r} + r - 1)/(1 + e^{-2r}), r = b - mu.
+	data := []float64{1.0, 1.5, 2.0, 2.5, 3.0}
+	loss := func(x []float64) float64 {
+		var s float64
+		for _, mu := range data {
+			r := x[0] - mu
+			s += math.Exp(-r) + (r-1)/(1+math.Exp(-2*r))
+		}
+		return s / float64(len(data))
+	}
+	res, err := Minimize(Problem{
+		F:     loss,
+		Lower: []float64{0},
+		Upper: []float64{50},
+	}, []float64{10}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tight threshold should sit near the data's upper range: above
+	// the mean, not far above the max.
+	if res.X[0] < 2.0 || res.X[0] > 4.5 {
+		t.Errorf("tight threshold = %v, want within (2.0, 4.5] near max(data)=3", res.X[0])
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := Minimize(Problem{F: f}, []float64{-1.2, 1}, Options{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("2 iterations should not converge on Rosenbrock")
+	}
+	if res.Status != "iteration limit reached" {
+		t.Errorf("status %q", res.Status)
+	}
+}
+
+func TestEvalsCounted(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	res, err := Minimize(Problem{F: f}, []float64{4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals <= 0 {
+		t.Error("evaluation count missing")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	r1, err := Minimize(Problem{F: f}, []float64{-1.2, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Minimize(Problem{F: f}, []float64{-1.2, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.X[0] != r2.X[0] || r1.X[1] != r2.X[1] || r1.Evals != r2.Evals {
+		t.Error("optimizer is not deterministic")
+	}
+}

@@ -1,0 +1,144 @@
+package scs
+
+import (
+	"fmt"
+
+	"repro/internal/stl"
+	"repro/internal/trace"
+)
+
+// MitigationRule is one Hazard Mitigation Specification tuple
+// (ρ(µ(x)), uρ) of Section III-B2: in the given context, the safe
+// control action moves the system back toward the desirable region X*.
+type MitigationRule struct {
+	ID     int
+	Hazard trace.HazardType // hazard class this rule corrects
+
+	BGSide   BGSide
+	BGTrend  Trend
+	IOBTrend Trend
+
+	// SafeAction is the corrective control action uρ.
+	SafeAction trace.Action
+	// RateFactor scales the patient's basal rate to produce the
+	// corrective command (0 for stop).
+	RateFactor float64
+	// DeadlineMin is ts of Eq. 2: the latest time after entering the
+	// context by which the corrective action must have been taken.
+	DeadlineMin float64
+}
+
+// ContextHolds reports whether the rule's context matches the state.
+func (r MitigationRule) ContextHolds(s State, p Params) bool {
+	p = p.WithDefaults()
+	switch r.BGSide {
+	case BGAbove:
+		if !(s.BG > p.BGT) {
+			return false
+		}
+	case BGBelow:
+		if !(s.BG < p.BGT) {
+			return false
+		}
+	}
+	return r.BGTrend.matches(s.BGPrime, p.BGDerivEps) &&
+		r.IOBTrend.matches(s.IOBPrime, p.IOBDerivEps)
+}
+
+// STL renders the rule in the Eq. 2 form
+//
+//	G[t0,te]( (F[0,ts] uρ) S context )
+func (r MitigationRule) STL(p Params) stl.Formula {
+	p = p.WithDefaults()
+	var ctx []stl.Formula
+	switch r.BGSide {
+	case BGAbove:
+		ctx = append(ctx, &stl.Atom{Var: "BG", Op: stl.OpGT, Threshold: p.BGT})
+	case BGBelow:
+		ctx = append(ctx, &stl.Atom{Var: "BG", Op: stl.OpLT, Threshold: p.BGT})
+	}
+	ctx = append(ctx, r.BGTrend.atoms("BG'", p.BGDerivEps)...)
+	ctx = append(ctx, r.IOBTrend.atoms("IOB'", p.IOBDerivEps)...)
+	action := &stl.Atom{Var: "u", Op: stl.OpEQ, Threshold: float64(r.SafeAction)}
+	var context stl.Formula = stl.Const(true)
+	if len(ctx) > 0 {
+		context = stl.NewAnd(ctx...)
+	}
+	inner := &stl.Since{
+		Bounds: stl.Unbounded,
+		L:      &stl.Eventually{Bounds: stl.Bounds{A: 0, B: r.DeadlineMin}, Child: action},
+		R:      context,
+	}
+	return &stl.Globally{Bounds: stl.Unbounded, Child: inner}
+}
+
+// String identifies the rule.
+func (r MitigationRule) String() string {
+	return fmt.Sprintf("hms%d(%s -> %s within %.0fmin)", r.ID, r.Hazard, r.SafeAction.Short(), r.DeadlineMin)
+}
+
+// HMS is a Hazard Mitigation Specification: an ordered rule set queried
+// when the monitor predicts a hazard. Earlier rules win.
+type HMS struct {
+	Rules  []MitigationRule
+	Params Params
+}
+
+// DefaultHMS returns a context-dependent mitigation specification: for a
+// predicted H1 (over-insulin) the pump is cut; for a predicted H2 the
+// correction scales with how aggressively glucose is moving — a rising
+// hyperglycemia with falling IOB gets the full temp-basal ceiling, a
+// merely stagnant one gets a gentler boost. Deadlines come from the
+// campaign's time-to-hazard distribution (hours, Fig. 7b), discounted
+// for safety margin.
+func DefaultHMS() HMS {
+	return HMS{Rules: []MitigationRule{
+		{ID: 1, Hazard: trace.HazardH1, BGSide: BGBelow, BGTrend: TrendDown, IOBTrend: TrendAny,
+			SafeAction: trace.ActionStop, RateFactor: 0, DeadlineMin: 30},
+		{ID: 2, Hazard: trace.HazardH1, BGSide: BGAny, BGTrend: TrendAny, IOBTrend: TrendAny,
+			SafeAction: trace.ActionStop, RateFactor: 0, DeadlineMin: 60},
+		{ID: 3, Hazard: trace.HazardH2, BGSide: BGAbove, BGTrend: TrendUp, IOBTrend: TrendDownOrFlat,
+			SafeAction: trace.ActionIncrease, RateFactor: 4, DeadlineMin: 60},
+		{ID: 4, Hazard: trace.HazardH2, BGSide: BGAbove, BGTrend: TrendAny, IOBTrend: TrendAny,
+			SafeAction: trace.ActionIncrease, RateFactor: 2.5, DeadlineMin: 90},
+		{ID: 5, Hazard: trace.HazardH2, BGSide: BGAny, BGTrend: TrendAny, IOBTrend: TrendAny,
+			SafeAction: trace.ActionIncrease, RateFactor: 1.5, DeadlineMin: 120},
+	}}
+}
+
+// Select returns the corrective insulin rate (U/h) for a predicted
+// hazard in the given state, and the rule that selected it. The boolean
+// is false when no rule's context matches (the caller should fall back
+// to the fixed Algorithm 1 action).
+func (h HMS) Select(hazard trace.HazardType, s State, basal float64) (float64, MitigationRule, bool) {
+	for _, r := range h.Rules {
+		if r.Hazard != hazard {
+			continue
+		}
+		if r.ContextHolds(s, h.Params) {
+			return r.RateFactor * basal, r, true
+		}
+	}
+	return 0, MitigationRule{}, false
+}
+
+// Validate checks the specification for structural errors.
+func (h HMS) Validate() error {
+	seen := make(map[int]bool, len(h.Rules))
+	for _, r := range h.Rules {
+		if seen[r.ID] {
+			return fmt.Errorf("scs: duplicate HMS rule ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Hazard == trace.HazardNone {
+			return fmt.Errorf("scs: HMS rule %d has no hazard", r.ID)
+		}
+		if r.RateFactor < 0 {
+			return fmt.Errorf("scs: HMS rule %d has negative rate factor", r.ID)
+		}
+		if r.DeadlineMin <= 0 {
+			return fmt.Errorf("scs: HMS rule %d has non-positive deadline", r.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package scs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stl"
+	"repro/internal/trace"
+)
+
+func TestDefaultHMSValidates(t *testing.T) {
+	h := DefaultHMS()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("DefaultHMS invalid: %v", err)
+	}
+	if len(h.Rules) < 4 {
+		t.Errorf("only %d HMS rules", len(h.Rules))
+	}
+}
+
+func TestHMSValidateCatchesErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		h    HMS
+	}{
+		{"duplicate id", HMS{Rules: []MitigationRule{
+			{ID: 1, Hazard: trace.HazardH1, DeadlineMin: 10},
+			{ID: 1, Hazard: trace.HazardH2, DeadlineMin: 10},
+		}}},
+		{"no hazard", HMS{Rules: []MitigationRule{{ID: 1, DeadlineMin: 10}}}},
+		{"negative factor", HMS{Rules: []MitigationRule{
+			{ID: 1, Hazard: trace.HazardH1, RateFactor: -1, DeadlineMin: 10},
+		}}},
+		{"no deadline", HMS{Rules: []MitigationRule{{ID: 1, Hazard: trace.HazardH1}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.h.Validate(); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestHMSSelectH1CutsInsulin(t *testing.T) {
+	h := DefaultHMS()
+	// Falling hypoglycemia: rule 1 (stop).
+	rate, rule, ok := h.Select(trace.HazardH1, State{BG: 75, BGPrime: -1.5, IOB: 3}, 1.3)
+	if !ok {
+		t.Fatal("H1 context should match")
+	}
+	if rate != 0 {
+		t.Errorf("H1 corrective rate %v, want 0", rate)
+	}
+	if rule.ID != 1 {
+		t.Errorf("selected rule %d, want 1 (most specific)", rule.ID)
+	}
+}
+
+func TestHMSSelectH2ScalesWithContext(t *testing.T) {
+	h := DefaultHMS()
+	basal := 1.0
+	// Aggressively rising hyperglycemia with falling IOB: full ceiling.
+	rateHot, ruleHot, ok := h.Select(trace.HazardH2, State{BG: 250, BGPrime: 2, IOBPrime: -0.01}, basal)
+	if !ok {
+		t.Fatal("hot H2 context should match")
+	}
+	// Stagnant hyperglycemia: gentler boost.
+	rateMild, ruleMild, ok := h.Select(trace.HazardH2, State{BG: 200, BGPrime: -1, IOBPrime: 0.01}, basal)
+	if !ok {
+		t.Fatal("mild H2 context should match")
+	}
+	if rateHot <= rateMild {
+		t.Errorf("hot correction %v should exceed mild %v", rateHot, rateMild)
+	}
+	if ruleHot.ID == ruleMild.ID {
+		t.Error("different contexts should select different rules")
+	}
+}
+
+func TestHMSSelectFallbackRule(t *testing.T) {
+	h := DefaultHMS()
+	// H2 prediction while BG still below BGT (early prediction): the
+	// BGAny fallback rule must catch it.
+	rate, rule, ok := h.Select(trace.HazardH2, State{BG: 110, BGPrime: 0.5}, 2.0)
+	if !ok {
+		t.Fatal("fallback rule should match")
+	}
+	if rule.ID != 5 {
+		t.Errorf("selected rule %d, want fallback 5", rule.ID)
+	}
+	if rate != 3.0 {
+		t.Errorf("fallback rate %v, want 1.5x basal", rate)
+	}
+}
+
+func TestHMSSelectNoHazardClass(t *testing.T) {
+	h := HMS{Rules: []MitigationRule{
+		{ID: 1, Hazard: trace.HazardH1, SafeAction: trace.ActionStop, DeadlineMin: 30},
+	}}
+	if _, _, ok := h.Select(trace.HazardH2, State{BG: 300}, 1); ok {
+		t.Error("H2 should not match an H1-only spec")
+	}
+}
+
+func TestMitigationRuleSTLRendersEq2(t *testing.T) {
+	r := DefaultHMS().Rules[2] // H2 rising rule
+	f := r.STL(Params{})
+	src := f.String()
+	// Must contain the Eq. 2 structure: G( (F[0,ts] u) S context ).
+	if !strings.Contains(src, "S") || !strings.Contains(src, "F[0,60]") {
+		t.Errorf("STL %q missing Since/Eventually structure", src)
+	}
+	if _, err := stl.Parse(src); err != nil {
+		t.Errorf("HMS STL does not re-parse: %v", err)
+	}
+}
+
+func TestMitigationRuleSTLSemantics(t *testing.T) {
+	// Rule: in context (BG > BGT), action u2 must occur within 10 min.
+	r := MitigationRule{
+		ID: 1, Hazard: trace.HazardH2,
+		BGSide: BGAbove, SafeAction: trace.ActionIncrease, DeadlineMin: 10,
+	}
+	f := r.STL(Params{})
+	tr, err := stl.NewTrace(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context holds at samples 1-2 then exits. While the context still
+	// holds, Since is satisfied by taking the witness at "now", so the
+	// discriminating evaluation point is sample 3, after the exit: every
+	// sample since the last context occurrence must promise the
+	// corrective action within the deadline.
+	_ = tr.Set("BG", []float64{100, 150, 150, 100})
+	_ = tr.Set("BG'", []float64{0, 0, 0, 0})
+	_ = tr.Set("IOB'", []float64{0, 0, 0, 0})
+	_ = tr.Set("u", []float64{4, 4, 2, 2}) // corrective u2 issued in time
+	sat, err := f.Sat(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Error("corrective action within deadline should satisfy Eq. 2")
+	}
+	// Without the corrective action: violated.
+	_ = tr.Set("u", []float64{4, 4, 4, 4})
+	sat, err = f.Sat(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Error("missing corrective action should violate Eq. 2")
+	}
+}
+
+func TestHMSString(t *testing.T) {
+	r := DefaultHMS().Rules[0]
+	if !strings.Contains(r.String(), "hms1") {
+		t.Errorf("String %q", r.String())
+	}
+}

@@ -1,0 +1,361 @@
+// Package scs encodes the paper's Safety Context Specification: the
+// twelve Table I rules that describe in which multi-dimensional system
+// context  µ(x) = (BG, BG', IOB, IOB')  each control action u1..u4 is an
+// Unsafe Control Action leading to hazard H1 or H2.
+//
+// Each rule carries one learnable boundary threshold β (on IOB for rules
+// 1-9, 11, 12; on BG for rule 10) that the stllearn package refines from
+// fault-injected traces. Rules render to STL formulas of the Eq. 1 shape
+//
+//	G[t0,te]( context(µ(x)) ∧ learnable ⇒ ¬u )
+//
+// and are evaluated online against per-cycle states.
+package scs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stl"
+	"repro/internal/trace"
+)
+
+// DefaultBGT is the BG target boundary (mg/dL) separating the hyper- and
+// hypoglycemic context halves of Table I.
+const DefaultBGT = 120
+
+// DefaultDerivEps is the band (per-minute units) within which a
+// derivative is treated as zero: CGM and IOB derivatives are noisy finite
+// differences, so the three-way trend split (>0, =0, <0) needs a
+// tolerance.
+const (
+	DefaultBGDerivEps  = 0.2   // mg/dL/min
+	DefaultIOBDerivEps = 0.002 // U/min
+)
+
+// Trend classifies a derivative's sign within a tolerance band.
+type Trend int
+
+// Trends of a state variable's rate of change.
+const (
+	// TrendAny matches every derivative.
+	TrendAny Trend = iota
+	// TrendUp requires derivative > eps.
+	TrendUp
+	// TrendDown requires derivative < -eps.
+	TrendDown
+	// TrendFlat requires |derivative| <= eps.
+	TrendFlat
+	// TrendUpOrFlat requires derivative >= -eps.
+	TrendUpOrFlat
+	// TrendDownOrFlat requires derivative <= eps.
+	TrendDownOrFlat
+)
+
+// matches reports whether derivative d with tolerance eps satisfies the
+// trend.
+func (t Trend) matches(d, eps float64) bool {
+	switch t {
+	case TrendAny:
+		return true
+	case TrendUp:
+		return d > eps
+	case TrendDown:
+		return d < -eps
+	case TrendFlat:
+		return math.Abs(d) <= eps
+	case TrendUpOrFlat:
+		return d >= -eps
+	case TrendDownOrFlat:
+		return d <= eps
+	default:
+		return false
+	}
+}
+
+// atoms renders the trend as STL conjuncts over the named variable.
+func (t Trend) atoms(v string, eps float64) []stl.Formula {
+	switch t {
+	case TrendUp:
+		return []stl.Formula{&stl.Atom{Var: v, Op: stl.OpGT, Threshold: eps}}
+	case TrendDown:
+		return []stl.Formula{&stl.Atom{Var: v, Op: stl.OpLT, Threshold: -eps}}
+	case TrendFlat:
+		return []stl.Formula{
+			&stl.Atom{Var: v, Op: stl.OpGE, Threshold: -eps},
+			&stl.Atom{Var: v, Op: stl.OpLE, Threshold: eps},
+		}
+	case TrendUpOrFlat:
+		return []stl.Formula{&stl.Atom{Var: v, Op: stl.OpGE, Threshold: -eps}}
+	case TrendDownOrFlat:
+		return []stl.Formula{&stl.Atom{Var: v, Op: stl.OpLE, Threshold: eps}}
+	default:
+		return nil
+	}
+}
+
+// BGSide selects the glucose half-plane of the context.
+type BGSide int
+
+// Glucose context sides relative to the BGT boundary.
+const (
+	// BGAny places no constraint on BG (rule 10's context is the
+	// learnable BG bound itself).
+	BGAny BGSide = iota
+	// BGAbove requires BG > BGT.
+	BGAbove
+	// BGBelow requires BG < BGT.
+	BGBelow
+)
+
+// Rule is one Safety Context Specification row of Table I.
+type Rule struct {
+	ID     int
+	Hazard trace.HazardType
+	// Action is the control action the rule constrains. When Required
+	// is false the rule forbids Action in the context (⇒ ¬u); when true
+	// (rule 10) the rule demands it (⇒ u).
+	Action   trace.Action
+	Required bool
+
+	BGSide   BGSide
+	BGTrend  Trend
+	IOBTrend Trend
+
+	// LearnVar is the variable carrying the learnable threshold
+	// ("IOB" or "BG") compared with LearnOp against β.
+	LearnVar string
+	LearnOp  stl.CmpOp
+
+	// Default is the CAWOT (no threshold learning) value of β; Lo and Hi
+	// bound the learned value.
+	Default float64
+	Lo, Hi  float64
+
+	// HarvestLookback overrides how many cycles before hazard onset the
+	// learner harvests negative examples for this rule (0 = learner
+	// default). Required-action rules use a short window: the examples
+	// that matter are the states where the action was still able to
+	// avert the imminent hazard.
+	HarvestLookback int
+	// HarvestHazardOnly restricts harvesting to samples inside hazard
+	// episodes. Rule 10 uses this: its predicate is on BG alone, and the
+	// BG values for which stopping insulin is unconditionally required
+	// are the ones already inside the hypoglycemic hazard region —
+	// harvesting the approach trajectory would drag β21 up into the
+	// euglycemic band and flood the monitor with false alarms.
+	HarvestHazardOnly bool
+	// HarvestTrim overrides the learner's outlier-trim quantile for this
+	// rule (0 = learner default). Rule 10 trims aggressively: hazard
+	// windows are labeled an hour at a time, so their leading samples
+	// still carry euglycemic BG values that are not representative of
+	// the "stop insulin now" boundary.
+	HarvestTrim float64
+}
+
+// State is the per-cycle context vector µ(x) plus the issued action.
+type State struct {
+	BG       float64
+	BGPrime  float64
+	IOB      float64
+	IOBPrime float64
+	Action   trace.Action
+}
+
+// Params carries the evaluation constants shared by all rules.
+type Params struct {
+	BGT         float64 // BG target boundary (default DefaultBGT)
+	BGDerivEps  float64
+	IOBDerivEps float64
+}
+
+// WithDefaults fills zero fields.
+func (p Params) WithDefaults() Params {
+	if p.BGT == 0 {
+		p.BGT = DefaultBGT
+	}
+	if p.BGDerivEps == 0 {
+		p.BGDerivEps = DefaultBGDerivEps
+	}
+	if p.IOBDerivEps == 0 {
+		p.IOBDerivEps = DefaultIOBDerivEps
+	}
+	return p
+}
+
+// ContextHolds reports whether the rule's fixed context (everything but
+// the learnable predicate and the action) matches the state.
+func (r Rule) ContextHolds(s State, p Params) bool {
+	p = p.WithDefaults()
+	switch r.BGSide {
+	case BGAbove:
+		if !(s.BG > p.BGT) {
+			return false
+		}
+	case BGBelow:
+		if !(s.BG < p.BGT) {
+			return false
+		}
+	}
+	if !r.BGTrend.matches(s.BGPrime, p.BGDerivEps) {
+		return false
+	}
+	if !r.IOBTrend.matches(s.IOBPrime, p.IOBDerivEps) {
+		return false
+	}
+	return true
+}
+
+// learnableHolds evaluates the β predicate.
+func (r Rule) learnableHolds(s State, beta float64) bool {
+	v := s.BG
+	if r.LearnVar == "IOB" {
+		v = s.IOB
+	}
+	switch r.LearnOp {
+	case stl.OpLT:
+		return v < beta
+	case stl.OpLE:
+		return v <= beta
+	case stl.OpGT:
+		return v > beta
+	case stl.OpGE:
+		return v >= beta
+	default:
+		return false
+	}
+}
+
+// LearnValue extracts the learnable variable's value from the state.
+func (r Rule) LearnValue(s State) float64 {
+	if r.LearnVar == "IOB" {
+		return s.IOB
+	}
+	return s.BG
+}
+
+// Violated reports whether the state violates the rule under threshold
+// beta: the full context holds and the forbidden action was issued (or
+// the required action was not).
+func (r Rule) Violated(s State, p Params, beta float64) bool {
+	if !r.ContextHolds(s, p) || !r.learnableHolds(s, beta) {
+		return false
+	}
+	if r.Required {
+		return s.Action != r.Action
+	}
+	return s.Action == r.Action
+}
+
+// STL renders the rule body (the formula under G[t0,te] in Eq. 1) over
+// trace variables BG, BG', IOB, IOB', u.
+func (r Rule) STL(p Params, beta float64) stl.Formula {
+	p = p.WithDefaults()
+	var ctx []stl.Formula
+	switch r.BGSide {
+	case BGAbove:
+		ctx = append(ctx, &stl.Atom{Var: "BG", Op: stl.OpGT, Threshold: p.BGT})
+	case BGBelow:
+		ctx = append(ctx, &stl.Atom{Var: "BG", Op: stl.OpLT, Threshold: p.BGT})
+	}
+	ctx = append(ctx, r.BGTrend.atoms("BG'", p.BGDerivEps)...)
+	ctx = append(ctx, r.IOBTrend.atoms("IOB'", p.IOBDerivEps)...)
+	ctx = append(ctx, &stl.Atom{Var: r.LearnVar, Op: r.LearnOp, Threshold: beta})
+
+	actionAtom := &stl.Atom{Var: "u", Op: stl.OpEQ, Threshold: float64(r.Action)}
+	var consequent stl.Formula = &stl.Not{Child: actionAtom}
+	if r.Required {
+		consequent = actionAtom
+	}
+	return &stl.Implies{L: stl.NewAnd(ctx...), R: consequent}
+}
+
+// GlobalSTL wraps the rule body in the G[t0,te] of Eq. 1.
+func (r Rule) GlobalSTL(p Params, beta float64) stl.Formula {
+	return &stl.Globally{Bounds: stl.Unbounded, Child: r.STL(p, beta)}
+}
+
+// String identifies the rule.
+func (r Rule) String() string {
+	verb := "not"
+	if r.Required {
+		verb = "require"
+	}
+	return fmt.Sprintf("rule%d(%s %s %s, learn %s%s β)", r.ID, r.Hazard, verb,
+		r.Action.Short(), r.LearnVar, r.LearnOp)
+}
+
+// TableI returns the twelve Safety Context Specification rules of the
+// paper's Table I. Default thresholds are the generic (CAWOT) values;
+// Lo/Hi bound the data-driven refinement. Net IOB (relative to scheduled
+// basal) is signed, hence the negative lower bounds.
+func TableI() []Rule {
+	const (
+		iobLo = -5
+		iobHi = 15
+	)
+	return []Rule{
+		{ID: 1, Hazard: trace.HazardH2, Action: trace.ActionDecrease,
+			BGSide: BGAbove, BGTrend: TrendUp, IOBTrend: TrendDown,
+			LearnVar: "IOB", LearnOp: stl.OpLT, Default: 0.5, Lo: iobLo, Hi: iobHi},
+		{ID: 2, Hazard: trace.HazardH2, Action: trace.ActionDecrease,
+			BGSide: BGAbove, BGTrend: TrendUp, IOBTrend: TrendFlat,
+			LearnVar: "IOB", LearnOp: stl.OpLT, Default: 0.5, Lo: iobLo, Hi: iobHi},
+		{ID: 3, Hazard: trace.HazardH2, Action: trace.ActionDecrease,
+			BGSide: BGAbove, BGTrend: TrendDown, IOBTrend: TrendUp,
+			LearnVar: "IOB", LearnOp: stl.OpLT, Default: 0.5, Lo: iobLo, Hi: iobHi},
+		{ID: 4, Hazard: trace.HazardH2, Action: trace.ActionDecrease,
+			BGSide: BGAbove, BGTrend: TrendDown, IOBTrend: TrendDown,
+			LearnVar: "IOB", LearnOp: stl.OpLT, Default: 0.5, Lo: iobLo, Hi: iobHi},
+		{ID: 5, Hazard: trace.HazardH2, Action: trace.ActionDecrease,
+			BGSide: BGAbove, BGTrend: TrendDown, IOBTrend: TrendFlat,
+			LearnVar: "IOB", LearnOp: stl.OpLT, Default: 0.5, Lo: iobLo, Hi: iobHi},
+		{ID: 6, Hazard: trace.HazardH1, Action: trace.ActionIncrease,
+			BGSide: BGBelow, BGTrend: TrendDown, IOBTrend: TrendUp,
+			LearnVar: "IOB", LearnOp: stl.OpGT, Default: 2.0, Lo: iobLo, Hi: iobHi},
+		{ID: 7, Hazard: trace.HazardH1, Action: trace.ActionIncrease,
+			BGSide: BGBelow, BGTrend: TrendDown, IOBTrend: TrendDown,
+			LearnVar: "IOB", LearnOp: stl.OpGT, Default: 2.0, Lo: iobLo, Hi: iobHi},
+		{ID: 8, Hazard: trace.HazardH1, Action: trace.ActionIncrease,
+			BGSide: BGBelow, BGTrend: TrendDown, IOBTrend: TrendFlat,
+			LearnVar: "IOB", LearnOp: stl.OpGT, Default: 2.0, Lo: iobLo, Hi: iobHi},
+		{ID: 9, Hazard: trace.HazardH2, Action: trace.ActionStop,
+			BGSide: BGAbove, BGTrend: TrendAny, IOBTrend: TrendAny,
+			LearnVar: "IOB", LearnOp: stl.OpLT, Default: 0.5, Lo: iobLo, Hi: iobHi},
+		{ID: 10, Hazard: trace.HazardH1, Action: trace.ActionStop, Required: true,
+			BGSide: BGAny, BGTrend: TrendAny, IOBTrend: TrendAny,
+			LearnVar: "BG", LearnOp: stl.OpLT, Default: 70, Lo: 40, Hi: 110,
+			HarvestLookback: 6, HarvestHazardOnly: true, HarvestTrim: 0.2},
+		{ID: 11, Hazard: trace.HazardH2, Action: trace.ActionKeep,
+			BGSide: BGAbove, BGTrend: TrendUp, IOBTrend: TrendDownOrFlat,
+			LearnVar: "IOB", LearnOp: stl.OpLT, Default: 0.5, Lo: iobLo, Hi: iobHi},
+		{ID: 12, Hazard: trace.HazardH1, Action: trace.ActionKeep,
+			BGSide: BGBelow, BGTrend: TrendDown, IOBTrend: TrendUpOrFlat,
+			LearnVar: "IOB", LearnOp: stl.OpGT, Default: 2.0, Lo: iobLo, Hi: iobHi},
+	}
+}
+
+// Thresholds maps rule ID to a learned β value.
+type Thresholds map[int]float64
+
+// Defaults returns the CAWOT thresholds of the rule set.
+func Defaults(rules []Rule) Thresholds {
+	th := make(Thresholds, len(rules))
+	for _, r := range rules {
+		th[r.ID] = r.Default
+	}
+	return th
+}
+
+// StateFromSample converts a trace sample (using the sensed CGM as the
+// observable glucose, per the monitor's wrapper position) to a rule
+// evaluation state.
+func StateFromSample(s *trace.Sample) State {
+	return State{
+		BG:       s.CGM,
+		BGPrime:  s.BGPrime,
+		IOB:      s.IOB,
+		IOBPrime: s.IOBPrime,
+		Action:   s.Action,
+	}
+}

@@ -1,0 +1,226 @@
+package scs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stl"
+	"repro/internal/trace"
+)
+
+func TestTableIStructure(t *testing.T) {
+	rules := TableI()
+	if len(rules) != 12 {
+		t.Fatalf("Table I has %d rules, want 12", len(rules))
+	}
+	seen := make(map[int]bool)
+	var h1, h2 int
+	for _, r := range rules {
+		if seen[r.ID] {
+			t.Errorf("duplicate rule ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		switch r.Hazard {
+		case trace.HazardH1:
+			h1++
+		case trace.HazardH2:
+			h2++
+		default:
+			t.Errorf("rule %d has no hazard", r.ID)
+		}
+		if r.Lo >= r.Hi {
+			t.Errorf("rule %d has empty bound interval [%v,%v]", r.ID, r.Lo, r.Hi)
+		}
+		if r.Default < r.Lo || r.Default > r.Hi {
+			t.Errorf("rule %d default %v outside bounds", r.ID, r.Default)
+		}
+	}
+	// Table I: rules 6,7,8,10,12 target H1; the other seven target H2.
+	if h1 != 5 || h2 != 7 {
+		t.Errorf("hazard split H1=%d H2=%d, want 5/7", h1, h2)
+	}
+	// Only rule 10 is a required-action rule and learns a BG bound.
+	for _, r := range rules {
+		if r.Required != (r.ID == 10) {
+			t.Errorf("rule %d Required=%v", r.ID, r.Required)
+		}
+		if (r.LearnVar == "BG") != (r.ID == 10) {
+			t.Errorf("rule %d LearnVar=%s", r.ID, r.LearnVar)
+		}
+	}
+}
+
+func TestTrendMatching(t *testing.T) {
+	tests := []struct {
+		trend Trend
+		d     float64
+		want  bool
+	}{
+		{TrendAny, -99, true},
+		{TrendUp, 1, true},
+		{TrendUp, 0.05, false}, // inside eps band
+		{TrendDown, -1, true},
+		{TrendDown, -0.05, false},
+		{TrendFlat, 0.05, true},
+		{TrendFlat, 1, false},
+		{TrendUpOrFlat, -0.05, true},
+		{TrendUpOrFlat, -1, false},
+		{TrendDownOrFlat, 0.05, true},
+		{TrendDownOrFlat, 1, false},
+	}
+	for _, tt := range tests {
+		if got := tt.trend.matches(tt.d, 0.1); got != tt.want {
+			t.Errorf("trend %d matches(%v) = %v, want %v", tt.trend, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestRule1Violation(t *testing.T) {
+	rules := TableI()
+	r1 := rules[0]
+	p := Params{}
+	beta := 2.5
+	// Hyper, rising, IOB falling and low, decrease issued: violation.
+	s := State{BG: 180, BGPrime: 1.5, IOB: 1.0, IOBPrime: -0.01, Action: trace.ActionDecrease}
+	if !r1.Violated(s, p, beta) {
+		t.Error("rule 1 should fire")
+	}
+	variants := []struct {
+		name   string
+		mutate func(State) State
+	}{
+		{"BG below target", func(s State) State { s.BG = 100; return s }},
+		{"BG falling", func(s State) State { s.BGPrime = -1; return s }},
+		{"IOB rising", func(s State) State { s.IOBPrime = 0.01; return s }},
+		{"IOB above beta", func(s State) State { s.IOB = 5; return s }},
+		{"different action", func(s State) State { s.Action = trace.ActionIncrease; return s }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			if r1.Violated(v.mutate(s), p, beta) {
+				t.Error("rule 1 should not fire")
+			}
+		})
+	}
+}
+
+func TestRule10RequiredAction(t *testing.T) {
+	var r10 Rule
+	for _, r := range TableI() {
+		if r.ID == 10 {
+			r10 = r
+		}
+	}
+	p := Params{}
+	beta := 70.0
+	low := State{BG: 60, BGPrime: -1, IOB: 1, Action: trace.ActionKeep}
+	if !r10.Violated(low, p, beta) {
+		t.Error("keeping insulin below β21 must violate rule 10")
+	}
+	stopped := low
+	stopped.Action = trace.ActionStop
+	if r10.Violated(stopped, p, beta) {
+		t.Error("stopping insulin below β21 satisfies rule 10")
+	}
+	high := low
+	high.BG = 90
+	if r10.Violated(high, p, beta) {
+		t.Error("rule 10 must not fire above β21")
+	}
+}
+
+func TestViolatedMatchesSTL(t *testing.T) {
+	// The fast-path Violated() and the STL rendering must agree on a
+	// grid of states for every rule.
+	rules := TableI()
+	p := Params{}.WithDefaults()
+	bgs := []float64{60, 100, 130, 200}
+	dbgs := []float64{-2, 0, 2}
+	iobs := []float64{-1, 0.2, 3}
+	diobs := []float64{-0.01, 0, 0.01}
+	actions := []trace.Action{trace.ActionDecrease, trace.ActionIncrease, trace.ActionStop, trace.ActionKeep}
+	for _, r := range rules {
+		beta := r.Default
+		f := r.STL(p, beta)
+		for _, bg := range bgs {
+			for _, dbg := range dbgs {
+				for _, iob := range iobs {
+					for _, diob := range diobs {
+						for _, a := range actions {
+							s := State{BG: bg, BGPrime: dbg, IOB: iob, IOBPrime: diob, Action: a}
+							tr, err := stl.NewTrace(5)
+							if err != nil {
+								t.Fatal(err)
+							}
+							tr.Append(map[string]float64{
+								"BG": bg, "BG'": dbg, "IOB": iob, "IOB'": diob, "u": float64(a),
+							})
+							sat, err := f.Sat(tr, 0)
+							if err != nil {
+								t.Fatalf("rule %d STL eval: %v", r.ID, err)
+							}
+							if sat == r.Violated(s, p, beta) {
+								t.Fatalf("rule %d: STL sat=%v but Violated=%v at %+v",
+									r.ID, sat, r.Violated(s, p, beta), s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSTLRendersParseable(t *testing.T) {
+	p := Params{}.WithDefaults()
+	for _, r := range TableI() {
+		f := r.GlobalSTL(p, r.Default)
+		if _, err := stl.Parse(f.String()); err != nil {
+			t.Errorf("rule %d STL %q does not re-parse: %v", r.ID, f.String(), err)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	rules := TableI()
+	th := Defaults(rules)
+	if len(th) != len(rules) {
+		t.Fatalf("got %d thresholds", len(th))
+	}
+	if th[10] != 70 {
+		t.Errorf("rule 10 default %v, want 70", th[10])
+	}
+}
+
+func TestStateFromSample(t *testing.T) {
+	s := trace.Sample{CGM: 150, BG: 155, BGPrime: 1, IOB: 2, IOBPrime: -0.1, Action: trace.ActionKeep}
+	st := StateFromSample(&s)
+	if st.BG != 150 {
+		t.Errorf("monitor must observe CGM (150), got %v", st.BG)
+	}
+	if st.IOB != 2 || st.Action != trace.ActionKeep {
+		t.Errorf("state %+v", st)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := TableI()[0]
+	s := r.String()
+	if !strings.Contains(s, "rule1") || !strings.Contains(s, "u1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestLearnValue(t *testing.T) {
+	rules := TableI()
+	s := State{BG: 95, IOB: 3.5}
+	for _, r := range rules {
+		v := r.LearnValue(s)
+		if r.LearnVar == "BG" && v != 95 {
+			t.Errorf("rule %d LearnValue = %v, want 95", r.ID, v)
+		}
+		if r.LearnVar == "IOB" && v != 3.5 {
+			t.Errorf("rule %d LearnValue = %v, want 3.5", r.ID, v)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package sensor implements continuous glucose monitor (CGM) error
+// models in the family the paper's Threats-to-Validity section cites
+// (Facchinetti et al., Biagi et al., Vettoretti et al.): a calibration
+// gain/offset that drifts between calibrations, a first-order
+// autoregressive noise process, and dropout/spike artifacts.
+//
+// The paper assumes the sensor channel is fault-free or protected by
+// existing detectors; this package makes that assumption testable — the
+// evaluation can re-run with realistic sensor error and measure how much
+// monitor accuracy degrades.
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterizes the CGM error model.
+type Config struct {
+	// Gain and Offset are the initial calibration error: the sensor
+	// reports Gain*BG + Offset before noise. Defaults 1.0 and 0.
+	Gain   float64
+	Offset float64
+	// GainDriftPerDay is the relative gain drift per 24h (sensor aging);
+	// default 0.02 (2%/day).
+	GainDriftPerDay float64
+	// CalibrationIntervalMin resets the drift (fingerstick calibration);
+	// default 720 (12 h). Zero or negative disables calibration.
+	CalibrationIntervalMin float64
+	// NoiseSD is the standard deviation of the AR(1) noise process in
+	// mg/dL; default 2.5.
+	NoiseSD float64
+	// NoisePhi is the AR(1) coefficient; default 0.7 (CGM noise is
+	// strongly autocorrelated).
+	NoisePhi float64
+	// DropoutProb is the per-sample probability of a missed reading
+	// (the model holds the previous value); default 0.
+	DropoutProb float64
+	// SpikeProb and SpikeSD model pressure-induced artifacts: with
+	// probability SpikeProb a sample gets an extra N(0, SpikeSD) error.
+	SpikeProb float64
+	SpikeSD   float64
+	// Floor and Ceiling clamp the reported value to the hardware range;
+	// defaults 40 and 400 mg/dL.
+	Floor, Ceiling float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gain == 0 {
+		c.Gain = 1
+	}
+	if c.GainDriftPerDay == 0 {
+		c.GainDriftPerDay = 0.02
+	}
+	if c.CalibrationIntervalMin == 0 {
+		c.CalibrationIntervalMin = 720
+	}
+	if c.NoiseSD == 0 {
+		c.NoiseSD = 2.5
+	}
+	if c.NoisePhi == 0 {
+		c.NoisePhi = 0.7
+	}
+	if c.SpikeSD == 0 {
+		c.SpikeSD = 15
+	}
+	if c.Floor == 0 {
+		c.Floor = 40
+	}
+	if c.Ceiling == 0 {
+		c.Ceiling = 400
+	}
+	return c
+}
+
+// Model is a stateful CGM error model. It is not safe for concurrent
+// use; create one per simulated sensor.
+type Model struct {
+	cfg Config
+	rng *rand.Rand
+
+	noise       float64 // AR(1) state
+	drift       float64 // accumulated relative gain drift
+	lastCalMin  float64
+	lastReading float64
+	haveReading bool
+}
+
+// New builds a model with an explicit random source (required: sensor
+// error is the only stochastic element of a simulation, and campaigns
+// must stay reproducible).
+func New(cfg Config, rng *rand.Rand) (*Model, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("sensor: nil rng")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.NoisePhi < 0 || cfg.NoisePhi >= 1 {
+		return nil, fmt.Errorf("sensor: AR coefficient %v outside [0,1)", cfg.NoisePhi)
+	}
+	if cfg.Floor >= cfg.Ceiling {
+		return nil, fmt.Errorf("sensor: floor %v >= ceiling %v", cfg.Floor, cfg.Ceiling)
+	}
+	if cfg.DropoutProb < 0 || cfg.DropoutProb >= 1 {
+		return nil, fmt.Errorf("sensor: dropout probability %v outside [0,1)", cfg.DropoutProb)
+	}
+	return &Model{cfg: cfg, rng: rng}, nil
+}
+
+// Read converts a true interstitial glucose value into a sensor reading
+// at time tMin minutes.
+func (m *Model) Read(trueGlucose, tMin float64) float64 {
+	c := &m.cfg
+	// Calibration resets drift.
+	if c.CalibrationIntervalMin > 0 && tMin-m.lastCalMin >= c.CalibrationIntervalMin {
+		m.drift = 0
+		m.lastCalMin = tMin
+	}
+	// Dropout: hold the previous value.
+	if m.haveReading && c.DropoutProb > 0 && m.rng.Float64() < c.DropoutProb {
+		return m.lastReading
+	}
+	// Gain drift accrues linearly between calibrations.
+	sinceCal := tMin - m.lastCalMin
+	gain := c.Gain * (1 + c.GainDriftPerDay*sinceCal/1440)
+
+	// AR(1) noise.
+	innovSD := c.NoiseSD * math.Sqrt(1-c.NoisePhi*c.NoisePhi)
+	m.noise = c.NoisePhi*m.noise + m.rng.NormFloat64()*innovSD
+
+	v := gain*trueGlucose + c.Offset + m.noise
+	if c.SpikeProb > 0 && m.rng.Float64() < c.SpikeProb {
+		v += m.rng.NormFloat64() * c.SpikeSD
+	}
+	if v < c.Floor {
+		v = c.Floor
+	}
+	if v > c.Ceiling {
+		v = c.Ceiling
+	}
+	m.lastReading = v
+	m.haveReading = true
+	return v
+}
+
+// Reset rewinds the model state (same configuration, same rng stream).
+func (m *Model) Reset() {
+	m.noise = 0
+	m.drift = 0
+	m.lastCalMin = 0
+	m.lastReading = 0
+	m.haveReading = false
+}
+
+// MARD computes the mean absolute relative difference between paired
+// true and sensed series — the standard CGM accuracy metric, useful for
+// validating a configuration against published sensor specs (Dexcom G4
+// ~13%, G5 ~9%).
+func MARD(trueBG, sensed []float64) (float64, error) {
+	if len(trueBG) != len(sensed) || len(trueBG) == 0 {
+		return 0, fmt.Errorf("sensor: MARD needs equal non-empty series (%d vs %d)", len(trueBG), len(sensed))
+	}
+	var sum float64
+	for i := range trueBG {
+		if trueBG[i] <= 0 {
+			return 0, fmt.Errorf("sensor: non-positive reference BG at %d", i)
+		}
+		sum += math.Abs(sensed[i]-trueBG[i]) / trueBG[i]
+	}
+	return sum / float64(len(trueBG)), nil
+}
+
+// NoisyPatient wraps a virtual patient so its CGM output passes through
+// the error model. It satisfies the closed-loop Patient surface by
+// embedding.
+type NoisyPatient struct {
+	Patient interface {
+		ID() string
+		Step(insulinUPerH, carbGPerMin, dtMin float64)
+		BG() float64
+		CGM() float64
+		Basal() float64
+		Reset(initialBG float64)
+	}
+	Model *Model
+
+	timeMin float64
+}
+
+// ID delegates to the wrapped patient.
+func (p *NoisyPatient) ID() string { return p.Patient.ID() }
+
+// Basal delegates to the wrapped patient.
+func (p *NoisyPatient) Basal() float64 { return p.Patient.Basal() }
+
+// BG delegates to the wrapped patient (the true value is unaffected).
+func (p *NoisyPatient) BG() float64 { return p.Patient.BG() }
+
+// CGM returns the error-model view of the wrapped patient's sensor.
+func (p *NoisyPatient) CGM() float64 {
+	return p.Model.Read(p.Patient.CGM(), p.timeMin)
+}
+
+// Step advances the wrapped patient and the sensor clock.
+func (p *NoisyPatient) Step(insulinUPerH, carbGPerMin, dtMin float64) {
+	p.Patient.Step(insulinUPerH, carbGPerMin, dtMin)
+	p.timeMin += dtMin
+}
+
+// Reset rewinds both the patient and the sensor model.
+func (p *NoisyPatient) Reset(initialBG float64) {
+	p.Patient.Reset(initialBG)
+	p.Model.Reset()
+	p.timeMin = 0
+}

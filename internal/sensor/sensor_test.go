@@ -1,0 +1,207 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/closedloop"
+	"repro/internal/control"
+	"repro/internal/sim/glucosym"
+)
+
+func newModel(t *testing.T, cfg Config) *Model {
+	t.Helper()
+	m, err := New(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := New(Config{NoisePhi: 1.5}, rng); err == nil {
+		t.Error("AR coefficient >= 1 should fail")
+	}
+	if _, err := New(Config{Floor: 400, Ceiling: 40}, rng); err == nil {
+		t.Error("inverted clamp range should fail")
+	}
+	if _, err := New(Config{DropoutProb: 2}, rng); err == nil {
+		t.Error("dropout prob > 1 should fail")
+	}
+}
+
+func TestReadTracksTrueValue(t *testing.T) {
+	m := newModel(t, Config{NoiseSD: 1})
+	var worst float64
+	for i := 0; i < 200; i++ {
+		v := m.Read(120, float64(i)*5)
+		worst = math.Max(worst, math.Abs(v-120))
+	}
+	if worst > 20 {
+		t.Errorf("max deviation %v mg/dL with 1 mg/dL noise", worst)
+	}
+}
+
+func TestCalibrationErrorBiases(t *testing.T) {
+	m := newModel(t, Config{Gain: 1.1, Offset: 5, NoiseSD: 0.001})
+	v := m.Read(100, 0)
+	if math.Abs(v-115) > 1 {
+		t.Errorf("reading %v, want ~115 (gain 1.1, offset 5)", v)
+	}
+}
+
+func TestDriftAccruesAndCalibrationResets(t *testing.T) {
+	m := newModel(t, Config{GainDriftPerDay: 0.10, CalibrationIntervalMin: 720, NoiseSD: 0.001})
+	v0 := m.Read(150, 0)
+	v12h := m.Read(150, 719) // just before calibration: 5% drift on 150 = +7.5
+	if v12h-v0 < 5 {
+		t.Errorf("drift too small: %v -> %v", v0, v12h)
+	}
+	vCal := m.Read(150, 720) // calibration resets drift
+	if math.Abs(vCal-v0) > 1.5 {
+		t.Errorf("calibration did not reset drift: %v vs %v", vCal, v0)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	m := newModel(t, Config{})
+	if v := m.Read(1000, 0); v != 400 {
+		t.Errorf("reading %v, want ceiling 400", v)
+	}
+	if v := m.Read(5, 5); v != 40 {
+		t.Errorf("reading %v, want floor 40", v)
+	}
+}
+
+func TestDropoutHoldsLastReading(t *testing.T) {
+	m := newModel(t, Config{DropoutProb: 0.999999, NoiseSD: 0.001})
+	first := m.Read(100, 0)
+	held := m.Read(300, 5) // dropout: still the first value
+	if held != first {
+		t.Errorf("dropout should hold %v, got %v", first, held)
+	}
+}
+
+func TestNoiseAutocorrelation(t *testing.T) {
+	// With phi=0.9 consecutive errors should correlate strongly.
+	m := newModel(t, Config{NoisePhi: 0.9, NoiseSD: 5})
+	var errs []float64
+	for i := 0; i < 2000; i++ {
+		errs = append(errs, m.Read(120, float64(i)*5)-120)
+	}
+	var num, den float64
+	for i := 1; i < len(errs); i++ {
+		num += errs[i] * errs[i-1]
+		den += errs[i] * errs[i]
+	}
+	if corr := num / den; corr < 0.6 {
+		t.Errorf("lag-1 autocorrelation %v, want > 0.6 for phi=0.9", corr)
+	}
+}
+
+func TestNoiseVarianceMatchesConfig(t *testing.T) {
+	m := newModel(t, Config{NoiseSD: 5, NoisePhi: 0.7, CalibrationIntervalMin: 5})
+	var ss float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		e := m.Read(120, float64(i)) - 120
+		ss += e * e
+	}
+	sd := math.Sqrt(ss / n)
+	if sd < 3.5 || sd > 6.5 {
+		t.Errorf("empirical noise SD %v, want ~5", sd)
+	}
+}
+
+func TestMARD(t *testing.T) {
+	if _, err := MARD(nil, nil); err == nil {
+		t.Error("empty series should fail")
+	}
+	if _, err := MARD([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := MARD([]float64{0}, []float64{1}); err == nil {
+		t.Error("non-positive reference should fail")
+	}
+	mard, err := MARD([]float64{100, 200}, []float64{110, 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mard-0.10) > 1e-12 {
+		t.Errorf("MARD %v, want 0.10", mard)
+	}
+}
+
+func TestDefaultConfigMARDIsRealistic(t *testing.T) {
+	// The default configuration should land in the published CGM range
+	// (roughly 5-15% MARD).
+	m := newModel(t, Config{Gain: 1.03, Offset: 3})
+	var trueBG, sensed []float64
+	for i := 0; i < 1000; i++ {
+		bg := 120 + 60*math.Sin(float64(i)/40)
+		trueBG = append(trueBG, bg)
+		sensed = append(sensed, m.Read(bg, float64(i)*5))
+	}
+	mard, err := MARD(trueBG, sensed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mard < 0.005 || mard > 0.15 {
+		t.Errorf("MARD %v outside the realistic CGM band", mard)
+	}
+}
+
+func TestNoisyPatientInClosedLoop(t *testing.T) {
+	inner, err := glucosym.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := New(Config{Gain: 1.02, NoiseSD: 3}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	patient := &NoisyPatient{Patient: inner, Model: model}
+	ctrl, err := control.NewOpenAPS(control.OpenAPSConfig{Basal: inner.Basal(), ISF: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := closedloop.Run(closedloop.Config{
+		Platform: "glucosym+sensor/openaps", Patient: patient, Controller: ctrl,
+		InitialBG: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Control should still hold the patient in a safe band despite
+	// realistic sensor error.
+	last := tr.Samples[tr.Len()-1].BG
+	if last < 60 || last > 250 {
+		t.Errorf("final BG %v under sensor noise", last)
+	}
+	// And the sensed series must actually differ from the true one.
+	var diff float64
+	for _, s := range tr.Samples {
+		diff += math.Abs(s.CGM - s.BG)
+	}
+	if diff/float64(tr.Len()) < 0.5 {
+		t.Error("sensor model had no visible effect")
+	}
+}
+
+func TestResetRestartsModel(t *testing.T) {
+	m := newModel(t, Config{GainDriftPerDay: 0.5})
+	m.Read(100, 1400)
+	m.Reset()
+	v := m.Read(100, 0)
+	if math.Abs(v-100) > 10 {
+		t.Errorf("post-reset reading %v, want near 100", v)
+	}
+}

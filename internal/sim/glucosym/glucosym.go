@@ -1,0 +1,240 @@
+// Package glucosym implements a Glucosym-style virtual patient: the
+// Medtronic Virtual Patient (MVP) model of Kanderian et al. 2009, the same
+// Bergman-family model the paper's Glucosym simulator derives its ten
+// adult Type 1 profiles from, and whose glucose equation
+//
+//	dG/dt = -(GEZI + Ieff)·G + EGP + Ra(t)
+//
+// the paper's MPC baseline monitor (Eq. 6) assumes.
+//
+// The original Glucosym patient constants are not redistributable, so the
+// ten profiles here are synthetic parameter sets spread around the
+// published Kanderian population means (see DESIGN.md, substitutions).
+package glucosym
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params are the MVP model parameters for one patient.
+type Params struct {
+	SI   float64 // insulin sensitivity, mL/µU/min
+	GEZI float64 // glucose effectiveness at zero insulin, 1/min
+	EGP  float64 // endogenous glucose production, mg/dL/min
+	CI   float64 // insulin clearance, mL/min
+	Tau1 float64 // subcutaneous insulin absorption time constant, min
+	Tau2 float64 // plasma insulin time constant, min
+	P2   float64 // insulin action time constant, 1/min
+
+	// Meal absorption (two-compartment): time constant and carb
+	// bioavailability; VG is the glucose distribution volume in dL.
+	TauMeal float64
+	MealF   float64
+	VG      float64
+
+	// SensorLag is the CGM first-order lag in minutes.
+	SensorLag float64
+}
+
+// defaults fills unset secondary parameters.
+func (p Params) defaults() Params {
+	if p.TauMeal == 0 {
+		p.TauMeal = 40
+	}
+	if p.MealF == 0 {
+		p.MealF = 0.8
+	}
+	if p.VG == 0 {
+		p.VG = 140
+	}
+	if p.SensorLag == 0 {
+		p.SensorLag = 8
+	}
+	return p
+}
+
+// TargetBG is the glucose value (mg/dL) at which the basal rate holds the
+// model in steady state.
+const TargetBG = 120
+
+// profiles are the ten synthetic adult T1D parameter sets
+// (Kanderian-range spread; see package comment).
+var profiles = []Params{
+	{SI: 4.9e-4, GEZI: 0.0031, EGP: 1.45, CI: 2010, Tau1: 49, Tau2: 47, P2: 0.0106},
+	{SI: 6.8e-4, GEZI: 0.0022, EGP: 1.33, CI: 2010, Tau1: 55, Tau2: 70, P2: 0.0106},
+	{SI: 2.8e-4, GEZI: 0.0060, EGP: 1.90, CI: 1500, Tau1: 40, Tau2: 40, P2: 0.0120},
+	{SI: 9.1e-4, GEZI: 0.0010, EGP: 1.00, CI: 2500, Tau1: 60, Tau2: 50, P2: 0.0090},
+	{SI: 1.2e-3, GEZI: 0.0015, EGP: 0.95, CI: 2200, Tau1: 45, Tau2: 55, P2: 0.0100},
+	{SI: 3.5e-4, GEZI: 0.0040, EGP: 1.70, CI: 1800, Tau1: 50, Tau2: 45, P2: 0.0110},
+	{SI: 7.5e-4, GEZI: 0.0025, EGP: 1.20, CI: 1900, Tau1: 52, Tau2: 60, P2: 0.0095},
+	{SI: 5.5e-4, GEZI: 0.0018, EGP: 1.10, CI: 2100, Tau1: 48, Tau2: 50, P2: 0.0105},
+	{SI: 1.5e-3, GEZI: 0.0008, EGP: 0.80, CI: 2400, Tau1: 58, Tau2: 65, P2: 0.0085},
+	{SI: 2.2e-4, GEZI: 0.0050, EGP: 2.10, CI: 1600, Tau1: 42, Tau2: 38, P2: 0.0125},
+}
+
+// NumPatients is the size of the synthetic cohort.
+const NumPatients = 10
+
+// PatientIDs returns the cohort identifiers ("glucosym-0".."glucosym-9").
+func PatientIDs() []string {
+	ids := make([]string, NumPatients)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("glucosym-%d", i)
+	}
+	return ids
+}
+
+// State vector layout.
+const (
+	iIsc  = iota // subcutaneous insulin, µU/mL-equivalent
+	iIp          // plasma insulin, µU/mL
+	iIeff        // insulin effect, 1/min
+	iG           // plasma glucose, mg/dL
+	iQ1          // meal compartment 1, mg
+	iQ2          // meal compartment 2, mg
+	iGs          // sensor glucose, mg/dL
+	nStates
+)
+
+// Patient is an MVP-model virtual patient. It implements sim.Patient.
+type Patient struct {
+	id     string
+	params Params
+	basal  float64 // U/h holding TargetBG steady
+
+	y   []float64
+	rk4 *sim.RK4
+
+	// step inputs captured for the derivative closure
+	insulinUPerH float64
+	carbGPerMin  float64
+}
+
+var _ sim.Patient = (*Patient)(nil)
+
+// New builds cohort patient idx (0..NumPatients-1) initialized at
+// TargetBG.
+func New(idx int) (*Patient, error) {
+	if idx < 0 || idx >= NumPatients {
+		return nil, fmt.Errorf("glucosym: patient index %d out of range [0,%d)", idx, NumPatients)
+	}
+	return NewWithParams(fmt.Sprintf("glucosym-%d", idx), profiles[idx])
+}
+
+// NewWithParams builds a patient from explicit parameters. The basal rate
+// is derived from the model's steady state at TargetBG.
+func NewWithParams(id string, p Params) (*Patient, error) {
+	p = p.defaults()
+	if p.SI <= 0 || p.CI <= 0 || p.Tau1 <= 0 || p.Tau2 <= 0 || p.P2 <= 0 {
+		return nil, fmt.Errorf("glucosym: non-positive core parameter in %+v", p)
+	}
+	ieffStar := p.EGP/TargetBG - p.GEZI
+	if ieffStar <= 0 {
+		return nil, fmt.Errorf("glucosym: GEZI %v too large for EGP %v (no positive basal)", p.GEZI, p.EGP)
+	}
+	ipStar := ieffStar / p.SI          // µU/mL
+	idMicroUPerMin := p.CI * ipStar    // µU/min
+	basal := idMicroUPerMin * 60 / 1e6 // U/h
+	pt := &Patient{
+		id:     id,
+		params: p,
+		basal:  basal,
+		y:      make([]float64, nStates),
+		rk4:    sim.NewRK4(nStates),
+	}
+	pt.Reset(TargetBG)
+	return pt, nil
+}
+
+// ID implements sim.Patient.
+func (p *Patient) ID() string { return p.id }
+
+// Basal implements sim.Patient.
+func (p *Patient) Basal() float64 { return p.basal }
+
+// BG implements sim.Patient.
+func (p *Patient) BG() float64 { return p.y[iG] }
+
+// CGM implements sim.Patient.
+func (p *Patient) CGM() float64 { return p.y[iGs] }
+
+// PlasmaInsulin returns the current plasma insulin concentration (µU/mL),
+// exposed for tests and model-based monitors.
+func (p *Patient) PlasmaInsulin() float64 { return p.y[iIp] }
+
+// Params returns a copy of the patient's model parameters.
+func (p *Patient) Params() Params { return p.params }
+
+// Reset implements sim.Patient: glucose set to initialBG, insulin
+// compartments at the basal steady state, meal compartments empty.
+func (p *Patient) Reset(initialBG float64) {
+	if initialBG <= 0 {
+		initialBG = TargetBG
+	}
+	ieffStar := p.params.EGP/TargetBG - p.params.GEZI
+	ipStar := ieffStar / p.params.SI
+	for i := range p.y {
+		p.y[i] = 0
+	}
+	p.y[iIsc] = ipStar
+	p.y[iIp] = ipStar
+	p.y[iIeff] = ieffStar
+	p.y[iG] = initialBG
+	p.y[iGs] = initialBG
+}
+
+// derivs computes the MVP model right-hand side.
+func (p *Patient) derivs(_ float64, y, dydt []float64) {
+	prm := &p.params
+	idRate := p.insulinUPerH * 1e6 / 60             // µU/min
+	ra := prm.MealF * y[iQ2] / prm.TauMeal / prm.VG // mg/dL/min
+
+	dydt[iIsc] = -y[iIsc]/prm.Tau1 + idRate/(prm.Tau1*prm.CI)
+	dydt[iIp] = -(y[iIp] - y[iIsc]) / prm.Tau2
+	dydt[iIeff] = -prm.P2*y[iIeff] + prm.P2*prm.SI*y[iIp]
+	dydt[iG] = -(prm.GEZI+y[iIeff])*y[iG] + prm.EGP + ra
+	dydt[iQ1] = -y[iQ1]/prm.TauMeal + 1000*p.carbGPerMin
+	dydt[iQ2] = (y[iQ1] - y[iQ2]) / prm.TauMeal
+	dydt[iGs] = (y[iG] - y[iGs]) / prm.SensorLag
+}
+
+// Step implements sim.Patient using RK4 with 1-minute substeps.
+func (p *Patient) Step(insulinUPerH, carbGPerMin, dtMin float64) {
+	if dtMin <= 0 {
+		return
+	}
+	if insulinUPerH < 0 {
+		insulinUPerH = 0
+	}
+	if carbGPerMin < 0 {
+		carbGPerMin = 0
+	}
+	p.insulinUPerH = insulinUPerH
+	p.carbGPerMin = carbGPerMin
+	p.rk4.Integrate(p.derivs, 0, p.y, dtMin, 1.0)
+	sim.ClampNonNegative(p.y)
+	// Keep glucose above a survivable floor so downstream math (risk
+	// logarithms) stays defined even under absurd fault magnitudes.
+	const bgFloor = 10
+	if p.y[iG] < bgFloor {
+		p.y[iG] = bgFloor
+	}
+	if p.y[iGs] < bgFloor {
+		p.y[iGs] = bgFloor
+	}
+}
+
+// Cohort builds all ten patients.
+func Cohort() ([]*Patient, error) {
+	out := make([]*Patient, 0, NumPatients)
+	for i := 0; i < NumPatients; i++ {
+		p, err := New(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package glucosym
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCohortConstruction(t *testing.T) {
+	patients, err := Cohort()
+	if err != nil {
+		t.Fatalf("Cohort: %v", err)
+	}
+	if len(patients) != NumPatients {
+		t.Fatalf("cohort size %d, want %d", len(patients), NumPatients)
+	}
+	seen := make(map[string]bool, len(patients))
+	for _, p := range patients {
+		if seen[p.ID()] {
+			t.Errorf("duplicate patient ID %s", p.ID())
+		}
+		seen[p.ID()] = true
+		if p.Basal() <= 0 || p.Basal() > 10 {
+			t.Errorf("%s: implausible basal %v U/h", p.ID(), p.Basal())
+		}
+		if p.BG() != TargetBG {
+			t.Errorf("%s: initial BG %v, want %v", p.ID(), p.BG(), TargetBG)
+		}
+	}
+}
+
+func TestNewOutOfRange(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("New(-1) should fail")
+	}
+	if _, err := New(NumPatients); err == nil {
+		t.Error("New(NumPatients) should fail")
+	}
+}
+
+func TestNewWithParamsValidation(t *testing.T) {
+	bad := profiles[0]
+	bad.SI = 0
+	if _, err := NewWithParams("x", bad); err == nil {
+		t.Error("zero SI should fail")
+	}
+	bad = profiles[0]
+	bad.GEZI = 1 // GEZI so large no positive basal exists
+	if _, err := NewWithParams("x", bad); err == nil {
+		t.Error("oversized GEZI should fail")
+	}
+}
+
+func TestBasalHoldsSteadyState(t *testing.T) {
+	for idx := 0; idx < NumPatients; idx++ {
+		p, err := New(idx)
+		if err != nil {
+			t.Fatalf("New(%d): %v", idx, err)
+		}
+		for i := 0; i < 144; i++ { // 12 hours of 5-min steps
+			p.Step(p.Basal(), 0, 5)
+		}
+		if math.Abs(p.BG()-TargetBG) > 2 {
+			t.Errorf("%s: BG drifted to %v under basal, want ~%v", p.ID(), p.BG(), TargetBG)
+		}
+	}
+}
+
+func TestInsulinSuspensionRaisesBG(t *testing.T) {
+	p, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ { // 4 hours without insulin
+		p.Step(0, 0, 5)
+	}
+	if p.BG() <= TargetBG+30 {
+		t.Errorf("BG after 4h suspension = %v, want well above %v", p.BG(), TargetBG)
+	}
+}
+
+func TestInsulinOverdoseLowersBG(t *testing.T) {
+	p, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 36; i++ { // 3 hours at 5x basal
+		p.Step(5*p.Basal(), 0, 5)
+	}
+	if p.BG() >= TargetBG-30 {
+		t.Errorf("BG after 3h of 5x basal = %v, want well below %v", p.BG(), TargetBG)
+	}
+}
+
+func TestMealRaisesBG(t *testing.T) {
+	p, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 g carbs over 15 minutes at basal insulin.
+	for i := 0; i < 3; i++ {
+		p.Step(p.Basal(), 4, 5)
+	}
+	for i := 0; i < 12; i++ { // 1 h absorption
+		p.Step(p.Basal(), 0, 5)
+	}
+	if p.BG() <= TargetBG+20 {
+		t.Errorf("BG 1h after 60g meal = %v, want a clear rise", p.BG())
+	}
+}
+
+func TestResetRestoresState(t *testing.T) {
+	p, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p.Step(0, 2, 5)
+	}
+	p.Reset(150)
+	if p.BG() != 150 || p.CGM() != 150 {
+		t.Errorf("after Reset(150): BG=%v CGM=%v", p.BG(), p.CGM())
+	}
+	// Steady again at basal from the new starting point: BG should head
+	// back toward the target, not explode.
+	for i := 0; i < 72; i++ {
+		p.Step(p.Basal(), 0, 5)
+	}
+	if p.BG() < 80 || p.BG() > 160 {
+		t.Errorf("BG 6h after reset = %v, want convergence toward %v", p.BG(), TargetBG)
+	}
+	p.Reset(0) // invalid initial BG falls back to target
+	if p.BG() != TargetBG {
+		t.Errorf("Reset(0) gave BG %v, want %v", p.BG(), TargetBG)
+	}
+}
+
+func TestCGMLagsBG(t *testing.T) {
+	p, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Reset(120)
+	for i := 0; i < 6; i++ {
+		p.Step(0, 3, 5) // eat with no insulin: BG rises fast
+	}
+	if p.CGM() >= p.BG() {
+		t.Errorf("CGM %v should lag rising BG %v", p.CGM(), p.BG())
+	}
+}
+
+func TestBGFloorUnderExtremeOverdose(t *testing.T) {
+	p, err := New(4) // most insulin-sensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		p.Step(50, 0, 5) // absurd overdose
+	}
+	if p.BG() < 10 || math.IsNaN(p.BG()) {
+		t.Errorf("BG = %v, want floor at 10", p.BG())
+	}
+}
+
+func TestNegativeInputsTreatedAsZero(t *testing.T) {
+	p, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.BG()
+	p.Step(-5, -2, 5)
+	// Negative insulin clamps to zero: same as suspension for one step.
+	if math.IsNaN(p.BG()) || p.BG() < before-5 {
+		t.Errorf("BG = %v after clamped negative inputs (before %v)", p.BG(), before)
+	}
+}
+
+func TestPatientDiversity(t *testing.T) {
+	// Suspending insulin for 2h must produce a spread of responses across
+	// the cohort — this diversity drives the paper's Fig. 7a.
+	var rises []float64
+	patients, err := Cohort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range patients {
+		for i := 0; i < 24; i++ {
+			p.Step(0, 0, 5)
+		}
+		rises = append(rises, p.BG()-TargetBG)
+	}
+	minRise, maxRise := rises[0], rises[0]
+	for _, r := range rises {
+		minRise = math.Min(minRise, r)
+		maxRise = math.Max(maxRise, r)
+	}
+	if maxRise-minRise < 10 {
+		t.Errorf("cohort rise spread %v..%v too uniform", minRise, maxRise)
+	}
+}
+
+func TestPatientIDs(t *testing.T) {
+	ids := PatientIDs()
+	if len(ids) != NumPatients {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	if ids[0] != "glucosym-0" || ids[9] != "glucosym-9" {
+		t.Errorf("unexpected ids %v", ids)
+	}
+}

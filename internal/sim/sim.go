@@ -1,0 +1,96 @@
+// Package sim defines the virtual-patient abstraction shared by the two
+// glucose simulators (Glucosym-style Medtronic Virtual Patient model and
+// UVA-Padova S2013-style model) and the numerical integration helpers.
+//
+// A Patient is a continuous-time ODE model advanced in small internal
+// steps inside each 5-minute control cycle. Insulin is commanded as a
+// rate in U/h; glucose is reported in mg/dL both as the true plasma value
+// and as the (possibly delayed) sensor value a CGM would show.
+package sim
+
+// Patient is a virtual Type 1 diabetes patient model.
+type Patient interface {
+	// ID returns the stable patient identifier (e.g. "glucosym-3").
+	ID() string
+	// Step advances the model by dtMin minutes under a constant insulin
+	// infusion rate (U/h) and carbohydrate ingestion rate (g/min).
+	Step(insulinUPerH, carbGPerMin, dtMin float64)
+	// BG returns the current true plasma glucose in mg/dL.
+	BG() float64
+	// CGM returns the current sensed glucose in mg/dL (may lag BG).
+	CGM() float64
+	// Basal returns the patient's steady-state basal insulin rate in U/h.
+	Basal() float64
+	// Reset reinitializes the model at the given starting glucose with
+	// insulin compartments at their basal steady state.
+	Reset(initialBG float64)
+}
+
+// Derivs computes dy/dt into dydt for state y at time t (minutes).
+type Derivs func(t float64, y, dydt []float64)
+
+// RK4 advances state y in place by one classical Runge-Kutta step of size
+// h (minutes). Scratch buffers are allocated by the caller through the
+// returned stepper to keep the integrator allocation-free in inner loops.
+type RK4 struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+// NewRK4 returns an integrator for an n-dimensional state.
+func NewRK4(n int) *RK4 {
+	return &RK4{
+		k1:  make([]float64, n),
+		k2:  make([]float64, n),
+		k3:  make([]float64, n),
+		k4:  make([]float64, n),
+		tmp: make([]float64, n),
+	}
+}
+
+// Step advances y by h using derivative function f.
+func (r *RK4) Step(f Derivs, t float64, y []float64, h float64) {
+	n := len(y)
+	f(t, y, r.k1)
+	for i := 0; i < n; i++ {
+		r.tmp[i] = y[i] + 0.5*h*r.k1[i]
+	}
+	f(t+0.5*h, r.tmp, r.k2)
+	for i := 0; i < n; i++ {
+		r.tmp[i] = y[i] + 0.5*h*r.k2[i]
+	}
+	f(t+0.5*h, r.tmp, r.k3)
+	for i := 0; i < n; i++ {
+		r.tmp[i] = y[i] + h*r.k3[i]
+	}
+	f(t+h, r.tmp, r.k4)
+	for i := 0; i < n; i++ {
+		y[i] += h / 6 * (r.k1[i] + 2*r.k2[i] + 2*r.k3[i] + r.k4[i])
+	}
+}
+
+// Integrate advances y from t over total minutes using fixed substeps of
+// at most maxH minutes.
+func (r *RK4) Integrate(f Derivs, t float64, y []float64, total, maxH float64) {
+	if total <= 0 {
+		return
+	}
+	steps := int(total/maxH + 0.5)
+	if steps < 1 {
+		steps = 1
+	}
+	h := total / float64(steps)
+	for i := 0; i < steps; i++ {
+		r.Step(f, t+float64(i)*h, y, h)
+	}
+}
+
+// ClampNonNegative floors every state variable at zero. Physiological
+// quantities (masses, concentrations) cannot go negative; under extreme
+// injected faults the stiff ODEs can otherwise overshoot.
+func ClampNonNegative(y []float64) {
+	for i, v := range y {
+		if v < 0 {
+			y[i] = 0
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRK4Exponential(t *testing.T) {
+	// dy/dt = -y, y(0)=1 -> y(t) = e^{-t}
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -y[0] }
+	y := []float64{1}
+	rk := NewRK4(1)
+	rk.Integrate(f, 0, y, 5, 0.1)
+	want := math.Exp(-5)
+	if math.Abs(y[0]-want) > 1e-6 {
+		t.Errorf("y(5) = %v, want %v", y[0], want)
+	}
+}
+
+func TestRK4Harmonic(t *testing.T) {
+	// y'' = -y as a system; energy must be conserved to high order.
+	f := func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	y := []float64{1, 0}
+	rk := NewRK4(2)
+	rk.Integrate(f, 0, y, 2*math.Pi, 0.05)
+	if math.Abs(y[0]-1) > 1e-5 || math.Abs(y[1]) > 1e-5 {
+		t.Errorf("after one period: y = %v, want [1 0]", y)
+	}
+}
+
+func TestRK4FourthOrderConvergence(t *testing.T) {
+	// Halving the step should reduce the error by ~16x.
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -2 * y[0] }
+	errAt := func(h float64) float64 {
+		y := []float64{1}
+		NewRK4(1).Integrate(f, 0, y, 1, h)
+		return math.Abs(y[0] - math.Exp(-2))
+	}
+	e1 := errAt(0.1)
+	e2 := errAt(0.05)
+	ratio := e1 / e2
+	if ratio < 10 || ratio > 25 {
+		t.Errorf("error ratio %v, want ~16 (4th order)", ratio)
+	}
+}
+
+func TestIntegrateZeroAndNegativeDuration(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
+	y := []float64{7}
+	rk := NewRK4(1)
+	rk.Integrate(f, 0, y, 0, 1)
+	rk.Integrate(f, 0, y, -3, 1)
+	if y[0] != 7 {
+		t.Errorf("state changed on zero/negative duration: %v", y[0])
+	}
+}
+
+func TestIntegrateTimeArgument(t *testing.T) {
+	// dy/dt = t integrated 0..2 gives 2.
+	f := func(tt float64, _, dydt []float64) { dydt[0] = tt }
+	y := []float64{0}
+	NewRK4(1).Integrate(f, 0, y, 2, 0.1)
+	if math.Abs(y[0]-2) > 1e-9 {
+		t.Errorf("integral of t over [0,2] = %v, want 2", y[0])
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	y := []float64{1, -0.5, 0, -1e-9}
+	ClampNonNegative(y)
+	for i, v := range y {
+		if v < 0 {
+			t.Errorf("y[%d] = %v still negative", i, v)
+		}
+	}
+	if y[0] != 1 {
+		t.Errorf("positive value modified: %v", y[0])
+	}
+}

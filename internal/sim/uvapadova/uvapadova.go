@@ -1,0 +1,373 @@
+// Package uvapadova implements a UVA-Padova T1DS2013-style virtual
+// patient: the Dalla Man meal-simulation ODE system (glucose and insulin
+// subsystems, endogenous glucose production with delayed insulin signal,
+// insulin-dependent utilization, renal excretion, gastro-intestinal meal
+// absorption, subcutaneous insulin transport, and interstitial sensor
+// delay).
+//
+// The FDA-accepted simulator and its 30 in-silico subjects are
+// proprietary, so the ten profiles here are synthetic adult parameter
+// sets spread around the published Dalla Man averages (see DESIGN.md).
+// What matters for the reproduction is that this platform has different
+// dynamics from the Glucosym/MVP platform — a slower subcutaneous route
+// and nonlinear utilization — which is what differentiates the monitors'
+// relative performance across the paper's two test beds.
+package uvapadova
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Params holds the per-patient Dalla Man model constants. All rate
+// constants are per minute; masses are per kg of body weight.
+type Params struct {
+	BW float64 // body weight, kg
+
+	// Glucose kinetics
+	VG float64 // glucose distribution volume, dL/kg
+	K1 float64 // Gp -> Gt transfer
+	K2 float64 // Gt -> Gp transfer
+
+	// Endogenous glucose production
+	Kp1 float64 // extrapolated EGP at zero glucose and insulin, mg/kg/min
+	Kp2 float64 // liver glucose effectiveness
+	Kp3 float64 // amplitude of delayed insulin action on the liver
+	Ki  float64 // delayed insulin signal rate
+
+	// Utilization
+	Fsnc float64 // insulin-independent (CNS) utilization, mg/kg/min
+	Vm0  float64 // basal insulin-dependent utilization Vmax, mg/kg/min
+	Vmx  float64 // insulin sensitivity of utilization
+	Km0  float64 // Michaelis constant, mg/kg
+	P2U  float64 // insulin action dynamics
+
+	// Insulin kinetics
+	VI float64 // insulin distribution volume, L/kg
+	M1 float64
+	M2 float64
+	M3 float64
+	M4 float64
+
+	// Renal excretion
+	Ke1 float64 // glomerular filtration rate
+	Ke2 float64 // renal threshold, mg/kg
+
+	// Subcutaneous insulin transport
+	Kd  float64 // Isc1 -> Isc2
+	Ka1 float64 // Isc1 -> plasma
+	Ka2 float64 // Isc2 -> plasma
+
+	// Gastro-intestinal tract
+	Kgri float64 // grinding
+	Kemp float64 // gastric emptying (constant simplification)
+	Kabs float64 // intestinal absorption
+	Fab  float64 // carb bioavailability
+
+	// Sensor
+	Ts float64 // interstitial glucose delay, min
+}
+
+// base is the published adult-average parameter set the synthetic cohort
+// is spread around.
+var base = Params{
+	BW: 70,
+	VG: 1.88, K1: 0.065, K2: 0.079,
+	Kp1: 3.50, Kp2: 0.0021, Kp3: 0.009, Ki: 0.0079,
+	Fsnc: 1.0, Vm0: 2.50, Vmx: 0.047, Km0: 225.59, P2U: 0.0331,
+	VI: 0.05, M1: 0.190, M2: 0.484, M3: 0.285, M4: 0.194,
+	Ke1: 0.0005, Ke2: 339,
+	Kd: 0.0164, Ka1: 0.0018, Ka2: 0.0182,
+	Kgri: 0.0558, Kemp: 0.028, Kabs: 0.057, Fab: 0.90,
+	Ts: 10,
+}
+
+// TargetBG is the glucose (mg/dL) the derived basal rate holds steady.
+const TargetBG = 120
+
+// NumPatients is the synthetic cohort size.
+const NumPatients = 10
+
+// scale multiplies base fields to produce cohort diversity.
+type scale struct {
+	kp1, vmx, vm0, kd, bw, p2u, ki float64
+}
+
+var cohortScales = []scale{
+	{1.00, 1.00, 1.00, 1.00, 1.00, 1.00, 1.00},
+	{1.08, 0.70, 0.92, 0.85, 1.20, 0.90, 1.10},
+	{0.94, 1.40, 1.10, 1.20, 0.80, 1.15, 0.95},
+	{1.05, 0.55, 0.95, 0.95, 1.10, 0.85, 1.05},
+	{0.97, 1.20, 1.05, 1.10, 0.90, 1.10, 0.90},
+	{1.10, 0.85, 0.90, 0.80, 1.30, 0.95, 1.15},
+	{0.92, 1.55, 1.12, 1.25, 0.75, 1.20, 0.85},
+	{1.03, 0.95, 1.00, 1.05, 1.05, 1.00, 1.00},
+	{0.96, 1.10, 1.08, 0.90, 0.95, 1.05, 1.08},
+	{1.06, 0.65, 0.94, 1.15, 1.15, 0.88, 0.92},
+}
+
+// PatientIDs returns "uvapadova-0".."uvapadova-9".
+func PatientIDs() []string {
+	ids := make([]string, NumPatients)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("uvapadova-%d", i)
+	}
+	return ids
+}
+
+// State vector layout.
+const (
+	iGp   = iota // plasma glucose mass, mg/kg
+	iGt          // tissue glucose mass, mg/kg
+	iIl          // liver insulin, pmol/kg
+	iIp          // plasma insulin, pmol/kg
+	iX           // insulin action on utilization, pmol/L (can be negative)
+	iI1          // delayed insulin signal stage 1, pmol/L
+	iId          // delayed insulin signal stage 2, pmol/L
+	iIsc1        // subcutaneous insulin compartment 1, pmol/kg
+	iIsc2        // subcutaneous insulin compartment 2, pmol/kg
+	iQs1         // stomach solid, mg
+	iQs2         // stomach liquid, mg
+	iQgut        // gut, mg
+	iGs          // sensor glucose, mg/dL
+	nStates
+)
+
+// Patient is a Dalla Man-model virtual patient implementing sim.Patient.
+type Patient struct {
+	id     string
+	params Params
+
+	basalUPerH float64
+	ib         float64 // basal plasma insulin concentration, pmol/L
+
+	y   []float64
+	rk4 *sim.RK4
+
+	insulinPmolKgMin float64
+	carbMgPerMin     float64
+}
+
+var _ sim.Patient = (*Patient)(nil)
+
+// New builds cohort patient idx initialized at TargetBG.
+func New(idx int) (*Patient, error) {
+	if idx < 0 || idx >= NumPatients {
+		return nil, fmt.Errorf("uvapadova: patient index %d out of range [0,%d)", idx, NumPatients)
+	}
+	s := cohortScales[idx]
+	p := base
+	p.Kp1 *= s.kp1
+	p.Vmx *= s.vmx
+	p.Vm0 *= s.vm0
+	p.Kd *= s.kd
+	p.BW *= s.bw
+	p.P2U *= s.p2u
+	p.Ki *= s.ki
+	return NewWithParams(fmt.Sprintf("uvapadova-%d", idx), p)
+}
+
+// NewWithParams builds a patient from explicit parameters, deriving the
+// basal insulin rate that holds TargetBG at steady state.
+func NewWithParams(id string, p Params) (*Patient, error) {
+	if p.VG <= 0 || p.VI <= 0 || p.BW <= 0 || p.Kp3 <= 0 {
+		return nil, fmt.Errorf("uvapadova: non-positive core parameter in %+v", p)
+	}
+	pt := &Patient{
+		id:     id,
+		params: p,
+		y:      make([]float64, nStates),
+		rk4:    sim.NewRK4(nStates),
+	}
+	gpb := TargetBG * p.VG
+	gtb, err := tissueSteadyState(&p, gpb, 0)
+	if err != nil {
+		return nil, err
+	}
+	uidb := p.Vm0 * gtb / (p.Km0 + gtb)
+	egpb := p.Fsnc + uidb + renal(&p, gpb)
+	ib := (p.Kp1 - p.Kp2*gpb - egpb) / p.Kp3 // pmol/L
+	if ib <= 0 {
+		return nil, fmt.Errorf("uvapadova: parameters give non-positive basal insulin %v", ib)
+	}
+	ipb := ib * p.VI                   // pmol/kg
+	ilb := p.M2 * ipb / (p.M1 + p.M3)  // pmol/kg
+	raib := (p.M2+p.M4)*ipb - p.M1*ilb // pmol/kg/min
+	if raib <= 0 {
+		return nil, fmt.Errorf("uvapadova: parameters give non-positive basal delivery %v", raib)
+	}
+	pt.ib = ib
+	pt.basalUPerH = raib * p.BW * 60 / 6000 // pmol/kg/min -> U/h (6000 pmol/U)
+	pt.Reset(TargetBG)
+	return pt, nil
+}
+
+// tissueSteadyState solves Vm(X)·Gt/(Km0+Gt) + K2·Gt = K1·Gp for Gt ≥ 0.
+func tissueSteadyState(p *Params, gp, x float64) (float64, error) {
+	vm := p.Vm0 + p.Vmx*x
+	if vm < 0 {
+		vm = 0
+	}
+	// K2·Gt² + (vm + K2·Km0 − K1·Gp)·Gt − K1·Gp·Km0 = 0
+	a := p.K2
+	b := vm + p.K2*p.Km0 - p.K1*gp
+	c := -p.K1 * gp * p.Km0
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0, fmt.Errorf("uvapadova: no real tissue steady state for Gp=%v", gp)
+	}
+	gt := (-b + math.Sqrt(disc)) / (2 * a)
+	if gt < 0 {
+		return 0, fmt.Errorf("uvapadova: negative tissue steady state %v", gt)
+	}
+	return gt, nil
+}
+
+func renal(p *Params, gp float64) float64 {
+	if gp > p.Ke2 {
+		return p.Ke1 * (gp - p.Ke2)
+	}
+	return 0
+}
+
+// ID implements sim.Patient.
+func (p *Patient) ID() string { return p.id }
+
+// Basal implements sim.Patient.
+func (p *Patient) Basal() float64 { return p.basalUPerH }
+
+// BG implements sim.Patient.
+func (p *Patient) BG() float64 { return p.y[iGp] / p.params.VG }
+
+// CGM implements sim.Patient.
+func (p *Patient) CGM() float64 { return p.y[iGs] }
+
+// PlasmaInsulin returns the plasma insulin concentration in pmol/L.
+func (p *Patient) PlasmaInsulin() float64 { return p.y[iIp] / p.params.VI }
+
+// Params returns a copy of the model parameters.
+func (p *Patient) Params() Params { return p.params }
+
+// Reset implements sim.Patient.
+func (p *Patient) Reset(initialBG float64) {
+	if initialBG <= 0 {
+		initialBG = TargetBG
+	}
+	prm := &p.params
+	for i := range p.y {
+		p.y[i] = 0
+	}
+	gp := initialBG * prm.VG
+	gt, err := tissueSteadyState(prm, gp, 0)
+	if err != nil {
+		// Constructor validated the parameter set at TargetBG; fall back
+		// to the proportional estimate for extreme initial values.
+		gt = gp * 0.76
+	}
+	ipb := p.ib * prm.VI
+	ilb := prm.M2 * ipb / (prm.M1 + prm.M3)
+	raib := (prm.M2+prm.M4)*ipb - prm.M1*ilb
+	isc1 := raib / (prm.Kd + prm.Ka1)
+	isc2 := prm.Kd * isc1 / prm.Ka2
+
+	p.y[iGp] = gp
+	p.y[iGt] = gt
+	p.y[iIl] = ilb
+	p.y[iIp] = ipb
+	p.y[iX] = 0
+	p.y[iI1] = p.ib
+	p.y[iId] = p.ib
+	p.y[iIsc1] = isc1
+	p.y[iIsc2] = isc2
+	p.y[iGs] = initialBG
+}
+
+func (p *Patient) derivs(_ float64, y, dydt []float64) {
+	prm := &p.params
+	gp, gt := y[iGp], y[iGt]
+	if gp < 0 {
+		gp = 0
+	}
+	if gt < 0 {
+		gt = 0
+	}
+	g := gp / prm.VG
+	i := y[iIp] / prm.VI // plasma insulin concentration, pmol/L
+
+	egp := prm.Kp1 - prm.Kp2*gp - prm.Kp3*y[iId]
+	if egp < 0 {
+		egp = 0
+	}
+	e := renal(prm, gp)
+	vm := prm.Vm0 + prm.Vmx*y[iX]
+	if vm < 0 {
+		vm = 0
+	}
+	uid := vm * gt / (prm.Km0 + gt)
+	ra := prm.Fab * prm.Kabs * y[iQgut] / prm.BW
+
+	rai := prm.Ka1*y[iIsc1] + prm.Ka2*y[iIsc2]
+
+	dydt[iGp] = egp + ra - prm.Fsnc - e - prm.K1*gp + prm.K2*gt
+	dydt[iGt] = -uid + prm.K1*gp - prm.K2*gt
+	dydt[iIl] = -(prm.M1+prm.M3)*y[iIl] + prm.M2*y[iIp]
+	dydt[iIp] = -(prm.M2+prm.M4)*y[iIp] + prm.M1*y[iIl] + rai
+	dydt[iX] = -prm.P2U*y[iX] + prm.P2U*(i-p.ib)
+	dydt[iI1] = -prm.Ki * (y[iI1] - i)
+	dydt[iId] = -prm.Ki * (y[iId] - y[iI1])
+	dydt[iIsc1] = -(prm.Kd+prm.Ka1)*y[iIsc1] + p.insulinPmolKgMin
+	dydt[iIsc2] = prm.Kd*y[iIsc1] - prm.Ka2*y[iIsc2]
+	dydt[iQs1] = -prm.Kgri*y[iQs1] + p.carbMgPerMin
+	dydt[iQs2] = prm.Kgri*y[iQs1] - prm.Kemp*y[iQs2]
+	dydt[iQgut] = prm.Kemp*y[iQs2] - prm.Kabs*y[iQgut]
+	dydt[iGs] = (g - y[iGs]) / prm.Ts
+}
+
+// Step implements sim.Patient using RK4 with 1-minute substeps.
+func (p *Patient) Step(insulinUPerH, carbGPerMin, dtMin float64) {
+	if dtMin <= 0 {
+		return
+	}
+	if insulinUPerH < 0 {
+		insulinUPerH = 0
+	}
+	if carbGPerMin < 0 {
+		carbGPerMin = 0
+	}
+	p.insulinPmolKgMin = insulinUPerH * 6000 / 60 / p.params.BW
+	p.carbMgPerMin = carbGPerMin * 1000
+	p.rk4.Integrate(p.derivs, 0, p.y, dtMin, 1.0)
+	// Clamp physical masses at zero; the insulin-action state X is a
+	// deviation variable and legitimately goes negative during insulin
+	// suspension, so it is exempt.
+	for idx := range p.y {
+		if idx == iX {
+			continue
+		}
+		if p.y[idx] < 0 {
+			p.y[idx] = 0
+		}
+	}
+	const bgFloorMass = 10 // mg/dL floor expressed on the mass state
+	if p.y[iGp] < bgFloorMass*p.params.VG {
+		p.y[iGp] = bgFloorMass * p.params.VG
+	}
+	if p.y[iGs] < bgFloorMass {
+		p.y[iGs] = bgFloorMass
+	}
+}
+
+// Cohort builds all ten patients.
+func Cohort() ([]*Patient, error) {
+	out := make([]*Patient, 0, NumPatients)
+	for i := 0; i < NumPatients; i++ {
+		p, err := New(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

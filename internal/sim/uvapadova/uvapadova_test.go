@@ -1,0 +1,217 @@
+package uvapadova
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCohortConstruction(t *testing.T) {
+	patients, err := Cohort()
+	if err != nil {
+		t.Fatalf("Cohort: %v", err)
+	}
+	if len(patients) != NumPatients {
+		t.Fatalf("cohort size %d, want %d", len(patients), NumPatients)
+	}
+	seen := make(map[string]bool, len(patients))
+	for _, p := range patients {
+		if seen[p.ID()] {
+			t.Errorf("duplicate ID %s", p.ID())
+		}
+		seen[p.ID()] = true
+		if p.Basal() <= 0 || p.Basal() > 10 {
+			t.Errorf("%s: implausible basal %v U/h", p.ID(), p.Basal())
+		}
+		if math.Abs(p.BG()-TargetBG) > 1e-9 {
+			t.Errorf("%s: initial BG %v", p.ID(), p.BG())
+		}
+		if p.PlasmaInsulin() <= 0 {
+			t.Errorf("%s: non-positive basal plasma insulin", p.ID())
+		}
+	}
+}
+
+func TestNewOutOfRange(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("New(-1) should fail")
+	}
+	if _, err := New(NumPatients); err == nil {
+		t.Error("New(NumPatients) should fail")
+	}
+}
+
+func TestNewWithParamsValidation(t *testing.T) {
+	bad := base
+	bad.VG = 0
+	if _, err := NewWithParams("x", bad); err == nil {
+		t.Error("zero VG should fail")
+	}
+	bad = base
+	bad.Kp1 = 1.0 // too little EGP for positive basal insulin
+	if _, err := NewWithParams("x", bad); err == nil {
+		t.Error("tiny Kp1 should fail")
+	}
+}
+
+func TestBasalHoldsSteadyState(t *testing.T) {
+	for idx := 0; idx < NumPatients; idx++ {
+		p, err := New(idx)
+		if err != nil {
+			t.Fatalf("New(%d): %v", idx, err)
+		}
+		for i := 0; i < 144; i++ {
+			p.Step(p.Basal(), 0, 5)
+		}
+		if math.Abs(p.BG()-TargetBG) > 3 {
+			t.Errorf("%s: BG drifted to %v under basal", p.ID(), p.BG())
+		}
+	}
+}
+
+func TestInsulinSuspensionRaisesBG(t *testing.T) {
+	p, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ { // 4 hours, slower SC route than MVP
+		p.Step(0, 0, 5)
+	}
+	if p.BG() <= TargetBG+25 {
+		t.Errorf("BG after 4h suspension = %v, want a clear rise", p.BG())
+	}
+}
+
+func TestInsulinOverdoseLowersBG(t *testing.T) {
+	p, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ {
+		p.Step(5*p.Basal(), 0, 5)
+	}
+	if p.BG() >= TargetBG-25 {
+		t.Errorf("BG after 4h of 5x basal = %v, want a clear fall", p.BG())
+	}
+}
+
+func TestMealRaisesBG(t *testing.T) {
+	p, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.Step(p.Basal(), 4, 5) // 60 g over 15 min
+	}
+	for i := 0; i < 18; i++ {
+		p.Step(p.Basal(), 0, 5)
+	}
+	if p.BG() <= TargetBG+15 {
+		t.Errorf("BG 1.5h after 60g meal = %v, want a clear rise", p.BG())
+	}
+}
+
+func TestRenalExcretionLimitsExtremeHyper(t *testing.T) {
+	p, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Reset(200)
+	// Suspend insulin for 12 h; renal excretion plus EGP clamp should
+	// keep glucose finite.
+	for i := 0; i < 144; i++ {
+		p.Step(0, 0, 5)
+	}
+	if math.IsNaN(p.BG()) || p.BG() > 900 {
+		t.Errorf("BG = %v, want bounded hyperglycemia", p.BG())
+	}
+	if p.BG() < 250 {
+		t.Errorf("BG = %v, want sustained hyperglycemia under suspension", p.BG())
+	}
+}
+
+func TestResetRestoresState(t *testing.T) {
+	p, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		p.Step(0, 1, 5)
+	}
+	p.Reset(90)
+	if math.Abs(p.BG()-90) > 1e-9 || p.CGM() != 90 {
+		t.Errorf("after Reset(90): BG=%v CGM=%v", p.BG(), p.CGM())
+	}
+	p.Reset(-5)
+	if math.Abs(p.BG()-TargetBG) > 1e-9 {
+		t.Errorf("Reset(-5) gave BG %v, want %v", p.BG(), TargetBG)
+	}
+}
+
+func TestCGMLagsBG(t *testing.T) {
+	p, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		p.Step(0, 3, 5)
+	}
+	if p.CGM() >= p.BG() {
+		t.Errorf("CGM %v should lag rising BG %v", p.CGM(), p.BG())
+	}
+}
+
+func TestBGFloorUnderExtremeOverdose(t *testing.T) {
+	p, err := New(6) // highest Vmx scale: most insulin sensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		p.Step(50, 0, 5)
+	}
+	if p.BG() < 10-1e-9 || math.IsNaN(p.BG()) {
+		t.Errorf("BG = %v, want floor at 10", p.BG())
+	}
+}
+
+func TestPatientDiversity(t *testing.T) {
+	patients, err := Cohort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drops []float64
+	for _, p := range patients {
+		for i := 0; i < 36; i++ {
+			p.Step(3*p.Basal(), 0, 5)
+		}
+		drops = append(drops, TargetBG-p.BG())
+	}
+	minD, maxD := drops[0], drops[0]
+	for _, d := range drops {
+		minD = math.Min(minD, d)
+		maxD = math.Max(maxD, d)
+	}
+	if maxD-minD < 10 {
+		t.Errorf("cohort 3x-basal drop spread %v..%v too uniform", minD, maxD)
+	}
+}
+
+func TestPatientIDs(t *testing.T) {
+	ids := PatientIDs()
+	if len(ids) != NumPatients || ids[0] != "uvapadova-0" {
+		t.Errorf("unexpected ids %v", ids)
+	}
+}
+
+func TestBasalDiffersAcrossCohort(t *testing.T) {
+	patients, err := Cohort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	basals := make(map[float64]bool)
+	for _, p := range patients {
+		basals[math.Round(p.Basal()*1000)] = true
+	}
+	if len(basals) < 5 {
+		t.Errorf("only %d distinct basal rates across cohort", len(basals))
+	}
+}

@@ -1,0 +1,114 @@
+package stl
+
+import "fmt"
+
+// PastOnly reports whether the formula can be evaluated online at the
+// newest sample without future knowledge, i.e. it contains no
+// future-time temporal operators (G, F, U).
+func PastOnly(f Formula) bool {
+	switch n := f.(type) {
+	case *Atom, Const, nil:
+		return true
+	case *Not:
+		return PastOnly(n.Child)
+	case *And:
+		for _, c := range n.Children {
+			if !PastOnly(c) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, c := range n.Children {
+			if !PastOnly(c) {
+				return false
+			}
+		}
+		return true
+	case *Implies:
+		return PastOnly(n.L) && PastOnly(n.R)
+	case *Globally, *Eventually, *Until:
+		return false
+	case *Once:
+		return PastOnly(n.Child)
+	case *Historically:
+		return PastOnly(n.Child)
+	case *Since:
+		return PastOnly(n.L) && PastOnly(n.R)
+	default:
+		return false
+	}
+}
+
+// OnlineMonitor incrementally evaluates a past-time-safe formula on a
+// growing trace, one sample per control cycle. This is the run-time form
+// of the paper's safety-context rules: each Table I rule body is a pure
+// state predicate (derivatives are precomputed into trace variables), so
+// checking "G[t0,te] body" online reduces to evaluating the body at each
+// new sample.
+type OnlineMonitor struct {
+	formula Formula
+	tr      *Trace
+
+	violations int
+	evaluated  int
+}
+
+// NewOnlineMonitor builds a monitor for the formula at sampling period
+// dtMin. The formula must be past-only.
+func NewOnlineMonitor(f Formula, dtMin float64) (*OnlineMonitor, error) {
+	if f == nil {
+		return nil, fmt.Errorf("stl: nil formula")
+	}
+	if !PastOnly(f) {
+		return nil, fmt.Errorf("stl: formula %q needs future knowledge; cannot monitor online", f)
+	}
+	tr, err := NewTrace(dtMin)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineMonitor{formula: f, tr: tr}, nil
+}
+
+// Push appends one sample and returns satisfaction at the new sample.
+func (m *OnlineMonitor) Push(sample map[string]float64) (bool, error) {
+	m.tr.Append(sample)
+	sat, err := m.formula.Sat(m.tr, m.tr.Len()-1)
+	if err != nil {
+		return false, err
+	}
+	m.evaluated++
+	if !sat {
+		m.violations++
+	}
+	return sat, nil
+}
+
+// Robustness returns the quantitative margin at the newest sample.
+func (m *OnlineMonitor) Robustness() (float64, error) {
+	if m.tr.Len() == 0 {
+		return 0, fmt.Errorf("stl: no samples pushed")
+	}
+	return m.formula.Robustness(m.tr, m.tr.Len()-1)
+}
+
+// Violations returns how many pushed samples violated the formula, and
+// how many were evaluated — the running view of "G[t0,te] body".
+func (m *OnlineMonitor) Violations() (violations, evaluated int) {
+	return m.violations, m.evaluated
+}
+
+// Len returns the number of samples seen.
+func (m *OnlineMonitor) Len() int { return m.tr.Len() }
+
+// Reset clears the accumulated trace.
+func (m *OnlineMonitor) Reset() {
+	tr, err := NewTrace(m.tr.Dt())
+	if err != nil {
+		// Dt was validated at construction; this cannot happen.
+		panic(err)
+	}
+	m.tr = tr
+	m.violations = 0
+	m.evaluated = 0
+}

@@ -1,0 +1,138 @@
+package stl
+
+import "testing"
+
+func TestPastOnly(t *testing.T) {
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"BG > 180", true},
+		{"x > 1 and y < 2", true},
+		{"not (x > 1) => y < 2", true},
+		{"O[0,60] (x > 1)", true},
+		{"H (x > 0)", true},
+		{"(x > 0) S (y == 1)", true},
+		{"G (x > 0)", false},
+		{"F[0,25] (x > 0)", false},
+		{"(x > 0) U (y == 1)", false},
+		{"x > 1 and F (y > 0)", false},
+		{"true", true},
+	}
+	for _, tt := range tests {
+		f := MustParse(tt.src)
+		if got := PastOnly(f); got != tt.want {
+			t.Errorf("PastOnly(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestOnlineMonitorRejectsFuture(t *testing.T) {
+	if _, err := NewOnlineMonitor(MustParse("F (x > 1)"), 5); err == nil {
+		t.Error("future formula should be rejected")
+	}
+	if _, err := NewOnlineMonitor(nil, 5); err == nil {
+		t.Error("nil formula should be rejected")
+	}
+	if _, err := NewOnlineMonitor(MustParse("x > 1"), 0); err == nil {
+		t.Error("zero dt should be rejected")
+	}
+}
+
+func TestOnlineMonitorStreams(t *testing.T) {
+	// Rule: in hyper context with rising BG, do not decrease insulin.
+	f := MustParse("(BG > 120 and BG' > 0) => not (u == 1)")
+	m, err := NewOnlineMonitor(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		bg, dbg, u float64
+		wantSat    bool
+	}{
+		{110, 0, 4, true},  // in range
+		{130, 4, 2, true},  // hyper rising but increasing insulin: fine
+		{150, 4, 1, false}, // hyper rising and decreasing insulin: UCA
+		{160, 2, 4, true},
+	}
+	for i, s := range steps {
+		sat, err := m.Push(map[string]float64{"BG": s.bg, "BG'": s.dbg, "u": s.u})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if sat != s.wantSat {
+			t.Errorf("step %d: sat=%v, want %v", i, sat, s.wantSat)
+		}
+	}
+	v, e := m.Violations()
+	if v != 1 || e != 4 {
+		t.Errorf("violations=%d/%d, want 1/4", v, e)
+	}
+	if m.Len() != 4 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	r, err := m.Robustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0 {
+		t.Errorf("robustness at last (satisfied) sample = %v, want positive", r)
+	}
+}
+
+func TestOnlineMonitorSince(t *testing.T) {
+	// Once the context fired, x must have stayed high since then.
+	f := MustParse("(x > 5) S (ctx == 1)")
+	m, err := NewOnlineMonitor(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(x, ctx float64) bool {
+		t.Helper()
+		sat, err := m.Push(map[string]float64{"x": x, "ctx": ctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sat
+	}
+	if push(0, 0) {
+		t.Error("no ctx yet: since should be false")
+	}
+	if !push(9, 1) {
+		t.Error("ctx fires now: since should hold")
+	}
+	if !push(8, 0) {
+		t.Error("x stayed high: since should hold")
+	}
+	if push(2, 0) {
+		t.Error("x dropped: since should fail")
+	}
+}
+
+func TestOnlineMonitorRobustnessEmpty(t *testing.T) {
+	m, err := NewOnlineMonitor(MustParse("x > 0"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Robustness(); err == nil {
+		t.Error("robustness with no samples should error")
+	}
+}
+
+func TestOnlineMonitorReset(t *testing.T) {
+	m, err := NewOnlineMonitor(MustParse("x > 0"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Push(map[string]float64{"x": -1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Error("Reset should clear trace")
+	}
+	v, e := m.Violations()
+	if v != 0 || e != 0 {
+		t.Error("Reset should clear counters")
+	}
+}

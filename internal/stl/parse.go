@@ -1,0 +1,406 @@
+package stl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds a Formula from the package's concrete syntax:
+//
+//	formula  := implies
+//	implies  := temporal ( '=>' implies )?            (right-assoc)
+//	temporal := or ( ('U'|'S') bounds? or )?
+//	or       := and ( ('or'|'||') and )*
+//	and      := unary ( ('and'|'&&') unary )*
+//	unary    := ('not'|'!') unary
+//	          | ('G'|'F'|'O'|'H') bounds? unary
+//	          | atom | 'true' | 'false' | '(' formula ')'
+//	atom     := ident cmp number
+//	cmp      := '<' | '<=' | '>' | '>=' | '==' | '!='
+//	bounds   := '[' number ',' (number|'inf') ']'
+//
+// Identifiers may contain letters, digits, underscores, and primes
+// (e.g. BG', IOB'). Bounds are in minutes.
+func Parse(input string) (Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("stl: unexpected trailing input at %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse for statically known formulas; it panics on error
+// and is intended for tests and package-level rule tables.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota + 1
+	tokNumber
+	tokCmp
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokImplies
+	tokAnd
+	tokOr
+	tokNot
+	tokTemporal // G F O H U S
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	rs := []rune(input)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case r == '[':
+			toks = append(toks, token{tokLBracket, "["})
+			i++
+		case r == ']':
+			toks = append(toks, token{tokRBracket, "]"})
+			i++
+		case r == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		case r == '=':
+			switch {
+			case i+1 < len(rs) && rs[i+1] == '>':
+				toks = append(toks, token{tokImplies, "=>"})
+				i += 2
+			case i+1 < len(rs) && rs[i+1] == '=':
+				toks = append(toks, token{tokCmp, "=="})
+				i += 2
+			default:
+				return nil, fmt.Errorf("stl: lone '=' at offset %d (use '==' or '=>')", i)
+			}
+		case r == '<' || r == '>':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, token{tokCmp, string(r) + "="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokCmp, string(r)})
+				i++
+			}
+		case r == '!':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, token{tokCmp, "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokNot, "!"})
+				i++
+			}
+		case r == '&':
+			if i+1 < len(rs) && rs[i+1] == '&' {
+				toks = append(toks, token{tokAnd, "&&"})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("stl: lone '&' at offset %d", i)
+			}
+		case r == '|':
+			if i+1 < len(rs) && rs[i+1] == '|' {
+				toks = append(toks, token{tokOr, "||"})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("stl: lone '|' at offset %d", i)
+			}
+		case r == '-' || r == '.' || unicode.IsDigit(r):
+			j := i + 1
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == 'e' ||
+				rs[j] == 'E' || ((rs[j] == '+' || rs[j] == '-') && (rs[j-1] == 'e' || rs[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, string(rs[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i + 1
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '\'') {
+				j++
+			}
+			word := string(rs[i:j])
+			switch strings.ToLower(word) {
+			case "and":
+				toks = append(toks, token{tokAnd, word})
+			case "or":
+				toks = append(toks, token{tokOr, word})
+			case "not":
+				toks = append(toks, token{tokNot, word})
+			default:
+				if len(word) == 1 && strings.ContainsAny(word, "GFOHUS") {
+					toks = append(toks, token{tokTemporal, word})
+				} else {
+					toks = append(toks, token{tokIdent, word})
+				}
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("stl: unexpected character %q at offset %d", r, i)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) accept(kind tokKind) (token, bool) {
+	if !p.eof() && p.toks[p.pos].kind == kind {
+		return p.next(), true
+	}
+	return token{}, false
+}
+
+func (p *parser) parseImplies() (Formula, error) {
+	l, err := p.parseTemporalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.accept(tokImplies); ok {
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return &Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseTemporalBinary() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() && p.peek().kind == tokTemporal && (p.peek().text == "U" || p.peek().text == "S") {
+		op := p.next().text
+		bounds, err := p.parseOptionalBounds()
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if op == "U" {
+			return &Until{Bounds: bounds, L: l, R: r}, nil
+		}
+		return &Since{Bounds: bounds, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []Formula{l}
+	for {
+		if _, ok := p.accept(tokOr); !ok {
+			break
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, r)
+	}
+	if len(children) == 1 {
+		return l, nil
+	}
+	return &Or{Children: children}, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []Formula{l}
+	for {
+		if _, ok := p.accept(tokAnd); !ok {
+			break
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, r)
+	}
+	if len(children) == 1 {
+		return l, nil
+	}
+	return &And{Children: children}, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	if _, ok := p.accept(tokNot); ok {
+		c, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Child: c}, nil
+	}
+	if !p.eof() && p.peek().kind == tokTemporal {
+		op := p.peek().text
+		switch op {
+		case "G", "F", "O", "H":
+			p.next()
+			bounds, err := p.parseOptionalBounds()
+			if err != nil {
+				return nil, err
+			}
+			c, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "G":
+				return &Globally{Bounds: bounds, Child: c}, nil
+			case "F":
+				return &Eventually{Bounds: bounds, Child: c}, nil
+			case "O":
+				return &Once{Bounds: bounds, Child: c}, nil
+			default:
+				return &Historically{Bounds: bounds, Child: c}, nil
+			}
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Formula, error) {
+	if _, ok := p.accept(tokLParen); ok {
+		f, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.accept(tokRParen); !ok {
+			return nil, fmt.Errorf("stl: missing ')' near %q", p.peek().text)
+		}
+		return f, nil
+	}
+	tok, ok := p.accept(tokIdent)
+	if !ok {
+		return nil, fmt.Errorf("stl: expected atom or '(' near %q", p.peek().text)
+	}
+	switch strings.ToLower(tok.text) {
+	case "true":
+		return Const(true), nil
+	case "false":
+		return Const(false), nil
+	}
+	cmp, ok := p.accept(tokCmp)
+	if !ok {
+		return nil, fmt.Errorf("stl: expected comparison after %q", tok.text)
+	}
+	num, ok := p.accept(tokNumber)
+	if !ok {
+		return nil, fmt.Errorf("stl: expected number after %q %s", tok.text, cmp.text)
+	}
+	v, err := strconv.ParseFloat(num.text, 64)
+	if err != nil {
+		return nil, fmt.Errorf("stl: bad number %q: %w", num.text, err)
+	}
+	var op CmpOp
+	switch cmp.text {
+	case "<":
+		op = OpLT
+	case "<=":
+		op = OpLE
+	case ">":
+		op = OpGT
+	case ">=":
+		op = OpGE
+	case "==":
+		op = OpEQ
+	case "!=":
+		op = OpNE
+	}
+	return &Atom{Var: tok.text, Op: op, Threshold: v}, nil
+}
+
+func (p *parser) parseOptionalBounds() (Bounds, error) {
+	if _, ok := p.accept(tokLBracket); !ok {
+		return Unbounded, nil
+	}
+	aTok, ok := p.accept(tokNumber)
+	if !ok {
+		return Bounds{}, fmt.Errorf("stl: expected lower bound near %q", p.peek().text)
+	}
+	a, err := strconv.ParseFloat(aTok.text, 64)
+	if err != nil {
+		return Bounds{}, fmt.Errorf("stl: bad lower bound %q: %w", aTok.text, err)
+	}
+	if _, ok := p.accept(tokComma); !ok {
+		return Bounds{}, fmt.Errorf("stl: expected ',' in bounds near %q", p.peek().text)
+	}
+	var b float64
+	if id, ok := p.accept(tokIdent); ok && strings.EqualFold(id.text, "inf") {
+		b = math.Inf(1)
+	} else if num, ok := p.accept(tokNumber); ok {
+		if b, err = strconv.ParseFloat(num.text, 64); err != nil {
+			return Bounds{}, fmt.Errorf("stl: bad upper bound %q: %w", num.text, err)
+		}
+	} else {
+		return Bounds{}, fmt.Errorf("stl: expected upper bound near %q", p.peek().text)
+	}
+	if _, ok := p.accept(tokRBracket); !ok {
+		return Bounds{}, fmt.Errorf("stl: expected ']' near %q", p.peek().text)
+	}
+	bounds := Bounds{A: a, B: b}
+	if err := bounds.valid(); err != nil {
+		return Bounds{}, err
+	}
+	return bounds, nil
+}

@@ -1,0 +1,232 @@
+package stl
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseAtom(t *testing.T) {
+	f, err := Parse("BG > 180")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := f.(*Atom)
+	if !ok {
+		t.Fatalf("got %T", f)
+	}
+	if a.Var != "BG" || a.Op != OpGT || a.Threshold != 180 {
+		t.Errorf("parsed %+v", a)
+	}
+}
+
+func TestParsePrimedIdentifiers(t *testing.T) {
+	f, err := Parse("BG' > 0 and IOB' <= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := f.(*And)
+	if !ok || len(and.Children) != 2 {
+		t.Fatalf("got %T: %v", f, f)
+	}
+	if a := and.Children[0].(*Atom); a.Var != "BG'" {
+		t.Errorf("first var %q, want BG'", a.Var)
+	}
+}
+
+func TestParseTableIRule(t *testing.T) {
+	// Rule 1 of Table I: G((BG>BGT ∧ BG'>0) ∧ (IOB'<0 ∧ IOB<β1) ⇒ ¬u1)
+	src := "G ((BG > 120 and BG' > 0) and (IOB' < 0 and IOB < 2.5) => not (u == 1))"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := f.(*Globally)
+	if !ok {
+		t.Fatalf("top-level %T, want *Globally", f)
+	}
+	if _, ok := g.Child.(*Implies); !ok {
+		t.Fatalf("child %T, want *Implies", g.Child)
+	}
+	// Evaluate: context true + u1 issued -> violation.
+	tr, _ := NewTrace(5)
+	_ = tr.Set("BG", []float64{150})
+	_ = tr.Set("BG'", []float64{1})
+	_ = tr.Set("IOB'", []float64{-0.1})
+	_ = tr.Set("IOB", []float64{1.0})
+	_ = tr.Set("u", []float64{1})
+	sat, err := f.Sat(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Error("rule should be violated when UCA issued in context")
+	}
+	// Different action: satisfied.
+	_ = tr.Set("u", []float64{4})
+	if sat, _ := f.Sat(tr, 0); !sat {
+		t.Error("rule should hold for a different action")
+	}
+}
+
+func TestParseBounds(t *testing.T) {
+	f, err := Parse("F[0,25] (BG > 70)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := f.(*Eventually)
+	if !ok {
+		t.Fatalf("got %T", f)
+	}
+	if ev.Bounds.A != 0 || ev.Bounds.B != 25 {
+		t.Errorf("bounds %+v", ev.Bounds)
+	}
+	f2, err := Parse("G[0,inf] (BG > 40)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f2.(*Globally)
+	if !math.IsInf(g.Bounds.B, 1) {
+		t.Errorf("inf bound parsed as %v", g.Bounds.B)
+	}
+}
+
+func TestParseSinceUntil(t *testing.T) {
+	f, err := Parse("(x > 0) S[0,30] (y == 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(*Since); !ok {
+		t.Fatalf("got %T, want *Since", f)
+	}
+	f2, err := Parse("(x > 0) U (y == 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f2.(*Until); !ok {
+		t.Fatalf("got %T, want *Until", f2)
+	}
+}
+
+func TestParseHMSFormula(t *testing.T) {
+	// Eq. 2 shape: G((F[0,ts] u3) S context)
+	src := "G ((F[0,30] (u == 3)) S ((BG < 120 and BG' < 0) and IOB > 3))"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("HMS formula should parse: %v", err)
+	}
+}
+
+func TestParseOperatorsAndSymbols(t *testing.T) {
+	tests := []string{
+		"x > 1 && y < 2",
+		"x > 1 || y < 2",
+		"!(x > 1)",
+		"not x > 1",
+		"x != 5",
+		"x == 5 => y >= 2",
+		"true",
+		"false",
+		"O[0,60] (x > 1)",
+		"H (x > 0)",
+		"x > -3.5",
+		"x < 1e3",
+	}
+	for _, src := range tests {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"x >",
+		"> 5",
+		"x = 5",
+		"x & y",
+		"x | y",
+		"(x > 1",
+		"x > 1)",
+		"G[5,2] (x > 1)",
+		"G[-1,2] (x > 1)",
+		"F[0,] (x > 1)",
+		"F[0 5] (x > 1)",
+		"x > 1 extra",
+		"x @ 5",
+		"x > 1 and",
+	}
+	for _, src := range tests {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestImpliesRightAssociative(t *testing.T) {
+	f, err := Parse("x > 1 => y > 2 => z > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := f.(*Implies)
+	if !ok {
+		t.Fatalf("got %T", f)
+	}
+	if _, ok := top.R.(*Implies); !ok {
+		t.Error("=> should be right-associative")
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	// Every formula's String() must re-parse to an equivalent formula.
+	sources := []string{
+		"BG > 180",
+		"(BG > 120 and BG' > 0) => not (u == 1)",
+		"G[0,60] (x > 1 or y <= 2)",
+		"F[5,25] (BG > 70)",
+		"(x > 0) S[0,30] (y == 1)",
+		"(x > 0) U[0,30] (y == 1)",
+		"O[0,60] (x != 3)",
+		"H[0,10] (x >= 0)",
+		"true and not false",
+	}
+	tr, _ := NewTrace(5)
+	_ = tr.Set("BG", []float64{150, 160, 170, 165, 150, 140})
+	_ = tr.Set("BG'", []float64{0, 2, 2, -1, -3, -2})
+	_ = tr.Set("x", []float64{1, 2, 3, 0, 1, 2})
+	_ = tr.Set("y", []float64{0, 1, 0, 2, 1, 0})
+	_ = tr.Set("u", []float64{4, 1, 4, 3, 2, 4})
+	for _, src := range sources {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", src, f1.String(), err)
+		}
+		for i := 0; i < tr.Len(); i++ {
+			s1, e1 := f1.Sat(tr, i)
+			s2, e2 := f2.Sat(tr, i)
+			if e1 != nil || e2 != nil || s1 != s2 {
+				t.Errorf("%q: divergence at %d (%v/%v, %v/%v)", src, i, s1, s2, e1, e2)
+			}
+		}
+	}
+}
+
+func TestLexErrorMessages(t *testing.T) {
+	_, err := Parse("x = 5")
+	if err == nil || !strings.Contains(err.Error(), "'='") {
+		t.Errorf("want helpful '=' error, got %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+package stl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randTrace builds a trace over one variable from raw int8 values.
+func randTrace(vals []int8) *Trace {
+	tr, _ := NewTrace(1)
+	series := make([]float64, len(vals))
+	for i, v := range vals {
+		series[i] = float64(v)
+	}
+	_ = tr.Set("x", series)
+	return tr
+}
+
+// Property: F φ ≡ true U φ (eventually is until with a trivial left arm).
+func TestEventuallyIsTrivialUntil(t *testing.T) {
+	f := func(vals []int8, th int8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tr := randTrace(vals)
+		atom := &Atom{Var: "x", Op: OpGT, Threshold: float64(th)}
+		ev := &Eventually{Bounds: Unbounded, Child: atom}
+		until := &Until{Bounds: Unbounded, L: Const(true), R: atom}
+		for i := range vals {
+			s1, e1 := ev.Sat(tr, i)
+			s2, e2 := until.Sat(tr, i)
+			if e1 != nil || e2 != nil || s1 != s2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: O φ ≡ true S φ (once is since with a trivial left arm).
+func TestOnceIsTrivialSince(t *testing.T) {
+	f := func(vals []int8, th int8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tr := randTrace(vals)
+		atom := &Atom{Var: "x", Op: OpLT, Threshold: float64(th)}
+		once := &Once{Bounds: Unbounded, Child: atom}
+		since := &Since{Bounds: Unbounded, L: Const(true), R: atom}
+		for i := range vals {
+			s1, e1 := once.Sat(tr, i)
+			s2, e2 := since.Sat(tr, i)
+			if e1 != nil || e2 != nil || s1 != s2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: H φ ≡ not O not φ (past-time De Morgan duality), including
+// robustness values.
+func TestHistoricallyOnceDuality(t *testing.T) {
+	f := func(vals []int8, th int8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tr := randTrace(vals)
+		atom := &Atom{Var: "x", Op: OpGE, Threshold: float64(th)}
+		h := &Historically{Bounds: Unbounded, Child: atom}
+		dual := &Not{Child: &Once{Bounds: Unbounded, Child: &Not{Child: atom}}}
+		for i := range vals {
+			s1, e1 := h.Sat(tr, i)
+			s2, e2 := dual.Sat(tr, i)
+			if e1 != nil || e2 != nil || s1 != s2 {
+				return false
+			}
+			r1, _ := h.Robustness(tr, i)
+			r2, _ := dual.Robustness(tr, i)
+			if math.Abs(r1-r2) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: implication agrees with its ¬L ∨ R encoding.
+func TestImplicationEncoding(t *testing.T) {
+	f := func(vals []int8, a, b int8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tr := randTrace(vals)
+		l := &Atom{Var: "x", Op: OpGT, Threshold: float64(a)}
+		r := &Atom{Var: "x", Op: OpLT, Threshold: float64(b)}
+		imp := &Implies{L: l, R: r}
+		enc := NewOr(&Not{Child: l}, r)
+		for i := range vals {
+			s1, e1 := imp.Sat(tr, i)
+			s2, e2 := enc.Sat(tr, i)
+			if e1 != nil || e2 != nil || s1 != s2 {
+				return false
+			}
+			r1, _ := imp.Robustness(tr, i)
+			r2, _ := enc.Robustness(tr, i)
+			if math.Abs(r1-r2) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: narrowing a Globally window never turns satisfaction into
+// violation (G over a superset window is at least as strong).
+func TestGloballyWindowMonotone(t *testing.T) {
+	f := func(vals []int8, th int8, cut uint8) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		tr := randTrace(vals)
+		atom := &Atom{Var: "x", Op: OpGT, Threshold: float64(th)}
+		full := float64(len(vals) - 1)
+		narrow := float64(int(cut) % len(vals))
+		gFull := &Globally{Bounds: Bounds{A: 0, B: full}, Child: atom}
+		gNarrow := &Globally{Bounds: Bounds{A: 0, B: narrow}, Child: atom}
+		sFull, err := gFull.Sat(tr, 0)
+		if err != nil {
+			return false
+		}
+		sNarrow, err := gNarrow.Sat(tr, 0)
+		if err != nil {
+			return false
+		}
+		// full window satisfied implies narrow window satisfied.
+		return !sFull || sNarrow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every formula the rule tables produce re-parses to an
+// equivalent formula through its String rendering (printer/parser
+// agreement on randomized atoms).
+func TestPrinterParserAgreement(t *testing.T) {
+	f := func(vals []int8, th int8, opRaw, shape uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tr := randTrace(vals)
+		ops := []CmpOp{OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE}
+		atom := &Atom{Var: "x", Op: ops[int(opRaw)%len(ops)], Threshold: float64(th)}
+		var formula Formula
+		switch shape % 5 {
+		case 0:
+			formula = atom
+		case 1:
+			formula = &Globally{Bounds: Bounds{A: 0, B: 3}, Child: atom}
+		case 2:
+			formula = &Not{Child: atom}
+		case 3:
+			formula = &Implies{L: atom, R: Const(true)}
+		default:
+			formula = &Once{Bounds: Bounds{A: 0, B: 5}, Child: atom}
+		}
+		reparsed, err := Parse(formula.String())
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			s1, e1 := formula.Sat(tr, i)
+			s2, e2 := reparsed.Sat(tr, i)
+			if e1 != nil || e2 != nil || s1 != s2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

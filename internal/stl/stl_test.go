@@ -1,0 +1,397 @@
+package stl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// testTrace builds a 1-minute-sampled trace from named series.
+func testTrace(t *testing.T, series map[string][]float64) *Trace {
+	t.Helper()
+	tr, err := NewTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, vals := range series {
+		if err := tr.Set(name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func mustSat(t *testing.T, f Formula, tr *Trace, i int) bool {
+	t.Helper()
+	s, err := f.Sat(tr, i)
+	if err != nil {
+		t.Fatalf("Sat(%s, %d): %v", f, i, err)
+	}
+	return s
+}
+
+func mustRob(t *testing.T, f Formula, tr *Trace, i int) float64 {
+	t.Helper()
+	r, err := f.Robustness(tr, i)
+	if err != nil {
+		t.Fatalf("Robustness(%s, %d): %v", f, i, err)
+	}
+	return r
+}
+
+func TestTraceBasics(t *testing.T) {
+	if _, err := NewTrace(0); err == nil {
+		t.Error("zero dt should fail")
+	}
+	tr := testTrace(t, map[string][]float64{"x": {1, 2, 3}})
+	if tr.Len() != 3 || tr.Dt() != 1 {
+		t.Errorf("Len=%d Dt=%v", tr.Len(), tr.Dt())
+	}
+	if err := tr.Set("y", []float64{1, 2}); err == nil {
+		t.Error("mismatched series length should fail")
+	}
+	if _, err := tr.Value("zzz", 0); err == nil {
+		t.Error("unknown variable should fail")
+	}
+	if _, err := tr.Value("x", 5); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	v, err := tr.Value("x", 1)
+	if err != nil || v != 2 {
+		t.Errorf("Value(x,1) = %v, %v", v, err)
+	}
+}
+
+func TestTraceAppend(t *testing.T) {
+	tr, err := NewTrace(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Append(map[string]float64{"a": 1, "b": 10})
+	tr.Append(map[string]float64{"a": 2, "b": 20})
+	tr.Append(map[string]float64{"a": 3}) // b missing -> NaN
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	b2, err := tr.Value("b", 2)
+	if err != nil || !math.IsNaN(b2) {
+		t.Errorf("missing value should be NaN, got %v", b2)
+	}
+	// Late-added variable backfills NaN.
+	tr.Append(map[string]float64{"a": 4, "c": 100})
+	c0, err := tr.Value("c", 0)
+	if err != nil || !math.IsNaN(c0) {
+		t.Errorf("backfill should be NaN, got %v (%v)", c0, err)
+	}
+	names := tr.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestAtomOps(t *testing.T) {
+	tr := testTrace(t, map[string][]float64{"x": {5}})
+	tests := []struct {
+		op  CmpOp
+		th  float64
+		sat bool
+		rob float64
+	}{
+		{OpLT, 6, true, 1},
+		{OpLT, 5, false, 0},
+		{OpLE, 5, true, 0},
+		{OpGT, 4, true, 1},
+		{OpGT, 5, false, 0},
+		{OpGE, 5, true, 0},
+		{OpEQ, 5, true, 0},
+		{OpEQ, 7, false, -2},
+		{OpNE, 7, true, 2},
+		{OpNE, 5, false, 0},
+	}
+	for _, tt := range tests {
+		a := &Atom{Var: "x", Op: tt.op, Threshold: tt.th}
+		if got := mustSat(t, a, tr, 0); got != tt.sat {
+			t.Errorf("%s: sat %v, want %v", a, got, tt.sat)
+		}
+		if got := mustRob(t, a, tr, 0); math.Abs(got-tt.rob) > 1e-12 {
+			t.Errorf("%s: rob %v, want %v", a, got, tt.rob)
+		}
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	tr := testTrace(t, map[string][]float64{"x": {5}, "y": {10}})
+	xBig := &Atom{Var: "x", Op: OpGT, Threshold: 3}    // rob 2
+	ySmall := &Atom{Var: "y", Op: OpLT, Threshold: 12} // rob 2
+	yBig := &Atom{Var: "y", Op: OpGT, Threshold: 20}   // rob -10
+
+	and := NewAnd(xBig, ySmall)
+	if !mustSat(t, and, tr, 0) || mustRob(t, and, tr, 0) != 2 {
+		t.Errorf("and: %v %v", mustSat(t, and, tr, 0), mustRob(t, and, tr, 0))
+	}
+	and2 := NewAnd(xBig, yBig)
+	if mustSat(t, and2, tr, 0) || mustRob(t, and2, tr, 0) != -10 {
+		t.Error("and with false conjunct should be false with min robustness")
+	}
+	or := NewOr(yBig, xBig)
+	if !mustSat(t, or, tr, 0) || mustRob(t, or, tr, 0) != 2 {
+		t.Error("or should take max robustness")
+	}
+	not := &Not{Child: yBig}
+	if !mustSat(t, not, tr, 0) || mustRob(t, not, tr, 0) != 10 {
+		t.Error("not should negate robustness")
+	}
+	imp := &Implies{L: yBig, R: xBig}
+	if !mustSat(t, imp, tr, 0) {
+		t.Error("false antecedent implies anything")
+	}
+	if r := mustRob(t, imp, tr, 0); r != 10 {
+		t.Errorf("implication robustness %v, want max(-(-10), 2) = 10", r)
+	}
+	imp2 := &Implies{L: xBig, R: yBig}
+	if mustSat(t, imp2, tr, 0) {
+		t.Error("true antecedent, false consequent should fail")
+	}
+}
+
+func TestConst(t *testing.T) {
+	tr := testTrace(t, map[string][]float64{"x": {0}})
+	if !mustSat(t, Const(true), tr, 0) || mustSat(t, Const(false), tr, 0) {
+		t.Error("const sat broken")
+	}
+	if !math.IsInf(mustRob(t, Const(true), tr, 0), 1) {
+		t.Error("true robustness should be +inf")
+	}
+	if !math.IsInf(mustRob(t, Const(false), tr, 0), -1) {
+		t.Error("false robustness should be -inf")
+	}
+}
+
+func TestGloballyAndEventually(t *testing.T) {
+	tr := testTrace(t, map[string][]float64{"x": {1, 2, 3, 4, 5, 6}})
+	pos := &Atom{Var: "x", Op: OpGT, Threshold: 0}
+	big := &Atom{Var: "x", Op: OpGT, Threshold: 4}
+
+	g := &Globally{Bounds: Unbounded, Child: pos}
+	if !mustSat(t, g, tr, 0) {
+		t.Error("G(x>0) should hold")
+	}
+	if r := mustRob(t, g, tr, 0); r != 1 {
+		t.Errorf("G robustness %v, want min margin 1", r)
+	}
+	g2 := &Globally{Bounds: Unbounded, Child: big}
+	if mustSat(t, g2, tr, 0) {
+		t.Error("G(x>4) should fail")
+	}
+	// Windowed: x>4 holds on [4,5] minutes (samples 4,5).
+	g3 := &Globally{Bounds: Bounds{A: 4, B: 5}, Child: big}
+	if !mustSat(t, g3, tr, 0) {
+		t.Error("G[4,5](x>4) should hold from sample 0")
+	}
+	f := &Eventually{Bounds: Unbounded, Child: big}
+	if !mustSat(t, f, tr, 0) {
+		t.Error("F(x>4) should hold")
+	}
+	if r := mustRob(t, f, tr, 0); r != 2 {
+		t.Errorf("F robustness %v, want max margin 2", r)
+	}
+	f2 := &Eventually{Bounds: Bounds{A: 0, B: 2}, Child: big}
+	if mustSat(t, f2, tr, 0) {
+		t.Error("F[0,2](x>4) should fail (x<=3 there)")
+	}
+}
+
+func TestUntil(t *testing.T) {
+	// x stays low until y fires at sample 3.
+	tr := testTrace(t, map[string][]float64{
+		"x": {1, 1, 1, 9, 9},
+		"y": {0, 0, 0, 1, 0},
+	})
+	low := &Atom{Var: "x", Op: OpLT, Threshold: 5}
+	fire := &Atom{Var: "y", Op: OpEQ, Threshold: 1}
+	u := &Until{Bounds: Unbounded, L: low, R: fire}
+	if !mustSat(t, u, tr, 0) {
+		t.Error("low U fire should hold at 0")
+	}
+	if mustSat(t, u, tr, 4) {
+		t.Error("low U fire should fail at 4 (no future fire)")
+	}
+	// Bounded until that excludes the fire sample.
+	u2 := &Until{Bounds: Bounds{A: 0, B: 2}, L: low, R: fire}
+	if mustSat(t, u2, tr, 0) {
+		t.Error("bounded until should miss the fire at sample 3")
+	}
+	if r := mustRob(t, u, tr, 0); r < 0 {
+		t.Errorf("until robustness %v, want non-negative (equality atom caps margin at 0)", r)
+	}
+}
+
+func TestSince(t *testing.T) {
+	// Context fires at sample 1; x stays high afterwards.
+	tr := testTrace(t, map[string][]float64{
+		"ctx": {0, 1, 0, 0, 0},
+		"x":   {0, 9, 9, 9, 2},
+	})
+	high := &Atom{Var: "x", Op: OpGT, Threshold: 5}
+	ctx := &Atom{Var: "ctx", Op: OpEQ, Threshold: 1}
+	s := &Since{Bounds: Unbounded, L: high, R: ctx}
+	if !mustSat(t, s, tr, 3) {
+		t.Error("high S ctx should hold at 3")
+	}
+	if mustSat(t, s, tr, 4) {
+		t.Error("high S ctx should fail at 4 (x dropped)")
+	}
+	if mustSat(t, s, tr, 0) {
+		t.Error("high S ctx should fail at 0 (ctx never fired)")
+	}
+	// Bounded since: window too short to reach the ctx sample.
+	s2 := &Since{Bounds: Bounds{A: 0, B: 1}, L: high, R: ctx}
+	if mustSat(t, s2, tr, 3) {
+		t.Error("S[0,1] should not reach ctx two samples back")
+	}
+	if r := mustRob(t, s, tr, 3); r < 0 {
+		t.Errorf("since robustness %v, want non-negative (equality atom caps margin at 0)", r)
+	}
+}
+
+func TestOnceAndHistorically(t *testing.T) {
+	tr := testTrace(t, map[string][]float64{"x": {1, 5, 1, 1}})
+	big := &Atom{Var: "x", Op: OpGT, Threshold: 4}
+	pos := &Atom{Var: "x", Op: OpGT, Threshold: 0}
+	o := &Once{Bounds: Unbounded, Child: big}
+	if !mustSat(t, o, tr, 3) {
+		t.Error("O(x>4) should remember sample 1")
+	}
+	o2 := &Once{Bounds: Bounds{A: 0, B: 1}, Child: big}
+	if mustSat(t, o2, tr, 3) {
+		t.Error("O[0,1] should forget sample 1 at sample 3")
+	}
+	h := &Historically{Bounds: Unbounded, Child: pos}
+	if !mustSat(t, h, tr, 3) {
+		t.Error("H(x>0) should hold")
+	}
+	h2 := &Historically{Bounds: Unbounded, Child: big}
+	if mustSat(t, h2, tr, 3) {
+		t.Error("H(x>4) should fail")
+	}
+}
+
+func TestBoundsValidation(t *testing.T) {
+	tr := testTrace(t, map[string][]float64{"x": {1, 2}})
+	g := &Globally{Bounds: Bounds{A: 5, B: 2}, Child: &Atom{Var: "x", Op: OpGT, Threshold: 0}}
+	if _, err := g.Sat(tr, 0); err == nil {
+		t.Error("inverted bounds should error")
+	}
+	if _, err := g.Robustness(tr, 0); err == nil {
+		t.Error("inverted bounds should error in robustness")
+	}
+}
+
+func TestSatTraceHelpers(t *testing.T) {
+	tr := testTrace(t, map[string][]float64{"x": {1, 2, 3}})
+	pos := &Atom{Var: "x", Op: OpGT, Threshold: 0}
+	ok, err := SatTrace(pos, tr)
+	if err != nil || !ok {
+		t.Errorf("SatTrace: %v %v", ok, err)
+	}
+	r, err := RobustnessTrace(pos, tr)
+	if err != nil || r != 1 {
+		t.Errorf("RobustnessTrace = %v, %v; want 1", r, err)
+	}
+}
+
+func TestDtScaling(t *testing.T) {
+	// Same physical window, different sampling rates.
+	tr5, _ := NewTrace(5)
+	_ = tr5.Set("x", []float64{0, 0, 1, 0})
+	fire := &Atom{Var: "x", Op: OpEQ, Threshold: 1}
+	// x fires at minute 10 -> F[0,10] should catch it, F[0,5] should not.
+	f10 := &Eventually{Bounds: Bounds{A: 0, B: 10}, Child: fire}
+	f5 := &Eventually{Bounds: Bounds{A: 0, B: 5}, Child: fire}
+	if s, _ := f10.Sat(tr5, 0); !s {
+		t.Error("F[0,10] at 5-min sampling should include sample 2")
+	}
+	if s, _ := f5.Sat(tr5, 0); s {
+		t.Error("F[0,5] at 5-min sampling should exclude sample 2")
+	}
+}
+
+// Property: robustness sign agrees with boolean satisfaction for random
+// atoms and random traces (the fundamental soundness of quantitative
+// semantics). Zero robustness is the boundary and excluded.
+func TestRobustnessSignProperty(t *testing.T) {
+	f := func(vals []int8, th int8, opRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tr, _ := NewTrace(1)
+		series := make([]float64, len(vals))
+		for i, v := range vals {
+			series[i] = float64(v)
+		}
+		_ = tr.Set("x", series)
+		ops := []CmpOp{OpLT, OpLE, OpGT, OpGE}
+		atom := &Atom{Var: "x", Op: ops[int(opRaw)%len(ops)], Threshold: float64(th)}
+		for _, wrap := range []Formula{
+			atom,
+			&Globally{Bounds: Unbounded, Child: atom},
+			&Eventually{Bounds: Unbounded, Child: atom},
+			&Once{Bounds: Unbounded, Child: atom},
+			&Historically{Bounds: Unbounded, Child: atom},
+		} {
+			i := len(vals) / 2
+			sat, err := wrap.Sat(tr, i)
+			if err != nil {
+				return false
+			}
+			rob, err := wrap.Robustness(tr, i)
+			if err != nil {
+				return false
+			}
+			if rob > 0 && !sat {
+				return false
+			}
+			if rob < 0 && sat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan duality  G φ == not F not φ  on random traces.
+func TestGloballyEventuallyDuality(t *testing.T) {
+	f := func(vals []int8, th int8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tr, _ := NewTrace(1)
+		series := make([]float64, len(vals))
+		for i, v := range vals {
+			series[i] = float64(v)
+		}
+		_ = tr.Set("x", series)
+		atom := &Atom{Var: "x", Op: OpGT, Threshold: float64(th)}
+		g := &Globally{Bounds: Unbounded, Child: atom}
+		dual := &Not{Child: &Eventually{Bounds: Unbounded, Child: &Not{Child: atom}}}
+		for i := 0; i < len(vals); i++ {
+			s1, err1 := g.Sat(tr, i)
+			s2, err2 := dual.Sat(tr, i)
+			if err1 != nil || err2 != nil || s1 != s2 {
+				return false
+			}
+			r1, _ := g.Robustness(tr, i)
+			r2, _ := dual.Robustness(tr, i)
+			if math.Abs(r1-r2) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
