@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: build test race bench short vet ci
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: tier-1 verify — build plus the full test suite
+test: build
+	$(GO) test ./...
+
+## short: the fast subset (skips seconds-long suite training)
+short:
+	$(GO) test -short ./...
+
+## race: full suite under the race detector (the fleet engine's
+## concurrency tests run ≥1000 sessions here)
+race:
+	$(GO) test -race ./...
+
+## bench: every benchmark with allocation stats; doubles as the paper's
+## results summary (see bench_test.go) and the fleet throughput report
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+## vet: static checks
+vet:
+	$(GO) vet ./...
+
+## fmt: fail if any file is not gofmt-formatted
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+## ci: what a gate should run
+ci: fmt vet test race

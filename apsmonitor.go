@@ -32,10 +32,13 @@
 package apsmonitor
 
 import (
+	"context"
+
 	"repro/internal/closedloop"
 	"repro/internal/control"
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/risk"
@@ -151,8 +154,44 @@ func MustPlatform(name string) Platform {
 }
 
 // RunCampaign executes a fault-injection campaign and returns labeled
-// traces in deterministic order.
+// traces in deterministic order. Campaigns run on the fleet engine with
+// one run-to-completion session per patient x scenario pair.
 func RunCampaign(cfg CampaignConfig) ([]*Trace, error) { return experiment.Run(cfg) }
+
+// Fleet engine: streaming concurrent sessions (see internal/fleet and
+// DESIGN.md). RunCampaign is the batch special case; RunFleet exposes
+// the full engine — session replication, continuous serving mode,
+// per-session sensor noise, event streaming, and per-shard batched
+// monitor inference.
+type (
+	// FleetConfig describes a fleet run.
+	FleetConfig = fleet.Config
+	// FleetResult aggregates a fleet run's traces and counters.
+	FleetResult = fleet.Result
+	// FleetEvent is one entry of the progress/hazard event stream.
+	FleetEvent = fleet.Event
+	// FleetEventKind enumerates fleet lifecycle events.
+	FleetEventKind = fleet.EventKind
+	// BatchMonitor is the batched-inference monitor contract.
+	BatchMonitor = monitor.BatchMonitor
+)
+
+// Fleet event kinds.
+const (
+	FleetSessionStart = fleet.EventSessionStart
+	FleetAlarm        = fleet.EventAlarm
+	FleetHazard       = fleet.EventHazard
+	FleetSessionDone  = fleet.EventSessionDone
+	FleetProgress     = fleet.EventProgress
+)
+
+// RunFleet executes a fleet of concurrent closed-loop sessions.
+func RunFleet(ctx context.Context, cfg FleetConfig) (FleetResult, error) {
+	return fleet.Run(ctx, cfg)
+}
+
+// FleetPlatform adapts a campaign platform for the fleet engine.
+func FleetPlatform(p Platform) fleet.Platform { return fleet.Platform(p) }
 
 // RunFaultFree runs the fault-free scenario set for a platform.
 func RunFaultFree(p Platform, patients []int) ([]*Trace, error) {

@@ -18,11 +18,15 @@
 package apsmonitor_test
 
 import (
+	"context"
+	"math/rand"
 	"sync"
 	"testing"
 
 	apsmonitor "repro"
 	"repro/internal/experiment"
+	"repro/internal/fleet"
+	"repro/internal/ml"
 	"repro/internal/monitor"
 	"repro/internal/stllearn"
 	"repro/internal/trace"
@@ -335,6 +339,149 @@ func BenchmarkClosedLoopSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetSessionStep measures the fleet session hot path: one
+// control cycle of a streaming closed-loop session (sensor read,
+// controller decision, patient step, IOB bookkeeping) with pooled
+// sample buffers. ns/op is the per-cycle cost behind every fleet
+// throughput number.
+func BenchmarkFleetSessionStep(b *testing.B) {
+	platform := experiment.Glucosym()
+	scenario := experiment.ScenarioSubset(1)[0]
+	cfg := fleet.Config{
+		Platform:      fleet.Platform(platform),
+		Patients:      []int{0},
+		Scenarios:     []apsmonitor.Scenario{scenario},
+		Steps:         b.N,
+		Parallel:      1,
+		DiscardTraces: true,
+	}
+	b.ResetTimer()
+	if _, err := fleet.Run(context.Background(), cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchPaperMLP trains the paper's 256-128 MLP architecture on a small
+// synthetic feature set (the benchmark measures inference, not training
+// quality).
+func benchPaperMLP(b *testing.B) *ml.MLP {
+	b.Helper()
+	rng := rand.New(rand.NewSource(benchSeed))
+	X := make([][]float64, 512)
+	y := make([]int, len(X))
+	for i := range X {
+		row := make([]float64, monitor.FeatureDim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = rng.Intn(2)
+	}
+	m, err := ml.FitMLP(X, y, ml.MLPConfig{Epochs: 1, Patience: 1}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkFleetMonitorInference100 is the batching payoff at fleet
+// scale: evaluating one control cycle of 100 concurrent sessions with
+// the paper's MLP monitor, per-session (100 forward passes, each
+// streaming the full weight matrices) versus batched (one tiled
+// inference call per shard). The batched path is the fleet engine's
+// NewBatchMonitor mode; verdicts are bit-identical.
+func BenchmarkFleetMonitorInference100(b *testing.B) {
+	const sessions = 100
+	mlp := benchPaperMLP(b)
+	obs := make([]monitor.Observation, sessions)
+	rng := rand.New(rand.NewSource(2))
+	for k := range obs {
+		obs[k] = monitor.Observation{
+			CGM: 60 + 250*rng.Float64(), BGPrime: rng.NormFloat64(),
+			IOB: 5 * rng.Float64(), IOBPrime: rng.NormFloat64() * 0.1,
+			Rate: 4 * rng.Float64(), Action: trace.ActionKeep,
+		}
+	}
+
+	b.Run("per-session", func(b *testing.B) {
+		mons := make([]monitor.Monitor, sessions)
+		for k := range mons {
+			m, err := monitor.NewMLMonitor("MLP", mlp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mons[k] = m
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k, m := range mons {
+				m.Step(obs[k])
+			}
+		}
+		b.ReportMetric(float64(b.N)*sessions/b.Elapsed().Seconds(), "inferences/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		bm, err := monitor.NewBatchML("MLP", mlp.NewBatch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bm.ResetLanes(sessions)
+		lanes := make([]int, sessions)
+		for k := range lanes {
+			lanes[k] = k
+		}
+		out := make([]monitor.Verdict, sessions)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bm.StepBatch(lanes, obs, out)
+		}
+		b.ReportMetric(float64(b.N)*sessions/b.Elapsed().Seconds(), "inferences/s")
+	})
+}
+
+// BenchmarkFleetEngine100Sessions measures end-to-end engine throughput
+// (steps/s) for a 100-session fleet with the MLP monitor attached,
+// per-session versus batched per shard.
+func BenchmarkFleetEngine100Sessions(b *testing.B) {
+	mlp := benchPaperMLP(b)
+	platform := experiment.Glucosym()
+	base := fleet.Config{
+		Platform:      fleet.Platform(platform),
+		Patients:      []int{0, 1, 2, 3},
+		Scenarios:     experiment.ScenarioSubset(36), // 25 scenarios
+		Sessions:      100,
+		Steps:         50,
+		DiscardTraces: true,
+	}
+	run := func(b *testing.B, cfg fleet.Config) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			res, err := fleet.Run(context.Background(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("per-session", func(b *testing.B) {
+		cfg := base
+		cfg.NewMonitor = func(int) (monitor.Monitor, error) {
+			return monitor.NewMLMonitor("MLP", mlp)
+		}
+		run(b, cfg)
+	})
+	b.Run("batched", func(b *testing.B) {
+		cfg := base
+		cfg.NewBatchMonitor = func() (monitor.BatchMonitor, error) {
+			return monitor.NewBatchML("MLP", mlp.NewBatch())
+		}
+		run(b, cfg)
+	})
 }
 
 // BenchmarkThresholdLearning measures one full L-BFGS-B threshold fit

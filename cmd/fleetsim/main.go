@@ -1,0 +1,125 @@
+// Command fleetsim drives the streaming fleet engine: N patients x M
+// scenarios as concurrent closed-loop sessions on a sharded worker pool,
+// with per-session deterministic RNGs, optional CGM sensor noise, and a
+// live progress/hazard event stream. With -duration it runs in
+// continuous serving mode — completed sessions restart as fresh replicas
+// and trace buffers are recycled — and reports sustained throughput;
+// without it, the session matrix runs once to completion.
+//
+//	fleetsim -platform glucosym -patients 5 -scenarios 88 -sessions 2000 \
+//	         -parallel 8 -duration 30s -seed 1 -noise 2.5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	apsmonitor "repro"
+	"repro/internal/sensor"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "glucosym", "platform: glucosym or t1ds2013")
+		patients     = flag.Int("patients", 0, "limit to the first N patients (0 = whole cohort)")
+		scenarios    = flag.Int("scenarios", 0, "limit to the first M fault scenarios (0 = full 882 matrix)")
+		sessions     = flag.Int("sessions", 0, "concurrent session slots (0 = one per patient x scenario)")
+		parallel     = flag.Int("parallel", 0, "worker shards (0 = NumCPU)")
+		duration     = flag.Duration("duration", 0, "continuous serving mode: run for this long, recycling sessions (0 = run the matrix once)")
+		seed         = flag.Int64("seed", 1, "master seed for per-session RNG streams")
+		steps        = flag.Int("steps", 150, "control cycles per session")
+		noise        = flag.Float64("noise", 0, "CGM sensor noise SD in mg/dL (0 = clean sensor)")
+		progress     = flag.Int("progress", 0, "print a progress line every k completed sessions")
+		verbose      = flag.Bool("v", false, "stream alarm/hazard events")
+	)
+	flag.Parse()
+
+	platform, err := apsmonitor.PlatformByName(*platformName)
+	if err != nil {
+		fail(err)
+	}
+	cfg := apsmonitor.FleetConfig{
+		Platform:      apsmonitor.FleetPlatform(platform),
+		Sessions:      *sessions,
+		Steps:         *steps,
+		Parallel:      *parallel,
+		Seed:          *seed,
+		ProgressEvery: *progress,
+	}
+	if *patients > 0 {
+		for i := 0; i < *patients && i < platform.NumPatients; i++ {
+			cfg.Patients = append(cfg.Patients, i)
+		}
+	}
+	if *scenarios > 0 {
+		all := apsmonitor.FullCampaign()
+		if *scenarios < len(all) {
+			all = all[:*scenarios]
+		}
+		cfg.Scenarios = all
+	}
+	if *noise > 0 {
+		cfg.Sensor = &sensor.Config{NoiseSD: *noise}
+	}
+
+	ctx := context.Background()
+	if *duration > 0 {
+		cfg.Continuous = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	} else {
+		// One-shot fleets can be huge; traces are only summarized here,
+		// so recycle them instead of retaining the full matrix.
+		cfg.DiscardTraces = true
+	}
+
+	events := make(chan apsmonitor.FleetEvent, 256)
+	cfg.Events = events
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range events {
+			switch ev.Kind {
+			case apsmonitor.FleetProgress:
+				fmt.Println(ev)
+			case apsmonitor.FleetAlarm, apsmonitor.FleetHazard:
+				if *verbose {
+					fmt.Println(ev)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	res, err := apsmonitor.RunFleet(ctx, cfg)
+	close(events)
+	<-drained
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	mode := "one-shot"
+	if cfg.Continuous {
+		mode = "continuous"
+	}
+	fmt.Printf("fleet: %s on %s, %d session slots, seed %d\n",
+		mode, platform.Name, res.Sessions, *seed)
+	fmt.Printf("  completed:  %d sessions (%d hazardous, %d alarmed)\n",
+		res.Completed, res.Hazardous, res.Alarmed)
+	fmt.Printf("  steps:      %d control cycles in %v\n", res.Steps, elapsed.Round(time.Millisecond))
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		fmt.Printf("  throughput: %.0f steps/s, %.1f sessions/s\n",
+			float64(res.Steps)/secs, float64(res.Completed)/secs)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}

@@ -138,122 +138,17 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // Run executes one closed-loop simulation and returns the labeled trace.
+// It drives a Stepper to completion; the fleet engine uses the same
+// Stepper to interleave many simulations as concurrent sessions.
 func Run(cfg Config) (*trace.Trace, error) {
-	cfg, err := cfg.withDefaults()
+	st, err := NewStepper(cfg, StepperOptions{})
 	if err != nil {
 		return nil, err
 	}
-	cfg.Patient.Reset(cfg.InitialBG)
-	cfg.Controller.Reset()
-	if cfg.Monitor != nil {
-		cfg.Monitor.Reset()
+	for !st.Done() {
+		st.Step()
 	}
-
-	var injector *fault.Injector
-	if cfg.Fault != nil {
-		injector, err = fault.NewInjector(*cfg.Fault)
-		if err != nil {
-			return nil, fmt.Errorf("closedloop: %w", err)
-		}
-		cfg.Controller.SetPerturb(injector.Perturb)
-		defer cfg.Controller.SetPerturb(nil)
-	}
-
-	curve, err := control.NewExponentialCurve(cfg.DIA, cfg.PeakT)
-	if err != nil {
-		return nil, fmt.Errorf("closedloop: monitor IOB curve: %w", err)
-	}
-	monIOB := control.NewIOBTracker(curve, cfg.Patient.Basal())
-
-	tr := &trace.Trace{
-		PatientID: cfg.Patient.ID(),
-		Platform:  cfg.Platform,
-		InitialBG: cfg.InitialBG,
-		CycleMin:  cfg.CycleMin,
-	}
-	if cfg.Fault != nil {
-		tr.Fault = cfg.Fault.Info()
-	}
-	tr.Samples = make([]trace.Sample, 0, cfg.Steps)
-
-	prevCGM := math.NaN()
-	prevIOB := 0.0
-	prevDelivered := cfg.Patient.Basal()
-
-	for step := 0; step < cfg.Steps; step++ {
-		now := float64(step) * cfg.CycleMin
-		cgm := cfg.Patient.CGM()
-		iob := monIOB.IOB()
-
-		bgPrime := 0.0
-		if !math.IsNaN(prevCGM) {
-			bgPrime = (cgm - prevCGM) / cfg.CycleMin
-		}
-		iobPrime := 0.0
-		if step > 0 {
-			iobPrime = (iob - prevIOB) / cfg.CycleMin
-		}
-
-		if injector != nil {
-			injector.BeginStep(step)
-		}
-		out := cfg.Controller.Decide(control.Input{
-			TimeMin:  now,
-			CGM:      cgm,
-			CycleMin: cfg.CycleMin,
-		})
-		rate := clampRate(out.RateUPerH, cfg.Pump)
-		action := trace.ClassifyAction(rate, cfg.Patient.Basal())
-
-		s := trace.Sample{
-			Step:    step,
-			TimeMin: now,
-			BG:      cfg.Patient.BG(),
-			CGM:     cgm,
-			IOB:     iob,
-			BGPrime: bgPrime, IOBPrime: iobPrime,
-			Rate:   rate,
-			Action: action,
-		}
-		if cfg.Fault != nil {
-			s.FaultActive = cfg.Fault.Active(step)
-		}
-
-		delivered := rate
-		if cfg.Monitor != nil {
-			obs := Observation{
-				Step: step, TimeMin: now, CycleMin: cfg.CycleMin,
-				CGM: cgm, BGPrime: bgPrime, IOB: iob, IOBPrime: iobPrime,
-				Rate: rate, PrevRate: prevDelivered, Action: action,
-				Basal: cfg.Patient.Basal(),
-			}
-			v := cfg.Monitor.Step(obs)
-			s.Alarm = v.Alarm
-			s.AlarmHazard = v.Hazard
-			if v.Alarm && cfg.Mitigation.Enabled {
-				delivered = mitigate(v.Hazard, cfg.Mitigation, cfg.Pump)
-				if cfg.Mitigation.Corrective != nil {
-					if r, ok := cfg.Mitigation.Corrective(v.Hazard, obs); ok {
-						delivered = clampRate(r, cfg.Pump)
-					}
-				}
-				s.Mitigated = true
-			}
-		}
-		s.Delivered = delivered
-		tr.Samples = append(tr.Samples, s)
-
-		cfg.Patient.Step(delivered, 0, cfg.CycleMin)
-		cfg.Controller.RecordDelivery(delivered, cfg.CycleMin)
-		monIOB.Record(delivered, cfg.CycleMin)
-
-		prevCGM = cgm
-		prevIOB = iob
-		prevDelivered = delivered
-	}
-
-	cfg.Labeler.Label(tr)
-	return tr, nil
+	return st.Finish(), nil
 }
 
 // mitigate implements the corrective action of Algorithm 1.

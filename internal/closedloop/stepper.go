@@ -1,0 +1,243 @@
+package closedloop
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/control"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// StepperOptions extend a Config for incremental (fleet) execution.
+type StepperOptions struct {
+	// Samples, when non-nil, becomes the trace's sample buffer — the
+	// fleet engine recycles these through a sync.Pool so long-running
+	// session churn does not allocate per run.
+	Samples []trace.Sample
+	// Sensor optionally transforms the clean CGM reading at time tMin
+	// (e.g. a sensor.Model driven by a per-session RNG). Nil reads the
+	// patient's CGM directly, matching Run.
+	Sensor func(cleanCGM, tMin float64) float64
+}
+
+// Stepper executes a closed-loop simulation one control cycle at a time.
+// It is the single implementation of the simulation loop: Run drives it
+// to completion in one call, and the fleet engine interleaves many
+// steppers as concurrent sessions, optionally splitting each cycle at
+// the monitor decision (BeginStep / FinishStep) so one batched inference
+// call can serve a whole shard.
+//
+// A cycle runs either as Step (the attached cfg.Monitor decides) or as
+// BeginStep → FinishStep (the caller supplies the verdict, e.g. from a
+// monitor.BatchMonitor). Both orders produce samples identical to Run.
+type Stepper struct {
+	cfg      Config
+	opts     StepperOptions
+	injector *fault.Injector
+	monIOB   *control.IOBTracker
+	tr       *trace.Trace
+
+	step          int
+	prevCGM       float64
+	prevIOB       float64
+	prevDelivered float64
+
+	pending  pendingStep
+	finished bool
+}
+
+// pendingStep carries the half-completed cycle between BeginStep and
+// FinishStep.
+type pendingStep struct {
+	active bool
+	sample trace.Sample
+	obs    Observation
+}
+
+// NewStepper validates the config and prepares the run (resetting the
+// patient, controller, and monitor, and arming the fault injector).
+func NewStepper(cfg Config, opts StepperOptions) (*Stepper, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Patient.Reset(cfg.InitialBG)
+	cfg.Controller.Reset()
+	if cfg.Monitor != nil {
+		cfg.Monitor.Reset()
+	}
+
+	st := &Stepper{cfg: cfg, opts: opts}
+	if cfg.Fault != nil {
+		st.injector, err = fault.NewInjector(*cfg.Fault)
+		if err != nil {
+			return nil, fmt.Errorf("closedloop: %w", err)
+		}
+	}
+
+	curve, err := control.NewExponentialCurve(cfg.DIA, cfg.PeakT)
+	if err != nil {
+		return nil, fmt.Errorf("closedloop: monitor IOB curve: %w", err)
+	}
+	st.monIOB = control.NewIOBTracker(curve, cfg.Patient.Basal())
+
+	// Attach the fault hook only once construction can no longer fail,
+	// so an error return never leaves a stale perturbation on the
+	// caller's controller (Finish detaches it on the success path).
+	if st.injector != nil {
+		cfg.Controller.SetPerturb(st.injector.Perturb)
+	}
+
+	st.tr = &trace.Trace{
+		PatientID: cfg.Patient.ID(),
+		Platform:  cfg.Platform,
+		InitialBG: cfg.InitialBG,
+		CycleMin:  cfg.CycleMin,
+	}
+	if cfg.Fault != nil {
+		st.tr.Fault = cfg.Fault.Info()
+	}
+	if opts.Samples != nil {
+		st.tr.Samples = opts.Samples[:0]
+	} else {
+		st.tr.Samples = make([]trace.Sample, 0, cfg.Steps)
+	}
+
+	st.prevCGM = math.NaN()
+	st.prevDelivered = cfg.Patient.Basal()
+	return st, nil
+}
+
+// Done reports whether every configured cycle has run.
+func (st *Stepper) Done() bool { return st.step >= st.cfg.Steps }
+
+// StepIndex returns the index of the next cycle to run.
+func (st *Stepper) StepIndex() int { return st.step }
+
+// LastSample returns the most recently completed cycle's sample.
+func (st *Stepper) LastSample() (trace.Sample, bool) {
+	if len(st.tr.Samples) == 0 {
+		return trace.Sample{}, false
+	}
+	return st.tr.Samples[len(st.tr.Samples)-1], true
+}
+
+// BeginStep advances the cycle to its monitor decision point: it reads
+// the sensors, lets the controller decide, and returns the monitor's
+// observation. The caller must follow with FinishStep. Calling BeginStep
+// on a finished or already-pending stepper panics (engine bug).
+func (st *Stepper) BeginStep() Observation {
+	if st.Done() || st.pending.active {
+		panic("closedloop: BeginStep out of order")
+	}
+	cfg := &st.cfg
+	now := float64(st.step) * cfg.CycleMin
+	cgm := cfg.Patient.CGM()
+	if st.opts.Sensor != nil {
+		cgm = st.opts.Sensor(cgm, now)
+	}
+	iob := st.monIOB.IOB()
+
+	bgPrime := 0.0
+	if !math.IsNaN(st.prevCGM) {
+		bgPrime = (cgm - st.prevCGM) / cfg.CycleMin
+	}
+	iobPrime := 0.0
+	if st.step > 0 {
+		iobPrime = (iob - st.prevIOB) / cfg.CycleMin
+	}
+
+	if st.injector != nil {
+		st.injector.BeginStep(st.step)
+	}
+	out := cfg.Controller.Decide(control.Input{
+		TimeMin:  now,
+		CGM:      cgm,
+		CycleMin: cfg.CycleMin,
+	})
+	rate := clampRate(out.RateUPerH, cfg.Pump)
+	action := trace.ClassifyAction(rate, cfg.Patient.Basal())
+
+	sample := trace.Sample{
+		Step:    st.step,
+		TimeMin: now,
+		BG:      cfg.Patient.BG(),
+		CGM:     cgm,
+		IOB:     iob,
+		BGPrime: bgPrime, IOBPrime: iobPrime,
+		Rate:   rate,
+		Action: action,
+	}
+	if cfg.Fault != nil {
+		sample.FaultActive = cfg.Fault.Active(st.step)
+	}
+	obs := Observation{
+		Step: st.step, TimeMin: now, CycleMin: cfg.CycleMin,
+		CGM: cgm, BGPrime: bgPrime, IOB: iob, IOBPrime: iobPrime,
+		Rate: rate, PrevRate: st.prevDelivered, Action: action,
+		Basal: cfg.Patient.Basal(),
+	}
+	st.pending = pendingStep{active: true, sample: sample, obs: obs}
+	st.prevCGM = cgm
+	st.prevIOB = iob
+	return obs
+}
+
+// FinishStep applies the verdict for the pending cycle — alarm
+// annotation and (when enabled) Algorithm 1 mitigation — then delivers
+// insulin and advances the patient, controller, and IOB model.
+func (st *Stepper) FinishStep(v Verdict) {
+	if !st.pending.active {
+		panic("closedloop: FinishStep without BeginStep")
+	}
+	cfg := &st.cfg
+	s := st.pending.sample
+	s.Alarm = v.Alarm
+	s.AlarmHazard = v.Hazard
+
+	delivered := s.Rate
+	if v.Alarm && cfg.Mitigation.Enabled {
+		delivered = mitigate(v.Hazard, cfg.Mitigation, cfg.Pump)
+		if cfg.Mitigation.Corrective != nil {
+			if r, ok := cfg.Mitigation.Corrective(v.Hazard, st.pending.obs); ok {
+				delivered = clampRate(r, cfg.Pump)
+			}
+		}
+		s.Mitigated = true
+	}
+	s.Delivered = delivered
+	st.tr.Samples = append(st.tr.Samples, s)
+
+	cfg.Patient.Step(delivered, 0, cfg.CycleMin)
+	cfg.Controller.RecordDelivery(delivered, cfg.CycleMin)
+	st.monIOB.Record(delivered, cfg.CycleMin)
+
+	st.prevDelivered = delivered
+	st.pending.active = false
+	st.step++
+}
+
+// Step runs one full cycle, consulting cfg.Monitor when attached.
+func (st *Stepper) Step() {
+	obs := st.BeginStep()
+	var v Verdict
+	if st.cfg.Monitor != nil {
+		v = st.cfg.Monitor.Step(obs)
+	}
+	st.FinishStep(v)
+}
+
+// Finish labels the trace and returns it, releasing the fault-injection
+// hook. The stepper must not be used afterwards.
+func (st *Stepper) Finish() *trace.Trace {
+	if st.finished {
+		panic("closedloop: Finish called twice")
+	}
+	st.finished = true
+	if st.injector != nil {
+		st.cfg.Controller.SetPerturb(nil)
+	}
+	st.cfg.Labeler.Label(st.tr)
+	return st.tr
+}

@@ -1,14 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
-	"repro/internal/closedloop"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/monitor"
-	"repro/internal/risk"
 	"repro/internal/trace"
 )
 
@@ -31,102 +29,31 @@ type CampaignConfig struct {
 	Parallel int
 }
 
-func (c CampaignConfig) withDefaults() CampaignConfig {
-	if len(c.Patients) == 0 {
-		c.Patients = make([]int, c.Platform.NumPatients)
-		for i := range c.Patients {
-			c.Patients[i] = i
-		}
+// FleetConfig translates the campaign description into its fleet
+// equivalent: one run-to-completion session per patient x scenario pair,
+// traces retained in deterministic order (patients outer, scenarios
+// inner).
+func (c CampaignConfig) FleetConfig() fleet.Config {
+	return fleet.Config{
+		Platform:   fleet.Platform(c.Platform),
+		Patients:   c.Patients,
+		Scenarios:  c.Scenarios,
+		Steps:      c.Steps,
+		Parallel:   c.Parallel,
+		NewMonitor: c.NewMonitor,
+		Mitigate:   c.Mitigate,
 	}
-	if len(c.Scenarios) == 0 {
-		c.Scenarios = fault.Campaign(nil)
-	}
-	if c.Steps == 0 {
-		c.Steps = 150
-	}
-	if c.Parallel <= 0 {
-		c.Parallel = runtime.NumCPU()
-	}
-	return c
 }
 
-// job identifies one simulation of the campaign.
-type job struct {
-	patientIdx int
-	scenario   fault.Scenario
-	out        int // index into the result slice
-}
-
-// Run executes the campaign and returns labeled traces in deterministic
-// order (patients outer, scenarios inner), regardless of scheduling.
+// Run executes the campaign on the fleet engine and returns labeled
+// traces in deterministic order (patients outer, scenarios inner),
+// regardless of scheduling.
 func Run(cfg CampaignConfig) ([]*trace.Trace, error) {
-	cfg = cfg.withDefaults()
-	jobs := make([]job, 0, len(cfg.Patients)*len(cfg.Scenarios))
-	for _, p := range cfg.Patients {
-		for _, sc := range cfg.Scenarios {
-			jobs = append(jobs, job{patientIdx: p, scenario: sc, out: len(jobs)})
-		}
-	}
-	results := make([]*trace.Trace, len(jobs))
-	errs := make([]error, len(jobs))
-
-	var wg sync.WaitGroup
-	ch := make(chan job)
-	for w := 0; w < cfg.Parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				results[j.out], errs[j.out] = runOne(cfg, j)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiment: job %d (patient %d, %s): %w",
-				i, jobs[i].patientIdx, jobs[i].scenario.Fault.Name(), err)
-		}
-	}
-	return results, nil
-}
-
-func runOne(cfg CampaignConfig, j job) (*trace.Trace, error) {
-	patient, err := cfg.Platform.NewPatient(j.patientIdx)
+	res, err := fleet.Run(context.Background(), cfg.FleetConfig())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiment: %w", err)
 	}
-	ctrl, err := cfg.Platform.NewController(patient.Basal())
-	if err != nil {
-		return nil, err
-	}
-	var mon monitor.Monitor
-	if cfg.NewMonitor != nil {
-		mon, err = cfg.NewMonitor(j.patientIdx)
-		if err != nil {
-			return nil, err
-		}
-	}
-	loopCfg := closedloop.Config{
-		Platform:   cfg.Platform.Name + "/" + ctrl.Name(),
-		Steps:      cfg.Steps,
-		InitialBG:  j.scenario.InitialBG,
-		Patient:    patient,
-		Controller: ctrl,
-		Monitor:    mon,
-		Mitigation: closedloop.MitigationConfig{Enabled: cfg.Mitigate && mon != nil},
-		Labeler:    risk.Labeler{},
-	}
-	if j.scenario.Fault.Duration > 0 {
-		f := j.scenario.Fault
-		loopCfg.Fault = &f
-	}
-	return closedloop.Run(loopCfg)
+	return res.Traces, nil
 }
 
 // FaultFree runs the fault-free scenario set (one run per initial BG per

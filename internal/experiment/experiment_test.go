@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -101,6 +103,36 @@ func TestCampaignDeterministicOrder(t *testing.T) {
 				t.Fatalf("trace %d sample %d differs across runs", i, j)
 			}
 		}
+	}
+}
+
+// TestCampaignGoldenDeterminism is the campaign-side golden test: the
+// serialized traces of a campaign are byte-identical at Parallel=1 and
+// Parallel=NumCPU (the fleet engine's scheduling never leaks into
+// results).
+func TestCampaignGoldenDeterminism(t *testing.T) {
+	run := func(parallel int) []byte {
+		traces, err := Run(CampaignConfig{
+			Platform:  Glucosym(),
+			Patients:  []int{0, 7},
+			Scenarios: ScenarioSubset(50),
+			Steps:     50,
+			Parallel:  parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tr := range traces {
+			if err := tr.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	golden := run(1)
+	if got := run(runtime.NumCPU()); !bytes.Equal(got, golden) {
+		t.Fatal("campaign traces differ between Parallel=1 and Parallel=NumCPU")
 	}
 }
 

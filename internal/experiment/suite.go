@@ -208,6 +208,23 @@ func (s *Suite) NewMonitor(name, patientID string) (monitor.Monitor, error) {
 	}
 }
 
+// NewBatchMonitor instantiates a batched-inference monitor for the ML
+// baselines (DT, MLP, LSTM): one per fleet shard, sharing this suite's
+// trained weights. Verdicts are bit-identical to the per-session
+// monitors of NewMonitor.
+func (s *Suite) NewBatchMonitor(name string) (monitor.BatchMonitor, error) {
+	switch name {
+	case "DT":
+		return monitor.NewBatchML("DT", s.DT)
+	case "MLP":
+		return monitor.NewBatchML("MLP", s.MLP.NewBatch())
+	case "LSTM":
+		return monitor.NewBatchSequence("LSTM", s.LSTM.NewBatch(), s.Config.LSTMWindow)
+	default:
+		return nil, fmt.Errorf("experiment: no batched variant of monitor %q", name)
+	}
+}
+
 func subsample(X [][]float64, y []int, limit int, rng *rand.Rand) ([][]float64, []int) {
 	if len(X) <= limit {
 		return X, y

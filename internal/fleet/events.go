@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// EventKind enumerates the fleet's lifecycle events.
+type EventKind int
+
+const (
+	// EventSessionStart marks a session (or continuous-mode replica)
+	// beginning its first cycle.
+	EventSessionStart EventKind = iota
+	// EventAlarm streams a session's first monitor alarm, live.
+	EventAlarm
+	// EventHazard marks a completed session whose trace was labeled
+	// hazardous (ground truth is only known after labeling).
+	EventHazard
+	// EventSessionDone marks a session running to completion.
+	EventSessionDone
+	// EventProgress is emitted every Config.ProgressEvery completions.
+	EventProgress
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSessionStart:
+		return "start"
+	case EventAlarm:
+		return "alarm"
+	case EventHazard:
+		return "hazard"
+	case EventSessionDone:
+		return "done"
+	case EventProgress:
+		return "progress"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of the fleet's progress/hazard stream. Events from
+// different shards interleave nondeterministically; the deterministic
+// artifact of a run is its traces, not its event order.
+type Event struct {
+	Kind       EventKind
+	Session    int // session slot index
+	PatientIdx int
+	Replica    int
+	// Step is the cycle of the event: first alarm step for EventAlarm,
+	// first hazard step for EventHazard, trace length for
+	// EventSessionDone.
+	Step   int
+	Hazard trace.HazardType
+	// Completed carries the global completion count on EventSessionDone
+	// and EventProgress.
+	Completed int64
+}
+
+// String renders a compact human-readable line for log streaming.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventProgress:
+		return fmt.Sprintf("progress: %d sessions completed", e.Completed)
+	case EventAlarm, EventHazard:
+		return fmt.Sprintf("%s: session %d (patient %d) %s at step %d",
+			e.Kind, e.Session, e.PatientIdx, e.Hazard, e.Step)
+	default:
+		return fmt.Sprintf("%s: session %d (patient %d, replica %d)",
+			e.Kind, e.Session, e.PatientIdx, e.Replica)
+	}
+}

@@ -1,0 +1,492 @@
+// Package fleet is the streaming concurrent simulation engine: it runs
+// N patients x M scenarios as long-running closed-loop sessions instead
+// of one-shot batch jobs. Each session owns a deterministic per-session
+// RNG (seeded from patient x scenario x replica, so results are
+// identical at any parallelism level), a pooled trace buffer, and an
+// attached safety monitor; sessions are driven by a sharded worker pool
+// with context cancellation, progress/hazard events are streamed over a
+// channel, and DT/MLP/LSTM inference can be batched per shard so monitor
+// evaluation amortizes across sessions (see internal/ml's batched
+// forward passes).
+//
+// The batch campaign of internal/experiment is the run-to-completion
+// special case: experiment.Run builds a Config with one session per
+// patient x scenario pair and collects the traces in deterministic
+// order. Continuous mode keeps every session slot busy — when a session
+// completes, its trace buffer is recycled and the slot restarts with a
+// fresh RNG stream — which is the serving shape the roadmap's
+// million-session target grows from.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/closedloop"
+	"repro/internal/control"
+	"repro/internal/fault"
+	"repro/internal/monitor"
+	"repro/internal/sensor"
+	"repro/internal/trace"
+)
+
+// Platform couples a patient cohort with its controller. It is
+// structurally identical to experiment.Platform so the campaign layer
+// converts with a plain type conversion (fleet cannot import experiment:
+// experiment delegates to fleet).
+type Platform struct {
+	Name        string
+	NumPatients int
+	// NewPatient builds cohort patient idx.
+	NewPatient func(idx int) (closedloop.Patient, error)
+	// NewController builds the platform's controller for a patient with
+	// the given basal rate.
+	NewController func(basalUPerH float64) (control.Controller, error)
+}
+
+// Config describes one fleet run.
+type Config struct {
+	Platform Platform
+	// Patients selects cohort indices; nil means the whole cohort.
+	Patients []int
+	// Scenarios selects the fault matrix; nil means the full 882-per-
+	// patient campaign.
+	Scenarios []fault.Scenario
+	// Sessions is the number of concurrent session slots. Zero means one
+	// per patient x scenario pair; larger values wrap around the matrix
+	// with fresh RNG replicas.
+	Sessions int
+	// Steps per session (default 150 five-minute cycles).
+	Steps int
+	// CycleMin is the control-cycle length (default 5 minutes).
+	CycleMin float64
+	// Parallel bounds worker shards (default NumCPU). Sessions are
+	// sharded round-robin; each shard is owned by one goroutine.
+	Parallel int
+	// MaxLivePerShard caps how many of a shard's sessions are resident
+	// and interleaved at once (default 128); remaining slots queue until
+	// a live session completes, bounding memory on full-matrix
+	// campaigns. It also sets the batched-inference width. Continuous
+	// mode ignores the cap: Sessions *is* the requested live fleet size.
+	MaxLivePerShard int
+	// Seed is the master seed: session i's RNG stream is derived from
+	// (Seed, patient, scenario, replica), never from scheduling.
+	Seed int64
+	// Sensor optionally attaches a CGM error model per session, driven
+	// by the session RNG. Nil reads the clean CGM.
+	Sensor *sensor.Config
+	// NewMonitor optionally builds a per-session safety monitor.
+	NewMonitor func(patientIdx int) (monitor.Monitor, error)
+	// NewBatchMonitor optionally builds one batched monitor per shard;
+	// the shard then evaluates all its sessions' observations in a
+	// single inference call per cycle. Mutually exclusive with
+	// NewMonitor.
+	NewBatchMonitor func() (monitor.BatchMonitor, error)
+	// Mitigate enables Algorithm 1 when a monitor is attached.
+	Mitigate bool
+	// DiscardTraces recycles completed traces through the buffer pool
+	// after summarizing them into Result counters and events, instead of
+	// retaining them. Continuous mode forces this on.
+	DiscardTraces bool
+	// Continuous restarts each completed session with a fresh replica
+	// RNG stream until the context is cancelled (run-forever serving
+	// mode). The context deadline/cancellation is the normal way to stop
+	// a continuous fleet and is not reported as an error.
+	Continuous bool
+	// Events optionally streams lifecycle events. The caller must drain
+	// the channel; sends are abandoned when the context is cancelled.
+	Events chan<- Event
+	// ProgressEvery emits an EventProgress every k completed sessions
+	// (default 0: no progress events).
+	ProgressEvery int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Platform.NewPatient == nil || c.Platform.NewController == nil {
+		return c, fmt.Errorf("fleet: incomplete platform")
+	}
+	if c.NewMonitor != nil && c.NewBatchMonitor != nil {
+		return c, fmt.Errorf("fleet: NewMonitor and NewBatchMonitor are mutually exclusive")
+	}
+	if len(c.Patients) == 0 {
+		c.Patients = make([]int, c.Platform.NumPatients)
+		for i := range c.Patients {
+			c.Patients[i] = i
+		}
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = fault.Campaign(nil)
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = len(c.Patients) * len(c.Scenarios)
+	}
+	if c.Steps == 0 {
+		c.Steps = 150
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.NumCPU()
+	}
+	if c.Parallel > c.Sessions {
+		c.Parallel = c.Sessions
+	}
+	if c.MaxLivePerShard <= 0 {
+		c.MaxLivePerShard = 128
+	}
+	if c.Continuous {
+		c.DiscardTraces = true
+	}
+	return c, nil
+}
+
+// spec pins one session slot to its patient/scenario/replica coordinates.
+type spec struct {
+	index      int // slot index: result slice position
+	patientIdx int
+	scenIdx    int
+	replica    int
+}
+
+func (c *Config) specFor(slot, replica int) spec {
+	matrix := len(c.Patients) * len(c.Scenarios)
+	rem := slot % matrix
+	return spec{
+		index:      slot,
+		patientIdx: c.Patients[rem/len(c.Scenarios)],
+		scenIdx:    rem % len(c.Scenarios),
+		replica:    slot/matrix + replica,
+	}
+}
+
+// Result summarizes a fleet run.
+type Result struct {
+	// Traces holds one labeled trace per session slot in deterministic
+	// order (patients outer, scenarios inner, then replicas). Nil when
+	// DiscardTraces is set.
+	Traces []*trace.Trace
+	// Sessions is the number of session slots.
+	Sessions int
+	// Completed counts sessions run to completion (> Sessions in
+	// continuous mode).
+	Completed int64
+	// Steps counts control cycles executed across all sessions.
+	Steps int64
+	// Hazardous counts completed sessions whose trace carries a hazard
+	// label; Alarmed counts sessions whose monitor raised an alarm.
+	Hazardous int64
+	Alarmed   int64
+}
+
+// Run executes the fleet until every session completes (or forever, in
+// continuous mode) and returns the aggregate result. Cancelling the
+// context stops a finite run with the context's error; for a continuous
+// fleet cancellation is the normal shutdown path and returns nil.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	eng := &engine{ctx: ctx, cfg: cfg, pool: newBufferPool(cfg.Steps)}
+	if !cfg.DiscardTraces {
+		eng.traces = make([]*trace.Trace, cfg.Sessions)
+	}
+	eng.errs = make([]error, cfg.Parallel)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Parallel; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			eng.runShard(shard)
+		}(w)
+	}
+	wg.Wait()
+
+	for _, err := range eng.errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if err := ctx.Err(); err != nil && !cfg.Continuous {
+		return Result{}, fmt.Errorf("fleet: run cancelled: %w", err)
+	}
+	return Result{
+		Traces:    eng.traces,
+		Sessions:  cfg.Sessions,
+		Completed: eng.completed.Load(),
+		Steps:     eng.steps.Load(),
+		Hazardous: eng.hazardous.Load(),
+		Alarmed:   eng.alarmed.Load(),
+	}, nil
+}
+
+// engine is the shared state of one fleet run. Workers touch disjoint
+// trace slots and communicate only through the atomic counters and the
+// event channel, so the whole run is data-race free by construction.
+type engine struct {
+	ctx    context.Context
+	cfg    Config
+	pool   *bufferPool
+	traces []*trace.Trace
+	errs   []error
+
+	steps     atomic.Int64
+	completed atomic.Int64
+	hazardous atomic.Int64
+	alarmed   atomic.Int64
+}
+
+// emit streams an event unless the run is shutting down.
+func (e *engine) emit(ev Event) {
+	if e.cfg.Events == nil {
+		return
+	}
+	select {
+	case e.cfg.Events <- ev:
+	case <-e.ctx.Done():
+	}
+}
+
+// runShard owns sessions slot ≡ shard (mod Parallel), stepping its live
+// window in lock-step rounds so a batched monitor can serve the whole
+// window with one inference call per cycle. At most MaxLivePerShard
+// sessions are resident at once; queued slots start as live ones
+// complete, reusing their lane (and its recycled buffers).
+func (e *engine) runShard(shard int) {
+	cfg := &e.cfg
+	var slots []int
+	for slot := shard; slot < cfg.Sessions; slot += cfg.Parallel {
+		slots = append(slots, slot)
+	}
+	window := len(slots)
+	if !cfg.Continuous && window > cfg.MaxLivePerShard {
+		window = cfg.MaxLivePerShard
+	}
+
+	var bm monitor.BatchMonitor
+	if cfg.NewBatchMonitor != nil {
+		var err error
+		if bm, err = cfg.NewBatchMonitor(); err != nil {
+			e.errs[shard] = fmt.Errorf("fleet: shard %d batch monitor: %w", shard, err)
+			return
+		}
+		bm.ResetLanes(window)
+	}
+
+	next := 0 // next queued slot
+	start := func(sp spec, lane int) (*Session, error) {
+		s, err := e.newSession(sp, lane)
+		if err != nil {
+			return nil, err
+		}
+		e.emit(Event{Kind: EventSessionStart, Session: s.Index, PatientIdx: s.PatientIdx, Replica: s.Replica})
+		return s, nil
+	}
+	live := make([]*Session, 0, window)
+	for lane := 0; lane < window; lane++ {
+		s, err := start(cfg.specFor(slots[next], 0), lane)
+		if err != nil {
+			e.errs[shard] = err
+			return
+		}
+		next++
+		live = append(live, s)
+	}
+
+	// Per-round scratch for the batched path.
+	lanes := make([]int, 0, len(live))
+	obs := make([]closedloop.Observation, 0, len(live))
+	verdicts := make([]closedloop.Verdict, len(live))
+
+	for len(live) > 0 {
+		select {
+		case <-e.ctx.Done():
+			if !cfg.Continuous {
+				e.errs[shard] = fmt.Errorf("fleet: run cancelled: %w", e.ctx.Err())
+			}
+			return
+		default:
+		}
+
+		if bm != nil {
+			lanes, obs = lanes[:0], obs[:0]
+			for _, s := range live {
+				lanes = append(lanes, s.lane)
+				obs = append(obs, s.BeginStep())
+			}
+			bm.StepBatch(lanes, obs, verdicts[:len(live)])
+			for i, s := range live {
+				s.FinishStep(verdicts[i])
+				e.noteStep(s)
+			}
+		} else {
+			for _, s := range live {
+				s.Step()
+				e.noteStep(s)
+			}
+		}
+		e.steps.Add(int64(len(live)))
+
+		// Retire finished sessions, refilling their lane from the queue
+		// (finite mode) or with the next replica (continuous mode).
+		for i := len(live) - 1; i >= 0; i-- {
+			s := live[i]
+			if !s.Done() {
+				continue
+			}
+			e.finalize(s)
+			var refill *spec
+			switch {
+			case cfg.Continuous && e.ctx.Err() == nil:
+				refill = &spec{
+					index: s.Index, patientIdx: s.PatientIdx,
+					scenIdx: s.scenIdx, replica: s.Replica + 1,
+				}
+			case !cfg.Continuous && next < len(slots):
+				sp := cfg.specFor(slots[next], 0)
+				next++
+				refill = &sp
+			}
+			if refill == nil {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			if bm != nil {
+				bm.ResetLane(s.lane)
+			}
+			ns, err := start(*refill, s.lane)
+			if err != nil {
+				e.errs[shard] = err
+				return
+			}
+			live[i] = ns
+		}
+	}
+}
+
+// noteStep streams the session's first monitor alarm as a live event.
+func (e *engine) noteStep(s *Session) {
+	if s.alarmed {
+		return
+	}
+	if sample, ok := s.st.LastSample(); ok && sample.Alarm {
+		s.alarmed = true
+		e.emit(Event{
+			Kind: EventAlarm, Session: s.Index, PatientIdx: s.PatientIdx,
+			Replica: s.Replica, Step: sample.Step, Hazard: sample.AlarmHazard,
+		})
+	}
+}
+
+// finalize labels a completed session, folds it into the counters,
+// streams its terminal events, and either retains or recycles the trace.
+func (e *engine) finalize(s *Session) {
+	tr := s.Finish()
+	if s.alarmed {
+		e.alarmed.Add(1)
+	}
+	hazard := tr.DominantHazard()
+	if hazard != trace.HazardNone {
+		e.hazardous.Add(1)
+		e.emit(Event{
+			Kind: EventHazard, Session: s.Index, PatientIdx: s.PatientIdx,
+			Replica: s.Replica, Step: tr.FirstHazardStep(), Hazard: hazard,
+		})
+	}
+	done := e.completed.Add(1)
+	e.emit(Event{
+		Kind: EventSessionDone, Session: s.Index, PatientIdx: s.PatientIdx,
+		Replica: s.Replica, Step: tr.Len(), Hazard: hazard, Completed: done,
+	})
+	if pe := e.cfg.ProgressEvery; pe > 0 && done%int64(pe) == 0 {
+		e.emit(Event{Kind: EventProgress, Completed: done})
+	}
+	if e.traces != nil {
+		e.traces[s.Index] = tr
+	} else {
+		e.pool.put(tr.Samples)
+	}
+}
+
+// newSession builds the patient, controller, monitor, sensor, and
+// stepper for one session slot.
+func (e *engine) newSession(sp spec, lane int) (*Session, error) {
+	cfg := &e.cfg
+	sc := cfg.Scenarios[sp.scenIdx]
+	wrap := func(err error) error {
+		return fmt.Errorf("fleet: session %d (patient %d, %s): %w",
+			sp.index, sp.patientIdx, sc.Fault.Name(), err)
+	}
+	patient, err := cfg.Platform.NewPatient(sp.patientIdx)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	ctrl, err := cfg.Platform.NewController(patient.Basal())
+	if err != nil {
+		return nil, wrap(err)
+	}
+	var mon monitor.Monitor
+	if cfg.NewMonitor != nil {
+		if mon, err = cfg.NewMonitor(sp.patientIdx); err != nil {
+			return nil, wrap(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(sessionSeed(cfg.Seed, sp)))
+	opts := closedloop.StepperOptions{Samples: e.pool.get()}
+	if cfg.Sensor != nil {
+		model, err := sensor.New(*cfg.Sensor, rng)
+		if err != nil {
+			return nil, wrap(err)
+		}
+		opts.Sensor = model.Read
+	}
+	loopCfg := closedloop.Config{
+		Platform:   cfg.Platform.Name + "/" + ctrl.Name(),
+		Steps:      cfg.Steps,
+		CycleMin:   cfg.CycleMin,
+		InitialBG:  sc.InitialBG,
+		Patient:    patient,
+		Controller: ctrl,
+		Monitor:    mon,
+		Mitigation: closedloop.MitigationConfig{
+			Enabled: cfg.Mitigate && (mon != nil || cfg.NewBatchMonitor != nil),
+		},
+	}
+	if sc.Fault.Duration > 0 {
+		f := sc.Fault
+		loopCfg.Fault = &f
+	}
+	st, err := closedloop.NewStepper(loopCfg, opts)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	return &Session{
+		Index: sp.index, PatientIdx: sp.patientIdx, Replica: sp.replica,
+		Scenario: sc, scenIdx: sp.scenIdx, lane: lane, rng: rng, st: st,
+	}, nil
+}
+
+// sessionSeed derives a session's RNG stream from its coordinates with a
+// splitmix64-style mix, so streams are decorrelated, unique per
+// slot x replica, and independent of scheduling.
+func sessionSeed(seed int64, sp spec) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range [4]uint64{
+		uint64(sp.index) + 1,
+		uint64(sp.patientIdx) + 1,
+		uint64(sp.scenIdx) + 1,
+		uint64(sp.replica) + 1,
+	} {
+		z += v * 0x9e3779b97f4a7c15
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}

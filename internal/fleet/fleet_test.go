@@ -1,0 +1,327 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/closedloop"
+	"repro/internal/control"
+	"repro/internal/fault"
+	"repro/internal/ml"
+	"repro/internal/monitor"
+	"repro/internal/sensor"
+	"repro/internal/sim/glucosym"
+	"repro/internal/trace"
+)
+
+// glucosymPlatform mirrors experiment.Glucosym without importing
+// experiment (which imports fleet).
+func glucosymPlatform() Platform {
+	return Platform{
+		Name:        "glucosym",
+		NumPatients: glucosym.NumPatients,
+		NewPatient: func(idx int) (closedloop.Patient, error) {
+			return glucosym.New(idx)
+		},
+		NewController: func(basal float64) (control.Controller, error) {
+			return control.NewOpenAPS(control.OpenAPSConfig{Basal: basal, ISF: 50})
+		},
+	}
+}
+
+// thinScenarios picks every k-th scenario of the full campaign.
+func thinScenarios(k int) []fault.Scenario {
+	all := fault.Campaign(nil)
+	out := make([]fault.Scenario, 0, len(all)/k+1)
+	for i := 0; i < len(all); i += k {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// tracesCSV serializes traces to one byte stream for golden comparison.
+func tracesCSV(t *testing.T, traces []*trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tr := range traces {
+		if tr == nil {
+			t.Fatal("nil trace in result")
+		}
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSessionMatchesClosedLoopRun pins the fleet session to the one-shot
+// simulator: a single session must reproduce closedloop.Run exactly.
+func TestSessionMatchesClosedLoopRun(t *testing.T) {
+	plat := glucosymPlatform()
+	sc := thinScenarios(97)[1]
+
+	res, err := Run(context.Background(), Config{
+		Platform: plat, Patients: []int{2},
+		Scenarios: []fault.Scenario{sc}, Steps: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 1 {
+		t.Fatalf("%d traces, want 1", len(res.Traces))
+	}
+
+	patient, err := plat.NewPatient(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := plat.NewController(patient.Basal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sc.Fault
+	want, err := closedloop.Run(closedloop.Config{
+		Platform: "glucosym/" + ctrl.Name(), Steps: 60,
+		InitialBG: sc.InitialBG, Patient: patient, Controller: ctrl, Fault: &f,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Traces[0]
+	if got.Len() != want.Len() {
+		t.Fatalf("length %d vs %d", got.Len(), want.Len())
+	}
+	for i := range want.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, got.Samples[i], want.Samples[i])
+		}
+	}
+}
+
+// TestFleetDeterministicAcrossParallelism is the golden determinism
+// guard: with sensor noise active (per-session RNG in the loop), the
+// serialized traces must be byte-identical at Parallel=1 and
+// Parallel=NumCPU.
+func TestFleetDeterministicAcrossParallelism(t *testing.T) {
+	base := Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 3},
+		Scenarios: thinScenarios(40),
+		Steps:     40,
+		Seed:      42,
+		Sensor:    &sensor.Config{NoiseSD: 3},
+	}
+	run := func(parallel int) []byte {
+		cfg := base
+		cfg.Parallel = parallel
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tracesCSV(t, res.Traces)
+	}
+	golden := run(1)
+	for _, p := range []int{runtime.NumCPU(), 7} {
+		if got := run(p); !bytes.Equal(got, golden) {
+			t.Fatalf("Parallel=%d traces differ from Parallel=1 golden", p)
+		}
+	}
+
+	// A different master seed must change noisy traces (the noise is
+	// real, not a constant).
+	cfg := base
+	cfg.Seed = 43
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(tracesCSV(t, res.Traces), golden) {
+		t.Fatal("seed 43 reproduced seed 42 traces — RNG not wired")
+	}
+}
+
+// TestFleetThousandSessions drives ≥1000 concurrent sessions to
+// completion; under -race this is the engine's race coverage.
+func TestFleetThousandSessions(t *testing.T) {
+	events := make(chan Event, 64)
+	counts := make(map[EventKind]int)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range events {
+			counts[ev.Kind]++
+		}
+	}()
+
+	const sessions = 1000
+	res, err := Run(context.Background(), Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 1, 2, 3, 4},
+		Scenarios: thinScenarios(20), // 45 scenarios: 225-slot matrix, wrapped
+		Sessions:  sessions,
+		Steps:     25,
+		// 4 shards x 250-session windows: all 1000 sessions are live
+		// and interleaved concurrently.
+		Parallel:        4,
+		MaxLivePerShard: 250,
+		Seed:            7,
+		Sensor:          &sensor.Config{NoiseSD: 2},
+		Events:          events, ProgressEvery: 250,
+	})
+	close(events)
+	<-drained
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != sessions || res.Completed != sessions {
+		t.Fatalf("sessions %d completed %d, want %d", res.Sessions, res.Completed, sessions)
+	}
+	if res.Steps != sessions*25 {
+		t.Fatalf("steps %d, want %d", res.Steps, sessions*25)
+	}
+	if len(res.Traces) != sessions {
+		t.Fatalf("%d traces", len(res.Traces))
+	}
+	for i, tr := range res.Traces {
+		if tr == nil {
+			t.Fatalf("trace %d missing", i)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trace %d: %v", i, err)
+		}
+	}
+	if counts[EventSessionStart] != sessions || counts[EventSessionDone] != sessions {
+		t.Fatalf("events: %d starts, %d dones, want %d each",
+			counts[EventSessionStart], counts[EventSessionDone], sessions)
+	}
+	if counts[EventProgress] != sessions/250 {
+		t.Fatalf("%d progress events, want %d", counts[EventProgress], sessions/250)
+	}
+}
+
+// TestFleetCancellation stops a finite run early and expects an error.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0},
+		Scenarios: thinScenarios(40),
+		Steps:     150,
+	})
+	if err == nil {
+		t.Fatal("cancelled finite run should fail")
+	}
+}
+
+// TestFleetContinuous runs the serving mode under a deadline: slots
+// restart as replicas until cancellation, traces are recycled, and the
+// deadline is not an error.
+func TestFleetContinuous(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Platform:   glucosymPlatform(),
+		Patients:   []int{0},
+		Scenarios:  thinScenarios(200), // 5 scenarios: 5 slots
+		Steps:      5,
+		Parallel:   2,
+		Continuous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != nil {
+		t.Fatal("continuous mode must not retain traces")
+	}
+	if res.Completed <= int64(res.Sessions) {
+		t.Fatalf("completed %d sessions across %d slots — no replica restarts in 300ms",
+			res.Completed, res.Sessions)
+	}
+}
+
+// trainFleetMLP fits a small MLP on traces from a monitor-less campaign.
+func trainFleetMLP(t *testing.T, scenarios []fault.Scenario) *ml.MLP {
+	t.Helper()
+	res, err := Run(context.Background(), Config{
+		Platform: glucosymPlatform(), Patients: []int{0},
+		Scenarios: scenarios, Steps: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, y := monitor.TrainingData(res.Traces, false)
+	mlp, err := ml.FitMLP(X, y, ml.MLPConfig{Hidden: []int{16}, Epochs: 3}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mlp
+}
+
+// TestFleetBatchedMonitorMatchesPerSession runs the same fleet with a
+// per-session MLP monitor and with per-shard batched inference; the
+// traces must be identical (batched inference is bit-exact).
+func TestFleetBatchedMonitorMatchesPerSession(t *testing.T) {
+	scenarios := thinScenarios(30)
+	mlp := trainFleetMLP(t, scenarios[:10])
+
+	base := Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 1},
+		Scenarios: scenarios,
+		Steps:     50,
+		Mitigate:  true,
+	}
+	perCfg := base
+	perCfg.NewMonitor = func(int) (monitor.Monitor, error) {
+		return monitor.NewMLMonitor("MLP", mlp)
+	}
+	batchCfg := base
+	batchCfg.NewBatchMonitor = func() (monitor.BatchMonitor, error) {
+		return monitor.NewBatchML("MLP", mlp.NewBatch())
+	}
+
+	per, err := Run(context.Background(), perCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Run(context.Background(), batchCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per.Alarmed == 0 {
+		t.Fatal("monitor never alarmed — comparison is vacuous")
+	}
+	if !bytes.Equal(tracesCSV(t, per.Traces), tracesCSV(t, batch.Traces)) {
+		t.Fatal("batched-inference traces differ from per-session traces")
+	}
+	if per.Alarmed != batch.Alarmed || per.Hazardous != batch.Hazardous {
+		t.Fatalf("counters differ: per %+v batch %+v", per, batch)
+	}
+}
+
+// TestFleetValidation covers config error paths.
+func TestFleetValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("empty platform should fail")
+	}
+	cfg := Config{
+		Platform: glucosymPlatform(), Patients: []int{99},
+		Scenarios: thinScenarios(200), Steps: 5,
+	}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Error("out-of-cohort patient should fail")
+	}
+	both := Config{
+		Platform:        glucosymPlatform(),
+		NewMonitor:      func(int) (monitor.Monitor, error) { return nil, nil },
+		NewBatchMonitor: func() (monitor.BatchMonitor, error) { return nil, nil },
+	}
+	if _, err := Run(context.Background(), both); err == nil {
+		t.Error("NewMonitor + NewBatchMonitor should fail")
+	}
+}

@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// bufferPool recycles per-session sample buffers. A continuous fleet
+// churns through sessions indefinitely; reusing the sample slices keeps
+// the per-session steady-state allocation at the Session struct itself
+// rather than a fresh Steps-long buffer per run.
+type bufferPool struct {
+	pool  sync.Pool
+	steps int
+}
+
+func newBufferPool(steps int) *bufferPool {
+	p := &bufferPool{steps: steps}
+	p.pool.New = func() any {
+		buf := make([]trace.Sample, 0, steps)
+		return &buf
+	}
+	return p
+}
+
+// get returns an empty sample buffer with capacity for a full session.
+func (p *bufferPool) get() []trace.Sample {
+	return (*p.pool.Get().(*[]trace.Sample))[:0]
+}
+
+// put recycles a completed session's buffer.
+func (p *bufferPool) put(buf []trace.Sample) {
+	buf = buf[:0]
+	p.pool.Put(&buf)
+}

@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"math/rand"
+
+	"repro/internal/closedloop"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// Session is one long-running closed-loop simulation inside a fleet: a
+// patient, controller, and (optional) monitor advancing one control
+// cycle per engine round. Its entire evolution is a function of its
+// coordinates and the master seed — never of goroutine scheduling — so
+// fleet results are identical at any parallelism level.
+type Session struct {
+	// Index is the session's slot in Result.Traces.
+	Index int
+	// PatientIdx is the cohort index; Scenario the fault scenario.
+	PatientIdx int
+	Scenario   fault.Scenario
+	// Replica numbers restarts of this slot in continuous mode; each
+	// replica draws from a fresh RNG stream.
+	Replica int
+
+	scenIdx int
+	lane    int // shard-local lane for batched monitors
+	rng     *rand.Rand
+	st      *closedloop.Stepper
+	alarmed bool
+}
+
+// Done reports whether the session has run all its cycles.
+func (s *Session) Done() bool { return s.st.Done() }
+
+// StepIndex returns the next cycle index.
+func (s *Session) StepIndex() int { return s.st.StepIndex() }
+
+// Step runs one full cycle with the session's own monitor (if any).
+func (s *Session) Step() { s.st.Step() }
+
+// BeginStep advances to the monitor decision point and returns the
+// observation for batched evaluation.
+func (s *Session) BeginStep() closedloop.Observation { return s.st.BeginStep() }
+
+// FinishStep applies an externally computed verdict (batched inference).
+func (s *Session) FinishStep(v closedloop.Verdict) { s.st.FinishStep(v) }
+
+// Finish labels and returns the session's trace.
+func (s *Session) Finish() *trace.Trace { return s.st.Finish() }
+
+// RNG exposes the session's deterministic random stream (sensor noise
+// and any future stochastic session behavior draw from it).
+func (s *Session) RNG() *rand.Rand { return s.rng }

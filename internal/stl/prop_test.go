@@ -1,0 +1,213 @@
+package stl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based tests of the robustness semantics: random bounded
+// formulas over random signals, checked against the defining properties
+// of quantitative STL rather than hand-picked cases.
+
+// propVars are the signal names the generators draw from.
+var propVars = []string{"x", "y"}
+
+// randPropTrace builds a random 2-variable trace.
+func randPropTrace(rng *rand.Rand) *Trace {
+	tr, err := NewTrace(1)
+	if err != nil {
+		panic(err)
+	}
+	n := 8 + rng.Intn(12)
+	for _, v := range propVars {
+		series := make([]float64, n)
+		for i := range series {
+			series[i] = -10 + 20*rng.Float64()
+		}
+		if err := tr.Set(v, series); err != nil {
+			panic(err)
+		}
+	}
+	return tr
+}
+
+// shiftTrace returns a copy with every sample of every variable moved by
+// delta[var][i].
+func shiftTrace(tr *Trace, shift func(v string, i int) float64) *Trace {
+	out, err := NewTrace(tr.Dt())
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range tr.Names() {
+		series := make([]float64, tr.Len())
+		for i := range series {
+			val, err := tr.Value(v, i)
+			if err != nil {
+				panic(err)
+			}
+			series[i] = val + shift(v, i)
+		}
+		if err := out.Set(v, series); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+func randBounds(rng *rand.Rand) Bounds {
+	if rng.Intn(4) == 0 {
+		return Unbounded
+	}
+	a := float64(rng.Intn(5))
+	return Bounds{A: a, B: a + float64(rng.Intn(8))}
+}
+
+func randAtom(rng *rand.Rand, ops []CmpOp) *Atom {
+	return &Atom{
+		Var:       propVars[rng.Intn(len(propVars))],
+		Op:        ops[rng.Intn(len(ops))],
+		Threshold: -10 + 20*rng.Float64(),
+	}
+}
+
+// randFormula generates an arbitrary bounded formula of the given depth.
+func randFormula(rng *rand.Rand, depth int) Formula {
+	if depth <= 0 {
+		return randAtom(rng, []CmpOp{OpLT, OpLE, OpGT, OpGE})
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return &Not{Child: randFormula(rng, depth-1)}
+	case 1:
+		return NewAnd(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	case 2:
+		return NewOr(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	case 3:
+		return &Implies{L: randFormula(rng, depth-1), R: randFormula(rng, depth-1)}
+	case 4:
+		return &Globally{Bounds: randBounds(rng), Child: randFormula(rng, depth-1)}
+	case 5:
+		return &Eventually{Bounds: randBounds(rng), Child: randFormula(rng, depth-1)}
+	default:
+		return &Until{Bounds: randBounds(rng), L: randFormula(rng, depth-1), R: randFormula(rng, depth-1)}
+	}
+}
+
+// randMonotoneFormula generates a formula that is monotone in every
+// signal: atoms are lower bounds only and the combinators (and/or/G/F/U)
+// all preserve monotonicity.
+func randMonotoneFormula(rng *rand.Rand, depth int) Formula {
+	if depth <= 0 {
+		return randAtom(rng, []CmpOp{OpGT, OpGE})
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return NewAnd(randMonotoneFormula(rng, depth-1), randMonotoneFormula(rng, depth-1))
+	case 1:
+		return NewOr(randMonotoneFormula(rng, depth-1), randMonotoneFormula(rng, depth-1))
+	case 2:
+		return &Globally{Bounds: randBounds(rng), Child: randMonotoneFormula(rng, depth-1)}
+	case 3:
+		return &Eventually{Bounds: randBounds(rng), Child: randMonotoneFormula(rng, depth-1)}
+	default:
+		return &Until{Bounds: randBounds(rng), L: randMonotoneFormula(rng, depth-1), R: randMonotoneFormula(rng, depth-1)}
+	}
+}
+
+// TestPropRobustnessSignAgreesWithSat: strictly positive robustness
+// implies boolean satisfaction, strictly negative implies violation
+// (soundness of the quantitative semantics).
+func TestPropRobustnessSignAgreesWithSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	const eps = 1e-9
+	for trial := 0; trial < 1500; trial++ {
+		f := randFormula(rng, 1+rng.Intn(3))
+		tr := randPropTrace(rng)
+		i := rng.Intn(tr.Len())
+		rob, err := f.Robustness(tr, i)
+		if err != nil {
+			t.Fatalf("trial %d: robustness of %s: %v", trial, f, err)
+		}
+		sat, err := f.Sat(tr, i)
+		if err != nil {
+			t.Fatalf("trial %d: sat of %s: %v", trial, f, err)
+		}
+		if rob > eps && !sat {
+			t.Fatalf("trial %d: %s has robustness %v at %d but Sat=false", trial, f, rob, i)
+		}
+		if rob < -eps && sat {
+			t.Fatalf("trial %d: %s has robustness %v at %d but Sat=true", trial, f, rob, i)
+		}
+	}
+}
+
+// TestPropMonotoneShift: for formulas built from lower-bound atoms and
+// monotone combinators, shifting every signal upward can only increase
+// robustness, and satisfaction is preserved.
+func TestPropMonotoneShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 800; trial++ {
+		f := randMonotoneFormula(rng, 1+rng.Intn(3))
+		tr := randPropTrace(rng)
+		i := rng.Intn(tr.Len())
+		d := 5 * rng.Float64()
+		up := shiftTrace(tr, func(string, int) float64 { return d })
+
+		r1, err := f.Robustness(tr, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := f.Robustness(up, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2 < r1-1e-9 {
+			t.Fatalf("trial %d: %s robustness dropped %v -> %v under +%v shift", trial, f, r1, r2, d)
+		}
+		sat1, err := f.Sat(tr, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat2, err := f.Sat(up, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat1 && !sat2 {
+			t.Fatalf("trial %d: %s satisfaction lost under upward shift", trial, f)
+		}
+	}
+}
+
+// TestPropLipschitz: every atom is a unit-coefficient bound, and min,
+// max, and negation are 1-Lipschitz, so robustness can move by at most
+// the sup-norm of the signal perturbation.
+func TestPropLipschitz(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 800; trial++ {
+		f := randFormula(rng, 1+rng.Intn(3))
+		tr := randPropTrace(rng)
+		i := rng.Intn(tr.Len())
+		maxD := 3 * rng.Float64()
+		perturbed := shiftTrace(tr, func(string, int) float64 {
+			return maxD * (2*rng.Float64() - 1)
+		})
+
+		r1, err := f.Robustness(tr, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := f.Robustness(perturbed, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(r1, 0) || math.IsInf(r2, 0) {
+			// Empty temporal windows yield ±Inf on both traces; the
+			// Lipschitz bound is about finite robustness.
+			continue
+		}
+		if diff := math.Abs(r2 - r1); diff > maxD+1e-9 {
+			t.Fatalf("trial %d: %s robustness moved %v under perturbation ≤ %v", trial, f, diff, maxD)
+		}
+	}
+}
