@@ -33,6 +33,7 @@ package apsmonitor
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/closedloop"
 	"repro/internal/control"
@@ -172,6 +173,9 @@ type (
 	FleetEvent = fleet.Event
 	// FleetEventKind enumerates fleet lifecycle events.
 	FleetEventKind = fleet.EventKind
+	// FleetTelemetryConfig attaches streaming STL hazard telemetry to
+	// every fleet session.
+	FleetTelemetryConfig = fleet.TelemetryConfig
 	// BatchMonitor is the batched-inference monitor contract.
 	BatchMonitor = monitor.BatchMonitor
 )
@@ -183,6 +187,7 @@ const (
 	FleetHazard       = fleet.EventHazard
 	FleetSessionDone  = fleet.EventSessionDone
 	FleetProgress     = fleet.EventProgress
+	FleetRobustness   = fleet.EventRobustness
 )
 
 // RunFleet executes a fleet of concurrent closed-loop sessions.
@@ -210,6 +215,9 @@ var MonitorNames = experiment.MonitorNames
 type (
 	// Rule is one Table I Safety Context Specification row.
 	Rule = scs.Rule
+	// SCSState is the per-cycle context vector µ(x) plus the issued
+	// action, the input of rule evaluation and SCSStreamSet.Push.
+	SCSState = scs.State
 	// Thresholds maps rule IDs to learned β values.
 	Thresholds = scs.Thresholds
 	// LearnConfig tunes threshold learning.
@@ -220,6 +228,10 @@ type (
 
 // TableI returns the twelve Safety Context Specification rules.
 func TableI() []Rule { return scs.TableI() }
+
+// SCSStateFromSample converts a recorded sample to a rule-evaluation
+// state (sensed CGM as the observable glucose).
+func SCSStateFromSample(s *Sample) SCSState { return scs.StateFromSample(s) }
 
 // LearnThresholds fits rule thresholds from labeled traces with
 // L-BFGS-B under the configured tightness loss (TMEE by default).
@@ -245,14 +257,45 @@ type (
 	STLFormula = stl.Formula
 	// STLTrace is a sampled multi-variable signal.
 	STLTrace = stl.Trace
+	// STLStream is the incremental streaming evaluator for past-only
+	// formulas: O(1) amortized per pushed sample, O(window) state.
+	STLStream = stl.Stream
+	// STLMonitor evaluates a past-only formula online, one sample per
+	// control cycle, on the streaming engine.
+	STLMonitor = stl.OnlineMonitor
+	// SCSStreamSet renders a Safety Context Specification through the
+	// streaming engine, yielding per-cycle minimum robustness margins.
+	SCSStreamSet = scs.StreamSet
+	// SCSStreamVerdict is the per-cycle aggregate of an SCSStreamSet.
+	SCSStreamVerdict = scs.StreamVerdict
 )
 
 // ParseSTL parses the package's STL concrete syntax.
 func ParseSTL(src string) (STLFormula, error) { return stl.Parse(src) }
 
+// MustParseSTL is ParseSTL for statically known formulas.
+func MustParseSTL(src string) STLFormula { return stl.MustParse(src) }
+
 // NewSTLTrace creates an empty signal trace with the given sampling
 // period in minutes.
 func NewSTLTrace(dtMin float64) (*STLTrace, error) { return stl.NewTrace(dtMin) }
+
+// NewSTLStream compiles a past-only formula for incremental streaming
+// evaluation at sampling period dtMin minutes.
+func NewSTLStream(f STLFormula, dtMin float64) (*STLStream, error) {
+	return stl.NewStream(f, dtMin)
+}
+
+// NewSTLMonitor builds an online monitor for a past-only formula.
+func NewSTLMonitor(f STLFormula, dtMin float64) (*STLMonitor, error) {
+	return stl.NewOnlineMonitor(f, dtMin)
+}
+
+// NewSCSStreamSet compiles a rule set's STL bodies for streaming
+// evaluation (nil thresholds select the rules' defaults).
+func NewSCSStreamSet(rules []Rule, th Thresholds, dtMin float64) (*SCSStreamSet, error) {
+	return scs.NewStreamSet(rules, th, scs.Params{}, dtMin)
+}
 
 // Metrics.
 type (
@@ -294,3 +337,7 @@ func RiskIndex(bg float64) float64 { return risk.Value(bg) }
 // AnnotateMonitor replays a monitor over a recorded trace, writing
 // alarms into the samples.
 func AnnotateMonitor(m Monitor, tr *Trace) { monitor.Annotate(m, tr) }
+
+// ReadTraceCSV parses a trace previously serialized with Trace.WriteCSV
+// (accepting both the current and the pre-basal meta layout).
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }

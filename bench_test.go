@@ -19,6 +19,7 @@ package apsmonitor_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ml"
 	"repro/internal/monitor"
+	"repro/internal/stl"
 	"repro/internal/stllearn"
 	"repro/internal/trace"
 )
@@ -480,6 +482,129 @@ func BenchmarkFleetEngine100Sessions(b *testing.B) {
 		cfg.NewBatchMonitor = func() (monitor.BatchMonitor, error) {
 			return monitor.NewBatchML("MLP", mlp.NewBatch())
 		}
+		run(b, cfg)
+	})
+}
+
+// stlPusher is the shared surface of the streaming OnlineMonitor and
+// the legacy trace-backed TraceMonitor.
+type stlPusher interface {
+	Push(sample map[string]float64) (bool, error)
+	Len() int
+	Reset()
+}
+
+// stlBenchFormula mixes unbounded and bounded past operators: the
+// unbounded Historically forces the legacy monitor to rescan the whole
+// trace on every push, while the streaming engine keeps O(1) state
+// recursions and O(window) deques.
+var stlBenchFormula = apsmonitor.MustParseSTL(
+	"(H (BG > 10)) and ((BG > 150) S[0,180] (IOB < 0.5)) and O[0,60] (BG > 180)")
+
+// benchSTLOnlinePush measures the per-push cost of an online STL
+// monitor at session length ~n: the monitor is warmed with n pushes
+// (untimed) and rewarmed whenever the session grows 25% past n, so
+// ns/op is the marginal cost of one control cycle at that length.
+func benchSTLOnlinePush(b *testing.B, m stlPusher, n int) {
+	sample := make(map[string]float64, 2)
+	push := func() {
+		i := m.Len()
+		sample["BG"] = 60 + float64((i*7919)%240)
+		sample["IOB"] = float64((i*104729)%60)/10 - 1
+		if _, err := m.Push(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warm := func() {
+		m.Reset()
+		for m.Len() < n {
+			push()
+		}
+	}
+	warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Len() > n+n/4 {
+			b.StopTimer()
+			warm()
+			b.StartTimer()
+		}
+		push()
+	}
+}
+
+// BenchmarkSTLOnlinePush is the before/after comparison of the
+// streaming STL engine against the legacy grow-forever-trace monitor:
+// streaming ns/op stays flat from 1k-push to 100k-push sessions, while
+// the legacy monitor's per-push cost grows linearly with session length
+// (its sizes stop at 8k because even warming it up is quadratic work).
+func BenchmarkSTLOnlinePush(b *testing.B) {
+	streaming := func(b *testing.B) stlPusher {
+		m, err := stl.NewOnlineMonitor(stlBenchFormula, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	legacy := func(b *testing.B) stlPusher {
+		m, err := stl.NewTraceMonitor(stlBenchFormula, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("streaming-%d", n), func(b *testing.B) {
+			benchSTLOnlinePush(b, streaming(b), n)
+		})
+	}
+	for _, n := range []int{1_000, 8_000} {
+		b.Run(fmt.Sprintf("legacy-%d", n), func(b *testing.B) {
+			benchSTLOnlinePush(b, legacy(b), n)
+		})
+	}
+}
+
+// BenchmarkFleetTelemetry measures the marginal cost of streaming STL
+// hazard telemetry: a 100-session fleet with and without the Table I
+// rule set attached (events drained by a sink goroutine).
+func BenchmarkFleetTelemetry(b *testing.B) {
+	platform := experiment.Glucosym()
+	base := fleet.Config{
+		Platform:      fleet.Platform(platform),
+		Patients:      []int{0, 1, 2, 3},
+		Scenarios:     experiment.ScenarioSubset(36),
+		Sessions:      100,
+		Steps:         50,
+		DiscardTraces: true,
+	}
+	run := func(b *testing.B, cfg fleet.Config) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			events := make(chan fleet.Event, 4096)
+			drained := make(chan struct{})
+			go func() {
+				defer close(drained)
+				for range events {
+				}
+			}()
+			c := cfg
+			c.Events = events
+			res, err := fleet.Run(context.Background(), c)
+			close(events)
+			<-drained
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, base) })
+	b.Run("stl-telemetry", func(b *testing.B) {
+		cfg := base
+		cfg.Telemetry = &fleet.TelemetryConfig{}
 		run(b, cfg)
 	})
 }

@@ -4,16 +4,20 @@
 // live progress/hazard event stream. With -duration it runs in
 // continuous serving mode — completed sessions restart as fresh replicas
 // and trace buffers are recycled — and reports sustained throughput;
-// without it, the session matrix runs once to completion.
+// without it, the session matrix runs once to completion. With -stl,
+// every session streams its per-cycle STL robustness margin (Table I
+// rules through the incremental streaming engine, O(window) state per
+// session) as hazard telemetry.
 //
 //	fleetsim -platform glucosym -patients 5 -scenarios 88 -sessions 2000 \
-//	         -parallel 8 -duration 30s -seed 1 -noise 2.5
+//	         -parallel 8 -duration 30s -seed 1 -noise 2.5 -stl
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -33,7 +37,9 @@ func main() {
 		steps        = flag.Int("steps", 150, "control cycles per session")
 		noise        = flag.Float64("noise", 0, "CGM sensor noise SD in mg/dL (0 = clean sensor)")
 		progress     = flag.Int("progress", 0, "print a progress line every k completed sessions")
-		verbose      = flag.Bool("v", false, "stream alarm/hazard events")
+		stlTelem     = flag.Bool("stl", false, "stream per-cycle STL robustness margins (Table I rules, streaming engine)")
+		stlEvery     = flag.Int("stl-every", 1, "emit a robustness event every k cycles per session")
+		verbose      = flag.Bool("v", false, "stream alarm/hazard events (with -stl: also rule-violation margins)")
 	)
 	flag.Parse()
 
@@ -64,6 +70,9 @@ func main() {
 	if *noise > 0 {
 		cfg.Sensor = &sensor.Config{NoiseSD: *noise}
 	}
+	if *stlTelem {
+		cfg.Telemetry = &apsmonitor.FleetTelemetryConfig{Every: *stlEvery}
+	}
 
 	ctx := context.Background()
 	if *duration > 0 {
@@ -79,6 +88,13 @@ func main() {
 
 	events := make(chan apsmonitor.FleetEvent, 256)
 	cfg.Events = events
+	var telem struct {
+		events     int64
+		violations int64
+		minRob     float64
+		minRule    int
+	}
+	telem.minRob = math.Inf(1)
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -89,6 +105,18 @@ func main() {
 			case apsmonitor.FleetAlarm, apsmonitor.FleetHazard:
 				if *verbose {
 					fmt.Println(ev)
+				}
+			case apsmonitor.FleetRobustness:
+				telem.events++
+				if ev.Robustness < 0 {
+					telem.violations++
+					if *verbose {
+						fmt.Println(ev)
+					}
+				}
+				if ev.Robustness < telem.minRob {
+					telem.minRob = ev.Robustness
+					telem.minRule = ev.Rule
 				}
 			}
 		}
@@ -116,6 +144,10 @@ func main() {
 	if secs > 0 {
 		fmt.Printf("  throughput: %.0f steps/s, %.1f sessions/s\n",
 			float64(res.Steps)/secs, float64(res.Completed)/secs)
+	}
+	if *stlTelem && telem.events > 0 {
+		fmt.Printf("  stl:        %d margins streamed, %d rule violations, min robustness %.3f (rule %d)\n",
+			telem.events, telem.violations, telem.minRob, telem.minRule)
 	}
 }
 

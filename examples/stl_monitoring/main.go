@@ -2,6 +2,11 @@
 // Temporal Logic syntax, check it online against a streaming closed-loop
 // simulation, and inspect quantitative robustness margins — the formal
 // machinery underneath the context-aware monitor.
+//
+// Monitors run on the incremental streaming engine: each Push is O(1)
+// amortized and the monitor retains O(window) state no matter how long
+// the session runs, so the same code path serves the fleet engine's
+// continuous serving mode (see fleet.TelemetryConfig).
 package main
 
 import (
@@ -9,7 +14,6 @@ import (
 	"log"
 
 	apsmonitor "repro"
-	"repro/internal/stl"
 )
 
 func main() {
@@ -22,7 +26,16 @@ func main() {
 	}
 	fmt.Printf("property: %s\n", formula)
 
-	online, err := stl.NewOnlineMonitor(formula, 5) // 5-minute sampling
+	online, err := apsmonitor.NewSTLMonitor(formula, 5) // 5-minute sampling
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A second, past-time property of the kind only a streaming engine
+	// evaluates cheaply: "an unsafe stop-insulin happened within the
+	// last 30 minutes" — a sticky alarm window over the rule body.
+	recentSrc := "O[0,30] (not ((BG > 180 and IOB < 0.5) => not (u == 3)))"
+	recent, err := apsmonitor.NewSTLMonitor(apsmonitor.MustParseSTL(recentSrc), 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,12 +59,13 @@ func main() {
 	}
 	tr := traces[0]
 
-	fmt.Println("\n  time    BG    IOB   action   satisfied   robustness")
+	fmt.Println("\n  time    BG    IOB   action   satisfied   robustness   recent-UCA")
 	var firstViolation int = -1
 	for _, s := range tr.Samples {
-		sat, err := online.Push(map[string]float64{
+		sample := map[string]float64{
 			"BG": s.CGM, "IOB": s.IOB, "u": float64(s.Action),
-		})
+		}
+		sat, err := online.Push(sample)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,12 +73,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		recentUCA, err := recent.Push(sample)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if !sat && firstViolation < 0 {
 			firstViolation = s.Step
 		}
 		if s.Step%10 == 0 || (!sat && s.Step == firstViolation) {
-			fmt.Printf("  %4.0fm %5.0f %6.2f   %-7s %-10v %10.2f\n",
-				s.TimeMin, s.CGM, s.IOB, s.Action.Short(), sat, rob)
+			fmt.Printf("  %4.0fm %5.0f %6.2f   %-7s %-10v %10.2f   %v\n",
+				s.TimeMin, s.CGM, s.IOB, s.Action.Short(), sat, rob, recentUCA)
 		}
 	}
 	violations, evaluated := online.Violations()
@@ -74,4 +92,6 @@ func main() {
 			float64(firstViolation)*tr.CycleMin,
 			float64(tr.FirstHazardStep()-firstViolation)*tr.CycleMin)
 	}
+	fmt.Printf("monitor state after %d pushes: %d buffered samples (bounded by the 30-minute window, not the session)\n",
+		recent.Len(), recent.StateSamples())
 }

@@ -94,6 +94,10 @@ func NewStepper(cfg Config, opts StepperOptions) (*Stepper, error) {
 		Platform:  cfg.Platform,
 		InitialBG: cfg.InitialBG,
 		CycleMin:  cfg.CycleMin,
+		// Persist the scheduled basal: offline replay needs it to seed
+		// the step-0 PrevRate and Observation.Basal exactly as the live
+		// loop does below.
+		Basal: cfg.Patient.Basal(),
 	}
 	if cfg.Fault != nil {
 		st.tr.Fault = cfg.Fault.Info()

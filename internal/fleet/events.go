@@ -22,6 +22,10 @@ const (
 	EventSessionDone
 	// EventProgress is emitted every Config.ProgressEvery completions.
 	EventProgress
+	// EventRobustness streams a session's per-cycle STL robustness
+	// margin — the minimum quantitative margin across the telemetry rule
+	// set, evaluated by the incremental streaming engine (Config.Telemetry).
+	EventRobustness
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +41,8 @@ func (k EventKind) String() string {
 		return "done"
 	case EventProgress:
 		return "progress"
+	case EventRobustness:
+		return "robustness"
 	default:
 		return "unknown"
 	}
@@ -58,6 +64,11 @@ type Event struct {
 	// Completed carries the global completion count on EventSessionDone
 	// and EventProgress.
 	Completed int64
+	// Robustness carries the minimum STL robustness margin across the
+	// telemetry rule set on EventRobustness (negative: a rule is
+	// violated); Rule is the ID of the rule attaining it.
+	Robustness float64
+	Rule       int
 }
 
 // String renders a compact human-readable line for log streaming.
@@ -68,6 +79,9 @@ func (e Event) String() string {
 	case EventAlarm, EventHazard:
 		return fmt.Sprintf("%s: session %d (patient %d) %s at step %d",
 			e.Kind, e.Session, e.PatientIdx, e.Hazard, e.Step)
+	case EventRobustness:
+		return fmt.Sprintf("robustness: session %d (patient %d) margin %.3f (rule %d) at step %d",
+			e.Session, e.PatientIdx, e.Robustness, e.Rule, e.Step)
 	default:
 		return fmt.Sprintf("%s: session %d (patient %d, replica %d)",
 			e.Kind, e.Session, e.PatientIdx, e.Replica)

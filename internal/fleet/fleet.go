@@ -30,9 +30,30 @@ import (
 	"repro/internal/control"
 	"repro/internal/fault"
 	"repro/internal/monitor"
+	"repro/internal/scs"
 	"repro/internal/sensor"
 	"repro/internal/trace"
 )
+
+// TelemetryConfig attaches a streaming STL hazard-telemetry rule set to
+// every session: each control cycle the session's context state is fed
+// through the incremental streaming engine (one scs.StreamSet per
+// session, O(window) state regardless of session length) and the
+// minimum robustness margin across rules is emitted as an
+// EventRobustness over Config.Events.
+type TelemetryConfig struct {
+	// Rules is the Safety Context Specification to stream; nil selects
+	// the paper's Table I.
+	Rules []scs.Rule
+	// Thresholds maps rule IDs to β values; nil selects the rules'
+	// defaults (the CAWOT thresholds).
+	Thresholds scs.Thresholds
+	// Params carries the shared evaluation constants.
+	Params scs.Params
+	// Every emits a robustness event every k cycles per session
+	// (default 1: every cycle).
+	Every int
+}
 
 // Platform couples a patient cohort with its controller. It is
 // structurally identical to experiment.Platform so the campaign layer
@@ -97,6 +118,9 @@ type Config struct {
 	// mode). The context deadline/cancellation is the normal way to stop
 	// a continuous fleet and is not reported as an error.
 	Continuous bool
+	// Telemetry optionally streams per-cycle STL robustness margins for
+	// every session as EventRobustness events. Requires Events.
+	Telemetry *TelemetryConfig
 	// Events optionally streams lifecycle events. The caller must drain
 	// the channel; sends are abandoned when the context is cancelled.
 	Events chan<- Event
@@ -138,6 +162,22 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Continuous {
 		c.DiscardTraces = true
+	}
+	if c.CycleMin == 0 {
+		c.CycleMin = 5
+	}
+	if c.Telemetry != nil {
+		if c.Events == nil {
+			return c, fmt.Errorf("fleet: Telemetry requires Events")
+		}
+		t := *c.Telemetry // defaults must not mutate the caller's config
+		if len(t.Rules) == 0 {
+			t.Rules = scs.TableI()
+		}
+		if t.Every <= 0 {
+			t.Every = 1
+		}
+		c.Telemetry = &t
 	}
 	return c, nil
 }
@@ -277,8 +317,8 @@ func (e *engine) runShard(shard int) {
 	}
 
 	next := 0 // next queued slot
-	start := func(sp spec, lane int) (*Session, error) {
-		s, err := e.newSession(sp, lane)
+	start := func(sp spec, lane int, telem *scs.StreamSet) (*Session, error) {
+		s, err := e.newSession(sp, lane, telem)
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +327,7 @@ func (e *engine) runShard(shard int) {
 	}
 	live := make([]*Session, 0, window)
 	for lane := 0; lane < window; lane++ {
-		s, err := start(cfg.specFor(slots[next], 0), lane)
+		s, err := start(cfg.specFor(slots[next], 0), lane, nil)
 		if err != nil {
 			e.errs[shard] = err
 			return
@@ -320,12 +360,18 @@ func (e *engine) runShard(shard int) {
 			bm.StepBatch(lanes, obs, verdicts[:len(live)])
 			for i, s := range live {
 				s.FinishStep(verdicts[i])
-				e.noteStep(s)
+				if err := e.noteStep(s); err != nil {
+					e.errs[shard] = err
+					return
+				}
 			}
 		} else {
 			for _, s := range live {
 				s.Step()
-				e.noteStep(s)
+				if err := e.noteStep(s); err != nil {
+					e.errs[shard] = err
+					return
+				}
 			}
 		}
 		e.steps.Add(int64(len(live)))
@@ -358,7 +404,10 @@ func (e *engine) runShard(shard int) {
 			if bm != nil {
 				bm.ResetLane(s.lane)
 			}
-			ns, err := start(*refill, s.lane)
+			// The retired session's telemetry streams reset and carry
+			// over, so continuous-mode replica churn does not rebuild
+			// rule sets.
+			ns, err := start(*refill, s.lane, s.telemetry)
 			if err != nil {
 				e.errs[shard] = err
 				return
@@ -368,18 +417,38 @@ func (e *engine) runShard(shard int) {
 	}
 }
 
-// noteStep streams the session's first monitor alarm as a live event.
-func (e *engine) noteStep(s *Session) {
-	if s.alarmed {
-		return
+// noteStep streams the session's first monitor alarm as a live event
+// and, when telemetry is attached, feeds the cycle's context state to
+// the session's streaming STL rule set and emits its robustness margin.
+func (e *engine) noteStep(s *Session) error {
+	if s.telemetry == nil && s.alarmed {
+		return nil // nothing left to observe: skip the sample copy
 	}
-	if sample, ok := s.st.LastSample(); ok && sample.Alarm {
+	sample, ok := s.st.LastSample()
+	if !ok {
+		return nil
+	}
+	if !s.alarmed && sample.Alarm {
 		s.alarmed = true
 		e.emit(Event{
 			Kind: EventAlarm, Session: s.Index, PatientIdx: s.PatientIdx,
 			Replica: s.Replica, Step: sample.Step, Hazard: sample.AlarmHazard,
 		})
 	}
+	if s.telemetry != nil {
+		v, err := s.telemetry.Push(scs.StateFromSample(&sample))
+		if err != nil {
+			return fmt.Errorf("fleet: session %d telemetry: %w", s.Index, err)
+		}
+		if every := e.cfg.Telemetry.Every; every == 1 || (sample.Step+1)%every == 0 {
+			e.emit(Event{
+				Kind: EventRobustness, Session: s.Index, PatientIdx: s.PatientIdx,
+				Replica: s.Replica, Step: sample.Step,
+				Robustness: v.MinRobust, Rule: v.WorstRule,
+			})
+		}
+	}
+	return nil
 }
 
 // finalize labels a completed session, folds it into the counters,
@@ -412,9 +481,10 @@ func (e *engine) finalize(s *Session) {
 	}
 }
 
-// newSession builds the patient, controller, monitor, sensor, and
-// stepper for one session slot.
-func (e *engine) newSession(sp spec, lane int) (*Session, error) {
+// newSession builds the patient, controller, monitor, sensor, telemetry,
+// and stepper for one session slot. A telemetry stream set handed in
+// from a retired session is reset and reused.
+func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet) (*Session, error) {
 	cfg := &e.cfg
 	sc := cfg.Scenarios[sp.scenIdx]
 	wrap := func(err error) error {
@@ -464,9 +534,20 @@ func (e *engine) newSession(sp spec, lane int) (*Session, error) {
 	if err != nil {
 		return nil, wrap(err)
 	}
+	if t := cfg.Telemetry; t != nil {
+		if telem != nil {
+			telem.Reset()
+		} else {
+			telem, err = scs.NewStreamSet(t.Rules, t.Thresholds, t.Params, cfg.CycleMin)
+			if err != nil {
+				return nil, wrap(err)
+			}
+		}
+	}
 	return &Session{
 		Index: sp.index, PatientIdx: sp.patientIdx, Replica: sp.replica,
 		Scenario: sc, scenIdx: sp.scenIdx, lane: lane, rng: rng, st: st,
+		telemetry: telem,
 	}, nil
 }
 

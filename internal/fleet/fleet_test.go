@@ -13,8 +13,10 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ml"
 	"repro/internal/monitor"
+	"repro/internal/scs"
 	"repro/internal/sensor"
 	"repro/internal/sim/glucosym"
+	"repro/internal/stl"
 	"repro/internal/trace"
 )
 
@@ -304,6 +306,205 @@ func TestFleetBatchedMonitorMatchesPerSession(t *testing.T) {
 	}
 }
 
+// robKey locates one telemetry emission within a run.
+type robKey struct {
+	session, replica, step int
+}
+
+// robVal is the emitted margin and arg-min rule.
+type robVal struct {
+	rob  float64
+	rule int
+}
+
+// collectRobustness runs a fleet with streaming STL telemetry attached
+// and returns every EventRobustness keyed by (session, replica, step).
+func collectRobustness(t *testing.T, cfg Config) (map[robKey]robVal, Result) {
+	t.Helper()
+	events := make(chan Event, 256)
+	cfg.Events = events
+	got := make(map[robKey]robVal)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range events {
+			if ev.Kind != EventRobustness {
+				continue
+			}
+			k := robKey{ev.Session, ev.Replica, ev.Step}
+			if _, dup := got[k]; dup {
+				t.Errorf("duplicate robustness event for %+v", k)
+			}
+			got[k] = robVal{ev.Robustness, ev.Rule}
+		}
+	}()
+	res, err := Run(context.Background(), cfg)
+	close(events)
+	<-drained
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, res
+}
+
+// TestFleetTelemetryMatchesOfflineSTL is the offline/online equivalence
+// check for the hazard-telemetry path: the margins streamed live by the
+// per-session incremental engine must exactly equal re-evaluating the
+// Table I rule formulas offline on the recorded traces at every index.
+func TestFleetTelemetryMatchesOfflineSTL(t *testing.T) {
+	// Include the truncate-glucose availability attack from a
+	// hyperglycemic start: the controller engages low-glucose suspend
+	// and stops insulin while actually hyperglycemic, violating rule 9.
+	scenarios := append(thinScenarios(80), fault.Scenario{
+		Fault: fault.Fault{
+			Kind: fault.KindTruncate, Target: "glucose",
+			StartStep: 10, Duration: 40,
+		},
+		InitialBG: 170,
+	})
+	cfg := Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 2},
+		Scenarios: scenarios,
+		Steps:     50,
+		Telemetry: &TelemetryConfig{},
+	}
+	got, res := collectRobustness(t, cfg)
+	if len(res.Traces) == 0 {
+		t.Fatal("no traces retained")
+	}
+	wantEvents := len(res.Traces) * cfg.Steps
+	if len(got) != wantEvents {
+		t.Fatalf("%d robustness events, want %d", len(got), wantEvents)
+	}
+
+	rules := scs.TableI()
+	th := scs.Defaults(rules)
+	formulas := make([]stl.Formula, len(rules))
+	for i, r := range rules {
+		formulas[i] = r.STL(scs.Params{}, th[r.ID])
+	}
+	violations := 0
+	for sess, tr := range res.Traces {
+		offline, err := stl.NewTrace(tr.CycleMin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr.Samples {
+			s := &tr.Samples[i]
+			offline.Append(map[string]float64{
+				"BG": s.CGM, "BG'": s.BGPrime, "IOB": s.IOB, "IOB'": s.IOBPrime,
+				"u": float64(s.Action),
+			})
+			wantRob, wantRule := 0.0, 0
+			for k := range formulas {
+				rob, err := formulas[k].Robustness(offline, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if k == 0 || rob < wantRob {
+					wantRob, wantRule = rob, rules[k].ID
+				}
+			}
+			ev, ok := got[robKey{sess, 0, i}]
+			if !ok {
+				t.Fatalf("session %d step %d: no robustness event", sess, i)
+			}
+			if ev.rob != wantRob || ev.rule != wantRule {
+				t.Fatalf("session %d step %d: streamed %v (rule %d), offline %v (rule %d)",
+					sess, i, ev.rob, ev.rule, wantRob, wantRule)
+			}
+			if wantRob < 0 {
+				violations++
+			}
+		}
+	}
+	if violations == 0 {
+		t.Fatal("no negative margins across a fault campaign — comparison is vacuous")
+	}
+}
+
+// TestFleetTelemetryDeterministicAcrossParallelism: telemetry values are
+// a pure function of the session, so the (session, step) -> margin map
+// must be identical at any parallelism level even though event order is
+// not.
+func TestFleetTelemetryDeterministicAcrossParallelism(t *testing.T) {
+	base := Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 3},
+		Scenarios: thinScenarios(80),
+		Steps:     30,
+		Seed:      11,
+		Sensor:    &sensor.Config{NoiseSD: 2},
+		Telemetry: &TelemetryConfig{Every: 3},
+	}
+	run := func(parallel int) map[robKey]robVal {
+		cfg := base
+		cfg.Parallel = parallel
+		got, res := collectRobustness(t, cfg)
+		want := len(res.Traces) * base.Steps / base.Telemetry.Every
+		if len(got) != want {
+			t.Fatalf("Parallel=%d: %d events, want %d (Every=%d)",
+				parallel, len(got), want, base.Telemetry.Every)
+		}
+		return got
+	}
+	golden := run(1)
+	parallel := run(runtime.NumCPU())
+	if len(golden) != len(parallel) {
+		t.Fatalf("event counts differ: %d vs %d", len(golden), len(parallel))
+	}
+	for k, v := range golden {
+		if pv, ok := parallel[k]; !ok || pv != v {
+			t.Fatalf("event %+v differs across parallelism: %+v vs %+v", k, v, pv)
+		}
+	}
+}
+
+// TestFleetTelemetryContinuous: telemetry survives continuous-mode
+// replica churn (stream sets reset and carry over between replicas).
+func TestFleetTelemetryContinuous(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	events := make(chan Event, 256)
+	var robCount int
+	replicas := make(map[int]bool)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range events {
+			if ev.Kind == EventRobustness {
+				robCount++
+				replicas[ev.Replica] = true
+			}
+		}
+	}()
+	res, err := Run(ctx, Config{
+		Platform:   glucosymPlatform(),
+		Patients:   []int{0},
+		Scenarios:  thinScenarios(300), // 3 scenarios: 3 slots
+		Steps:      5,
+		Parallel:   2,
+		Continuous: true,
+		Telemetry:  &TelemetryConfig{},
+		Events:     events,
+	})
+	close(events)
+	<-drained
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed <= int64(res.Sessions) {
+		t.Fatalf("no replica restarts in 300ms (completed %d)", res.Completed)
+	}
+	if robCount == 0 {
+		t.Fatal("no robustness events in continuous mode")
+	}
+	if len(replicas) < 2 {
+		t.Fatalf("telemetry seen for %d replica generations, want >= 2", len(replicas))
+	}
+}
+
 // TestFleetValidation covers config error paths.
 func TestFleetValidation(t *testing.T) {
 	if _, err := Run(context.Background(), Config{}); err == nil {
@@ -323,5 +524,12 @@ func TestFleetValidation(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), both); err == nil {
 		t.Error("NewMonitor + NewBatchMonitor should fail")
+	}
+	noEvents := Config{
+		Platform:  glucosymPlatform(),
+		Telemetry: &TelemetryConfig{},
+	}
+	if _, err := Run(context.Background(), noEvents); err == nil {
+		t.Error("Telemetry without Events should fail")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/closedloop"
 	"repro/internal/fault"
+	"repro/internal/scs"
 	"repro/internal/trace"
 )
 
@@ -23,11 +24,12 @@ type Session struct {
 	// replica draws from a fresh RNG stream.
 	Replica int
 
-	scenIdx int
-	lane    int // shard-local lane for batched monitors
-	rng     *rand.Rand
-	st      *closedloop.Stepper
-	alarmed bool
+	scenIdx   int
+	lane      int // shard-local lane for batched monitors
+	rng       *rand.Rand
+	st        *closedloop.Stepper
+	alarmed   bool
+	telemetry *scs.StreamSet // streaming STL rule set (Config.Telemetry)
 }
 
 // Done reports whether the session has run all its cycles.

@@ -25,21 +25,23 @@ type Verdict = closedloop.Verdict
 
 // Replay drives a monitor over a recorded trace offline, returning the
 // per-sample alarms. It mirrors exactly what the closed loop feeds the
-// monitor online, so offline evaluation (Tables V and VI) agrees with
-// online behavior.
+// monitor online — including the step-0 PrevRate, which the live
+// Stepper seeds from the patient's scheduled basal (not the first
+// commanded rate), and Observation.Basal — so offline evaluation
+// (Tables V and VI) agrees with online behavior. Traces recorded before
+// the basal was persisted replay with Basal == 0; re-record them for
+// basal-sensitive monitors.
 func Replay(m Monitor, tr *trace.Trace) []Verdict {
 	m.Reset()
 	out := make([]Verdict, tr.Len())
-	prevRate := 0.0
+	prevRate := tr.Basal
 	for i := range tr.Samples {
 		s := &tr.Samples[i]
-		if i == 0 {
-			prevRate = s.Rate
-		}
 		out[i] = m.Step(Observation{
 			Step: s.Step, TimeMin: s.TimeMin, CycleMin: tr.CycleMin,
 			CGM: s.CGM, BGPrime: s.BGPrime, IOB: s.IOB, IOBPrime: s.IOBPrime,
 			Rate: s.Rate, PrevRate: prevRate, Action: s.Action,
+			Basal: tr.Basal,
 		})
 		prevRate = s.Delivered
 	}

@@ -1,0 +1,124 @@
+package scs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stl"
+)
+
+// StreamVerdict is the per-cycle result of evaluating a rule set's STL
+// bodies incrementally: whether every rule was satisfied at the newest
+// sample, and the tightest (minimum) robustness margin across rules —
+// the distance to the nearest unsafe-control-action boundary, the
+// hazard-telemetry signal a serving fleet streams per session.
+type StreamVerdict struct {
+	// Sat is true when every rule body held at the pushed sample.
+	Sat bool
+	// MinRobust is the minimum robustness margin across all rules;
+	// negative means at least one rule is violated, and its magnitude is
+	// the margin of the worst rule.
+	MinRobust float64
+	// WorstRule is the ID of the rule with the minimum margin.
+	WorstRule int
+}
+
+// StreamSet renders a Safety Context Specification's rule bodies (the
+// formulas under G[t0,te] in Eq. 1) through the incremental streaming
+// STL engine: one compiled stl.Stream per rule, fed the per-cycle
+// context state. Pushes are O(1) amortized per rule and total state is
+// bounded by the rules' window lengths, never by session length, so a
+// StreamSet can stay attached to a continuous serving session forever.
+type StreamSet struct {
+	rules   []Rule
+	streams []*stl.Stream
+	params  Params
+	n       int
+
+	// sample is the reused variable binding for the rule vocabulary
+	// (BG, BG', IOB, IOB', u) so pushes do not allocate.
+	sample map[string]float64
+}
+
+// NewStreamSet compiles every rule body under its threshold at sampling
+// period dtMin minutes (nil thresholds select the rules' CAWOT
+// defaults). Table I bodies are pure state predicates, but the
+// compilation accepts any past-only rule rendering (e.g. Since-based
+// mitigation specifications).
+func NewStreamSet(rules []Rule, th Thresholds, p Params, dtMin float64) (*StreamSet, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("scs: stream set needs at least one rule")
+	}
+	if th == nil {
+		th = Defaults(rules)
+	}
+	p = p.WithDefaults()
+	ss := &StreamSet{
+		rules:   rules,
+		streams: make([]*stl.Stream, len(rules)),
+		params:  p,
+		sample:  make(map[string]float64, 5),
+	}
+	for i, r := range rules {
+		beta, ok := th[r.ID]
+		if !ok {
+			return nil, fmt.Errorf("scs: missing threshold for rule %d", r.ID)
+		}
+		s, err := stl.NewStream(r.STL(p, beta), dtMin)
+		if err != nil {
+			return nil, fmt.Errorf("scs: rule %d: %w", r.ID, err)
+		}
+		ss.streams[i] = s
+	}
+	return ss, nil
+}
+
+// Rules returns the compiled rule set.
+func (ss *StreamSet) Rules() []Rule { return ss.rules }
+
+// Len returns the number of samples pushed.
+func (ss *StreamSet) Len() int { return ss.n }
+
+// Push feeds one control cycle's context state to every rule stream and
+// returns the aggregate verdict.
+func (ss *StreamSet) Push(s State) (StreamVerdict, error) {
+	ss.sample["BG"] = s.BG
+	ss.sample["BG'"] = s.BGPrime
+	ss.sample["IOB"] = s.IOB
+	ss.sample["IOB'"] = s.IOBPrime
+	ss.sample["u"] = float64(s.Action)
+
+	v := StreamVerdict{Sat: true, MinRobust: math.Inf(1)}
+	for i, stream := range ss.streams {
+		sat, rob, err := stream.Push(ss.sample)
+		if err != nil {
+			return StreamVerdict{}, fmt.Errorf("scs: rule %d: %w", ss.rules[i].ID, err)
+		}
+		v.Sat = v.Sat && sat
+		if rob < v.MinRobust {
+			v.MinRobust = rob
+			v.WorstRule = ss.rules[i].ID
+		}
+	}
+	ss.n++
+	return v, nil
+}
+
+// StateSamples returns the total buffered per-sample entries across all
+// rule streams — the quantity that must stay O(window) regardless of
+// session length.
+func (ss *StreamSet) StateSamples() int {
+	t := 0
+	for _, s := range ss.streams {
+		t += s.StateSamples()
+	}
+	return t
+}
+
+// Reset clears all rule stream state.
+func (ss *StreamSet) Reset() {
+	for _, s := range ss.streams {
+		s.Reset()
+	}
+	ss.n = 0
+}

@@ -1,0 +1,131 @@
+package scs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stl"
+	"repro/internal/trace"
+)
+
+func randState(rng *rand.Rand) State {
+	return State{
+		BG:       40 + 300*rng.Float64(),
+		BGPrime:  -6 + 12*rng.Float64(),
+		IOB:      -2 + 10*rng.Float64(),
+		IOBPrime: -0.05 + 0.1*rng.Float64(),
+		Action:   trace.Action(1 + rng.Intn(4)),
+	}
+}
+
+// TestStreamSetMatchesRuleSemantics checks the streamed Table I bodies
+// against both evaluation paths that already exist: the direct
+// Rule.Violated predicate and the offline STL trace semantics.
+func TestStreamSetMatchesRuleSemantics(t *testing.T) {
+	rules := TableI()
+	th := Defaults(rules)
+	var p Params
+	ss, err := NewStreamSet(rules, th, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offline, err := stl.NewTrace(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formulas := make([]stl.Formula, len(rules))
+	for i, r := range rules {
+		formulas[i] = r.STL(p, th[r.ID])
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		s := randState(rng)
+		offline.Append(map[string]float64{
+			"BG": s.BG, "BG'": s.BGPrime, "IOB": s.IOB, "IOB'": s.IOBPrime,
+			"u": float64(s.Action),
+		})
+		v, err := ss.Push(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		anyViolated := false
+		for k, r := range rules {
+			if r.Violated(s, p, th[r.ID]) {
+				anyViolated = true
+			}
+			wantSat, err := formulas[k].Sat(offline, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantSat == r.Violated(s, p, th[r.ID]) {
+				t.Fatalf("step %d rule %d: STL sat %v contradicts Violated", i, r.ID, wantSat)
+			}
+		}
+		if v.Sat == anyViolated {
+			t.Errorf("step %d: streamed Sat=%v but anyViolated=%v", i, v.Sat, anyViolated)
+		}
+
+		// The streamed minimum margin must equal the offline minimum.
+		wantMin, wantRule := 0.0, 0
+		for k := range rules {
+			rob, err := formulas[k].Robustness(offline, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == 0 || rob < wantMin {
+				wantMin, wantRule = rob, rules[k].ID
+			}
+		}
+		if v.MinRobust != wantMin || v.WorstRule != wantRule {
+			t.Errorf("step %d: streamed margin %v (rule %d), offline %v (rule %d)",
+				i, v.MinRobust, v.WorstRule, wantMin, wantRule)
+		}
+	}
+}
+
+// TestStreamSetBoundedState: the full Table I set attached to a
+// long-running session holds constant state and allocation-free pushes.
+func TestStreamSetBoundedState(t *testing.T) {
+	rules := TableI()
+	ss, err := NewStreamSet(rules, Defaults(rules), Params{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if _, err := ss.Push(randState(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state1k := ss.StateSamples()
+	s := randState(rng)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ss.Push(s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for ss.Len() < 50_000 {
+		if _, err := ss.Push(randState(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ss.StateSamples(); got != state1k {
+		// Table I bodies are pure predicates: zero buffered samples.
+		t.Errorf("state changed with session length: %d at 1k, %d at 50k", state1k, got)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state push allocates %.1f allocs", allocs)
+	}
+}
+
+func TestStreamSetMissingThreshold(t *testing.T) {
+	rules := TableI()
+	th := Defaults(rules)
+	delete(th, rules[3].ID)
+	if _, err := NewStreamSet(rules, th, Params{}, 5); err == nil {
+		t.Error("missing threshold should be rejected")
+	}
+}

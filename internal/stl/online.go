@@ -40,15 +40,19 @@ func PastOnly(f Formula) bool {
 	}
 }
 
-// OnlineMonitor incrementally evaluates a past-time-safe formula on a
-// growing trace, one sample per control cycle. This is the run-time form
-// of the paper's safety-context rules: each Table I rule body is a pure
-// state predicate (derivatives are precomputed into trace variables), so
-// checking "G[t0,te] body" online reduces to evaluating the body at each
-// new sample.
+// OnlineMonitor incrementally evaluates a past-time-safe formula one
+// sample per control cycle. This is the run-time form of the paper's
+// safety-context rules: checking "G[t0,te] body" online reduces to
+// evaluating the body at each new sample.
+//
+// The monitor runs on the incremental streaming engine (see Stream):
+// every Push costs O(1) amortized and retained state is bounded by the
+// formula's window lengths, never by session length, so a monitor can
+// stay attached to a continuous serving session indefinitely. Verdicts
+// and robustness are exactly those of evaluating the formula offline on
+// the full recorded trace at each index.
 type OnlineMonitor struct {
-	formula Formula
-	tr      *Trace
+	stream *Stream
 
 	violations int
 	evaluated  int
@@ -57,6 +61,74 @@ type OnlineMonitor struct {
 // NewOnlineMonitor builds a monitor for the formula at sampling period
 // dtMin. The formula must be past-only.
 func NewOnlineMonitor(f Formula, dtMin float64) (*OnlineMonitor, error) {
+	s, err := NewStream(f, dtMin)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineMonitor{stream: s}, nil
+}
+
+// Push appends one sample and returns satisfaction at the new sample.
+// Every variable the formula references must be present in the sample.
+func (m *OnlineMonitor) Push(sample map[string]float64) (bool, error) {
+	sat, _, err := m.stream.Push(sample)
+	if err != nil {
+		return false, err
+	}
+	m.evaluated++
+	if !sat {
+		m.violations++
+	}
+	return sat, nil
+}
+
+// Robustness returns the quantitative margin at the newest sample.
+func (m *OnlineMonitor) Robustness() (float64, error) {
+	_, rob, err := m.stream.Last()
+	return rob, err
+}
+
+// Violations returns how many pushed samples violated the formula, and
+// how many were evaluated — the running view of "G[t0,te] body".
+func (m *OnlineMonitor) Violations() (violations, evaluated int) {
+	return m.violations, m.evaluated
+}
+
+// Len returns the number of samples seen.
+func (m *OnlineMonitor) Len() int { return m.stream.Len() }
+
+// StateSamples returns the number of per-sample entries currently
+// buffered by the monitor's operator windows — bounded by the formula's
+// windows, independent of Len.
+func (m *OnlineMonitor) StateSamples() int { return m.stream.StateSamples() }
+
+// Reset clears all operator state.
+func (m *OnlineMonitor) Reset() {
+	m.stream.Reset()
+	m.violations = 0
+	m.evaluated = 0
+}
+
+// TraceMonitor is the pre-streaming online monitor: it appends every
+// sample to a grow-forever trace and re-evaluates the formula over it
+// on each Push, which is O(n) per step and unbounded memory for
+// unbounded-window formulas.
+//
+// Deprecated: use OnlineMonitor, which now runs on the incremental
+// streaming engine with O(1) amortized pushes and O(window) state.
+// TraceMonitor is retained as the baseline for the before/after
+// benchmarks in bench_test.go and will be removed once they have a
+// recorded history.
+type TraceMonitor struct {
+	formula Formula
+	tr      *Trace
+
+	violations int
+	evaluated  int
+}
+
+// NewTraceMonitor builds the legacy trace-backed monitor.
+func NewTraceMonitor(f Formula, dtMin float64) (*TraceMonitor, error) {
 	if f == nil {
 		return nil, fmt.Errorf("stl: nil formula")
 	}
@@ -67,11 +139,11 @@ func NewOnlineMonitor(f Formula, dtMin float64) (*OnlineMonitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &OnlineMonitor{formula: f, tr: tr}, nil
+	return &TraceMonitor{formula: f, tr: tr}, nil
 }
 
 // Push appends one sample and returns satisfaction at the new sample.
-func (m *OnlineMonitor) Push(sample map[string]float64) (bool, error) {
+func (m *TraceMonitor) Push(sample map[string]float64) (bool, error) {
 	m.tr.Append(sample)
 	sat, err := m.formula.Sat(m.tr, m.tr.Len()-1)
 	if err != nil {
@@ -85,24 +157,23 @@ func (m *OnlineMonitor) Push(sample map[string]float64) (bool, error) {
 }
 
 // Robustness returns the quantitative margin at the newest sample.
-func (m *OnlineMonitor) Robustness() (float64, error) {
+func (m *TraceMonitor) Robustness() (float64, error) {
 	if m.tr.Len() == 0 {
 		return 0, fmt.Errorf("stl: no samples pushed")
 	}
 	return m.formula.Robustness(m.tr, m.tr.Len()-1)
 }
 
-// Violations returns how many pushed samples violated the formula, and
-// how many were evaluated — the running view of "G[t0,te] body".
-func (m *OnlineMonitor) Violations() (violations, evaluated int) {
+// Violations returns the running violation/evaluation counters.
+func (m *TraceMonitor) Violations() (violations, evaluated int) {
 	return m.violations, m.evaluated
 }
 
 // Len returns the number of samples seen.
-func (m *OnlineMonitor) Len() int { return m.tr.Len() }
+func (m *TraceMonitor) Len() int { return m.tr.Len() }
 
 // Reset clears the accumulated trace.
-func (m *OnlineMonitor) Reset() {
+func (m *TraceMonitor) Reset() {
 	tr, err := NewTrace(m.tr.Dt())
 	if err != nil {
 		// Dt was validated at construction; this cannot happen.

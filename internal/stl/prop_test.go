@@ -115,6 +115,128 @@ func randMonotoneFormula(rng *rand.Rand, depth int) Formula {
 	}
 }
 
+// randPastBounds generates past-operator bounds: unbounded, aligned,
+// and fractional ones (whose ceil/floor conversion can produce empty
+// sample windows — an edge the streaming compiler must reproduce).
+func randPastBounds(rng *rand.Rand) Bounds {
+	switch rng.Intn(4) {
+	case 0:
+		return Unbounded
+	case 1:
+		a := float64(rng.Intn(4))
+		return Bounds{A: a, B: a + float64(rng.Intn(6))}
+	default:
+		a := 4 * rng.Float64()
+		return Bounds{A: a, B: a + 3*rng.Float64()}
+	}
+}
+
+// randPastFormula generates a random past-only formula of the given
+// depth, exercising every streamable operator.
+func randPastFormula(rng *rand.Rand, depth int) Formula {
+	if depth <= 0 {
+		if rng.Intn(8) == 0 {
+			return Const(rng.Intn(2) == 0)
+		}
+		return randAtom(rng, []CmpOp{OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE})
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return &Not{Child: randPastFormula(rng, depth-1)}
+	case 1:
+		return NewAnd(randPastFormula(rng, depth-1), randPastFormula(rng, depth-1))
+	case 2:
+		return NewOr(randPastFormula(rng, depth-1), randPastFormula(rng, depth-1))
+	case 3:
+		return &Implies{L: randPastFormula(rng, depth-1), R: randPastFormula(rng, depth-1)}
+	case 4:
+		return &Once{Bounds: randPastBounds(rng), Child: randPastFormula(rng, depth-1)}
+	case 5:
+		return &Historically{Bounds: randPastBounds(rng), Child: randPastFormula(rng, depth-1)}
+	default:
+		return &Since{Bounds: randPastBounds(rng), L: randPastFormula(rng, depth-1), R: randPastFormula(rng, depth-1)}
+	}
+}
+
+// streamTrace pushes every sample of tr through a fresh Stream for f,
+// comparing verdict and robustness against the offline Sat/Robustness
+// at every index. Equality is exact (==), not approximate: the
+// streaming engine reorders min/max folds but never changes operands.
+func streamTrace(t *testing.T, trial int, f Formula, tr *Trace) {
+	t.Helper()
+	s, err := NewStream(f, tr.Dt())
+	if err != nil {
+		t.Fatalf("trial %d: compile %s: %v", trial, f, err)
+	}
+	sample := make(map[string]float64, len(propVars))
+	for i := 0; i < tr.Len(); i++ {
+		for _, v := range tr.Names() {
+			val, err := tr.Value(v, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sample[v] = val
+		}
+		gotSat, gotRob, err := s.Push(sample)
+		if err != nil {
+			t.Fatalf("trial %d: push %d of %s: %v", trial, i, f, err)
+		}
+		wantSat, err := f.Sat(tr, i)
+		if err != nil {
+			t.Fatalf("trial %d: offline sat of %s at %d: %v", trial, f, i, err)
+		}
+		wantRob, err := f.Robustness(tr, i)
+		if err != nil {
+			t.Fatalf("trial %d: offline robustness of %s at %d: %v", trial, f, i, err)
+		}
+		if gotSat != wantSat {
+			t.Fatalf("trial %d: %s at %d: streaming sat=%v, offline %v", trial, f, i, gotSat, wantSat)
+		}
+		if gotRob != wantRob {
+			t.Fatalf("trial %d: %s at %d: streaming rob=%v, offline %v", trial, f, i, gotRob, wantRob)
+		}
+	}
+}
+
+// TestPropStreamingMatchesOffline is the differential correctness
+// contract of the streaming engine: on randomized past-only formulas
+// and randomized signals, the incremental evaluation must produce
+// verdicts and robustness exactly equal to the offline trace semantics
+// at every index.
+func TestPropStreamingMatchesOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 1200; trial++ {
+		f := randPastFormula(rng, 1+rng.Intn(3))
+		tr := randPropTrace(rng)
+		streamTrace(t, trial, f, tr)
+	}
+}
+
+// TestPropStreamingMatchesOfflineLongTraces repeats the differential
+// check on traces long enough for every window to saturate, candidates
+// to expire, and the deque compaction paths to run.
+func TestPropStreamingMatchesOfflineLongTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 60; trial++ {
+		f := randPastFormula(rng, 2+rng.Intn(2))
+		tr, err := NewTrace(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 200 + rng.Intn(200)
+		for _, v := range propVars {
+			series := make([]float64, n)
+			for i := range series {
+				series[i] = -10 + 20*rng.Float64()
+			}
+			if err := tr.Set(v, series); err != nil {
+				t.Fatal(err)
+			}
+		}
+		streamTrace(t, trial, f, tr)
+	}
+}
+
 // TestPropRobustnessSignAgreesWithSat: strictly positive robustness
 // implies boolean satisfaction, strictly negative implies violation
 // (soundness of the quantitative semantics).

@@ -1,0 +1,788 @@
+package stl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stream is the incremental streaming evaluator for past-only formulas:
+// each temporal operator compiles to a stateful node — ring buffers for
+// the bounded-history delay lines, monotonic (Lemire) deques for the
+// Once/Historically window extrema, and a clamp-merge candidate deque
+// for bounded Since — so every Push costs O(1) amortized and the total
+// retained state is O(sum of window lengths), independent of how long
+// the session runs. Verdicts and robustness are exactly equal, sample
+// for sample, to evaluating the formula's Sat/Robustness on the full
+// recorded trace (the differential property tests in prop_test.go
+// enforce this on randomized formulas).
+//
+// Every variable the formula references must be present in every pushed
+// sample; a missing variable is an error (the offline trace semantics
+// backfill NaN, which silently poisons windowed extrema — a streaming
+// hazard monitor should fail loudly instead).
+type Stream struct {
+	formula Formula
+	root    streamNode
+	vars    []string // every variable the formula references
+	dt      float64
+	n       int
+
+	lastSat bool
+	lastRob float64
+
+	// ctx is reused across pushes so the hot path stays allocation-free
+	// (a per-push context would escape through the node interface).
+	ctx stepCtx
+}
+
+// NewStream compiles a past-only formula for streaming evaluation at
+// sampling period dtMin minutes.
+func NewStream(f Formula, dtMin float64) (*Stream, error) {
+	if f == nil {
+		return nil, fmt.Errorf("stl: nil formula")
+	}
+	if dtMin <= 0 {
+		return nil, fmt.Errorf("stl: non-positive sampling period %v", dtMin)
+	}
+	if !PastOnly(f) {
+		return nil, fmt.Errorf("stl: formula %q needs future knowledge; cannot monitor online", f)
+	}
+	root, err := compileStream(f, dtMin)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{formula: f, root: root, vars: formulaVars(f), dt: dtMin}, nil
+}
+
+// formulaVars collects the distinct variable names a formula reads, in
+// first-occurrence order.
+func formulaVars(f Formula) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch n := f.(type) {
+		case *Atom:
+			if !seen[n.Var] {
+				seen[n.Var] = true
+				out = append(out, n.Var)
+			}
+		case *Not:
+			walk(n.Child)
+		case *And:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		case *Or:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		case *Implies:
+			walk(n.L)
+			walk(n.R)
+		case *Globally:
+			walk(n.Child)
+		case *Eventually:
+			walk(n.Child)
+		case *Until:
+			walk(n.L)
+			walk(n.R)
+		case *Once:
+			walk(n.Child)
+		case *Historically:
+			walk(n.Child)
+		case *Since:
+			walk(n.L)
+			walk(n.R)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// Formula returns the compiled formula.
+func (s *Stream) Formula() Formula { return s.formula }
+
+// Dt returns the sampling period in minutes.
+func (s *Stream) Dt() float64 { return s.dt }
+
+// Len returns the number of samples pushed.
+func (s *Stream) Len() int { return s.n }
+
+// Push consumes one sample and returns boolean satisfaction and the
+// robustness margin at that sample. A sample missing a referenced
+// variable is rejected before any operator state advances, so the
+// stream stays consistent and the caller may push a corrected sample.
+func (s *Stream) Push(sample map[string]float64) (bool, float64, error) {
+	for _, v := range s.vars {
+		if _, ok := sample[v]; !ok {
+			return false, 0, fmt.Errorf("stl: unknown variable %q", v)
+		}
+	}
+	s.ctx.sample, s.ctx.err = sample, nil
+	sat, rob := s.root.step(&s.ctx)
+	s.ctx.sample = nil
+	if s.ctx.err != nil {
+		return false, 0, s.ctx.err
+	}
+	s.n++
+	s.lastSat, s.lastRob = sat, rob
+	return sat, rob, nil
+}
+
+// Last returns the verdict and robustness at the newest sample.
+func (s *Stream) Last() (sat bool, rob float64, err error) {
+	if s.n == 0 {
+		return false, 0, fmt.Errorf("stl: no samples pushed")
+	}
+	return s.lastSat, s.lastRob, nil
+}
+
+// StateSamples returns the total number of buffered per-sample entries
+// across all operator nodes — the quantity that must stay O(window)
+// regardless of how many samples have been pushed (asserted by the
+// boundedness tests).
+func (s *Stream) StateSamples() int { return s.root.state() }
+
+// Reset clears all operator state, as if no samples had been pushed.
+func (s *Stream) Reset() {
+	s.root.reset()
+	s.n = 0
+	s.lastSat, s.lastRob = false, 0
+}
+
+// stepCtx carries the current sample through one recursive step.
+type stepCtx struct {
+	sample map[string]float64
+	err    error
+}
+
+// streamNode is one compiled operator. step consumes the newest sample
+// (via ctx) and returns satisfaction and robustness at that sample.
+type streamNode interface {
+	step(ctx *stepCtx) (bool, float64)
+	state() int
+	reset()
+}
+
+// compileStream lowers a past-only formula to its stateful node tree.
+// Minute bounds convert to inclusive sample offsets exactly as
+// Bounds.window does, so streaming and offline evaluation agree on
+// window edges (including empty fractional windows).
+func compileStream(f Formula, dt float64) (streamNode, error) {
+	switch n := f.(type) {
+	case *Atom:
+		if n.Op < OpLT || n.Op > OpNE {
+			return nil, fmt.Errorf("stl: invalid comparison op %d", int(n.Op))
+		}
+		return &atomNode{atom: *n}, nil
+	case Const:
+		return &constNode{value: bool(n)}, nil
+	case *Not:
+		c, err := compileStream(n.Child, dt)
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{child: c}, nil
+	case *And:
+		cs, err := compileChildren(n.Children, dt)
+		if err != nil {
+			return nil, err
+		}
+		return &andNode{children: cs}, nil
+	case *Or:
+		cs, err := compileChildren(n.Children, dt)
+		if err != nil {
+			return nil, err
+		}
+		return &orNode{children: cs}, nil
+	case *Implies:
+		l, err := compileStream(n.L, dt)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileStream(n.R, dt)
+		if err != nil {
+			return nil, err
+		}
+		return &impliesNode{l: l, r: r}, nil
+	case *Once:
+		c, err := compileStream(n.Child, dt)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := pastWindow(n.Bounds, dt)
+		if err != nil {
+			return nil, err
+		}
+		return newWindowNode(c, lo, hi, false), nil
+	case *Historically:
+		c, err := compileStream(n.Child, dt)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := pastWindow(n.Bounds, dt)
+		if err != nil {
+			return nil, err
+		}
+		return newWindowNode(c, lo, hi, true), nil
+	case *Since:
+		l, err := compileStream(n.L, dt)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileStream(n.R, dt)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := pastWindow(n.Bounds, dt)
+		if err != nil {
+			return nil, err
+		}
+		return newSinceNode(l, r, lo, hi), nil
+	default:
+		return nil, fmt.Errorf("stl: cannot stream %T", f)
+	}
+}
+
+func compileChildren(children []Formula, dt float64) ([]streamNode, error) {
+	out := make([]streamNode, len(children))
+	for i, c := range children {
+		n, err := compileStream(c, dt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// pastWindow converts minute bounds to inclusive sample offsets; hi < 0
+// encodes an unbounded window (back to the first sample). It delegates
+// to the same Bounds.window conversion the offline evaluator uses —
+// with horizon -1 an unbounded B comes back as exactly that sentinel —
+// so streaming and offline can never disagree on window edges.
+func pastWindow(b Bounds, dt float64) (lo, hi int, err error) {
+	return b.window(dt, -1)
+}
+
+// --- stateless nodes -------------------------------------------------
+
+type atomNode struct{ atom Atom }
+
+func (a *atomNode) step(ctx *stepCtx) (bool, float64) {
+	v, ok := ctx.sample[a.atom.Var]
+	if !ok {
+		if ctx.err == nil {
+			ctx.err = fmt.Errorf("stl: unknown variable %q", a.atom.Var)
+		}
+		return false, math.NaN()
+	}
+	var sat bool
+	var rob float64
+	switch a.atom.Op {
+	case OpLT:
+		sat, rob = v < a.atom.Threshold, a.atom.Threshold-v
+	case OpLE:
+		sat, rob = v <= a.atom.Threshold, a.atom.Threshold-v
+	case OpGT:
+		sat, rob = v > a.atom.Threshold, v-a.atom.Threshold
+	case OpGE:
+		sat, rob = v >= a.atom.Threshold, v-a.atom.Threshold
+	case OpEQ:
+		sat, rob = v == a.atom.Threshold, -math.Abs(v-a.atom.Threshold)
+	case OpNE:
+		sat, rob = v != a.atom.Threshold, math.Abs(v-a.atom.Threshold)
+	}
+	return sat, rob
+}
+
+func (a *atomNode) state() int { return 0 }
+func (a *atomNode) reset()     {}
+
+type constNode struct{ value bool }
+
+func (c *constNode) step(*stepCtx) (bool, float64) {
+	if c.value {
+		return true, math.Inf(1)
+	}
+	return false, math.Inf(-1)
+}
+
+func (c *constNode) state() int { return 0 }
+func (c *constNode) reset()     {}
+
+type notNode struct{ child streamNode }
+
+func (n *notNode) step(ctx *stepCtx) (bool, float64) {
+	sat, rob := n.child.step(ctx)
+	return !sat, -rob
+}
+
+func (n *notNode) state() int { return n.child.state() }
+func (n *notNode) reset()     { n.child.reset() }
+
+type andNode struct{ children []streamNode }
+
+func (a *andNode) step(ctx *stepCtx) (bool, float64) {
+	sat := true
+	rob := math.Inf(1)
+	for _, c := range a.children {
+		cs, cr := c.step(ctx)
+		sat = sat && cs
+		rob = math.Min(rob, cr)
+	}
+	return sat, rob
+}
+
+func (a *andNode) state() int { return childrenState(a.children) }
+func (a *andNode) reset()     { resetChildren(a.children) }
+
+type orNode struct{ children []streamNode }
+
+func (o *orNode) step(ctx *stepCtx) (bool, float64) {
+	sat := false
+	rob := math.Inf(-1)
+	for _, c := range o.children {
+		cs, cr := c.step(ctx)
+		sat = sat || cs
+		rob = math.Max(rob, cr)
+	}
+	return sat, rob
+}
+
+func (o *orNode) state() int { return childrenState(o.children) }
+func (o *orNode) reset()     { resetChildren(o.children) }
+
+type impliesNode struct{ l, r streamNode }
+
+func (im *impliesNode) step(ctx *stepCtx) (bool, float64) {
+	ls, lr := im.l.step(ctx)
+	rs, rr := im.r.step(ctx)
+	return !ls || rs, math.Max(-lr, rr)
+}
+
+func (im *impliesNode) state() int { return im.l.state() + im.r.state() }
+func (im *impliesNode) reset()     { im.l.reset(); im.r.reset() }
+
+func childrenState(cs []streamNode) int {
+	t := 0
+	for _, c := range cs {
+		t += c.state()
+	}
+	return t
+}
+
+func resetChildren(cs []streamNode) {
+	for _, c := range cs {
+		c.reset()
+	}
+}
+
+// --- shared stateful machinery ---------------------------------------
+
+// delayLine is a fixed-size FIFO that releases each pushed value after
+// exactly `size` further pushes: the [A, ...] lower bound of a past
+// window delays the child stream by lo samples.
+type delayLine struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+func newDelayLine(size int) *delayLine {
+	return &delayLine{buf: make([]float64, size)}
+}
+
+// push inserts v and returns the value falling out of the line, if any.
+// A zero-size line passes v straight through.
+func (d *delayLine) push(v float64) (out float64, ok bool) {
+	if len(d.buf) == 0 {
+		return v, true
+	}
+	if d.n < len(d.buf) {
+		d.buf[(d.head+d.n)%len(d.buf)] = v
+		d.n++
+		return 0, false
+	}
+	out = d.buf[d.head]
+	d.buf[d.head] = v
+	d.head = (d.head + 1) % len(d.buf)
+	return out, true
+}
+
+func (d *delayLine) state() int { return d.n }
+
+func (d *delayLine) reset() {
+	d.head, d.n = 0, 0
+}
+
+// monoDeque is a Lemire sliding-window extremum deque: values are kept
+// monotonic (non-increasing for max, non-decreasing for min) from front
+// to back, with indices increasing, so the window extremum is always at
+// the front. Pushes are O(1) amortized; memory is O(window).
+type monoDeque struct {
+	idx   []int
+	val   []float64
+	head  int
+	isMin bool
+}
+
+func newMonoDeque(capacity int, isMin bool) *monoDeque {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &monoDeque{
+		idx:   make([]int, 0, capacity),
+		val:   make([]float64, 0, capacity),
+		isMin: isMin,
+	}
+}
+
+// dominates reports whether a new value v makes an older value u
+// redundant (the new index is larger, so on ties the new entry wins).
+func (q *monoDeque) dominates(v, u float64) bool {
+	if q.isMin {
+		return v <= u
+	}
+	return v >= u
+}
+
+func (q *monoDeque) push(i int, v float64) {
+	for q.len() > 0 && q.dominates(v, q.val[len(q.val)-1]) {
+		q.idx = q.idx[:len(q.idx)-1]
+		q.val = q.val[:len(q.val)-1]
+	}
+	if q.head > 0 && q.len() == 0 {
+		// Compact so the slices do not creep rightward forever.
+		q.idx = q.idx[:0]
+		q.val = q.val[:0]
+		q.head = 0
+	}
+	if q.head > 0 && len(q.idx) == cap(q.idx) {
+		n := copy(q.idx[:q.len()], q.idx[q.head:])
+		copy(q.val[:n], q.val[q.head:])
+		q.idx = q.idx[:n]
+		q.val = q.val[:n]
+		q.head = 0
+	}
+	q.idx = append(q.idx, i)
+	q.val = append(q.val, v)
+}
+
+// evictBefore drops front entries with index < minIdx.
+func (q *monoDeque) evictBefore(minIdx int) {
+	for q.len() > 0 && q.idx[q.head] < minIdx {
+		q.head++
+	}
+}
+
+func (q *monoDeque) len() int { return len(q.idx) - q.head }
+
+// front returns the window extremum.
+func (q *monoDeque) front() float64 { return q.val[q.head] }
+
+// frontIdx returns the index of the extremum entry.
+func (q *monoDeque) frontIdx() int { return q.idx[q.head] }
+
+// popFront removes the extremum entry.
+func (q *monoDeque) popFront() { q.head++ }
+
+// pushFront reinserts a merged entry at the extremum end (clamp-merge of
+// the bounded-Since candidate deque). The caller guarantees v keeps the
+// monotonic invariant and that at least one popFront preceded this call,
+// so there is always slack at the front.
+func (q *monoDeque) pushFront(i int, v float64) {
+	if q.head == 0 {
+		panic("stl: pushFront without a preceding popFront")
+	}
+	q.head--
+	q.idx[q.head], q.val[q.head] = i, v
+}
+
+func (q *monoDeque) reset() {
+	q.idx = q.idx[:0]
+	q.val = q.val[:0]
+	q.head = 0
+}
+
+// --- Once / Historically ---------------------------------------------
+
+// extremumCore computes the sliding extremum of one float64 stream over
+// the past window [lo, hi] in sample offsets (hi < 0: unbounded). It is
+// instantiated twice per temporal node: once over robustness values and
+// once over satisfaction encoded as 0/1 (min = and, max = or), so both
+// semantics stream through identical machinery.
+type extremumCore struct {
+	lo, hi int
+	isMin  bool
+	i      int // samples consumed
+
+	delay *delayLine
+	dq    *monoDeque // bounded window
+	agg   float64    // unbounded window running extremum
+}
+
+func newExtremumCore(lo, hi int, isMin bool) *extremumCore {
+	c := &extremumCore{lo: lo, hi: hi, isMin: isMin, delay: newDelayLine(lo)}
+	if hi >= 0 {
+		c.dq = newMonoDeque(hi-lo+1, isMin)
+	}
+	c.resetAgg()
+	return c
+}
+
+func (c *extremumCore) resetAgg() {
+	if c.isMin {
+		c.agg = math.Inf(1)
+	} else {
+		c.agg = math.Inf(-1)
+	}
+}
+
+// empty is the extremum of an empty window: -Inf for max (Once of
+// nothing is false), +Inf for min (Historically of nothing is true).
+func (c *extremumCore) empty() float64 {
+	if c.isMin {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+func (c *extremumCore) push(v float64) float64 {
+	i := c.i
+	c.i++
+	if c.hi >= 0 && c.lo > c.hi {
+		return c.empty() // fractional bounds with no sample offsets
+	}
+	dv, ok := c.delay.push(v)
+	if !ok {
+		return c.empty() // window has not reached the first sample yet
+	}
+	d := i - c.lo // index of the delayed sample
+	if c.hi < 0 {
+		if c.isMin {
+			c.agg = math.Min(c.agg, dv)
+		} else {
+			c.agg = math.Max(c.agg, dv)
+		}
+		return c.agg
+	}
+	c.dq.push(d, dv)
+	c.dq.evictBefore(i - c.hi)
+	return c.dq.front()
+}
+
+func (c *extremumCore) state() int {
+	n := c.delay.state()
+	if c.dq != nil {
+		n += c.dq.len()
+	}
+	return n
+}
+
+func (c *extremumCore) reset() {
+	c.i = 0
+	c.delay.reset()
+	if c.dq != nil {
+		c.dq.reset()
+	}
+	c.resetAgg()
+}
+
+// windowNode is Once (max) or Historically (min) over its child.
+type windowNode struct {
+	child streamNode
+	rob   *extremumCore
+	sat   *extremumCore
+}
+
+func newWindowNode(child streamNode, lo, hi int, isMin bool) *windowNode {
+	return &windowNode{
+		child: child,
+		rob:   newExtremumCore(lo, hi, isMin),
+		sat:   newExtremumCore(lo, hi, isMin),
+	}
+}
+
+func (w *windowNode) step(ctx *stepCtx) (bool, float64) {
+	cs, cr := w.child.step(ctx)
+	rob := w.rob.push(cr)
+	sat := w.sat.push(boolToFloat(cs))
+	return sat > 0.5, rob
+}
+
+func (w *windowNode) state() int {
+	return w.child.state() + w.rob.state() + w.sat.state()
+}
+
+func (w *windowNode) reset() {
+	w.child.reset()
+	w.rob.reset()
+	w.sat.reset()
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- Since -----------------------------------------------------------
+
+// sinceCore streams the quantitative Since semantics over one pair of
+// float64 streams (phi = left operand, psi = right operand):
+//
+//	out_i = max over j in [i-hi, i-lo] of
+//	        min( psi_j, min over k in (j, i] of phi_k )
+//
+// Each candidate witness j carries the running value A_i(j) =
+// min(psi_j, min phi over (j, i]). On every push all candidates are
+// clamped by min(·, phi_i); because min distributes over max, the
+// candidates can live in a max-deque where the clamp collapses the
+// strictly-greater front prefix into a single entry keeping the newest
+// index (clamp-merge), preserving both dominance order and expiry
+// correctness. A candidate enters the deque lo pushes after its psi
+// sample, pre-clamped with the sliding minimum of phi over the samples
+// it skipped, so the [lo, hi] offset window needs no per-step rescans.
+// With hi unbounded the whole deque degenerates to one scalar
+// recursion: z_i = max(min(z_{i-1}, phi_i), candidate_i).
+//
+// Boolean Since runs the identical algorithm over {0,1} (min = and,
+// max = or). Every push is O(1) amortized; state is O(window).
+type sinceCore struct {
+	lo, hi int
+	i      int
+
+	phiWin   *monoDeque // sliding min of phi over the last lo samples
+	psiDelay *delayLine // psi values waiting to become candidates
+
+	cand *monoDeque // bounded hi: candidate max-deque
+	z    float64    // unbounded hi: running max
+}
+
+func newSinceCore(lo, hi int) *sinceCore {
+	c := &sinceCore{lo: lo, hi: hi, psiDelay: newDelayLine(lo)}
+	if lo > 0 {
+		c.phiWin = newMonoDeque(lo, true)
+	}
+	if hi >= 0 {
+		c.cand = newMonoDeque(hi-lo+1, false)
+	}
+	c.z = math.Inf(-1)
+	return c
+}
+
+func (c *sinceCore) push(phi, psi float64) float64 {
+	i := c.i
+	c.i++
+	if c.hi >= 0 && c.lo > c.hi {
+		return math.Inf(-1) // fractional bounds with no sample offsets
+	}
+
+	// Sliding min of phi over the last lo samples (k in [i-lo+1, i]):
+	// the pre-clamp applied to a candidate the moment it enters.
+	if c.phiWin != nil {
+		c.phiWin.push(i, phi)
+		c.phiWin.evictBefore(i - c.lo + 1)
+	}
+
+	// The candidate maturing now, if the window reaches back to it.
+	dpsi, mature := c.psiDelay.push(psi)
+	cv := math.Inf(-1)
+	if mature {
+		cv = dpsi
+		if c.phiWin != nil {
+			cv = math.Min(cv, c.phiWin.front())
+		}
+	}
+
+	if c.hi < 0 {
+		// Unbounded window: clamp the running max, fold the candidate.
+		c.z = math.Min(c.z, phi)
+		if mature {
+			c.z = math.Max(c.z, cv)
+		}
+		return c.z
+	}
+
+	// Clamp-merge: every stored candidate predates this sample, so all
+	// of them take min(·, phi). Entries strictly above phi form the
+	// front prefix of the max-deque; they collapse to value phi, and
+	// only the newest (latest-expiring) index needs to survive.
+	if c.cand.len() > 0 && c.cand.front() > phi {
+		merged := c.cand.frontIdx()
+		for c.cand.len() > 0 && c.cand.front() > phi {
+			merged = c.cand.frontIdx()
+			c.cand.popFront()
+		}
+		c.cand.pushFront(merged, phi)
+	}
+	// Expire witnesses older than the window, then admit the new one.
+	c.cand.evictBefore(i - c.hi)
+	if mature {
+		c.cand.push(i-c.lo, cv)
+	}
+	if c.cand.len() == 0 {
+		return math.Inf(-1)
+	}
+	return c.cand.front()
+}
+
+func (c *sinceCore) state() int {
+	n := c.psiDelay.state()
+	if c.phiWin != nil {
+		n += c.phiWin.len()
+	}
+	if c.cand != nil {
+		n += c.cand.len()
+	}
+	return n
+}
+
+func (c *sinceCore) reset() {
+	c.i = 0
+	c.psiDelay.reset()
+	if c.phiWin != nil {
+		c.phiWin.reset()
+	}
+	if c.cand != nil {
+		c.cand.reset()
+	}
+	c.z = math.Inf(-1)
+}
+
+// sinceNode is  L S[a,b] R  over its children.
+type sinceNode struct {
+	l, r streamNode
+	rob  *sinceCore
+	sat  *sinceCore
+}
+
+func newSinceNode(l, r streamNode, lo, hi int) *sinceNode {
+	return &sinceNode{
+		l: l, r: r,
+		rob: newSinceCore(lo, hi),
+		sat: newSinceCore(lo, hi),
+	}
+}
+
+func (s *sinceNode) step(ctx *stepCtx) (bool, float64) {
+	ls, lr := s.l.step(ctx)
+	rs, rr := s.r.step(ctx)
+	rob := s.rob.push(lr, rr)
+	sat := s.sat.push(boolToFloat(ls), boolToFloat(rs))
+	return sat > 0.5, rob
+}
+
+func (s *sinceNode) state() int {
+	return s.l.state() + s.r.state() + s.rob.state() + s.sat.state()
+}
+
+func (s *sinceNode) reset() {
+	s.l.reset()
+	s.r.reset()
+	s.rob.reset()
+	s.sat.reset()
+}

@@ -1,0 +1,228 @@
+package stl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamRejectsInvalid(t *testing.T) {
+	if _, err := NewStream(nil, 5); err == nil {
+		t.Error("nil formula should be rejected")
+	}
+	if _, err := NewStream(MustParse("x > 1"), 0); err == nil {
+		t.Error("zero dt should be rejected")
+	}
+	if _, err := NewStream(MustParse("F (x > 1)"), 5); err == nil {
+		t.Error("future formula should be rejected")
+	}
+	if _, err := NewStream(MustParse("G (x > 1)"), 5); err == nil {
+		t.Error("future formula should be rejected")
+	}
+	if _, err := NewStream(&Since{Bounds: Bounds{A: 3, B: 1}, L: Const(true), R: Const(true)}, 5); err == nil {
+		t.Error("invalid bounds should be rejected")
+	}
+}
+
+func TestStreamMissingVariable(t *testing.T) {
+	s, err := NewStream(MustParse("O[0,30] (x > 1 and y < 2)"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Push(map[string]float64{"x": 3}); err == nil {
+		t.Error("missing variable should error")
+	}
+	// The rejected sample must not have advanced any operator state:
+	// a corrected push behaves as the first sample of the stream.
+	if s.Len() != 0 {
+		t.Errorf("Len after rejected push = %d, want 0", s.Len())
+	}
+	sat, rob, err := s.Push(map[string]float64{"x": 3, "y": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat || rob != 1 {
+		t.Errorf("corrected push: sat=%v rob=%v, want true/1 (state was poisoned)", sat, rob)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStreamOnceBounded(t *testing.T) {
+	// O[5,10] (x > 0) at dt=5: sample offsets [1,2].
+	s, err := NewStream(MustParse("O[5,10] (x > 0)"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []float64{1, -1, -1, -1, 1, -1, -1}
+	want := []bool{false, true, true, false, false, true, true}
+	for i, x := range xs {
+		sat, _, err := s.Push(map[string]float64{"x": x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat != want[i] {
+			t.Errorf("step %d: sat=%v, want %v", i, sat, want[i])
+		}
+	}
+}
+
+func TestStreamEmptyFractionalWindow(t *testing.T) {
+	// [1.2,1.4] minutes at dt=1 has no sample offsets: Once is always
+	// false (-Inf), Historically always true (+Inf) — exactly the
+	// offline empty-window semantics.
+	once, err := NewStream(&Once{Bounds: Bounds{A: 1.2, B: 1.4}, Child: MustParse("x > 0")}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := NewStream(&Historically{Bounds: Bounds{A: 1.2, B: 1.4}, Child: MustParse("x > 0")}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	since, err := NewStream(&Since{Bounds: Bounds{A: 1.2, B: 1.4}, L: MustParse("x > 0"), R: MustParse("x > 0")}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		sample := map[string]float64{"x": 1}
+		if sat, rob, _ := once.Push(sample); sat || !math.IsInf(rob, -1) {
+			t.Errorf("once over empty window: sat=%v rob=%v", sat, rob)
+		}
+		if sat, rob, _ := hist.Push(sample); !sat || !math.IsInf(rob, 1) {
+			t.Errorf("historically over empty window: sat=%v rob=%v", sat, rob)
+		}
+		if sat, rob, _ := since.Push(sample); sat || !math.IsInf(rob, -1) {
+			t.Errorf("since over empty window: sat=%v rob=%v", sat, rob)
+		}
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s, err := NewStream(MustParse("(x > 5) S (y == 1)"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Push(map[string]float64{"x": 9, "y": 1}); err != nil {
+		t.Fatal(err)
+	}
+	sat, _, err := s.Push(map[string]float64{"x": 9, "y": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Fatal("since should hold before reset")
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Errorf("Len after reset = %d", s.Len())
+	}
+	if _, _, err := s.Last(); err == nil {
+		t.Error("Last after reset should error")
+	}
+	// The witness from before the reset must be gone.
+	sat, _, err = s.Push(map[string]float64{"x": 9, "y": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Error("since held across Reset: stale operator state")
+	}
+}
+
+// boundedStateFormula mixes every stateful operator shape: bounded and
+// unbounded windows, nested temporal operators, and Since with a
+// nonzero lower bound.
+const boundedStateFormula = "(H[0,120] (x > 0)) and ((x > 2) S (y < 1)) " +
+	"and O[15,45] (y > 3) and ((y < 8) S[10,90] (O[0,30] (x > 5)))"
+
+// TestStreamBoundedStateLongSession is the continuous-serving-mode
+// memory contract: after the windows saturate, pushing 100x more
+// samples must not grow operator state at all, and the steady-state
+// push path must not allocate.
+func TestStreamBoundedStateLongSession(t *testing.T) {
+	m, err := NewOnlineMonitor(MustParse(boundedStateFormula), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := make(map[string]float64, 2)
+	push := func(i int) {
+		sample["x"] = float64((i*7919)%23) - 10
+		sample["y"] = float64((i*104729)%19) - 9
+		if _, err := m.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1_000; i++ {
+		push(i)
+	}
+	stateAt1k := m.StateSamples()
+	allocsAt1k := testing.AllocsPerRun(200, func() { push(m.Len()) })
+
+	for m.Len() < 100_000 {
+		push(m.Len())
+	}
+	stateAt100k := m.StateSamples()
+	allocsAt100k := testing.AllocsPerRun(200, func() { push(m.Len()) })
+
+	// Deque occupancy is data-dependent within the window bound, so the
+	// invariant is a cap, not exact equality: the formula's widest
+	// window is 120 min = 24 samples and a handful of operator cores
+	// each hold at most O(window) entries — after 100x more pushes the
+	// state must still sit under that same small constant.
+	const stateCap = 400
+	if stateAt1k > stateCap || stateAt100k > stateCap {
+		t.Errorf("state is not O(window): %d samples at 1k pushes, %d at 100k",
+			stateAt1k, stateAt100k)
+	}
+	if allocsAt1k != 0 || allocsAt100k != 0 {
+		t.Errorf("steady-state push allocates: %.1f allocs/push at 1k, %.1f at 100k",
+			allocsAt1k, allocsAt100k)
+	}
+}
+
+// TestStreamMatchesTraceMonitor pins the rewired OnlineMonitor to the
+// legacy trace-backed monitor on a shared sample stream.
+func TestStreamMatchesTraceMonitor(t *testing.T) {
+	f := MustParse("((x > 2) S[0,30] (y < 1)) and H[0,20] (x > -8)")
+	stream, err := NewOnlineMonitor(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := NewTraceMonitor(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		sample := map[string]float64{
+			"x": float64((i*31)%17) - 8,
+			"y": float64((i*17)%13) - 6,
+		}
+		gotSat, err := stream.Push(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSat, err := legacy.Push(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSat != wantSat {
+			t.Fatalf("step %d: streaming sat=%v, legacy %v", i, gotSat, wantSat)
+		}
+		gotRob, err := stream.Robustness()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRob, err := legacy.Robustness()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRob != wantRob {
+			t.Fatalf("step %d: streaming rob=%v, legacy %v", i, gotRob, wantRob)
+		}
+	}
+	gv, ge := stream.Violations()
+	wv, we := legacy.Violations()
+	if gv != wv || ge != we {
+		t.Errorf("violations %d/%d, legacy %d/%d", gv, ge, wv, we)
+	}
+}

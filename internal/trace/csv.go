@@ -14,9 +14,17 @@ var csvHeader = []string{
 	"alarm_hazard", "mitigated",
 }
 
+// Meta record lengths: the original layout had 11 fields; the scheduled
+// basal rate was appended as field 12 (older traces read back with
+// Basal == 0).
+const (
+	metaFieldsV1 = 11
+	metaFieldsV2 = 12
+)
+
 // WriteCSV serializes the trace samples as CSV with a header row.
-// Trace-level metadata (patient, platform, fault) is written as a leading
-// comment-style record so a trace round-trips through ReadCSV.
+// Trace-level metadata (patient, platform, basal, fault) is written as a
+// leading comment-style record so a trace round-trips through ReadCSV.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	meta := []string{
@@ -25,6 +33,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		t.Fault.Name, t.Fault.Kind, t.Fault.Target,
 		strconv.Itoa(t.Fault.StartStep), strconv.Itoa(t.Fault.Duration),
 		formatFloat(t.Fault.Value),
+		formatFloat(t.Basal),
 	}
 	if err := cw.Write(meta); err != nil {
 		return fmt.Errorf("write meta: %w", err)
@@ -70,7 +79,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("read meta: %w", err)
 	}
-	if len(meta) != 11 || meta[0] != "#meta" {
+	if (len(meta) != metaFieldsV1 && len(meta) != metaFieldsV2) || meta[0] != "#meta" {
 		return nil, fmt.Errorf("malformed meta record (%d fields)", len(meta))
 	}
 	t := &Trace{PatientID: meta[1], Platform: meta[2]}
@@ -90,6 +99,11 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	if t.Fault.Value, err = strconv.ParseFloat(meta[10], 64); err != nil {
 		return nil, fmt.Errorf("parse fault value: %w", err)
 	}
+	if len(meta) >= metaFieldsV2 {
+		if t.Basal, err = strconv.ParseFloat(meta[11], 64); err != nil {
+			return nil, fmt.Errorf("parse basal: %w", err)
+		}
+	}
 
 	header, err := cr.Read()
 	if err != nil {
@@ -97,6 +111,13 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	}
 	if len(header) != len(csvHeader) {
 		return nil, fmt.Errorf("header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	// Validate column names, not just the count: a reordered or foreign
+	// CSV would otherwise parse into silently wrong fields.
+	for i, name := range header {
+		if name != csvHeader[i] {
+			return nil, fmt.Errorf("header column %d is %q, want %q", i, name, csvHeader[i])
+		}
 	}
 	for {
 		rec, err := cr.Read()

@@ -165,8 +165,14 @@ type Trace struct {
 	Platform  string // e.g. "glucosym/openaps"
 	InitialBG float64
 	CycleMin  float64 // control-cycle length in minutes
-	Fault     FaultInfo
-	Samples   []Sample
+	// Basal is the patient's scheduled basal rate, U/h. Monitors observe
+	// it live (Observation.Basal and the step-0 PrevRate seed), so it
+	// must persist with the trace for offline replay to feed monitors
+	// exactly what the closed loop fed them online. Traces recorded
+	// before this field round-trip with Basal == 0.
+	Basal   float64
+	Fault   FaultInfo
+	Samples []Sample
 }
 
 // Len returns the number of samples.

@@ -86,6 +86,7 @@ func sampleTrace() *Trace {
 		Platform:  "glucosym/openaps",
 		InitialBG: 120,
 		CycleMin:  5,
+		Basal:     1.3,
 		Fault: FaultInfo{
 			Name: "max:glucose", Kind: "max", Target: "glucose",
 			StartStep: 2, Duration: 3, Value: 400,
@@ -218,6 +219,9 @@ func TestCSVRoundTrip(t *testing.T) {
 	if got.PatientID != tr.PatientID || got.Platform != tr.Platform {
 		t.Errorf("metadata mismatch: %+v", got)
 	}
+	if got.Basal != tr.Basal {
+		t.Errorf("basal = %v, want %v", got.Basal, tr.Basal)
+	}
 	if got.Fault != tr.Fault {
 		t.Errorf("fault mismatch: got %+v want %+v", got.Fault, tr.Fault)
 	}
@@ -232,6 +236,9 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
+	const goodMeta = "#meta,a,b,120,5,,,,0,0,0,1.3\n"
+	const goodHeader = "step,time_min,bg,cgm,iob,bg_prime,iob_prime," +
+		"rate,delivered,action,fault_active,hazard,alarm,alarm_hazard,mitigated\n"
 	tests := []struct {
 		name string
 		in   string
@@ -239,7 +246,16 @@ func TestReadCSVErrors(t *testing.T) {
 		{"empty", ""},
 		{"bad meta tag", "nope,a,b,1,5,,,,0,0,0\n"},
 		{"short meta", "#meta,a,b\n"},
+		{"overlong meta", "#meta,a,b,120,5,,,,0,0,0,1.3,extra\n"},
 		{"bad float", "#meta,a,b,xx,5,,,,0,0,0\n"},
+		{"bad basal", "#meta,a,b,120,5,,,,0,0,0,xx\n"},
+		{"foreign header", goodMeta +
+			"time,glucose,insulin,carbs,bolus,basal,temp,iob,cob,tag,a,b,c,d,e\n"},
+		{"reordered header", goodMeta +
+			"time_min,step,bg,cgm,iob,bg_prime,iob_prime,rate,delivered,action,fault_active,hazard,alarm,alarm_hazard,mitigated\n"},
+		{"short header", goodMeta + "step,time_min,bg\n"},
+		{"bad record", goodMeta + goodHeader + "0,0,xx,120,1,0,0,1,1,4,false,0,false,0,false\n"},
+		{"short record", goodMeta + goodHeader + "0,0,120\n"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -247,6 +263,28 @@ func TestReadCSVErrors(t *testing.T) {
 				t.Error("ReadCSV should have failed")
 			}
 		})
+	}
+}
+
+// TestReadCSVBackwardCompatMeta: traces written before the basal was
+// persisted carry an 11-field meta record; they must still parse, with
+// Basal reported as zero.
+func TestReadCSVBackwardCompatMeta(t *testing.T) {
+	in := "#meta,patientA,glucosym/openaps,120,5,max:glucose,max,glucose,2,3,400\n" +
+		"step,time_min,bg,cgm,iob,bg_prime,iob_prime,rate,delivered,action,fault_active,hazard,alarm,alarm_hazard,mitigated\n" +
+		"0,0,120,119,1.5,0,0,1,1,4,false,0,false,0,false\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV on v1 meta: %v", err)
+	}
+	if tr.PatientID != "patientA" || tr.CycleMin != 5 || tr.Fault.Value != 400 {
+		t.Errorf("v1 metadata misparsed: %+v", tr)
+	}
+	if tr.Basal != 0 {
+		t.Errorf("v1 meta has no basal; got %v", tr.Basal)
+	}
+	if len(tr.Samples) != 1 {
+		t.Fatalf("%d samples, want 1", len(tr.Samples))
 	}
 }
 
