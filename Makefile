@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench short vet ci
+.PHONY: build test race bench bench-smoke short vet ci
 
 ## build: compile every package and command
 build:
@@ -23,6 +23,15 @@ race:
 ## results summary (see bench_test.go) and the fleet throughput report
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+## bench-smoke: the fast hot-path benchmarks CI tracks per commit — the
+## streaming STL push and the streaming-vs-legacy CAWT step (the
+## redesign's "streaming no slower than legacy" guard). Output lands in
+## bench-smoke.txt for the CI artifact.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSTLOnlinePush|BenchmarkCAWTStep' \
+		-benchtime 1000x -benchmem . > bench-smoke.txt || { cat bench-smoke.txt; exit 1; }
+	@cat bench-smoke.txt
 
 ## vet: static checks
 vet:

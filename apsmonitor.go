@@ -178,7 +178,34 @@ type (
 	FleetTelemetryConfig = fleet.TelemetryConfig
 	// BatchMonitor is the batched-inference monitor contract.
 	BatchMonitor = monitor.BatchMonitor
+	// FleetSink persists the fleet's event stream (FleetConfig.Sinks):
+	// Emit receives every event from one collector goroutine, Flush runs
+	// when the fleet stops. See NewFleetLogSink, NewFleetRingSink, and
+	// NewFleetHistSink for the shipped implementations.
+	FleetSink = fleet.Sink
+	// FleetLogSink appends events as JSON lines to a writer.
+	FleetLogSink = fleet.LogSink
+	// FleetRingSink retains the newest N events in a fixed-size ring.
+	FleetRingSink = fleet.RingSink
+	// FleetHistSink aggregates robustness margins into per-patient
+	// histograms.
+	FleetHistSink = fleet.HistSink
 )
+
+// NewFleetLogSink creates an append-only JSONL sink over a writer (a
+// file, a pipe, a network connection). The caller closes the writer
+// after RunFleet returns.
+func NewFleetLogSink(w io.Writer) *FleetLogSink { return fleet.NewLogSink(w) }
+
+// NewFleetRingSink creates a bounded snapshot sink retaining the last n
+// events.
+func NewFleetRingSink(n int) (*FleetRingSink, error) { return fleet.NewRingSink(n) }
+
+// NewFleetHistSink creates a per-patient margin-histogram sink over the
+// range [lo, hi) with the given bin count.
+func NewFleetHistSink(lo, hi float64, bins int) (*FleetHistSink, error) {
+	return fleet.NewHistSink(lo, hi, bins)
+}
 
 // Fleet event kinds.
 const (
@@ -260,6 +287,10 @@ type (
 	// STLStream is the incremental streaming evaluator for past-only
 	// formulas: O(1) amortized per pushed sample, O(window) state.
 	STLStream = stl.Stream
+	// STLStreamGroup evaluates many past-only formulas over one shared
+	// sample stream with a hash-consed node DAG: identical subformulas
+	// share one stateful node, evaluated once per push.
+	STLStreamGroup = stl.StreamGroup
 	// STLMonitor evaluates a past-only formula online, one sample per
 	// control cycle, on the streaming engine.
 	STLMonitor = stl.OnlineMonitor
@@ -284,6 +315,13 @@ func NewSTLTrace(dtMin float64) (*STLTrace, error) { return stl.NewTrace(dtMin) 
 // evaluation at sampling period dtMin minutes.
 func NewSTLStream(f STLFormula, dtMin float64) (*STLStream, error) {
 	return stl.NewStream(f, dtMin)
+}
+
+// NewSTLStreamGroup creates an empty hash-consed stream group at
+// sampling period dtMin minutes; add formulas with Add, advance all of
+// them together with Push.
+func NewSTLStreamGroup(dtMin float64) (*STLStreamGroup, error) {
+	return stl.NewStreamGroup(dtMin)
 }
 
 // NewSTLMonitor builds an online monitor for a past-only formula.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ml"
 	"repro/internal/monitor"
+	"repro/internal/scs"
 	"repro/internal/stl"
 	"repro/internal/stllearn"
 	"repro/internal/trace"
@@ -532,6 +533,56 @@ func benchSTLOnlinePush(b *testing.B, m stlPusher, n int) {
 		}
 		push()
 	}
+}
+
+// BenchmarkCAWTStep compares the streaming context-aware monitor (one
+// hash-consed scs.StreamSet push per cycle, yielding alarm + margin +
+// rule attribution) against the legacy eager per-rule evaluator (alarm
+// only). The acceptance bar for the verdict-API redesign is streaming
+// no slower than legacy while carrying strictly more information.
+func BenchmarkCAWTStep(b *testing.B) {
+	rules := apsmonitor.TableI()
+	// A deterministic observation stream covering safe and violating
+	// contexts (same sequence for both monitors).
+	rng := rand.New(rand.NewSource(9))
+	obs := make([]monitor.Observation, 512)
+	for i := range obs {
+		obs[i] = monitor.Observation{
+			Step: i, TimeMin: float64(i) * 5, CycleMin: 5,
+			CGM:     40 + 300*rng.Float64(),
+			BGPrime: -6 + 12*rng.Float64(),
+			IOB:     -2 + 10*rng.Float64(), IOBPrime: -0.05 + 0.1*rng.Float64(),
+			Action: trace.Action(1 + rng.Intn(4)),
+		}
+	}
+	b.Run("streaming", func(b *testing.B) {
+		m, err := monitor.NewCAWOT(rules, scs.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		alarms := 0
+		for i := 0; i < b.N; i++ {
+			if m.Step(obs[i%len(obs)]).Alarm {
+				alarms++
+			}
+		}
+		_ = alarms
+	})
+	b.Run("legacy", func(b *testing.B) {
+		m, err := monitor.NewContextAwareLegacy("CAWOT", rules, nil, scs.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		alarms := 0
+		for i := 0; i < b.N; i++ {
+			if m.Step(obs[i%len(obs)]).Alarm {
+				alarms++
+			}
+		}
+		_ = alarms
+	})
 }
 
 // BenchmarkSTLOnlinePush is the before/after comparison of the

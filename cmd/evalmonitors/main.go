@@ -62,5 +62,7 @@ func run(platformName string, thin int, seed int64) error {
 		evals))
 	fmt.Println()
 	fmt.Print(experiment.RenderReaction(evals))
+	fmt.Println()
+	fmt.Print(experiment.RenderRuleAttribution(evals))
 	return nil
 }

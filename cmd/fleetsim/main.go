@@ -4,13 +4,22 @@
 // live progress/hazard event stream. With -duration it runs in
 // continuous serving mode — completed sessions restart as fresh replicas
 // and trace buffers are recycled — and reports sustained throughput;
-// without it, the session matrix runs once to completion. With -stl,
-// every session streams its per-cycle STL robustness margin (Table I
-// rules through the incremental streaming engine, O(window) state per
-// session) as hazard telemetry.
+// without it, the session matrix runs once to completion.
+//
+// Telemetry: with -stl every session streams its per-cycle STL
+// robustness margin (Table I rules through the incremental streaming
+// engine, O(window) state per session). With -monitor cawot the
+// streaming context-aware monitor rides in the loop (add -mitigate for
+// Algorithm 1, -scale-margin to scale corrections by violation depth),
+// and -stl-from-monitor emits the monitor's own margins instead of a
+// second rule evaluation. -sink persists the event stream: an
+// append-only JSONL log, a fixed-size ring snapshot, and per-patient
+// margin histograms, in any combination.
 //
 //	fleetsim -platform glucosym -patients 5 -scenarios 88 -sessions 2000 \
-//	         -parallel 8 -duration 30s -seed 1 -noise 2.5 -stl
+//	         -parallel 8 -duration 30s -seed 1 -noise 2.5 \
+//	         -monitor cawot -mitigate -scale-margin -stl-from-monitor \
+//	         -sink log,hist -sink-path events.jsonl
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	apsmonitor "repro"
@@ -37,8 +47,15 @@ func main() {
 		steps        = flag.Int("steps", 150, "control cycles per session")
 		noise        = flag.Float64("noise", 0, "CGM sensor noise SD in mg/dL (0 = clean sensor)")
 		progress     = flag.Int("progress", 0, "print a progress line every k completed sessions")
+		monitorName  = flag.String("monitor", "", "attach a per-session safety monitor: cawot (streaming context-aware, default thresholds)")
+		mitigate     = flag.Bool("mitigate", false, "enable Algorithm 1 mitigation (requires -monitor)")
+		scaleMargin  = flag.Bool("scale-margin", false, "scale mitigation corrections by the verdict's violation depth (requires -mitigate)")
 		stlTelem     = flag.Bool("stl", false, "stream per-cycle STL robustness margins (Table I rules, streaming engine)")
+		stlFromMon   = flag.Bool("stl-from-monitor", false, "emit the monitor's own streaming margins instead of a separate rule set (requires -monitor; implies -stl)")
 		stlEvery     = flag.Int("stl-every", 1, "emit a robustness event every k cycles per session")
+		sinkList     = flag.String("sink", "", "comma-separated telemetry sinks: log (JSONL append), ring (snapshot buffer), hist (per-patient margin histograms)")
+		sinkPath     = flag.String("sink-path", "fleet-events.jsonl", "output path for the log sink")
+		ringSize     = flag.Int("ring-size", 1024, "ring sink capacity (events)")
 		verbose      = flag.Bool("v", false, "stream alarm/hazard events (with -stl: also rule-violation margins)")
 	)
 	flag.Parse()
@@ -70,8 +87,64 @@ func main() {
 	if *noise > 0 {
 		cfg.Sensor = &sensor.Config{NoiseSD: *noise}
 	}
-	if *stlTelem {
-		cfg.Telemetry = &apsmonitor.FleetTelemetryConfig{Every: *stlEvery}
+	switch *monitorName {
+	case "":
+		if *mitigate || *stlFromMon {
+			fail(fmt.Errorf("-mitigate and -stl-from-monitor require -monitor"))
+		}
+	case "cawot":
+		cfg.NewMonitor = func(int) (apsmonitor.Monitor, error) {
+			return apsmonitor.NewCAWOTMonitor(apsmonitor.TableI())
+		}
+	default:
+		fail(fmt.Errorf("unknown monitor %q (want cawot)", *monitorName))
+	}
+	cfg.Mitigate = *mitigate
+	if *scaleMargin {
+		if !*mitigate {
+			fail(fmt.Errorf("-scale-margin requires -mitigate"))
+		}
+		cfg.Mitigation.ScaleByMargin = true
+	}
+	if *stlTelem || *stlFromMon {
+		cfg.Telemetry = &apsmonitor.FleetTelemetryConfig{
+			Every:       *stlEvery,
+			FromMonitor: *stlFromMon,
+		}
+	}
+
+	var (
+		logSink  *apsmonitor.FleetLogSink
+		logFile  *os.File
+		ringSink *apsmonitor.FleetRingSink
+		histSink *apsmonitor.FleetHistSink
+	)
+	if *sinkList != "" {
+		for _, name := range strings.Split(*sinkList, ",") {
+			switch strings.TrimSpace(name) {
+			case "log":
+				if logFile, err = os.Create(*sinkPath); err != nil {
+					fail(err)
+				}
+				logSink = apsmonitor.NewFleetLogSink(logFile)
+				cfg.Sinks = append(cfg.Sinks, logSink)
+			case "ring":
+				if ringSink, err = apsmonitor.NewFleetRingSink(*ringSize); err != nil {
+					fail(err)
+				}
+				cfg.Sinks = append(cfg.Sinks, ringSink)
+			case "hist":
+				// Margins are robustness units (min across mg/dL-, mg/dL/min-
+				// and U-scaled atoms); the serving distribution concentrates
+				// in single digits.
+				if histSink, err = apsmonitor.NewFleetHistSink(-5, 5, 50); err != nil {
+					fail(err)
+				}
+				cfg.Sinks = append(cfg.Sinks, histSink)
+			default:
+				fail(fmt.Errorf("unknown sink %q (want log, ring, or hist)", name))
+			}
+		}
 	}
 
 	ctx := context.Background()
@@ -91,10 +164,10 @@ func main() {
 	var telem struct {
 		events     int64
 		violations int64
-		minRob     float64
+		minMargin  float64
 		minRule    int
 	}
-	telem.minRob = math.Inf(1)
+	telem.minMargin = math.Inf(1)
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -108,15 +181,15 @@ func main() {
 				}
 			case apsmonitor.FleetRobustness:
 				telem.events++
-				if ev.Robustness < 0 {
+				if ev.Margin < 0 {
 					telem.violations++
 					if *verbose {
 						fmt.Println(ev)
 					}
 				}
-				if ev.Robustness < telem.minRob {
-					telem.minRob = ev.Robustness
-					telem.minRule = ev.Rule
+				if ev.Margin < telem.minMargin {
+					telem.minMargin = ev.Margin
+					telem.minRule = ev.MarginRule
 				}
 			}
 		}
@@ -145,9 +218,30 @@ func main() {
 		fmt.Printf("  throughput: %.0f steps/s, %.1f sessions/s\n",
 			float64(res.Steps)/secs, float64(res.Completed)/secs)
 	}
-	if *stlTelem && telem.events > 0 {
-		fmt.Printf("  stl:        %d margins streamed, %d rule violations, min robustness %.3f (rule %d)\n",
-			telem.events, telem.violations, telem.minRob, telem.minRule)
+	if cfg.Telemetry != nil && telem.events > 0 {
+		fmt.Printf("  stl:        %d margins streamed, %d rule violations, min margin %.3f (rule %d)\n",
+			telem.events, telem.violations, telem.minMargin, telem.minRule)
+	}
+	if logSink != nil {
+		fmt.Printf("  log sink:   %d events -> %s\n", logSink.Written(), *sinkPath)
+		if err := logFile.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if ringSink != nil {
+		snap := ringSink.Snapshot()
+		fmt.Printf("  ring sink:  %d events retained of %d seen; newest:\n", len(snap), ringSink.Total())
+		for i := len(snap) - 3; i < len(snap); i++ {
+			if i >= 0 {
+				fmt.Printf("    %s\n", snap[i])
+			}
+		}
+	}
+	if histSink != nil {
+		fmt.Printf("  hist sink:\n")
+		for _, line := range strings.Split(strings.TrimRight(histSink.Render(), "\n"), "\n") {
+			fmt.Printf("    %s\n", line)
+		}
 	}
 }
 

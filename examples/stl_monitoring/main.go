@@ -94,4 +94,28 @@ func main() {
 	}
 	fmt.Printf("monitor state after %d pushes: %d buffered samples (bounded by the 30-minute window, not the session)\n",
 		recent.Len(), recent.StateSamples())
+
+	// The full Table I rule set evaluates the same way, through one
+	// hash-consed streaming rule set per monitor: the CAWOT monitor's
+	// verdicts carry the alarm, the signed robustness margin, and the
+	// arg-min rule from a single incremental evaluation per cycle.
+	fmt.Println("\nstreaming context-aware monitor over the same trace:")
+	fmt.Println("  time    alarm   margin   rule   confidence")
+	mon, err := apsmonitor.NewCAWOTMonitor(apsmonitor.TableI())
+	if err != nil {
+		log.Fatal(err)
+	}
+	prevRate := tr.Basal
+	for _, s := range tr.Samples {
+		v := mon.Step(apsmonitor.Observation{
+			Step: s.Step, TimeMin: s.TimeMin, CycleMin: tr.CycleMin,
+			CGM: s.CGM, BGPrime: s.BGPrime, IOB: s.IOB, IOBPrime: s.IOBPrime,
+			Rate: s.Rate, PrevRate: prevRate, Action: s.Action, Basal: tr.Basal,
+		})
+		prevRate = s.Delivered
+		if s.Step%20 == 0 || (v.Alarm && s.Step == firstViolation) {
+			fmt.Printf("  %4.0fm  %-6v %8.3f   %4d   %10.2f\n",
+				s.TimeMin, v.Alarm, v.Margin, v.Rule, v.Confidence)
+		}
+	}
 }

@@ -41,10 +41,27 @@ type Observation struct {
 	Basal    float64 // patient's scheduled basal, U/h
 }
 
-// Verdict is the monitor's decision for the cycle.
+// Verdict is the monitor's decision for the cycle. Beyond the boolean
+// alarm, margin-carrying monitors (the streaming CAWT/CAWOT) report the
+// signed robustness of the decision so downstream consumers — Algorithm 1
+// margin scaling, fleet hazard telemetry, the evaluation tables — read
+// one evaluation instead of re-running the rules.
 type Verdict struct {
 	Alarm  bool
 	Hazard trace.HazardType // predicted hazard class when Alarm
+	// Margin is the signed robustness margin of the verdict: positive is
+	// the distance to the nearest rule boundary, negative the depth of
+	// the worst violated rule. Zero for monitors that do not compute
+	// margins (ML baselines, guideline, MPC).
+	Margin float64
+	// Rule is the Safety Context Specification rule ID attaining Margin
+	// (the violated rule on an alarm, the tightest rule otherwise);
+	// 0 when the monitor has no rule attribution.
+	Rule int
+	// Confidence is the monitor's confidence in the verdict in [0, 1]:
+	// margin-carrying monitors report |Margin|/(1+|Margin|), ML monitors
+	// their predicted-class probability; 0 when unknown.
+	Confidence float64
 }
 
 // Pump bounds the actuator.
@@ -80,6 +97,22 @@ type MitigationConfig struct {
 	// (the f(ρ(µ(x)), u) of Algorithm 1, e.g. an scs.HMS). Returning
 	// false falls back to the fixed strategy above.
 	Corrective func(hazard trace.HazardType, obs Observation) (float64, bool)
+	// ScaleByMargin blends the corrective rate with the issued command in
+	// proportion to the verdict's violation depth: the delivered rate is
+	//
+	//	rate + min(1, -Margin/MarginRef) · (corrective - rate)
+	//
+	// so a shallow boundary violation gets a gentle nudge and a deep one
+	// the full Algorithm 1 action. Verdicts without margin information
+	// (Margin >= 0 on an alarm) apply the full correction, preserving the
+	// fixed behavior for non-margin monitors. The scaling is pure
+	// arithmetic on the verdict, so fleet results remain deterministic at
+	// any parallelism level. Default off.
+	ScaleByMargin bool
+	// MarginRef is the violation depth (robustness units) at which the
+	// scaled correction saturates at the full Algorithm 1 action.
+	// Zero selects 1.
+	MarginRef float64
 }
 
 // Config assembles one simulation run.
@@ -127,6 +160,17 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Mitigation.Enabled && c.Mitigation.MaxInsulin == 0 {
 		c.Mitigation.MaxInsulin = 4 * c.Patient.Basal()
+	}
+	if c.Mitigation.ScaleByMargin {
+		if c.Mitigation.MarginRef < 0 {
+			// A negative reference would invert the blend and extrapolate
+			// delivery away from the corrective action — more insulin on a
+			// too-much-insulin alarm.
+			return c, fmt.Errorf("closedloop: negative MarginRef %v", c.Mitigation.MarginRef)
+		}
+		if c.Mitigation.MarginRef == 0 {
+			c.Mitigation.MarginRef = 1
+		}
 	}
 	if c.DIA == 0 {
 		c.DIA = 300

@@ -310,3 +310,119 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// marginMonitor alarms H1 above a CGM threshold with a configurable
+// violation depth, exercising the margin-scaled Algorithm 1 path.
+type marginMonitor struct {
+	threshold float64
+	margin    float64
+}
+
+func (m *marginMonitor) Name() string { return "margin" }
+func (m *marginMonitor) Reset()       {}
+func (m *marginMonitor) Step(obs Observation) Verdict {
+	if obs.CGM > m.threshold {
+		return Verdict{Alarm: true, Hazard: trace.HazardH1, Margin: m.margin, Rule: 6}
+	}
+	return Verdict{}
+}
+
+// TestMitigationScaleByMargin: with ScaleByMargin the delivered rate
+// must interpolate between the issued command and the Algorithm 1
+// corrective action in proportion to the violation depth, saturating at
+// the full correction at MarginRef.
+func TestMitigationScaleByMargin(t *testing.T) {
+	run := func(margin float64, scale bool) *trace.Trace {
+		p, ctrl := newGlucosymRig(t, 0)
+		f := &fault.Fault{Kind: fault.KindMax, Target: "glucose", Value: 400, StartStep: 5, Duration: 42}
+		tr, err := Run(Config{
+			Patient: p, Controller: ctrl, Fault: f,
+			// threshold 0: alarm (and mitigate) on every cycle, so the
+			// blend is exercised across the whole command range.
+			Monitor:    &marginMonitor{threshold: 0, margin: margin},
+			Mitigation: MitigationConfig{Enabled: true, ScaleByMargin: scale, MarginRef: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	// Half-depth violation (margin -1 of ref 2): delivered must sit
+	// exactly halfway between the command and the H1 corrective (0).
+	tr := run(-1, true)
+	var mitigated int
+	for _, s := range tr.Samples {
+		if !s.Mitigated {
+			continue
+		}
+		mitigated++
+		want := s.Rate + 0.5*(0-s.Rate)
+		if math.Abs(s.Delivered-want) > 1e-12 {
+			t.Fatalf("step %d: delivered %v, want half-blend %v (rate %v)", s.Step, s.Delivered, want, s.Rate)
+		}
+	}
+	if mitigated == 0 {
+		t.Fatal("scenario never mitigated")
+	}
+
+	// Depth beyond MarginRef saturates at the full H1 cut.
+	tr = run(-5, true)
+	for _, s := range tr.Samples {
+		if s.Mitigated && s.Delivered != 0 {
+			t.Fatalf("step %d: saturated H1 mitigation delivered %v, want 0", s.Step, s.Delivered)
+		}
+	}
+
+	// A margin-free alarm (Margin == 0) must apply the full correction
+	// even with scaling on — non-margin monitors keep Algorithm 1 as-is.
+	tr = run(0, true)
+	for _, s := range tr.Samples {
+		if s.Mitigated && s.Delivered != 0 {
+			t.Fatalf("step %d: margin-free alarm delivered %v, want full correction 0", s.Step, s.Delivered)
+		}
+	}
+
+	// And with scaling off the margin is ignored entirely.
+	tr = run(-1, false)
+	for _, s := range tr.Samples {
+		if s.Mitigated && s.Delivered != 0 {
+			t.Fatalf("step %d: ScaleByMargin off but delivered %v != 0", s.Step, s.Delivered)
+		}
+	}
+}
+
+// TestStepperLastVerdict: the stepper must retain the applied verdict —
+// margin and rule included — for telemetry consumers.
+func TestStepperLastVerdict(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	st, err := NewStepper(Config{
+		Patient: p, Controller: ctrl, InitialBG: 120, Steps: 3,
+		Monitor: &marginMonitor{threshold: 0, margin: -0.75},
+	}, StepperOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.LastVerdict(); ok {
+		t.Fatal("LastVerdict before any step should report false")
+	}
+	st.Step()
+	v, ok := st.LastVerdict()
+	if !ok || !v.Alarm || v.Margin != -0.75 || v.Rule != 6 {
+		t.Fatalf("LastVerdict = %+v (ok=%v), want the monitor's margin verdict", v, ok)
+	}
+}
+
+// TestMitigationRejectsNegativeMarginRef: a negative reference would
+// invert the blend (more insulin on a too-much-insulin alarm).
+func TestMitigationRejectsNegativeMarginRef(t *testing.T) {
+	p, ctrl := newGlucosymRig(t, 0)
+	_, err := Run(Config{
+		Patient: p, Controller: ctrl,
+		Monitor:    &marginMonitor{threshold: 0, margin: -0.5},
+		Mitigation: MitigationConfig{Enabled: true, ScaleByMargin: true, MarginRef: -1},
+	})
+	if err == nil {
+		t.Error("negative MarginRef should be rejected")
+	}
+}

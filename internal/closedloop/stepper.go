@@ -43,6 +43,8 @@ type Stepper struct {
 	prevIOB       float64
 	prevDelivered float64
 
+	lastVerdict Verdict
+
 	pending  pendingStep
 	finished bool
 }
@@ -127,6 +129,17 @@ func (st *Stepper) LastSample() (trace.Sample, bool) {
 	return st.tr.Samples[len(st.tr.Samples)-1], true
 }
 
+// LastVerdict returns the monitor verdict applied at the most recently
+// completed cycle — including the margin and rule attribution that the
+// trace sample does not carry — so telemetry consumers can read the
+// monitor's single evaluation instead of running a second one.
+func (st *Stepper) LastVerdict() (Verdict, bool) {
+	if len(st.tr.Samples) == 0 {
+		return Verdict{}, false
+	}
+	return st.lastVerdict, true
+}
+
 // BeginStep advances the cycle to its monitor decision point: it reads
 // the sensors, lets the controller decide, and returns the monitor's
 // observation. The caller must follow with FinishStep. Calling BeginStep
@@ -189,8 +202,9 @@ func (st *Stepper) BeginStep() Observation {
 }
 
 // FinishStep applies the verdict for the pending cycle — alarm
-// annotation and (when enabled) Algorithm 1 mitigation — then delivers
-// insulin and advances the patient, controller, and IOB model.
+// annotation and (when enabled) Algorithm 1 mitigation, optionally
+// scaled by the verdict's robustness margin — then delivers insulin and
+// advances the patient, controller, and IOB model.
 func (st *Stepper) FinishStep(v Verdict) {
 	if !st.pending.active {
 		panic("closedloop: FinishStep without BeginStep")
@@ -199,14 +213,23 @@ func (st *Stepper) FinishStep(v Verdict) {
 	s := st.pending.sample
 	s.Alarm = v.Alarm
 	s.AlarmHazard = v.Hazard
+	st.lastVerdict = v
 
 	delivered := s.Rate
 	if v.Alarm && cfg.Mitigation.Enabled {
-		delivered = mitigate(v.Hazard, cfg.Mitigation, cfg.Pump)
+		corrective := mitigate(v.Hazard, cfg.Mitigation, cfg.Pump)
 		if cfg.Mitigation.Corrective != nil {
 			if r, ok := cfg.Mitigation.Corrective(v.Hazard, st.pending.obs); ok {
-				delivered = clampRate(r, cfg.Pump)
+				corrective = clampRate(r, cfg.Pump)
 			}
+		}
+		delivered = corrective
+		if cfg.Mitigation.ScaleByMargin && v.Margin < 0 {
+			f := -v.Margin / cfg.Mitigation.MarginRef
+			if f > 1 {
+				f = 1
+			}
+			delivered = clampRate(s.Rate+f*(corrective-s.Rate), cfg.Pump)
 		}
 		s.Mitigated = true
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/closedloop"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/monitor"
@@ -25,6 +26,9 @@ type CampaignConfig struct {
 	NewMonitor func(patientIdx int) (monitor.Monitor, error)
 	// Mitigate enables Algorithm 1 when a monitor is attached.
 	Mitigate bool
+	// Mitigation tunes the enabled mitigation (e.g. ScaleByMargin); the
+	// Enabled flag itself is owned by Mitigate.
+	Mitigation closedloop.MitigationConfig
 	// Parallel bounds worker goroutines (default NumCPU).
 	Parallel int
 }
@@ -42,6 +46,7 @@ func (c CampaignConfig) FleetConfig() fleet.Config {
 		Parallel:   c.Parallel,
 		NewMonitor: c.NewMonitor,
 		Mitigate:   c.Mitigate,
+		Mitigation: c.Mitigation,
 	}
 }
 

@@ -18,16 +18,33 @@ type Eval struct {
 	// StepTime is the mean wall-clock cost of one monitor step
 	// (Section V-E6's resource-utilization comparison).
 	StepTime time.Duration
+
+	// The richer verdict view, populated for margin-carrying monitors
+	// (zero MarginSamples otherwise): per-rule alarm attribution and the
+	// margin distribution, read from the same replayed verdicts as the
+	// confusion matrices — no extra evaluation pass.
+	//
+	// RuleAttribution counts alarmed cycles by the verdict's arg-min
+	// rule ID; MeanAlarmMargin averages the (negative) violation depth
+	// over alarmed cycles; MeanSafeMargin averages the distance to the
+	// nearest rule boundary over silent cycles.
+	RuleAttribution map[int]int
+	MeanAlarmMargin float64
+	MeanSafeMargin  float64
+	MarginSamples   int
 }
 
 // EvaluateMonitor replays a monitor over every trace (instantiated per
 // patient), annotates alarms in place, and aggregates the paper's
-// accuracy and timeliness metrics.
+// accuracy and timeliness metrics plus the rule/margin attribution the
+// richer verdicts carry.
 func (s *Suite) EvaluateMonitor(name string, traces []*trace.Trace) (Eval, error) {
-	ev := Eval{Monitor: name}
+	ev := Eval{Monitor: name, RuleAttribution: make(map[int]int)}
 	monitors := make(map[string]monitor.Monitor)
 	var steps int
 	var elapsed time.Duration
+	var alarmMarginSum, safeMarginSum float64
+	var alarmMargins, safeMargins int
 	for _, tr := range traces {
 		m, ok := monitors[tr.PatientID]
 		if !ok {
@@ -39,9 +56,25 @@ func (s *Suite) EvaluateMonitor(name string, traces []*trace.Trace) (Eval, error
 			monitors[tr.PatientID] = m
 		}
 		start := time.Now()
-		monitor.Annotate(m, tr)
+		verdicts := monitor.Replay(m, tr)
 		elapsed += time.Since(start)
 		steps += tr.Len()
+		for i := range tr.Samples {
+			v := &verdicts[i]
+			tr.Samples[i].Alarm = v.Alarm
+			tr.Samples[i].AlarmHazard = v.Hazard
+			if v.Rule == 0 {
+				continue // monitor carries no rule attribution
+			}
+			if v.Alarm {
+				ev.RuleAttribution[v.Rule]++
+				alarmMarginSum += v.Margin
+				alarmMargins++
+			} else {
+				safeMarginSum += v.Margin
+				safeMargins++
+			}
+		}
 
 		ev.Sample.Add(metrics.SampleLevel(tr, 0))
 		ev.Simulation.Add(metrics.SimulationLevel(tr))
@@ -49,6 +82,13 @@ func (s *Suite) EvaluateMonitor(name string, traces []*trace.Trace) (Eval, error
 	ev.Reaction = metrics.ReactionTime(traces)
 	if steps > 0 {
 		ev.StepTime = elapsed / time.Duration(steps)
+	}
+	ev.MarginSamples = alarmMargins + safeMargins
+	if alarmMargins > 0 {
+		ev.MeanAlarmMargin = alarmMarginSum / float64(alarmMargins)
+	}
+	if safeMargins > 0 {
+		ev.MeanSafeMargin = safeMarginSum / float64(safeMargins)
 	}
 	return ev, nil
 }

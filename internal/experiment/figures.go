@@ -213,6 +213,35 @@ func RenderEvals(title string, evals []Eval) string {
 	return b.String()
 }
 
+// RenderRuleAttribution prints, for each margin-carrying monitor, the
+// Table I rules its alarms attribute to (the verdicts' arg-min rules)
+// and the mean margins on both sides of the boundary. Monitors without
+// rule attribution (ML baselines, guideline, MPC) are skipped.
+func RenderRuleAttribution(evals []Eval) string {
+	var b strings.Builder
+	b.WriteString("Rule attribution — alarms by arg-min Table I rule (streaming verdicts)\n")
+	for _, e := range evals {
+		if e.MarginSamples == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s mean margin: alarmed %7.3f, safe %7.3f (%d cycles)\n",
+			e.Monitor, e.MeanAlarmMargin, e.MeanSafeMargin, e.MarginSamples)
+		ids := make([]int, 0, len(e.RuleAttribution))
+		total := 0
+		for id, n := range e.RuleAttribution {
+			ids = append(ids, id)
+			total += n
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			n := e.RuleAttribution[id]
+			frac := float64(n) / float64(total)
+			fmt.Fprintf(&b, "    rule %-3d %6d alarms %5.1f%% %s\n", id, n, 100*frac, bar(frac, 30))
+		}
+	}
+	return b.String()
+}
+
 // RenderReaction prints the Fig. 9 comparison.
 func RenderReaction(evals []Eval) string {
 	var b strings.Builder

@@ -64,11 +64,16 @@ type Event struct {
 	// Completed carries the global completion count on EventSessionDone
 	// and EventProgress.
 	Completed int64
-	// Robustness carries the minimum STL robustness margin across the
-	// telemetry rule set on EventRobustness (negative: a rule is
-	// violated); Rule is the ID of the rule attaining it.
+	// Robustness carries the minimum STL robustness across the telemetry
+	// rule bodies on EventRobustness; Rule is the ID of the rule
+	// attaining it. Margin is the signed rule margin of the same
+	// evaluation — positive: distance to the nearest unsafe-control-
+	// action boundary; negative: depth of the worst violated rule, whose
+	// ID is MarginRule and whose predicted hazard class is Hazard.
 	Robustness float64
 	Rule       int
+	Margin     float64
+	MarginRule int
 }
 
 // String renders a compact human-readable line for log streaming.
@@ -80,8 +85,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s: session %d (patient %d) %s at step %d",
 			e.Kind, e.Session, e.PatientIdx, e.Hazard, e.Step)
 	case EventRobustness:
-		return fmt.Sprintf("robustness: session %d (patient %d) margin %.3f (rule %d) at step %d",
-			e.Session, e.PatientIdx, e.Robustness, e.Rule, e.Step)
+		return fmt.Sprintf("robustness: session %d (patient %d) margin %.3f (rule %d, min STL %.3f) at step %d",
+			e.Session, e.PatientIdx, e.Margin, e.MarginRule, e.Robustness, e.Step)
 	default:
 		return fmt.Sprintf("%s: session %d (patient %d, replica %d)",
 			e.Kind, e.Session, e.PatientIdx, e.Replica)

@@ -20,6 +20,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -35,24 +36,43 @@ import (
 	"repro/internal/trace"
 )
 
-// TelemetryConfig attaches a streaming STL hazard-telemetry rule set to
-// every session: each control cycle the session's context state is fed
-// through the incremental streaming engine (one scs.StreamSet per
-// session, O(window) state regardless of session length) and the
-// minimum robustness margin across rules is emitted as an
-// EventRobustness over Config.Events.
+// TelemetryConfig attaches streaming STL hazard telemetry to every
+// session: each control cycle yields an EventRobustness carrying the
+// minimum STL robustness across the rule set plus the signed rule
+// margin and its attribution, delivered over Config.Events and/or
+// Config.Sinks.
+//
+// The verdicts come either from a dedicated per-session scs.StreamSet
+// (O(window) state regardless of session length), or — with FromMonitor
+// — from the session monitor's own single streaming evaluation, so a
+// fleet serving margin-carrying monitors (the streaming CAWT/CAWOT)
+// pays for exactly one rule evaluation per cycle.
 type TelemetryConfig struct {
 	// Rules is the Safety Context Specification to stream; nil selects
-	// the paper's Table I.
+	// the paper's Table I. Ignored with FromMonitor.
 	Rules []scs.Rule
 	// Thresholds maps rule IDs to β values; nil selects the rules'
-	// defaults (the CAWOT thresholds).
+	// defaults (the CAWOT thresholds). Ignored with FromMonitor.
 	Thresholds scs.Thresholds
-	// Params carries the shared evaluation constants.
+	// Params carries the shared evaluation constants. Ignored with
+	// FromMonitor.
 	Params scs.Params
 	// Every emits a robustness event every k cycles per session
 	// (default 1: every cycle).
 	Every int
+	// FromMonitor emits the session monitor's own streaming verdict
+	// instead of attaching a separate telemetry rule set — the
+	// one-evaluation invariant for serving fleets. Requires NewMonitor
+	// to build margin-carrying monitors (monitors exposing
+	// StreamVerdict, e.g. monitor.ContextAware).
+	FromMonitor bool
+}
+
+// marginMonitor is the capability FromMonitor telemetry needs: access
+// to the monitor's full streaming verdict for the last step.
+// monitor.ContextAware implements it.
+type marginMonitor interface {
+	StreamVerdict() (scs.StreamVerdict, bool)
 }
 
 // Platform couples a patient cohort with its controller. It is
@@ -109,6 +129,9 @@ type Config struct {
 	NewBatchMonitor func() (monitor.BatchMonitor, error)
 	// Mitigate enables Algorithm 1 when a monitor is attached.
 	Mitigate bool
+	// Mitigation tunes the enabled mitigation (margin scaling, corrective
+	// ceiling); the Enabled flag itself is owned by Mitigate.
+	Mitigation closedloop.MitigationConfig
 	// DiscardTraces recycles completed traces through the buffer pool
 	// after summarizing them into Result counters and events, instead of
 	// retaining them. Continuous mode forces this on.
@@ -119,11 +142,16 @@ type Config struct {
 	// a continuous fleet and is not reported as an error.
 	Continuous bool
 	// Telemetry optionally streams per-cycle STL robustness margins for
-	// every session as EventRobustness events. Requires Events.
+	// every session as EventRobustness events. Requires Events or Sinks.
 	Telemetry *TelemetryConfig
 	// Events optionally streams lifecycle events. The caller must drain
 	// the channel; sends are abandoned when the context is cancelled.
 	Events chan<- Event
+	// Sinks optionally persist the event stream: every event is delivered
+	// to each sink in order by one collector goroutine (see Sink for the
+	// backpressure and error semantics). Sinks and Events may be combined;
+	// sinks are flushed when Run returns.
+	Sinks []Sink
 	// ProgressEvery emits an EventProgress every k completed sessions
 	// (default 0: no progress events).
 	ProgressEvery int
@@ -167,10 +195,13 @@ func (c Config) withDefaults() (Config, error) {
 		c.CycleMin = 5
 	}
 	if c.Telemetry != nil {
-		if c.Events == nil {
-			return c, fmt.Errorf("fleet: Telemetry requires Events")
+		if c.Events == nil && len(c.Sinks) == 0 {
+			return c, fmt.Errorf("fleet: Telemetry requires Events or Sinks")
 		}
 		t := *c.Telemetry // defaults must not mutate the caller's config
+		if t.FromMonitor && c.NewMonitor == nil {
+			return c, fmt.Errorf("fleet: Telemetry.FromMonitor requires NewMonitor")
+		}
 		if len(t.Rules) == 0 {
 			t.Rules = scs.TableI()
 		}
@@ -178,6 +209,11 @@ func (c Config) withDefaults() (Config, error) {
 			t.Every = 1
 		}
 		c.Telemetry = &t
+	}
+	for i, s := range c.Sinks {
+		if s == nil {
+			return c, fmt.Errorf("fleet: nil sink at index %d", i)
+		}
 	}
 	return c, nil
 }
@@ -224,6 +260,9 @@ type Result struct {
 // continuous mode) and returns the aggregate result. Cancelling the
 // context stops a finite run with the context's error; for a continuous
 // fleet cancellation is the normal shutdown path and returns nil.
+// Registered sinks are drained and flushed before Run returns; the
+// first Emit error per sink (which detaches that sink) and any flush
+// errors surface as the returned error once simulation has completed.
 func Run(ctx context.Context, cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -235,6 +274,27 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	eng.errs = make([]error, cfg.Parallel)
 
+	// One collector goroutine owns sink delivery: Emit never races with
+	// itself, and a slow sink backpressures the workers through the
+	// bounded channel instead of dropping telemetry.
+	var collectorDone chan struct{}
+	sinkErrs := make([]error, len(cfg.Sinks))
+	if len(cfg.Sinks) > 0 {
+		eng.sinkCh = make(chan Event, 256)
+		collectorDone = make(chan struct{})
+		go func() {
+			defer close(collectorDone)
+			for ev := range eng.sinkCh {
+				for i, s := range cfg.Sinks {
+					if sinkErrs[i] != nil {
+						continue // detached after first error
+					}
+					sinkErrs[i] = s.Emit(ev)
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Parallel; w++ {
 		wg.Add(1)
@@ -245,6 +305,15 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	wg.Wait()
 
+	if eng.sinkCh != nil {
+		close(eng.sinkCh)
+		<-collectorDone
+	}
+	var flushErrs []error
+	for _, s := range cfg.Sinks {
+		flushErrs = append(flushErrs, s.Flush())
+	}
+
 	for _, err := range eng.errs {
 		if err != nil {
 			return Result{}, err
@@ -253,14 +322,15 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	if err := ctx.Err(); err != nil && !cfg.Continuous {
 		return Result{}, fmt.Errorf("fleet: run cancelled: %w", err)
 	}
-	return Result{
+	res := Result{
 		Traces:    eng.traces,
 		Sessions:  cfg.Sessions,
 		Completed: eng.completed.Load(),
 		Steps:     eng.steps.Load(),
 		Hazardous: eng.hazardous.Load(),
 		Alarmed:   eng.alarmed.Load(),
-	}, nil
+	}
+	return res, errors.Join(errors.Join(sinkErrs...), errors.Join(flushErrs...))
 }
 
 // engine is the shared state of one fleet run. Workers touch disjoint
@@ -272,6 +342,7 @@ type engine struct {
 	pool   *bufferPool
 	traces []*trace.Trace
 	errs   []error
+	sinkCh chan Event
 
 	steps     atomic.Int64
 	completed atomic.Int64
@@ -279,14 +350,20 @@ type engine struct {
 	alarmed   atomic.Int64
 }
 
-// emit streams an event unless the run is shutting down.
+// emit streams an event to the Events channel and the sink collector
+// unless the run is shutting down.
 func (e *engine) emit(ev Event) {
-	if e.cfg.Events == nil {
-		return
+	if e.cfg.Events != nil {
+		select {
+		case e.cfg.Events <- ev:
+		case <-e.ctx.Done():
+		}
 	}
-	select {
-	case e.cfg.Events <- ev:
-	case <-e.ctx.Done():
+	if e.sinkCh != nil {
+		select {
+		case e.sinkCh <- ev:
+		case <-e.ctx.Done():
+		}
 	}
 }
 
@@ -418,10 +495,13 @@ func (e *engine) runShard(shard int) {
 }
 
 // noteStep streams the session's first monitor alarm as a live event
-// and, when telemetry is attached, feeds the cycle's context state to
-// the session's streaming STL rule set and emits its robustness margin.
+// and, when telemetry is attached, emits the cycle's robustness margin
+// — from the session's own streaming STL rule set, or (FromMonitor)
+// from the monitor's single evaluation, so alarm and telemetry never
+// evaluate the rules twice.
 func (e *engine) noteStep(s *Session) error {
-	if s.telemetry == nil && s.alarmed {
+	hasTelemetry := s.telemetry != nil || s.margin != nil
+	if !hasTelemetry && s.alarmed {
 		return nil // nothing left to observe: skip the sample copy
 	}
 	sample, ok := s.st.LastSample()
@@ -435,18 +515,29 @@ func (e *engine) noteStep(s *Session) error {
 			Replica: s.Replica, Step: sample.Step, Hazard: sample.AlarmHazard,
 		})
 	}
-	if s.telemetry != nil {
-		v, err := s.telemetry.Push(scs.StateFromSample(&sample))
-		if err != nil {
+	if !hasTelemetry {
+		return nil
+	}
+	var v scs.StreamVerdict
+	if s.margin != nil {
+		sv, ok := s.margin.StreamVerdict()
+		if !ok {
+			return fmt.Errorf("fleet: session %d: monitor produced no streaming verdict", s.Index)
+		}
+		v = sv
+	} else {
+		var err error
+		if v, err = s.telemetry.Push(scs.StateFromSample(&sample)); err != nil {
 			return fmt.Errorf("fleet: session %d telemetry: %w", s.Index, err)
 		}
-		if every := e.cfg.Telemetry.Every; every == 1 || (sample.Step+1)%every == 0 {
-			e.emit(Event{
-				Kind: EventRobustness, Session: s.Index, PatientIdx: s.PatientIdx,
-				Replica: s.Replica, Step: sample.Step,
-				Robustness: v.MinRobust, Rule: v.WorstRule,
-			})
-		}
+	}
+	if every := e.cfg.Telemetry.Every; every == 1 || (sample.Step+1)%every == 0 {
+		e.emit(Event{
+			Kind: EventRobustness, Session: s.Index, PatientIdx: s.PatientIdx,
+			Replica: s.Replica, Step: sample.Step,
+			Robustness: v.MinRobust, Rule: v.WorstRule,
+			Margin: v.Margin, MarginRule: v.Rule, Hazard: v.Hazard,
+		})
 	}
 	return nil
 }
@@ -514,6 +605,8 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet) (*Session, 
 		}
 		opts.Sensor = model.Read
 	}
+	mitigation := cfg.Mitigation
+	mitigation.Enabled = cfg.Mitigate && (mon != nil || cfg.NewBatchMonitor != nil)
 	loopCfg := closedloop.Config{
 		Platform:   cfg.Platform.Name + "/" + ctrl.Name(),
 		Steps:      cfg.Steps,
@@ -522,9 +615,7 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet) (*Session, 
 		Patient:    patient,
 		Controller: ctrl,
 		Monitor:    mon,
-		Mitigation: closedloop.MitigationConfig{
-			Enabled: cfg.Mitigate && (mon != nil || cfg.NewBatchMonitor != nil),
-		},
+		Mitigation: mitigation,
 	}
 	if sc.Fault.Duration > 0 {
 		f := sc.Fault
@@ -534,8 +625,18 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet) (*Session, 
 	if err != nil {
 		return nil, wrap(err)
 	}
+	var margin marginMonitor
 	if t := cfg.Telemetry; t != nil {
-		if telem != nil {
+		if t.FromMonitor {
+			// One-evaluation invariant: telemetry reads the monitor's own
+			// streaming verdicts instead of attaching a second rule set.
+			mm, ok := mon.(marginMonitor)
+			if !ok {
+				return nil, wrap(fmt.Errorf(
+					"fleet: Telemetry.FromMonitor requires a margin-carrying monitor, got %T", mon))
+			}
+			margin = mm
+		} else if telem != nil {
 			telem.Reset()
 		} else {
 			telem, err = scs.NewStreamSet(t.Rules, t.Thresholds, t.Params, cfg.CycleMin)
@@ -547,7 +648,7 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet) (*Session, 
 	return &Session{
 		Index: sp.index, PatientIdx: sp.patientIdx, Replica: sp.replica,
 		Scenario: sc, scenIdx: sp.scenIdx, lane: lane, rng: rng, st: st,
-		telemetry: telem,
+		telemetry: telem, margin: margin,
 	}, nil
 }
 

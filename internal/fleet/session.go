@@ -30,7 +30,12 @@ type Session struct {
 	st        *closedloop.Stepper
 	alarmed   bool
 	telemetry *scs.StreamSet // streaming STL rule set (Config.Telemetry)
+	margin    marginMonitor  // monitor-sourced telemetry (FromMonitor)
 }
+
+// LastVerdict returns the monitor verdict of the most recently
+// completed cycle, including margin and rule attribution.
+func (s *Session) LastVerdict() (closedloop.Verdict, bool) { return s.st.LastVerdict() }
 
 // Done reports whether the session has run all its cycles.
 func (s *Session) Done() bool { return s.st.Done() }

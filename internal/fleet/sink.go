@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Sink consumes the fleet's event stream so hazard telemetry survives
+// the run. Sinks replace ad-hoc draining of the bare Config.Events
+// channel: the engine funnels every event through one collector
+// goroutine that calls Emit on each registered sink in order, so Emit
+// implementations never race with themselves (reading a sink's
+// accumulated state concurrently with a running fleet is the caller's
+// own synchronization problem; the shipped sinks lock internally).
+//
+// Backpressure and cancellation: the collector applies the same
+// semantics as the Events channel — a slow sink eventually blocks
+// simulation workers rather than dropping events while the run is
+// live, and once the context is cancelled (the normal shutdown of a
+// continuous fleet) in-flight events are abandoned, so a durable sink
+// may miss the final instants before shutdown, exactly as a channel
+// consumer would. A sink whose Emit returns an error is detached
+// for the rest of the run and the first error per sink is reported by
+// Run after the simulation completes; telemetry failure does not abort
+// a serving fleet. Flush is called once for every sink (even detached
+// ones) when the run ends.
+type Sink interface {
+	Emit(Event) error
+	Flush() error
+}
+
+// jsonEvent is the JSONL wire form of an Event: the kind as its string
+// name, zero-valued optional fields elided.
+type jsonEvent struct {
+	Kind       string  `json:"kind"`
+	Session    int     `json:"session"`
+	PatientIdx int     `json:"patient"`
+	Replica    int     `json:"replica,omitempty"`
+	Step       int     `json:"step,omitempty"`
+	Hazard     string  `json:"hazard,omitempty"`
+	Completed  int64   `json:"completed,omitempty"`
+	Robustness float64 `json:"robustness,omitempty"`
+	Margin     float64 `json:"margin,omitempty"`
+	Rule       int     `json:"rule,omitempty"`
+	MarginRule int     `json:"margin_rule,omitempty"`
+}
+
+func toJSONEvent(ev Event) jsonEvent {
+	je := jsonEvent{
+		Kind:       ev.Kind.String(),
+		Session:    ev.Session,
+		PatientIdx: ev.PatientIdx,
+		Replica:    ev.Replica,
+		Step:       ev.Step,
+		Completed:  ev.Completed,
+	}
+	if ev.Hazard != trace.HazardNone {
+		je.Hazard = ev.Hazard.String()
+	}
+	if ev.Kind == EventRobustness {
+		je.Robustness = ev.Robustness
+		je.Margin = ev.Margin
+		je.Rule = ev.Rule
+		je.MarginRule = ev.MarginRule
+	}
+	return je
+}
+
+// LogSink appends every event as one JSON line to a writer — the
+// durable, replayable form of the telemetry stream (dashboards and
+// alerting tail it). Writes are buffered; Flush drains the buffer.
+type LogSink struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	enc     *json.Encoder
+	written int64
+}
+
+// NewLogSink wraps a writer (a file, a pipe, a network conn) in a
+// JSONL sink. The caller owns closing the underlying writer after Run
+// returns.
+func NewLogSink(w io.Writer) *LogSink {
+	bw := bufio.NewWriter(w)
+	return &LogSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (s *LogSink) Emit(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(toJSONEvent(ev)); err != nil {
+		return fmt.Errorf("fleet: log sink: %w", err)
+	}
+	s.written++
+	return nil
+}
+
+// Flush implements Sink.
+func (s *LogSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("fleet: log sink flush: %w", err)
+	}
+	return nil
+}
+
+// Written returns how many events have been encoded.
+func (s *LogSink) Written() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}
+
+// RingSink retains the newest N events in a fixed-size ring — the
+// snapshot endpoint shape: bounded memory no matter how long a
+// continuous fleet serves, always holding the freshest telemetry.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRingSink creates a ring retaining the last n events.
+func NewRingSink(n int) (*RingSink, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: ring sink needs positive capacity, got %d", n)
+	}
+	return &RingSink{buf: make([]Event, 0, n)}, nil
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, ev)
+	} else {
+		s.buf[s.next] = ev
+		s.next = (s.next + 1) % cap(s.buf)
+	}
+	s.total++
+	return nil
+}
+
+// Flush implements Sink (a ring has nothing to persist).
+func (s *RingSink) Flush() error { return nil }
+
+// Total returns how many events have passed through the ring.
+func (s *RingSink) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Snapshot returns the retained events, oldest first.
+func (s *RingSink) Snapshot() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, len(s.buf))
+	if len(s.buf) < cap(s.buf) {
+		return append(out, s.buf...)
+	}
+	out = append(out, s.buf[s.next:]...)
+	return append(out, s.buf[:s.next]...)
+}
+
+// HistSink aggregates EventRobustness margins into per-patient
+// histograms — the alerting-dashboard shape: a bounded summary of how
+// close each patient's sessions run to their unsafe-control-action
+// boundaries. Margins below the range clamp into the first bin, above
+// it into the last, so violations are never dropped.
+type HistSink struct {
+	mu   sync.Mutex
+	lo   float64
+	hi   float64
+	bins int
+
+	counts map[int][]int64 // patientIdx -> bin counts
+	sum    map[int]float64 // patientIdx -> margin sum (for means)
+	n      map[int]int64
+}
+
+// NewHistSink creates a histogram sink with the given margin range and
+// bin count. The margin here is the signed rule margin of the telemetry
+// verdict (negative = inside the unsafe context).
+func NewHistSink(lo, hi float64, bins int) (*HistSink, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("fleet: histogram sink needs positive bins, got %d", bins)
+	}
+	if !(lo < hi) || math.IsNaN(lo) || math.IsNaN(hi) {
+		return nil, fmt.Errorf("fleet: histogram sink needs lo < hi, got [%v, %v]", lo, hi)
+	}
+	return &HistSink{
+		lo: lo, hi: hi, bins: bins,
+		counts: make(map[int][]int64),
+		sum:    make(map[int]float64),
+		n:      make(map[int]int64),
+	}, nil
+}
+
+// Emit implements Sink: only robustness events aggregate, everything
+// else passes through untouched.
+func (s *HistSink) Emit(ev Event) error {
+	if ev.Kind != EventRobustness {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counts[ev.PatientIdx]
+	if !ok {
+		c = make([]int64, s.bins)
+		s.counts[ev.PatientIdx] = c
+	}
+	b := int(float64(s.bins) * (ev.Margin - s.lo) / (s.hi - s.lo))
+	if b < 0 {
+		b = 0
+	}
+	if b >= s.bins {
+		b = s.bins - 1
+	}
+	c[b]++
+	s.sum[ev.PatientIdx] += ev.Margin
+	s.n[ev.PatientIdx]++
+	return nil
+}
+
+// Flush implements Sink (aggregation lives in memory).
+func (s *HistSink) Flush() error { return nil }
+
+// Patients returns the patient indices seen, ascending.
+func (s *HistSink) Patients() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.counts))
+	for p := range s.counts {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Histogram returns a copy of one patient's bin counts.
+func (s *HistSink) Histogram(patientIdx int) ([]int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counts[patientIdx]
+	if !ok {
+		return nil, false
+	}
+	out := make([]int64, len(c))
+	copy(out, c)
+	return out, true
+}
+
+// Mean returns one patient's mean margin and sample count.
+func (s *HistSink) Mean(patientIdx int) (float64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.n[patientIdx]
+	if n == 0 {
+		return 0, 0
+	}
+	return s.sum[patientIdx] / float64(n), n
+}
+
+// Render prints the per-patient histograms as text bars.
+func (s *HistSink) Render() string {
+	var b strings.Builder
+	width := (s.hi - s.lo) / float64(s.bins)
+	for _, p := range s.Patients() {
+		mean, n := s.Mean(p)
+		fmt.Fprintf(&b, "patient %d — %d margins, mean %.3f\n", p, n, mean)
+		hist, _ := s.Histogram(p)
+		var maxC int64
+		for _, c := range hist {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for i, c := range hist {
+			if c == 0 {
+				continue
+			}
+			bar := int(40 * float64(c) / float64(maxC))
+			fmt.Fprintf(&b, "  [%7.2f,%7.2f) %8d %s\n",
+				s.lo+float64(i)*width, s.lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,386 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/closedloop"
+	"repro/internal/monitor"
+	"repro/internal/scs"
+	"repro/internal/sensor"
+)
+
+// sinkFleetConfig is a small campaign with telemetry, shared by the
+// sink tests.
+func sinkFleetConfig() Config {
+	return Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 2},
+		Scenarios: thinScenarios(60),
+		Steps:     30,
+		Seed:      3,
+		Telemetry: &TelemetryConfig{},
+	}
+}
+
+// TestLogSinkWritesJSONL: every event reaches the log as one parseable
+// JSON line, and the robustness lines carry both the raw STL minimum
+// and the signed margin.
+func TestLogSinkWritesJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewLogSink(&buf)
+	cfg := sinkFleetConfig()
+	cfg.Sinks = []Sink{sink}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRob := int64(len(res.Traces) * cfg.Steps)
+	sc := bufio.NewScanner(&buf)
+	var lines, robLines int64
+	kinds := map[string]int{}
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		kind, _ := rec["kind"].(string)
+		kinds[kind]++
+		if kind == "robustness" {
+			robLines++
+			if _, ok := rec["margin"]; !ok {
+				t.Fatalf("robustness line lacks margin: %s", sc.Text())
+			}
+		}
+	}
+	if lines != sink.Written() {
+		t.Fatalf("scanned %d lines, sink wrote %d", lines, sink.Written())
+	}
+	if robLines != wantRob {
+		t.Fatalf("%d robustness lines, want %d", robLines, wantRob)
+	}
+	if kinds["start"] != len(res.Traces) || kinds["done"] != len(res.Traces) {
+		t.Fatalf("lifecycle lines %v, want %d starts and dones", kinds, len(res.Traces))
+	}
+}
+
+// TestRingSinkBoundedSnapshot: the ring retains exactly its capacity,
+// newest-last, while counting the full stream.
+func TestRingSinkBoundedSnapshot(t *testing.T) {
+	if _, err := NewRingSink(0); err == nil {
+		t.Error("zero capacity should be rejected")
+	}
+	sink, err := NewRingSink(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sinkFleetConfig()
+	cfg.Sinks = []Sink{sink}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sink.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("snapshot has %d events, want capacity 64", len(snap))
+	}
+	minTotal := int64(len(res.Traces) * cfg.Steps)
+	if sink.Total() < minTotal {
+		t.Fatalf("ring saw %d events, want >= %d", sink.Total(), minTotal)
+	}
+	// The final event of a finite run is a session completion.
+	last := snap[len(snap)-1]
+	if last.Kind != EventSessionDone {
+		t.Fatalf("newest ring event is %v, want done", last.Kind)
+	}
+}
+
+// TestHistSinkAggregatesMargins: per-patient counts must equal the
+// per-patient robustness-event counts, and the distribution must span
+// the violation side on a fault campaign.
+func TestHistSinkAggregatesMargins(t *testing.T) {
+	if _, err := NewHistSink(1, 1, 10); err == nil {
+		t.Error("empty range should be rejected")
+	}
+	if _, err := NewHistSink(-5, 5, 0); err == nil {
+		t.Error("zero bins should be rejected")
+	}
+	sink, err := NewHistSink(-5, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sinkFleetConfig()
+	cfg.Sinks = []Sink{sink}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patients := sink.Patients()
+	if len(patients) != len(cfg.Patients) {
+		t.Fatalf("histograms for %v, want %v", patients, cfg.Patients)
+	}
+	var total, negative int64
+	for _, p := range patients {
+		hist, ok := sink.Histogram(p)
+		if !ok {
+			t.Fatalf("no histogram for patient %d", p)
+		}
+		for b, c := range hist {
+			total += c
+			if float64(b) < float64(len(hist))/2 {
+				negative += c
+			}
+		}
+		if _, n := sink.Mean(p); n == 0 {
+			t.Fatalf("patient %d mean over zero samples", p)
+		}
+	}
+	if want := int64(len(res.Traces) * cfg.Steps); total != want {
+		t.Fatalf("histograms hold %d margins, want %d", total, want)
+	}
+	if negative == 0 {
+		t.Fatal("no negative margins across a fault campaign — aggregation is vacuous")
+	}
+	if sink.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// failingSink errors on the nth emit.
+type failingSink struct {
+	n     int
+	seen  int
+	after int // emits delivered after the failure (must stay 0)
+}
+
+func (f *failingSink) Emit(Event) error {
+	f.seen++
+	if f.seen == f.n {
+		return fmt.Errorf("sink exploded at event %d", f.n)
+	}
+	if f.seen > f.n {
+		f.after++
+	}
+	return nil
+}
+func (f *failingSink) Flush() error { return nil }
+
+// TestSinkErrorDetachesWithoutAbortingRun: a failing sink must not kill
+// the fleet — the run completes, healthy sinks keep receiving, and the
+// error surfaces from Run.
+func TestSinkErrorDetachesWithoutAbortingRun(t *testing.T) {
+	bad := &failingSink{n: 10}
+	good, err := NewRingSink(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sinkFleetConfig()
+	cfg.Sinks = []Sink{bad, good}
+	res, err := Run(context.Background(), cfg)
+	if err == nil {
+		t.Fatal("sink error did not surface from Run")
+	}
+	if res.Completed != int64(len(cfg.Patients)*len(thinScenarios(60))) {
+		t.Fatalf("run did not complete: %d sessions", res.Completed)
+	}
+	if bad.after != 0 {
+		t.Fatalf("failing sink received %d events after its error", bad.after)
+	}
+	if good.Total() <= int64(bad.seen) {
+		t.Fatalf("healthy sink stalled at %d events", good.Total())
+	}
+}
+
+// TestTelemetryRequiresEventsOrSinks: sinks now satisfy the telemetry
+// delivery requirement the Events channel used to own alone.
+func TestTelemetryRequiresEventsOrSinks(t *testing.T) {
+	cfg := sinkFleetConfig()
+	cfg.Sinks = nil
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("telemetry without any consumer should fail")
+	}
+	sink, err := NewRingSink(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sinks = []Sink{sink}
+	cfg.Scenarios = thinScenarios(300)
+	cfg.Patients = []int{0}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatalf("sinks alone should satisfy telemetry: %v", err)
+	}
+}
+
+// TestTelemetryFromMonitor: with FromMonitor the robustness events must
+// equal the monitor's own replayed streaming verdicts — one rule
+// evaluation per cycle feeding alarm, mitigation, and telemetry alike.
+func TestTelemetryFromMonitor(t *testing.T) {
+	newMon := func(int) (monitor.Monitor, error) {
+		return monitor.NewCAWOT(scs.TableI(), scs.Params{})
+	}
+	cfg := Config{
+		Platform:   glucosymPlatform(),
+		Patients:   []int{0, 2},
+		Scenarios:  thinScenarios(60),
+		Steps:      40,
+		Seed:       3,
+		NewMonitor: newMon,
+		Telemetry:  &TelemetryConfig{FromMonitor: true},
+	}
+	got, res := collectRobustness(t, cfg)
+	if len(got) != len(res.Traces)*cfg.Steps {
+		t.Fatalf("%d robustness events, want %d", len(got), len(res.Traces)*cfg.Steps)
+	}
+	var violations int
+	for sess, tr := range res.Traces {
+		m, err := newMon(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts := monitor.Replay(m, tr)
+		for i, v := range verdicts {
+			ev, ok := got[robKey{sess, 0, i}]
+			if !ok {
+				t.Fatalf("session %d step %d: no robustness event", sess, i)
+			}
+			if ev.rob == 0 && ev.rule == 0 {
+				t.Fatalf("session %d step %d: empty telemetry", sess, i)
+			}
+			// The emitted margin is the monitor's own verdict margin.
+			if tr.Samples[i].Alarm != v.Alarm {
+				t.Fatalf("session %d step %d: replay alarm %v, trace %v", sess, i, v.Alarm, tr.Samples[i].Alarm)
+			}
+			if v.Margin < 0 {
+				violations++
+			}
+		}
+	}
+	if violations == 0 {
+		t.Fatal("no violations across a fault campaign — comparison is vacuous")
+	}
+
+	// A monitor without margins must be rejected at session build.
+	bad := cfg
+	bad.NewMonitor = func(int) (monitor.Monitor, error) {
+		return monitor.NewGuideline(monitor.GuidelineConfig{})
+	}
+	badEvents := make(chan Event, 16)
+	bad.Events = badEvents
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range badEvents {
+		}
+	}()
+	_, err := Run(context.Background(), bad)
+	close(badEvents)
+	<-done
+	if err == nil {
+		t.Fatal("FromMonitor with a margin-less monitor should fail")
+	}
+	// And FromMonitor without NewMonitor is a config error.
+	noMon := cfg
+	noMon.NewMonitor = nil
+	ring, err := NewRingSink(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMon.Sinks = []Sink{ring}
+	if _, err := Run(context.Background(), noMon); err == nil {
+		t.Fatal("FromMonitor without NewMonitor should fail")
+	}
+}
+
+// TestFromMonitorMarginsMatchSeparateStreamSet: monitor-sourced margins
+// must be identical to what a dedicated telemetry StreamSet would have
+// computed under the same rules and thresholds (the evaluations are
+// interchangeable; FromMonitor just avoids paying for the second one).
+func TestFromMonitorMarginsMatchSeparateStreamSet(t *testing.T) {
+	base := Config{
+		Platform:   glucosymPlatform(),
+		Patients:   []int{0},
+		Scenarios:  thinScenarios(80),
+		Steps:      40,
+		Seed:       7,
+		NewMonitor: func(int) (monitor.Monitor, error) { return monitor.NewCAWOT(scs.TableI(), scs.Params{}) },
+	}
+	fromMon := base
+	fromMon.Telemetry = &TelemetryConfig{FromMonitor: true}
+	separate := base
+	separate.Telemetry = &TelemetryConfig{}
+
+	gotMon, _ := collectRobustness(t, fromMon)
+	gotSep, _ := collectRobustness(t, separate)
+	if len(gotMon) == 0 || len(gotMon) != len(gotSep) {
+		t.Fatalf("event counts differ: %d vs %d", len(gotMon), len(gotSep))
+	}
+	for k, v := range gotMon {
+		if sv, ok := gotSep[k]; !ok || sv != v {
+			t.Fatalf("event %+v differs: monitor-sourced %+v vs stream-set %+v", k, v, sv)
+		}
+	}
+}
+
+// TestFleetMarginDeterministicAcrossParallelism pins the redesign's
+// determinism requirement: under margin-scaled mitigation with sensor
+// noise, both the traces (delivered rates depend on margins) and the
+// per-patient margin histograms must be identical at any parallelism.
+func TestFleetMarginDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallel int) ([]byte, string) {
+		hist, err := NewHistSink(-5, 5, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Platform:  glucosymPlatform(),
+			Patients:  []int{0, 3},
+			Scenarios: thinScenarios(60),
+			Steps:     40,
+			Seed:      42,
+			Parallel:  parallel,
+			Sensor:    &sensor.Config{NoiseSD: 2},
+			NewMonitor: func(int) (monitor.Monitor, error) {
+				return monitor.NewCAWOT(scs.TableI(), scs.Params{})
+			},
+			Mitigate:   true,
+			Mitigation: closedloop.MitigationConfig{ScaleByMargin: true},
+			Telemetry:  &TelemetryConfig{FromMonitor: true},
+			Sinks:      []Sink{hist},
+		}
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scaled int
+		for _, tr := range res.Traces {
+			for _, s := range tr.Samples {
+				// Margin-scaled mitigation produces deliveries strictly
+				// between the command and the fixed corrective action.
+				if s.Mitigated && s.Delivered != 0 && s.Delivered != s.Rate {
+					scaled++
+				}
+			}
+		}
+		if scaled == 0 {
+			t.Fatal("no margin-scaled deliveries — determinism check is vacuous")
+		}
+		return tracesCSV(t, res.Traces), hist.Render()
+	}
+	goldenTraces, goldenHist := run(1)
+	for _, p := range []int{runtime.NumCPU(), 5} {
+		traces, hist := run(p)
+		if !bytes.Equal(traces, goldenTraces) {
+			t.Fatalf("Parallel=%d margin-scaled traces differ from Parallel=1", p)
+		}
+		if hist != goldenHist {
+			t.Fatalf("Parallel=%d margin histograms differ from Parallel=1", p)
+		}
+	}
+}

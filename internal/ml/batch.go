@@ -19,6 +19,10 @@ type BatchClassifier interface {
 	// PredictBatchInto writes the argmax class of X[k] into out[k].
 	// out must have at least len(X) elements.
 	PredictBatchInto(X [][]float64, out []int)
+	// PredictProbaBatchInto writes class probabilities row-major into
+	// proba (at least len(X)*Classes() elements): proba[k*C+c] is X[k]'s
+	// probability of class c, bit-identical to PredictProba per row.
+	PredictProbaBatchInto(X [][]float64, proba []float64)
 	// Classes returns the number of classes.
 	Classes() int
 }
@@ -28,6 +32,10 @@ type BatchSequenceClassifier interface {
 	// PredictSeqBatchInto writes the argmax class of windows[k]
 	// (timesteps x features) into out[k].
 	PredictSeqBatchInto(windows [][][]float64, out []int)
+	// PredictProbaSeqBatchInto writes class probabilities row-major into
+	// proba (at least len(windows)*Classes() elements), bit-identical to
+	// PredictProba per window.
+	PredictProbaSeqBatchInto(windows [][][]float64, proba []float64)
 	Classes() int
 }
 
@@ -107,16 +115,29 @@ func relu0(v float64) float64 {
 // batching only removes the per-call probability copy of Predict.
 func (t *Tree) PredictBatchInto(X [][]float64, out []int) {
 	for k, x := range X {
-		n := t.root
-		for n.proba == nil {
-			if x[n.feature] <= n.threshold {
-				n = n.left
-			} else {
-				n = n.right
-			}
-		}
-		out[k] = argmax(n.proba)
+		out[k] = argmax(t.leaf(x))
 	}
+}
+
+// PredictProbaBatchInto implements BatchClassifier.
+func (t *Tree) PredictProbaBatchInto(X [][]float64, proba []float64) {
+	c := t.cfg.Classes
+	for k, x := range X {
+		copy(proba[k*c:(k+1)*c], t.leaf(x))
+	}
+}
+
+// leaf descends to the leaf distribution for one feature vector.
+func (t *Tree) leaf(x []float64) []float64 {
+	n := t.root
+	for n.proba == nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.proba
 }
 
 var _ BatchClassifier = (*Tree)(nil)
@@ -159,6 +180,31 @@ func (b *MLPBatch) PredictBatchInto(X [][]float64, out []int) {
 	if n == 0 {
 		return
 	}
+	logits := b.forward(X)
+	// argmax over logits equals argmax over softmax probabilities.
+	c := b.m.cfg.Classes
+	for s := 0; s < n; s++ {
+		out[s] = argmax(logits[s*c : (s+1)*c])
+	}
+}
+
+// PredictProbaBatchInto implements BatchClassifier.
+func (b *MLPBatch) PredictProbaBatchInto(X [][]float64, proba []float64) {
+	n := len(X)
+	if n == 0 {
+		return
+	}
+	logits := b.forward(X)
+	c := b.m.cfg.Classes
+	for s := 0; s < n; s++ {
+		softmax(logits[s*c:(s+1)*c], proba[s*c:(s+1)*c])
+	}
+}
+
+// forward runs the batched layers and returns the row-major logits
+// (n x Classes) in the reused scratch.
+func (b *MLPBatch) forward(X [][]float64) []float64 {
+	n := len(X)
 	b.ensure(n)
 	std := b.m.std
 	d0 := b.m.layers[0].in
@@ -173,12 +219,7 @@ func (b *MLPBatch) PredictBatchInto(X [][]float64, out []int) {
 	for li, l := range b.m.layers {
 		forwardBatchDense(l, b.acts[li], b.acts[li+1], n, li != nL-1)
 	}
-	// argmax over logits equals argmax over softmax probabilities.
-	c := b.m.cfg.Classes
-	logits := b.acts[nL]
-	for s := 0; s < n; s++ {
-		out[s] = argmax(logits[s*c : (s+1)*c])
-	}
+	return b.acts[nL]
 }
 
 // LSTMBatch is a reusable batched-inference context for one LSTM. Like
@@ -228,6 +269,30 @@ func (b *LSTMBatch) PredictSeqBatchInto(windows [][][]float64, out []int) {
 	if n == 0 {
 		return
 	}
+	logits := b.forward(windows)
+	classes := b.m.cfg.Classes
+	for s := 0; s < n; s++ {
+		out[s] = argmax(logits[s*classes : (s+1)*classes])
+	}
+}
+
+// PredictProbaSeqBatchInto implements BatchSequenceClassifier.
+func (b *LSTMBatch) PredictProbaSeqBatchInto(windows [][][]float64, proba []float64) {
+	n := len(windows)
+	if n == 0 {
+		return
+	}
+	logits := b.forward(windows)
+	classes := b.m.cfg.Classes
+	for s := 0; s < n; s++ {
+		softmax(logits[s*classes:(s+1)*classes], proba[s*classes:(s+1)*classes])
+	}
+}
+
+// forward runs the batched recurrent layers and head, returning the
+// row-major logits (n x Classes) in the reused scratch.
+func (b *LSTMBatch) forward(windows [][][]float64) []float64 {
+	n := len(windows)
 	b.ensure(n)
 	m := b.m
 	t := m.cfg.Window
@@ -252,10 +317,9 @@ func (b *LSTMBatch) PredictSeqBatchInto(windows [][][]float64, out []int) {
 	classes := m.cfg.Classes
 	for s := 0; s < n; s++ {
 		hLast := cur[(s*t+t-1)*lastUnits : (s*t+t)*lastUnits]
-		logits := b.logits[s*classes : (s+1)*classes]
-		m.head.forward(hLast, logits)
-		out[s] = argmax(logits)
+		m.head.forward(hLast, b.logits[s*classes:(s+1)*classes])
 	}
+	return b.logits
 }
 
 // forwardLayer runs one LSTM layer over n sequences of t steps, reading

@@ -40,11 +40,11 @@ func featuresInto(dst []float64, obs Observation) {
 // BatchMonitor. It is stateless across cycles, so lanes only size the
 // scratch buffers.
 type BatchML struct {
-	name    string
-	clf     ml.BatchClassifier
-	flat    []float64
-	feats   [][]float64
-	classes []int
+	name  string
+	clf   ml.BatchClassifier
+	flat  []float64
+	feats [][]float64
+	proba []float64
 }
 
 var _ BatchMonitor = (*BatchML)(nil)
@@ -75,7 +75,7 @@ func (b *BatchML) ensure(n int) {
 	for i := range b.feats {
 		b.feats[i] = b.flat[i*FeatureDim : (i+1)*FeatureDim]
 	}
-	b.classes = make([]int, n)
+	b.proba = make([]float64, n*b.clf.Classes())
 }
 
 // StepBatch implements BatchMonitor.
@@ -88,10 +88,10 @@ func (b *BatchML) StepBatch(lanes []int, obs []Observation, out []Verdict) {
 	for k, o := range obs {
 		featuresInto(b.feats[k], o)
 	}
-	b.clf.PredictBatchInto(b.feats[:n], b.classes)
+	b.clf.PredictProbaBatchInto(b.feats[:n], b.proba)
 	classes := b.clf.Classes()
 	for k := 0; k < n; k++ {
-		out[k] = classToHazard(b.classes[k], classes)
+		out[k] = probaToVerdict(b.proba[k*classes:(k+1)*classes], classes)
 	}
 }
 
@@ -112,10 +112,10 @@ type BatchSequence struct {
 	lanes  []seqLane
 
 	// Per-call scratch.
-	wins    [][][]float64
-	ready   []int
-	classes []int
-	views   [][]float64 // window x lanes ordered-frame views, flattened
+	wins  [][][]float64
+	ready []int
+	proba []float64
+	views [][]float64 // window x lanes ordered-frame views, flattened
 }
 
 var _ BatchMonitor = (*BatchSequence)(nil)
@@ -148,7 +148,7 @@ func (b *BatchSequence) ResetLanes(n int) {
 	}
 	b.wins = make([][][]float64, 0, n)
 	b.ready = make([]int, 0, n)
-	b.classes = make([]int, n)
+	b.proba = make([]float64, n*b.clf.Classes())
 	b.views = make([][]float64, n*b.window)
 }
 
@@ -189,9 +189,9 @@ func (b *BatchSequence) StepBatch(lanes []int, obs []Observation, out []Verdict)
 	if len(b.wins) == 0 {
 		return
 	}
-	b.clf.PredictSeqBatchInto(b.wins, b.classes)
+	b.clf.PredictProbaSeqBatchInto(b.wins, b.proba)
 	classes := b.clf.Classes()
 	for i, k := range b.ready {
-		out[k] = classToHazard(b.classes[i], classes)
+		out[k] = probaToVerdict(b.proba[i*classes:(i+1)*classes], classes)
 	}
 }

@@ -1,0 +1,101 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scs"
+	"repro/internal/trace"
+)
+
+// ContextAwareLegacy is the pre-streaming context-aware monitor: it
+// re-evaluates every Table I rule eagerly per step via Rule.Violated.
+//
+// Deprecated: ContextAware now evaluates the same rules through one
+// incremental scs.StreamSet, with bit-identical alarms and hazards (the
+// randomized differential tests enforce this) plus margins and rule
+// attribution the eager path cannot provide. ContextAwareLegacy exists
+// only as the differential-testing oracle and the BenchmarkCAWTStep
+// baseline; do not wire it into new code.
+type ContextAwareLegacy struct {
+	name       string
+	rules      []scs.Rule
+	thresholds scs.Thresholds
+	params     scs.Params
+
+	lastFired []int // rule IDs fired at the last step (diagnostics)
+}
+
+var _ Monitor = (*ContextAwareLegacy)(nil)
+
+// NewContextAwareLegacy builds the eager evaluator over the same inputs
+// as NewCAWT/NewCAWOT (nil thresholds select the rules' defaults).
+func NewContextAwareLegacy(name string, rules []scs.Rule, th scs.Thresholds, p scs.Params) (*ContextAwareLegacy, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("monitor: %s needs at least one rule", name)
+	}
+	if th == nil {
+		th = scs.Defaults(rules)
+	}
+	for _, r := range rules {
+		if _, ok := th[r.ID]; !ok {
+			return nil, fmt.Errorf("monitor: %s missing threshold for rule %d", name, r.ID)
+		}
+		if r.Hazard == trace.HazardNone {
+			// Mirror the streaming constructor: a hazard-less rule would
+			// silently never alarm here while the streaming path reports
+			// it, voiding the differential-oracle equivalence.
+			return nil, fmt.Errorf("monitor: %s rule %d has no hazard class", name, r.ID)
+		}
+	}
+	return &ContextAwareLegacy{
+		name:       name,
+		rules:      rules,
+		thresholds: th,
+		params:     p.WithDefaults(),
+	}, nil
+}
+
+// Name implements Monitor.
+func (m *ContextAwareLegacy) Name() string { return m.name }
+
+// Reset implements Monitor.
+func (m *ContextAwareLegacy) Reset() { m.lastFired = m.lastFired[:0] }
+
+// Step implements Monitor: evaluate every rule on the current context;
+// the predicted hazard is the type of the violated rule (H1 wins ties,
+// being the acute hazard).
+func (m *ContextAwareLegacy) Step(obs Observation) Verdict {
+	st := scs.State{
+		BG:       obs.CGM,
+		BGPrime:  obs.BGPrime,
+		IOB:      obs.IOB,
+		IOBPrime: obs.IOBPrime,
+		Action:   obs.Action,
+	}
+	m.lastFired = m.lastFired[:0]
+	var hazard trace.HazardType
+	for _, r := range m.rules {
+		if r.Violated(st, m.params, m.thresholds[r.ID]) {
+			m.lastFired = append(m.lastFired, r.ID)
+			if hazard == trace.HazardNone || r.Hazard == trace.HazardH1 {
+				hazard = r.Hazard
+			}
+		}
+	}
+	if hazard == trace.HazardNone {
+		return Verdict{}
+	}
+	sort.Ints(m.lastFired)
+	return Verdict{Alarm: true, Hazard: hazard}
+}
+
+// FiredRules returns the rule IDs that fired at the last step.
+func (m *ContextAwareLegacy) FiredRules() []int {
+	out := make([]int, len(m.lastFired))
+	copy(out, m.lastFired)
+	return out
+}
+
+// Thresholds returns the monitor's threshold table.
+func (m *ContextAwareLegacy) Thresholds() scs.Thresholds { return m.thresholds }

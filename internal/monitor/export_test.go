@@ -1,0 +1,19 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// CaptureReplayWarnings redirects Replay's warning hook into a captured
+// slice for the duration of the test.
+func CaptureReplayWarnings(t *testing.T) *[]string {
+	t.Helper()
+	var captured []string
+	prev := replayWarnf
+	replayWarnf = func(format string, args ...any) {
+		captured = append(captured, fmt.Sprintf(format, args...))
+	}
+	t.Cleanup(func() { replayWarnf = prev })
+	return &captured
+}

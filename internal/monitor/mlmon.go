@@ -54,6 +54,21 @@ func classToHazard(class, classes int) Verdict {
 	}
 }
 
+// probaToVerdict derives the verdict from one class-probability pass:
+// the argmax class decides alarm and hazard exactly as Predict would,
+// and its probability becomes the verdict's Confidence.
+func probaToVerdict(proba []float64, classes int) Verdict {
+	class, best := 0, proba[0]
+	for i, p := range proba {
+		if p > best {
+			class, best = i, p
+		}
+	}
+	v := classToHazard(class, classes)
+	v.Confidence = best
+	return v
+}
+
 // MLMonitor wraps a point-in-time classifier (DT, MLP) as a safety
 // monitor per Eq. 7.
 type MLMonitor struct {
@@ -77,9 +92,11 @@ func (m *MLMonitor) Name() string { return m.name }
 // Reset implements Monitor.
 func (m *MLMonitor) Reset() {}
 
-// Step implements Monitor.
+// Step implements Monitor. The verdict carries the predicted class's
+// probability as Confidence, from the same single forward pass that
+// decides the alarm.
 func (m *MLMonitor) Step(obs Observation) Verdict {
-	return classToHazard(m.clf.Predict(Features(obs)), m.clf.Classes())
+	return probaToVerdict(m.clf.PredictProba(Features(obs)), m.clf.Classes())
 }
 
 // SequenceMonitor wraps a windowed classifier (LSTM) as a safety monitor
@@ -120,7 +137,7 @@ func (m *SequenceMonitor) Step(obs Observation) Verdict {
 	if len(m.buf) < m.window {
 		return Verdict{}
 	}
-	return classToHazard(m.clf.Predict(m.buf), m.clf.Classes())
+	return probaToVerdict(m.clf.PredictProba(m.buf), m.clf.Classes())
 }
 
 // TrainingData assembles point-in-time training matrices from labeled

@@ -10,6 +10,8 @@
 package monitor
 
 import (
+	"log"
+
 	"repro/internal/closedloop"
 	"repro/internal/trace"
 )
@@ -23,6 +25,20 @@ type Observation = closedloop.Observation
 // Verdict is the per-cycle monitor output.
 type Verdict = closedloop.Verdict
 
+// BasalSensitive is implemented by monitors whose verdicts depend on the
+// loop's scheduled basal — Observation.Basal, or the step-0 PrevRate
+// that Replay seeds from it. Replay warns loudly when such a monitor
+// replays a trace recorded before the basal was persisted (Basal == 0):
+// the observations it feeds then differ from what the live loop fed, and
+// the replayed verdicts are not trustworthy.
+type BasalSensitive interface {
+	UsesBasal() bool
+}
+
+// replayWarnf is the warning hook for Replay diagnostics; tests override
+// it to assert the warning fires.
+var replayWarnf = log.Printf
+
 // Replay drives a monitor over a recorded trace offline, returning the
 // per-sample alarms. It mirrors exactly what the closed loop feeds the
 // monitor online — including the step-0 PrevRate, which the live
@@ -30,8 +46,16 @@ type Verdict = closedloop.Verdict
 // commanded rate), and Observation.Basal — so offline evaluation
 // (Tables V and VI) agrees with online behavior. Traces recorded before
 // the basal was persisted replay with Basal == 0; re-record them for
-// basal-sensitive monitors.
+// basal-sensitive monitors (Replay warns when one replays such a trace).
 func Replay(m Monitor, tr *trace.Trace) []Verdict {
+	if tr.Basal == 0 {
+		if bs, ok := m.(BasalSensitive); ok && bs.UsesBasal() {
+			replayWarnf("monitor: WARNING: replaying a Basal==0 trace (patient %q, platform %q) "+
+				"through basal-sensitive monitor %q — the trace predates basal persistence; "+
+				"re-record it (trace.WriteCSV now stores the scheduled basal) or expect "+
+				"verdicts to diverge from the live loop", tr.PatientID, tr.Platform, m.Name())
+		}
+	}
 	m.Reset()
 	out := make([]Verdict, tr.Len())
 	prevRate := tr.Basal

@@ -92,6 +92,12 @@ func NewMPC(cfg MPCConfig) (*MPC, error) {
 // Name implements Monitor.
 func (m *MPC) Name() string { return "MPC" }
 
+// UsesBasal implements BasalSensitive: the monitor's insulin
+// compartments initialize at the scheduled-basal steady state, so its
+// projections assume the recorded loop ran at that basal — which a
+// pre-basal (Basal == 0) trace cannot confirm.
+func (m *MPC) UsesBasal() bool { return true }
+
 // Reset implements Monitor.
 func (m *MPC) Reset() {
 	// Start the insulin compartments at the basal steady state.

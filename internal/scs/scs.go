@@ -247,9 +247,12 @@ func (r Rule) Violated(s State, p Params, beta float64) bool {
 	return s.Action == r.Action
 }
 
-// STL renders the rule body (the formula under G[t0,te] in Eq. 1) over
-// trace variables BG, BG', IOB, IOB', u.
-func (r Rule) STL(p Params, beta float64) stl.Formula {
+// Antecedent renders the left side of the Eq. 1 implication: the rule's
+// fixed context conjoined with the learnable β predicate. Its robustness
+// is the rule's unsafe-context margin — how far the state sits inside
+// (positive) or outside (negative) the context in which the action is
+// constrained.
+func (r Rule) Antecedent(p Params, beta float64) stl.Formula {
 	p = p.WithDefaults()
 	var ctx []stl.Formula
 	switch r.BGSide {
@@ -261,13 +264,23 @@ func (r Rule) STL(p Params, beta float64) stl.Formula {
 	ctx = append(ctx, r.BGTrend.atoms("BG'", p.BGDerivEps)...)
 	ctx = append(ctx, r.IOBTrend.atoms("IOB'", p.IOBDerivEps)...)
 	ctx = append(ctx, &stl.Atom{Var: r.LearnVar, Op: r.LearnOp, Threshold: beta})
+	return stl.NewAnd(ctx...)
+}
 
+// Consequent renders the action side of the implication: ¬u for a
+// forbidden action, u for a required one (rule 10).
+func (r Rule) Consequent() stl.Formula {
 	actionAtom := &stl.Atom{Var: "u", Op: stl.OpEQ, Threshold: float64(r.Action)}
-	var consequent stl.Formula = &stl.Not{Child: actionAtom}
 	if r.Required {
-		consequent = actionAtom
+		return actionAtom
 	}
-	return &stl.Implies{L: stl.NewAnd(ctx...), R: consequent}
+	return &stl.Not{Child: actionAtom}
+}
+
+// STL renders the rule body (the formula under G[t0,te] in Eq. 1) over
+// trace variables BG, BG', IOB, IOB', u.
+func (r Rule) STL(p Params, beta float64) stl.Formula {
+	return &stl.Implies{L: r.Antecedent(p, beta), R: r.Consequent()}
 }
 
 // GlobalSTL wraps the rule body in the G[t0,te] of Eq. 1.

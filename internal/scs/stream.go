@@ -5,40 +5,77 @@ import (
 	"math"
 
 	"repro/internal/stl"
+	"repro/internal/trace"
 )
 
-// StreamVerdict is the per-cycle result of evaluating a rule set's STL
-// bodies incrementally: whether every rule was satisfied at the newest
-// sample, and the tightest (minimum) robustness margin across rules —
-// the distance to the nearest unsafe-control-action boundary, the
-// hazard-telemetry signal a serving fleet streams per session.
+// StreamVerdict is the per-cycle result of evaluating a rule set
+// incrementally: satisfaction, the raw STL minimum across rule bodies,
+// and the signed rule margin with its arg-min rule and hazard
+// attribution. It is the single evaluation the streaming CAWT monitor,
+// Algorithm 1 margin scaling, and fleet hazard telemetry all read from.
 type StreamVerdict struct {
 	// Sat is true when every rule body held at the pushed sample.
 	Sat bool
-	// MinRobust is the minimum robustness margin across all rules;
-	// negative means at least one rule is violated, and its magnitude is
-	// the margin of the worst rule.
+	// MinRobust is the minimum STL robustness across all rule bodies
+	// (the quantitative semantics of the Eq. 1 implication); WorstRule
+	// is the ID of the rule attaining it. Note that a violated
+	// forbidden-action rule bottoms out at 0 here — the action equality
+	// atom has zero robustness at the boundary — which is why Margin
+	// below exists.
 	MinRobust float64
-	// WorstRule is the ID of the rule with the minimum margin.
 	WorstRule int
+	// Margin is the signed rule margin: with Sat it equals MinRobust
+	// (distance to the nearest unsafe-control-action boundary), and on a
+	// violation it is minus the violated rule's antecedent robustness —
+	// how deep the state sits inside the unsafe context — so alarms carry
+	// a usable severity. Rule is the ID of the rule attaining Margin.
+	Margin float64
+	Rule   int
+	// Hazard is the predicted hazard class over the violated rules
+	// (H1 wins ties, being the acute hazard); HazardNone when Sat.
+	Hazard trace.HazardType
 }
 
 // StreamSet renders a Safety Context Specification's rule bodies (the
 // formulas under G[t0,te] in Eq. 1) through the incremental streaming
-// STL engine: one compiled stl.Stream per rule, fed the per-cycle
-// context state. Pushes are O(1) amortized per rule and total state is
-// bounded by the rules' window lengths, never by session length, so a
-// StreamSet can stay attached to a continuous serving session forever.
+// STL engine. The rules' antecedents compile into one hash-consed
+// stl.StreamGroup — identical subformulas (shared context atoms, shared
+// windows) evaluate once per cycle no matter how many rules contain
+// them — and the structurally fixed consequent (the u == action
+// equality, per Rule.Consequent) folds into the same push as inline
+// arithmetic, so one evaluation yields satisfaction, the STL body
+// robustness, and the signed rule margin. Pushes are O(1) amortized per
+// rule and total state is bounded by the rules' window lengths, never
+// by session length, so a StreamSet can stay attached to a continuous
+// serving session forever.
 type StreamSet struct {
-	rules   []Rule
-	streams []*stl.Stream
-	params  Params
-	n       int
+	rules  []Rule
+	group  *stl.StreamGroup
+	ante   []int // group index of each rule's antecedent
+	params Params
+	n      int
 
-	// sample is the reused variable binding for the rule vocabulary
-	// (BG, BG', IOB, IOB', u) so pushes do not allocate.
-	sample map[string]float64
+	// Per-rule consequent specialization: the action the rule names and
+	// whether it is required (rule 10) or forbidden.
+	action   []float64
+	required []bool
+	isH1     []bool
+
+	// vals is the reused PushVector binding; sel maps each group
+	// variable slot to its State field so pushes touch no maps.
+	vals  []float64
+	sel   []int
+	fired []int // IDs of the rules violated at the last push
 }
+
+// State field selectors for the rule vocabulary.
+const (
+	selBG = iota
+	selBGPrime
+	selIOB
+	selIOBPrime
+	selAction
+)
 
 // NewStreamSet compiles every rule body under its threshold at sampling
 // period dtMin minutes (nil thresholds select the rules' CAWOT
@@ -53,23 +90,55 @@ func NewStreamSet(rules []Rule, th Thresholds, p Params, dtMin float64) (*Stream
 		th = Defaults(rules)
 	}
 	p = p.WithDefaults()
+	group, err := stl.NewStreamGroup(dtMin)
+	if err != nil {
+		return nil, fmt.Errorf("scs: %w", err)
+	}
 	ss := &StreamSet{
-		rules:   rules,
-		streams: make([]*stl.Stream, len(rules)),
-		params:  p,
-		sample:  make(map[string]float64, 5),
+		rules:    rules,
+		group:    group,
+		ante:     make([]int, len(rules)),
+		params:   p,
+		action:   make([]float64, len(rules)),
+		required: make([]bool, len(rules)),
+		isH1:     make([]bool, len(rules)),
+		fired:    make([]int, 0, len(rules)),
 	}
 	for i, r := range rules {
 		beta, ok := th[r.ID]
 		if !ok {
 			return nil, fmt.Errorf("scs: missing threshold for rule %d", r.ID)
 		}
-		s, err := stl.NewStream(r.STL(p, beta), dtMin)
-		if err != nil {
-			return nil, fmt.Errorf("scs: rule %d: %w", r.ID, err)
+		if r.Hazard == trace.HazardNone {
+			// Every Safety Context Specification rule predicts a hazard
+			// class; a zero Hazard is a construction bug, and admitting it
+			// would fabricate an H2 attribution on violation.
+			return nil, fmt.Errorf("scs: rule %d has no hazard class", r.ID)
 		}
-		ss.streams[i] = s
+		if ss.ante[i], err = group.Add(r.Antecedent(p, beta)); err != nil {
+			return nil, fmt.Errorf("scs: rule %d antecedent: %w", r.ID, err)
+		}
+		ss.action[i] = float64(r.Action)
+		ss.required[i] = r.Required
+		ss.isH1[i] = r.Hazard == trace.HazardH1
 	}
+	for _, name := range group.Vars() {
+		switch name {
+		case "BG":
+			ss.sel = append(ss.sel, selBG)
+		case "BG'":
+			ss.sel = append(ss.sel, selBGPrime)
+		case "IOB":
+			ss.sel = append(ss.sel, selIOB)
+		case "IOB'":
+			ss.sel = append(ss.sel, selIOBPrime)
+		case "u":
+			ss.sel = append(ss.sel, selAction)
+		default:
+			return nil, fmt.Errorf("scs: rule set reads unknown variable %q", name)
+		}
+	}
+	ss.vals = make([]float64, len(ss.sel))
 	return ss, nil
 }
 
@@ -80,45 +149,90 @@ func (ss *StreamSet) Rules() []Rule { return ss.rules }
 func (ss *StreamSet) Len() int { return ss.n }
 
 // Push feeds one control cycle's context state to every rule stream and
-// returns the aggregate verdict.
+// returns the aggregate verdict. Alarm, STL robustness, signed margin,
+// and rule attribution all come from this single incremental
+// evaluation.
 func (ss *StreamSet) Push(s State) (StreamVerdict, error) {
-	ss.sample["BG"] = s.BG
-	ss.sample["BG'"] = s.BGPrime
-	ss.sample["IOB"] = s.IOB
-	ss.sample["IOB'"] = s.IOBPrime
-	ss.sample["u"] = float64(s.Action)
-
-	v := StreamVerdict{Sat: true, MinRobust: math.Inf(1)}
-	for i, stream := range ss.streams {
-		sat, rob, err := stream.Push(ss.sample)
-		if err != nil {
-			return StreamVerdict{}, fmt.Errorf("scs: rule %d: %w", ss.rules[i].ID, err)
+	for i, sel := range ss.sel {
+		switch sel {
+		case selBG:
+			ss.vals[i] = s.BG
+		case selBGPrime:
+			ss.vals[i] = s.BGPrime
+		case selIOB:
+			ss.vals[i] = s.IOB
+		case selIOBPrime:
+			ss.vals[i] = s.IOBPrime
+		case selAction:
+			ss.vals[i] = float64(s.Action)
 		}
-		v.Sat = v.Sat && sat
+	}
+	if err := ss.group.PushVector(ss.vals); err != nil {
+		return StreamVerdict{}, fmt.Errorf("scs: %w", err)
+	}
+	sats, robs := ss.group.Results()
+
+	u := float64(s.Action)
+	v := StreamVerdict{Sat: true, MinRobust: math.Inf(1)}
+	ss.fired = ss.fired[:0]
+	worst := math.Inf(1) // violation depth of the worst violated rule
+	anyH1 := false
+	for i := range ss.rules {
+		ls, lr := sats[ss.ante[i]], robs[ss.ante[i]]
+		// Consequent inline: rob(u == a) = -|u - a|, negated for the
+		// forbidden-action form ¬(u == a). Identical to compiling
+		// Rule.Consequent, minus the dispatch.
+		rs, rr := u == ss.action[i], -math.Abs(u-ss.action[i])
+		if !ss.required[i] {
+			rs, rr = !rs, -rr
+		}
+		rob := rr // Eq. 1 body robustness: max(-lr, rr), finite operands
+		if -lr > rob {
+			rob = -lr
+		}
 		if rob < v.MinRobust {
 			v.MinRobust = rob
 			v.WorstRule = ss.rules[i].ID
+		}
+		if !ls || rs {
+			continue // body satisfied
+		}
+		v.Sat = false
+		ss.fired = append(ss.fired, ss.rules[i].ID)
+		if ss.isH1[i] {
+			anyH1 = true
+		}
+		if m := -lr; m < worst {
+			worst = m
+			v.Rule = ss.rules[i].ID
+		}
+	}
+	if v.Sat {
+		v.Margin, v.Rule = v.MinRobust, v.WorstRule
+	} else {
+		v.Margin = worst
+		v.Hazard = trace.HazardH2
+		if anyH1 {
+			v.Hazard = trace.HazardH1
 		}
 	}
 	ss.n++
 	return v, nil
 }
 
-// StateSamples returns the total buffered per-sample entries across all
-// rule streams — the quantity that must stay O(window) regardless of
-// session length.
-func (ss *StreamSet) StateSamples() int {
-	t := 0
-	for _, s := range ss.streams {
-		t += s.StateSamples()
-	}
-	return t
-}
+// Fired returns the IDs of the rules violated at the last push, in rule
+// order. The slice is reused by the next Push; callers that retain it
+// must copy.
+func (ss *StreamSet) Fired() []int { return ss.fired }
+
+// StateSamples returns the total buffered per-sample entries across the
+// rule set's unique operator nodes (hash-consed subformulas count once)
+// — the quantity that must stay O(window) regardless of session length.
+func (ss *StreamSet) StateSamples() int { return ss.group.StateSamples() }
 
 // Reset clears all rule stream state.
 func (ss *StreamSet) Reset() {
-	for _, s := range ss.streams {
-		s.Reset()
-	}
+	ss.group.Reset()
 	ss.n = 0
+	ss.fired = ss.fired[:0]
 }

@@ -129,3 +129,120 @@ func TestStreamSetMissingThreshold(t *testing.T) {
 		t.Error("missing threshold should be rejected")
 	}
 }
+
+// TestStreamSetMarginSemantics pins the signed rule margin added by the
+// verdict-API redesign: with every rule satisfied the margin is the
+// minimum STL body robustness, and on a violation it is minus the
+// violated rule's antecedent robustness (the depth inside the unsafe
+// context), with H1 winning hazard ties — all computed offline here
+// from the antecedent formulas the rules render.
+func TestStreamSetMarginSemantics(t *testing.T) {
+	rules := TableI()
+	th := Defaults(rules)
+	var p Params
+	ss, err := NewStreamSet(rules, th, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offline, err := stl.NewTrace(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	antes := make([]stl.Formula, len(rules))
+	for i, r := range rules {
+		antes[i] = r.Antecedent(p, th[r.ID])
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	var alarms, safes int
+	for i := 0; i < 2000; i++ {
+		s := randState(rng)
+		offline.Append(map[string]float64{
+			"BG": s.BG, "BG'": s.BGPrime, "IOB": s.IOB, "IOB'": s.IOBPrime,
+			"u": float64(s.Action),
+		})
+		v, err := ss.Push(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wantFired []int
+		wantMargin, wantRule := 0.0, 0
+		wantH1 := false
+		first := true
+		for k, r := range rules {
+			if !r.Violated(s, p, th[r.ID]) {
+				continue
+			}
+			wantFired = append(wantFired, r.ID)
+			if r.Hazard == trace.HazardH1 {
+				wantH1 = true
+			}
+			rob, err := antes[k].Robustness(offline, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m := -rob; first || m < wantMargin {
+				wantMargin, wantRule = m, r.ID
+				first = false
+			}
+		}
+		if len(wantFired) == 0 {
+			safes++
+			// Satisfied: margin is the body minimum (already checked to
+			// equal the offline minimum by TestStreamSetMatchesRuleSemantics).
+			if v.Margin != v.MinRobust || v.Rule != v.WorstRule {
+				t.Fatalf("step %d: safe margin %v (rule %d) != MinRobust %v (rule %d)",
+					i, v.Margin, v.Rule, v.MinRobust, v.WorstRule)
+			}
+			if v.Hazard != trace.HazardNone {
+				t.Fatalf("step %d: hazard %v on a satisfied push", i, v.Hazard)
+			}
+			if v.Margin < 0 {
+				t.Fatalf("step %d: satisfied push with negative margin %v", i, v.Margin)
+			}
+			continue
+		}
+		alarms++
+		if v.Sat {
+			t.Fatalf("step %d: Sat despite %v violated", i, wantFired)
+		}
+		if v.Margin != wantMargin || v.Rule != wantRule {
+			t.Fatalf("step %d: margin %v (rule %d), want %v (rule %d)",
+				i, v.Margin, v.Rule, wantMargin, wantRule)
+		}
+		if v.Margin > 0 {
+			t.Fatalf("step %d: violation with positive margin %v", i, v.Margin)
+		}
+		wantHazard := trace.HazardH2
+		if wantH1 {
+			wantHazard = trace.HazardH1
+		}
+		if v.Hazard != wantHazard {
+			t.Fatalf("step %d: hazard %v, want %v (fired %v)", i, v.Hazard, wantHazard, wantFired)
+		}
+		got := ss.Fired()
+		if len(got) != len(wantFired) {
+			t.Fatalf("step %d: fired %v, want %v", i, got, wantFired)
+		}
+		for j := range got {
+			if got[j] != wantFired[j] {
+				t.Fatalf("step %d: fired %v, want %v", i, got, wantFired)
+			}
+		}
+	}
+	if alarms == 0 || safes == 0 {
+		t.Fatalf("degenerate coverage: %d alarms, %d safe pushes", alarms, safes)
+	}
+}
+
+// TestStreamSetRejectsHazardlessRule: a rule without a hazard class is
+// a construction bug (its violation would fabricate an H2 attribution).
+func TestStreamSetRejectsHazardlessRule(t *testing.T) {
+	rules := TableI()
+	rules[3].Hazard = trace.HazardNone
+	if _, err := NewStreamSet(rules, Defaults(rules), Params{}, 5); err == nil {
+		t.Error("hazard-less rule should be rejected")
+	}
+}

@@ -23,7 +23,8 @@ import (
 type Stream struct {
 	formula Formula
 	root    streamNode
-	vars    []string // every variable the formula references
+	comp    *compiler
+	vals    []float64
 	dt      float64
 	n       int
 
@@ -47,57 +48,15 @@ func NewStream(f Formula, dtMin float64) (*Stream, error) {
 	if !PastOnly(f) {
 		return nil, fmt.Errorf("stl: formula %q needs future knowledge; cannot monitor online", f)
 	}
-	root, err := compileStream(f, dtMin)
+	comp := newCompiler(dtMin, false)
+	root, err := comp.compile(f)
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{formula: f, root: root, vars: formulaVars(f), dt: dtMin}, nil
-}
-
-// formulaVars collects the distinct variable names a formula reads, in
-// first-occurrence order.
-func formulaVars(f Formula) []string {
-	var out []string
-	seen := make(map[string]bool)
-	var walk func(Formula)
-	walk = func(f Formula) {
-		switch n := f.(type) {
-		case *Atom:
-			if !seen[n.Var] {
-				seen[n.Var] = true
-				out = append(out, n.Var)
-			}
-		case *Not:
-			walk(n.Child)
-		case *And:
-			for _, c := range n.Children {
-				walk(c)
-			}
-		case *Or:
-			for _, c := range n.Children {
-				walk(c)
-			}
-		case *Implies:
-			walk(n.L)
-			walk(n.R)
-		case *Globally:
-			walk(n.Child)
-		case *Eventually:
-			walk(n.Child)
-		case *Until:
-			walk(n.L)
-			walk(n.R)
-		case *Once:
-			walk(n.Child)
-		case *Historically:
-			walk(n.Child)
-		case *Since:
-			walk(n.L)
-			walk(n.R)
-		}
-	}
-	walk(f)
-	return out
+	return &Stream{
+		formula: f, root: root, comp: comp,
+		vals: make([]float64, len(comp.vars)), dt: dtMin,
+	}, nil
 }
 
 // Formula returns the compiled formula.
@@ -114,17 +73,17 @@ func (s *Stream) Len() int { return s.n }
 // variable is rejected before any operator state advances, so the
 // stream stays consistent and the caller may push a corrected sample.
 func (s *Stream) Push(sample map[string]float64) (bool, float64, error) {
-	for _, v := range s.vars {
-		if _, ok := sample[v]; !ok {
+	for i, v := range s.comp.vars {
+		val, ok := sample[v]
+		if !ok {
 			return false, 0, fmt.Errorf("stl: unknown variable %q", v)
 		}
+		s.vals[i] = val
 	}
-	s.ctx.sample, s.ctx.err = sample, nil
+	s.ctx.vals = s.vals
+	s.ctx.seq = uint64(s.n) + 1
 	sat, rob := s.root.step(&s.ctx)
-	s.ctx.sample = nil
-	if s.ctx.err != nil {
-		return false, 0, s.ctx.err
-	}
+	s.ctx.vals = nil
 	s.n++
 	s.lastSat, s.lastRob = sat, rob
 	return sat, rob, nil
@@ -151,10 +110,12 @@ func (s *Stream) Reset() {
 	s.lastSat, s.lastRob = false, 0
 }
 
-// stepCtx carries the current sample through one recursive step.
+// stepCtx carries the current sample through one recursive step: the
+// value vector (indexed by the compiler's variable table) and a push
+// sequence number that memoized shared nodes key their caches on.
 type stepCtx struct {
-	sample map[string]float64
-	err    error
+	vals []float64
+	seq  uint64
 }
 
 // streamNode is one compiled operator. step consumes the newest sample
@@ -165,77 +126,180 @@ type streamNode interface {
 	reset()
 }
 
-// compileStream lowers a past-only formula to its stateful node tree.
-// Minute bounds convert to inclusive sample offsets exactly as
-// Bounds.window does, so streaming and offline evaluation agree on
-// window edges (including empty fractional windows).
-func compileStream(f Formula, dt float64) (streamNode, error) {
+// compiler lowers past-only formulas to stateful node trees, resolving
+// variable names to dense value-vector indices. With interning enabled
+// (stream groups) it hash-conses the compiled tree: structurally
+// identical subformulas — same atoms, same windows — compile to one
+// shared node whose operator state and per-push work exist once per
+// group, guarded by a per-push memo so a shared stateful node advances
+// exactly once per sample no matter how many formulas contain it.
+type compiler struct {
+	dt     float64
+	vars   []string
+	varIdx map[string]int
+	cache  map[string]streamNode // canonical rendering -> shared node
+	memos  []*memoNode
+}
+
+func newCompiler(dt float64, intern bool) *compiler {
+	c := &compiler{dt: dt, varIdx: make(map[string]int)}
+	if intern {
+		c.cache = make(map[string]streamNode)
+	}
+	return c
+}
+
+// varIndex interns a variable name into the value vector.
+func (c *compiler) varIndex(name string) int {
+	if i, ok := c.varIdx[name]; ok {
+		return i
+	}
+	i := len(c.vars)
+	c.vars = append(c.vars, name)
+	c.varIdx[name] = i
+	return i
+}
+
+// compile lowers one formula, sharing previously compiled identical
+// subformulas when interning is on. The canonical key is the parser
+// syntax rendering, which is injective on the AST (thresholds print at
+// shortest-round-trip precision).
+func (c *compiler) compile(f Formula) (streamNode, error) {
+	if c.cache == nil {
+		return c.lower(f)
+	}
+	key := f.String()
+	if n, ok := c.cache[key]; ok {
+		return n, nil
+	}
+	inner, err := c.lower(f)
+	if err != nil {
+		return nil, err
+	}
+	out := inner
+	if hasState(f) {
+		// Only stateful subtrees need the per-push memo: sharing one
+		// delay line or window deque between formulas is what must not
+		// double-advance. Stateless subtrees are shared bare — a repeated
+		// comparison is cheaper than a memo check.
+		m := &memoNode{inner: inner}
+		c.memos = append(c.memos, m)
+		out = m
+	}
+	c.cache[key] = out
+	return out, nil
+}
+
+// hasState reports whether a formula's compiled form buffers samples
+// (contains a past-time temporal operator).
+func hasState(f Formula) bool {
+	switch n := f.(type) {
+	case *Once, *Historically, *Since:
+		return true
+	case *Not:
+		return hasState(n.Child)
+	case *And:
+		for _, c := range n.Children {
+			if hasState(c) {
+				return true
+			}
+		}
+		return false
+	case *Or:
+		for _, c := range n.Children {
+			if hasState(c) {
+				return true
+			}
+		}
+		return false
+	case *Implies:
+		return hasState(n.L) || hasState(n.R)
+	default:
+		return false
+	}
+}
+
+// lower compiles one operator, recursing through compile so every
+// subformula takes part in sharing. Minute bounds convert to inclusive
+// sample offsets exactly as Bounds.window does, so streaming and offline
+// evaluation agree on window edges (including empty fractional windows).
+func (c *compiler) lower(f Formula) (streamNode, error) {
 	switch n := f.(type) {
 	case *Atom:
 		if n.Op < OpLT || n.Op > OpNE {
 			return nil, fmt.Errorf("stl: invalid comparison op %d", int(n.Op))
 		}
-		return &atomNode{atom: *n}, nil
+		return &atomNode{varIdx: c.varIndex(n.Var), op: n.Op, threshold: n.Threshold}, nil
 	case Const:
 		return &constNode{value: bool(n)}, nil
 	case *Not:
-		c, err := compileStream(n.Child, dt)
+		child, err := c.compile(n.Child)
 		if err != nil {
 			return nil, err
 		}
-		return &notNode{child: c}, nil
+		return &notNode{child: child}, nil
 	case *And:
-		cs, err := compileChildren(n.Children, dt)
+		if atoms, ok := flatOrderAtoms(n.Children); ok {
+			// Kernel fusion for the dominant rule shape — a flat
+			// conjunction of ordering predicates — evaluates as a
+			// dispatch- and switch-free linear form per atom.
+			fa := &flatAndNode{atoms: make([]fusedAtom, len(atoms))}
+			for i, a := range atoms {
+				fa.atoms[i] = newFusedAtom(c.varIndex(a.Var), a.Op, a.Threshold)
+			}
+			return fa, nil
+		}
+		cs, err := c.compileChildren(n.Children)
 		if err != nil {
 			return nil, err
 		}
 		return &andNode{children: cs}, nil
 	case *Or:
-		cs, err := compileChildren(n.Children, dt)
+		cs, err := c.compileChildren(n.Children)
 		if err != nil {
 			return nil, err
 		}
 		return &orNode{children: cs}, nil
 	case *Implies:
-		l, err := compileStream(n.L, dt)
+		l, err := c.compile(n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := compileStream(n.R, dt)
+		r, err := c.compile(n.R)
 		if err != nil {
 			return nil, err
 		}
 		return &impliesNode{l: l, r: r}, nil
 	case *Once:
-		c, err := compileStream(n.Child, dt)
+		child, err := c.compile(n.Child)
 		if err != nil {
 			return nil, err
 		}
-		lo, hi, err := pastWindow(n.Bounds, dt)
+		lo, hi, err := pastWindow(n.Bounds, c.dt)
 		if err != nil {
 			return nil, err
 		}
-		return newWindowNode(c, lo, hi, false), nil
+		return newWindowNode(child, lo, hi, false), nil
 	case *Historically:
-		c, err := compileStream(n.Child, dt)
+		child, err := c.compile(n.Child)
 		if err != nil {
 			return nil, err
 		}
-		lo, hi, err := pastWindow(n.Bounds, dt)
+		lo, hi, err := pastWindow(n.Bounds, c.dt)
 		if err != nil {
 			return nil, err
 		}
-		return newWindowNode(c, lo, hi, true), nil
+		return newWindowNode(child, lo, hi, true), nil
 	case *Since:
-		l, err := compileStream(n.L, dt)
+		l, err := c.compile(n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := compileStream(n.R, dt)
+		r, err := c.compile(n.R)
 		if err != nil {
 			return nil, err
 		}
-		lo, hi, err := pastWindow(n.Bounds, dt)
+		lo, hi, err := pastWindow(n.Bounds, c.dt)
 		if err != nil {
 			return nil, err
 		}
@@ -245,16 +309,193 @@ func compileStream(f Formula, dt float64) (streamNode, error) {
 	}
 }
 
-func compileChildren(children []Formula, dt float64) ([]streamNode, error) {
+func (c *compiler) compileChildren(children []Formula) ([]streamNode, error) {
 	out := make([]streamNode, len(children))
-	for i, c := range children {
-		n, err := compileStream(c, dt)
+	for i, child := range children {
+		n, err := c.compile(child)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = n
 	}
 	return out, nil
+}
+
+// memoNode guards a node shared between formulas of one group: the
+// first step of a push advances the inner node, later steps within the
+// same push return the cached verdict, so shared stateful operators
+// consume each sample exactly once.
+type memoNode struct {
+	inner   streamNode
+	seq     uint64
+	sat     bool
+	rob     float64
+	visited bool // StateSamples dedup walk marker
+}
+
+func (m *memoNode) step(ctx *stepCtx) (bool, float64) {
+	if m.seq == ctx.seq {
+		return m.sat, m.rob
+	}
+	m.seq = ctx.seq
+	m.sat, m.rob = m.inner.step(ctx)
+	return m.sat, m.rob
+}
+
+// state counts the subtree once per dedup walk: the owning group clears
+// every memo's visited flag before walking its roots.
+func (m *memoNode) state() int {
+	if m.visited {
+		return 0
+	}
+	m.visited = true
+	return m.inner.state()
+}
+
+func (m *memoNode) reset() {
+	m.seq = 0
+	m.inner.reset()
+}
+
+// StreamGroup evaluates many past-only formulas over one shared sample
+// stream with a hash-consed node DAG: identical subformulas (same
+// atoms, same windows) compile to a single stateful node shared by
+// every formula that contains it, cutting both per-push work and
+// retained operator state by the overlap factor. All formulas advance
+// together — one Push moves the whole group one sample — which is what
+// keeps sharing sound.
+type StreamGroup struct {
+	comp     *compiler
+	formulas []Formula
+	roots    []streamNode
+	vals     []float64
+	sats     []bool
+	robs     []float64
+	n        int
+	ctx      stepCtx
+}
+
+// NewStreamGroup creates an empty group at sampling period dtMin
+// minutes.
+func NewStreamGroup(dtMin float64) (*StreamGroup, error) {
+	if dtMin <= 0 {
+		return nil, fmt.Errorf("stl: non-positive sampling period %v", dtMin)
+	}
+	return &StreamGroup{comp: newCompiler(dtMin, true)}, nil
+}
+
+// Add compiles a past-only formula into the group and returns its
+// index. Formulas may only be added before the first Push (operator
+// state of shared nodes would otherwise be mid-stream).
+func (g *StreamGroup) Add(f Formula) (int, error) {
+	if f == nil {
+		return 0, fmt.Errorf("stl: nil formula")
+	}
+	if g.n > 0 {
+		return 0, fmt.Errorf("stl: cannot add formulas to a running group")
+	}
+	if !PastOnly(f) {
+		return 0, fmt.Errorf("stl: formula %q needs future knowledge; cannot monitor online", f)
+	}
+	root, err := g.comp.compile(f)
+	if err != nil {
+		return 0, err
+	}
+	g.formulas = append(g.formulas, f)
+	g.roots = append(g.roots, root)
+	g.sats = append(g.sats, false)
+	g.robs = append(g.robs, 0)
+	for len(g.vals) < len(g.comp.vars) {
+		g.vals = append(g.vals, 0)
+	}
+	return len(g.roots) - 1, nil
+}
+
+// Size returns the number of formulas in the group.
+func (g *StreamGroup) Size() int { return len(g.roots) }
+
+// Len returns the number of samples pushed.
+func (g *StreamGroup) Len() int { return g.n }
+
+// Dt returns the sampling period in minutes.
+func (g *StreamGroup) Dt() float64 { return g.comp.dt }
+
+// Vars returns the variable table: PushVector values are indexed by
+// this order. The table grows only in Add, never during pushes.
+func (g *StreamGroup) Vars() []string { return g.comp.vars }
+
+// VarIndex resolves a variable name to its PushVector slot.
+func (g *StreamGroup) VarIndex(name string) (int, bool) {
+	i, ok := g.comp.varIdx[name]
+	return i, ok
+}
+
+// Push consumes one sample for every formula in the group. A sample
+// missing a referenced variable is rejected before any operator state
+// advances.
+func (g *StreamGroup) Push(sample map[string]float64) error {
+	for i, name := range g.comp.vars {
+		v, ok := sample[name]
+		if !ok {
+			return fmt.Errorf("stl: unknown variable %q", name)
+		}
+		g.vals[i] = v
+	}
+	return g.PushVector(g.vals)
+}
+
+// PushVector is the allocation- and map-free push: vals must hold one
+// value per Vars() entry, in table order. It is the hot path for
+// callers with a fixed vocabulary (e.g. the per-monitor rule sets).
+func (g *StreamGroup) PushVector(vals []float64) error {
+	if len(vals) != len(g.comp.vars) {
+		return fmt.Errorf("stl: value vector has %d entries, group reads %d variables",
+			len(vals), len(g.comp.vars))
+	}
+	g.ctx.vals = vals
+	g.ctx.seq = uint64(g.n) + 1
+	for i, r := range g.roots {
+		g.sats[i], g.robs[i] = r.step(&g.ctx)
+	}
+	g.ctx.vals = nil
+	g.n++
+	return nil
+}
+
+// Sat returns formula i's satisfaction at the newest sample.
+func (g *StreamGroup) Sat(i int) bool { return g.sats[i] }
+
+// Rob returns formula i's robustness margin at the newest sample.
+func (g *StreamGroup) Rob(i int) float64 { return g.robs[i] }
+
+// Results returns the satisfaction and robustness of every formula at
+// the newest sample, indexed by Add order. The slices are reused by the
+// next Push; callers that retain them must copy.
+func (g *StreamGroup) Results() (sats []bool, robs []float64) { return g.sats, g.robs }
+
+// StateSamples returns the total buffered per-sample entries across the
+// group's unique operator nodes: shared windows count once, which is
+// the hash-consing saving the boundedness tests assert.
+func (g *StreamGroup) StateSamples() int {
+	for _, m := range g.comp.memos {
+		m.visited = false
+	}
+	t := 0
+	for _, r := range g.roots {
+		t += r.state()
+	}
+	return t
+}
+
+// Reset clears all operator state, as if no samples had been pushed.
+func (g *StreamGroup) Reset() {
+	for _, r := range g.roots {
+		r.reset()
+	}
+	g.n = 0
+	for i := range g.sats {
+		g.sats[i], g.robs[i] = false, 0
+	}
 }
 
 // pastWindow converts minute bounds to inclusive sample offsets; hi < 0
@@ -268,31 +509,29 @@ func pastWindow(b Bounds, dt float64) (lo, hi int, err error) {
 
 // --- stateless nodes -------------------------------------------------
 
-type atomNode struct{ atom Atom }
+type atomNode struct {
+	varIdx    int
+	op        CmpOp
+	threshold float64
+}
 
 func (a *atomNode) step(ctx *stepCtx) (bool, float64) {
-	v, ok := ctx.sample[a.atom.Var]
-	if !ok {
-		if ctx.err == nil {
-			ctx.err = fmt.Errorf("stl: unknown variable %q", a.atom.Var)
-		}
-		return false, math.NaN()
-	}
+	v := ctx.vals[a.varIdx]
 	var sat bool
 	var rob float64
-	switch a.atom.Op {
+	switch a.op {
 	case OpLT:
-		sat, rob = v < a.atom.Threshold, a.atom.Threshold-v
+		sat, rob = v < a.threshold, a.threshold-v
 	case OpLE:
-		sat, rob = v <= a.atom.Threshold, a.atom.Threshold-v
+		sat, rob = v <= a.threshold, a.threshold-v
 	case OpGT:
-		sat, rob = v > a.atom.Threshold, v-a.atom.Threshold
+		sat, rob = v > a.threshold, v-a.threshold
 	case OpGE:
-		sat, rob = v >= a.atom.Threshold, v-a.atom.Threshold
+		sat, rob = v >= a.threshold, v-a.threshold
 	case OpEQ:
-		sat, rob = v == a.atom.Threshold, -math.Abs(v-a.atom.Threshold)
+		sat, rob = v == a.threshold, -math.Abs(v-a.threshold)
 	case OpNE:
-		sat, rob = v != a.atom.Threshold, math.Abs(v-a.atom.Threshold)
+		sat, rob = v != a.threshold, math.Abs(v-a.threshold)
 	}
 	return sat, rob
 }
@@ -321,6 +560,73 @@ func (n *notNode) step(ctx *stepCtx) (bool, float64) {
 
 func (n *notNode) state() int { return n.child.state() }
 func (n *notNode) reset()     { n.child.reset() }
+
+// flatOrderAtoms reports whether every child is an ordering predicate
+// (<, <=, >, >=) — the shapes that reduce to a linear robustness form.
+func flatOrderAtoms(children []Formula) ([]*Atom, bool) {
+	out := make([]*Atom, len(children))
+	for i, c := range children {
+		a, ok := c.(*Atom)
+		if !ok || a.Op < OpLT || a.Op > OpGE {
+			return nil, false
+		}
+		out[i] = a
+	}
+	return out, true
+}
+
+// fusedAtom is an ordering predicate precompiled to rob = v·mul + add:
+// mul = -1, add = θ for v < θ / v <= θ (rob = θ - v) and mul = 1,
+// add = -θ for v > θ / v >= θ (rob = v - θ), exactly the atomNode
+// arithmetic with the comparison switch folded away. strict
+// distinguishes satisfaction rob > 0 from rob >= 0.
+type fusedAtom struct {
+	varIdx   int
+	mul, add float64
+	strict   bool
+}
+
+func newFusedAtom(varIdx int, op CmpOp, threshold float64) fusedAtom {
+	f := fusedAtom{varIdx: varIdx, mul: 1, add: -threshold, strict: op == OpLT || op == OpGT}
+	if op == OpLT || op == OpLE {
+		f.mul, f.add = -1, threshold
+	}
+	return f
+}
+
+// flatAndNode is a conjunction of ordering predicates fused into one
+// node: the common Safety Context Specification antecedent shape, hot
+// enough in per-cycle monitoring to deserve a dispatch- and branch-lean
+// loop. Semantics are exactly andNode over the same atoms.
+type flatAndNode struct{ atoms []fusedAtom }
+
+func (a *flatAndNode) step(ctx *stepCtx) (bool, float64) {
+	sat := true
+	rob := math.Inf(1)
+	for i := range a.atoms {
+		at := &a.atoms[i]
+		cr := ctx.vals[at.varIdx]*at.mul + at.add
+		// Negated comparisons so a NaN input reads unsatisfied, exactly
+		// like the unfused atom's direct v-vs-θ comparison.
+		if at.strict {
+			if !(cr > 0) {
+				sat = false
+			}
+		} else if !(cr >= 0) {
+			sat = false
+		}
+		// Compare-based min with explicit NaN propagation: equal to the
+		// math.Min fold of andNode (a NaN input poisons the conjunction's
+		// robustness there too), minus its ±0 branches.
+		if cr < rob || cr != cr {
+			rob = cr
+		}
+	}
+	return sat, rob
+}
+
+func (a *flatAndNode) state() int { return 0 }
+func (a *flatAndNode) reset()     {}
 
 type andNode struct{ children []streamNode }
 

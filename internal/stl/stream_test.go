@@ -226,3 +226,183 @@ func TestStreamMatchesTraceMonitor(t *testing.T) {
 		t.Errorf("violations %d/%d, legacy %d/%d", gv, ge, wv, we)
 	}
 }
+
+// groupFormulas is a formula family with heavy subformula overlap: the
+// same bounded windows and Since terms appear across members, so the
+// hash-consed group must hold their operator state exactly once.
+var groupFormulas = []string{
+	"(O[0,60] (x > 5)) and (y < 2)",
+	"(O[0,60] (x > 5)) and (y > -4)",
+	"not (O[0,60] (x > 5))",
+	"((x > 2) S[0,45] (y < 1)) and (O[0,60] (x > 5))",
+	"((x > 2) S[0,45] (y < 1)) or (H[0,30] (y < 8))",
+	"H[0,30] (y < 8)",
+}
+
+// TestStreamGroupMatchesIndividualStreams: hash-consing must not change
+// a single verdict or margin — every group member must equal its own
+// standalone Stream at every pushed sample.
+func TestStreamGroupMatchesIndividualStreams(t *testing.T) {
+	g, err := NewStreamGroup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solo []*Stream
+	for _, src := range groupFormulas {
+		f := MustParse(src)
+		idx, err := g.Add(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != len(solo) {
+			t.Fatalf("Add returned %d, want %d", idx, len(solo))
+		}
+		s, err := NewStream(f, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo = append(solo, s)
+	}
+	for i := 0; i < 500; i++ {
+		sample := map[string]float64{
+			"x": float64((i*7919)%23) - 10,
+			"y": float64((i*104729)%19) - 9,
+		}
+		if err := g.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+		for k, s := range solo {
+			wantSat, wantRob, err := s.Push(sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Sat(k) != wantSat || g.Rob(k) != wantRob {
+				t.Fatalf("step %d formula %d: group (%v, %v), solo (%v, %v)",
+					i, k, g.Sat(k), g.Rob(k), wantSat, wantRob)
+			}
+		}
+	}
+}
+
+// TestStreamGroupSharesState: the group's total buffered state must be
+// well below the sum of the standalone streams' — identical windowed
+// subformulas hold one stateful node (ROADMAP "Multi-formula sharing").
+func TestStreamGroupSharesState(t *testing.T) {
+	g, err := NewStreamGroup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solo []*Stream
+	for _, src := range groupFormulas {
+		f := MustParse(src)
+		if _, err := g.Add(f); err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStream(f, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo = append(solo, s)
+	}
+	sample := make(map[string]float64, 2)
+	for i := 0; i < 200; i++ { // saturate every window
+		sample["x"] = float64((i*31)%17) - 8
+		sample["y"] = float64((i*17)%13) - 6
+		if err := g.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range solo {
+			if _, _, err := s.Push(sample); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	soloTotal := 0
+	for _, s := range solo {
+		soloTotal += s.StateSamples()
+	}
+	shared := g.StateSamples()
+	if shared <= 0 {
+		t.Fatal("group reports no state despite windowed formulas")
+	}
+	// O[0,60](x>5) appears in 4 formulas, (x>2)S[0,45](y<1) in 2,
+	// H[0,30](y<8) in 2: the dedup factor must be clearly visible, not
+	// marginal.
+	if shared*3 > soloTotal*2 {
+		t.Errorf("hash-consing saved too little state: group %d vs solo sum %d", shared, soloTotal)
+	}
+	// And the group must stay allocation-free and bounded like a single
+	// stream.
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := g.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("group push allocates %.1f allocs", allocs)
+	}
+}
+
+// TestStreamGroupValidation covers the group's error paths.
+func TestStreamGroupValidation(t *testing.T) {
+	if _, err := NewStreamGroup(0); err == nil {
+		t.Error("zero dt should be rejected")
+	}
+	g, err := NewStreamGroup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add(nil); err == nil {
+		t.Error("nil formula should be rejected")
+	}
+	if _, err := g.Add(MustParse("F (x > 1)")); err == nil {
+		t.Error("future formula should be rejected")
+	}
+	if _, err := g.Add(MustParse("x > 1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Push(map[string]float64{"y": 1}); err == nil {
+		t.Error("missing variable should error")
+	}
+	if err := g.PushVector([]float64{1, 2}); err == nil {
+		t.Error("wrong vector width should error")
+	}
+	if err := g.Push(map[string]float64{"x": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add(MustParse("x > 2")); err == nil {
+		t.Error("Add after Push should be rejected")
+	}
+}
+
+// TestStreamGroupReset: reset must clear shared operator state exactly
+// once and leave the group replayable from scratch.
+func TestStreamGroupReset(t *testing.T) {
+	g, err := NewStreamGroup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two formulas sharing one Since witness.
+	if _, err := g.Add(MustParse("(x > 5) S (y == 1)")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add(MustParse("not ((x > 5) S (y == 1))")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Push(map[string]float64{"x": 9, "y": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Sat(0) || g.Sat(1) {
+		t.Fatal("since should hold before reset")
+	}
+	g.Reset()
+	if g.Len() != 0 {
+		t.Errorf("Len after reset = %d", g.Len())
+	}
+	if err := g.Push(map[string]float64{"x": 9, "y": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Sat(0) {
+		t.Error("since held across Reset: stale shared operator state")
+	}
+}

@@ -338,3 +338,44 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestReRecordFixtureWithBasal is the re-record path for traces
+// serialized with the old 11-field meta (ROADMAP "Re-record bundled
+// traces"): parse the legacy fixture, backfill the scheduled basal it
+// was recorded under, and re-serialize — the new recording must carry
+// the 12-field meta and round-trip Basal exactly, so basal-sensitive
+// monitors replay it with the step-0 PrevRate the live loop used.
+func TestReRecordFixtureWithBasal(t *testing.T) {
+	legacy := "#meta,patientA,glucosym/openaps,120,5,max:glucose,max,glucose,2,3,400\n" +
+		"step,time_min,bg,cgm,iob,bg_prime,iob_prime,rate,delivered,action,fault_active,hazard,alarm,alarm_hazard,mitigated\n" +
+		"0,0,120,119,1.5,0,0,1,1,4,false,0,false,0,false\n"
+	tr, err := ReadCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Basal != 0 {
+		t.Fatalf("legacy fixture should read Basal == 0, got %v", tr.Basal)
+	}
+
+	// Re-record: backfill the basal the original loop ran at.
+	tr.Basal = 1.3
+	var buf strings.Builder
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	meta := strings.SplitN(buf.String(), "\n", 2)[0]
+	if got := len(strings.Split(meta, ",")); got != 12 {
+		t.Fatalf("re-recorded meta has %d fields, want 12: %q", got, meta)
+	}
+
+	rec, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Basal != 1.3 {
+		t.Fatalf("re-recorded basal %v, want 1.3", rec.Basal)
+	}
+	if rec.PatientID != tr.PatientID || rec.Fault.Value != 400 || len(rec.Samples) != 1 {
+		t.Fatalf("re-record lost metadata: %+v", rec)
+	}
+}
