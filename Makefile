@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke short vet ci
+# Every library package (everything except commands and examples) holds
+# the documentation contract (package comment + doc comments on all
+# exported APIs). The list is derived, so new packages cannot escape
+# the gate; filtering happens on module import paths (anchored), so a
+# checkout path containing /cmd/ or /examples/ cannot empty the list.
+DOC_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{.Dir}}' ./... \
+	| grep -v '^repro/cmd/' | grep -v '^repro/examples/' \
+	| awk '{print $$2}')
+
+.PHONY: build test race bench bench-smoke short vet docs ci
 
 ## build: compile every package and command
 build:
@@ -25,11 +34,12 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 ## bench-smoke: the fast hot-path benchmarks CI tracks per commit — the
-## streaming STL push and the streaming-vs-legacy CAWT step (the
-## redesign's "streaming no slower than legacy" guard). Output lands in
-## bench-smoke.txt for the CI artifact.
+## streaming STL push, the streaming-vs-legacy CAWT step (the redesign's
+## "streaming no slower than legacy" guard), and the per-session-vs-
+## batched rule-evaluation kernel. Output lands in bench-smoke.txt for
+## the CI artifact.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSTLOnlinePush|BenchmarkCAWTStep' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSTLOnlinePush|BenchmarkCAWTStep|BenchmarkSCSBatchPush' \
 		-benchtime 1000x -benchmem . > bench-smoke.txt || { cat bench-smoke.txt; exit 1; }
 	@cat bench-smoke.txt
 
@@ -41,5 +51,10 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+## docs: documentation gate — vet plus the doc-comment lint (every
+## package comment present, every exported API documented)
+docs: vet
+	$(GO) run ./cmd/doclint $(DOC_PKGS)
+
 ## ci: what a gate should run
-ci: fmt vet test race
+ci: fmt vet docs test race

@@ -197,6 +197,18 @@ type (
 // after RunFleet returns.
 func NewFleetLogSink(w io.Writer) *FleetLogSink { return fleet.NewLogSink(w) }
 
+// FleetLogRotation bounds a file-backed log sink: size/age rotation
+// triggers and a retained-file count, so continuous serving never grows
+// one JSONL file forever.
+type FleetLogRotation = fleet.RotationPolicy
+
+// NewRotatingFleetLogSink opens (or resumes) a JSONL file owned by the
+// sink, rotating and retiring it per the policy. Close the sink after
+// RunFleet returns.
+func NewRotatingFleetLogSink(path string, pol FleetLogRotation) (*FleetLogSink, error) {
+	return fleet.NewRotatingLogSink(path, pol)
+}
+
 // NewFleetRingSink creates a bounded snapshot sink retaining the last n
 // events.
 func NewFleetRingSink(n int) (*FleetRingSink, error) { return fleet.NewRingSink(n) }
@@ -278,6 +290,20 @@ func NewCAWOTMonitor(rules []Rule) (Monitor, error) {
 	return monitor.NewCAWOT(rules, scs.Params{})
 }
 
+// NewBatchCAWTMonitor builds the shard-batched context-aware monitor
+// with learned thresholds: one struct-of-arrays rule evaluation per
+// control cycle serves a whole fleet shard, bit-identical per lane to
+// NewCAWTMonitor (use via FleetConfig.NewBatchMonitor).
+func NewBatchCAWTMonitor(rules []Rule, th Thresholds) (BatchMonitor, error) {
+	return monitor.NewBatchCAWT(rules, th, scs.Params{})
+}
+
+// NewBatchCAWOTMonitor is the shard-batched context-aware baseline with
+// default thresholds.
+func NewBatchCAWOTMonitor(rules []Rule) (BatchMonitor, error) {
+	return monitor.NewBatchCAWOT(rules, scs.Params{})
+}
+
 // STL.
 type (
 	// STLFormula is a bounded-time STL formula.
@@ -299,6 +325,14 @@ type (
 	SCSStreamSet = scs.StreamSet
 	// SCSStreamVerdict is the per-cycle aggregate of an SCSStreamSet.
 	SCSStreamVerdict = scs.StreamVerdict
+	// STLBatchStreamGroup evaluates many past-only formulas across a
+	// whole shard of independent sessions in one struct-of-arrays push,
+	// bit-identical per lane to STLStreamGroup.
+	STLBatchStreamGroup = stl.BatchStreamGroup
+	// SCSBatchStreamSet evaluates a Safety Context Specification across
+	// many session lanes in one batched push, bit-identical per lane to
+	// SCSStreamSet.
+	SCSBatchStreamSet = scs.BatchStreamSet
 )
 
 // ParseSTL parses the package's STL concrete syntax.
@@ -333,6 +367,19 @@ func NewSTLMonitor(f STLFormula, dtMin float64) (*STLMonitor, error) {
 // evaluation (nil thresholds select the rules' defaults).
 func NewSCSStreamSet(rules []Rule, th Thresholds, dtMin float64) (*SCSStreamSet, error) {
 	return scs.NewStreamSet(rules, th, scs.Params{}, dtMin)
+}
+
+// NewSTLBatchStreamGroup creates an empty batched stream group at
+// sampling period dtMin minutes with the given session-lane count.
+func NewSTLBatchStreamGroup(dtMin float64, width int) (*STLBatchStreamGroup, error) {
+	return stl.NewBatchStreamGroup(dtMin, width)
+}
+
+// NewSCSBatchStreamSet compiles a rule set's STL bodies for batched
+// evaluation across width session lanes (nil thresholds select the
+// rules' defaults).
+func NewSCSBatchStreamSet(rules []Rule, th Thresholds, dtMin float64, width int) (*SCSBatchStreamSet, error) {
+	return scs.NewBatchStreamSet(rules, th, scs.Params{}, dtMin, width)
 }
 
 // Metrics.

@@ -617,9 +617,27 @@ func BenchmarkSTLOnlinePush(b *testing.B) {
 	}
 }
 
+// nullSink counts events and discards them — the cheapest possible
+// consumer, isolating delivery cost from serialization cost.
+type nullSink struct{ n int64 }
+
+func (s *nullSink) Emit(fleet.Event) error { s.n++; return nil }
+func (s *nullSink) Flush() error           { return nil }
+
 // BenchmarkFleetTelemetry measures the marginal cost of streaming STL
-// hazard telemetry: a 100-session fleet with and without the Table I
-// rule set attached (events drained by a sink goroutine).
+// hazard telemetry on a 100-session fleet against the no-telemetry
+// baseline, across the delivery/evaluation shapes:
+//
+//   - per-session: one scs.StreamSet per session, events over the
+//     channel (the pre-batching shape, kept as the oracle);
+//   - stl-telemetry: the default shard-batched scs.BatchStreamSet, same
+//     channel delivery — isolates the evaluation batching win;
+//   - sharded-sink: batched evaluation plus per-worker sink buffers
+//     (Config.ShardedSinks) instead of any channel — the serving shape,
+//     isolating the delivery win.
+//
+// The steps/s gap between baseline and each variant is the telemetry
+// tax the ROADMAP tracks.
 func BenchmarkFleetTelemetry(b *testing.B) {
 	platform := experiment.Glucosym()
 	base := fleet.Config{
@@ -630,7 +648,7 @@ func BenchmarkFleetTelemetry(b *testing.B) {
 		Steps:         50,
 		DiscardTraces: true,
 	}
-	run := func(b *testing.B, cfg fleet.Config) {
+	runEvents := func(b *testing.B, cfg fleet.Config) {
 		var steps int64
 		for i := 0; i < b.N; i++ {
 			events := make(chan fleet.Event, 4096)
@@ -652,11 +670,91 @@ func BenchmarkFleetTelemetry(b *testing.B) {
 		}
 		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
 	}
-	b.Run("baseline", func(b *testing.B) { run(b, base) })
+	b.Run("baseline", func(b *testing.B) { runEvents(b, base) })
 	b.Run("stl-telemetry", func(b *testing.B) {
 		cfg := base
 		cfg.Telemetry = &fleet.TelemetryConfig{}
-		run(b, cfg)
+		runEvents(b, cfg)
+	})
+	b.Run("per-session", func(b *testing.B) {
+		cfg := base
+		cfg.Telemetry = &fleet.TelemetryConfig{PerSession: true}
+		runEvents(b, cfg)
+	})
+	b.Run("sharded-sink", func(b *testing.B) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Telemetry = &fleet.TelemetryConfig{}
+			cfg.Sinks = []fleet.Sink{&nullSink{}}
+			cfg.ShardedSinks = true
+			res, err := fleet.Run(context.Background(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	})
+}
+
+// BenchmarkSCSBatchPush is the kernel-level view of telemetry batching:
+// one control cycle of Table I rule evaluation for 128 sessions, as 128
+// per-session StreamSet pushes versus one BatchStreamSet push.
+// verdicts/s is the shard's rule-evaluation throughput; the two paths
+// are bit-identical (TestBatchStreamSetMatchesPerSession).
+func BenchmarkSCSBatchPush(b *testing.B) {
+	const lanes = 128
+	rules := apsmonitor.TableI()
+	rng := rand.New(rand.NewSource(11))
+	states := make([]scs.State, lanes)
+	for k := range states {
+		states[k] = scs.State{
+			BG:       40 + 300*rng.Float64(),
+			BGPrime:  -6 + 12*rng.Float64(),
+			IOB:      -2 + 10*rng.Float64(),
+			IOBPrime: -0.05 + 0.1*rng.Float64(),
+			Action:   trace.Action(1 + rng.Intn(4)),
+		}
+	}
+	b.Run("per-session", func(b *testing.B) {
+		sets := make([]*scs.StreamSet, lanes)
+		for k := range sets {
+			ss, err := scs.NewStreamSet(rules, nil, scs.Params{}, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sets[k] = ss
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k, ss := range sets {
+				if _, err := ss.Push(states[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*lanes/b.Elapsed().Seconds(), "verdicts/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		bs, err := scs.NewBatchStreamSet(rules, nil, scs.Params{}, 5, lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		laneIDs := make([]int, lanes)
+		for k := range laneIDs {
+			laneIDs[k] = k
+		}
+		out := make([]scs.StreamVerdict, lanes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := bs.PushLanes(laneIDs, states, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*lanes/b.Elapsed().Seconds(), "verdicts/s")
 	})
 }
 

@@ -7,19 +7,25 @@
 // without it, the session matrix runs once to completion.
 //
 // Telemetry: with -stl every session streams its per-cycle STL
-// robustness margin (Table I rules through the incremental streaming
-// engine, O(window) state per session). With -monitor cawot the
-// streaming context-aware monitor rides in the loop (add -mitigate for
-// Algorithm 1, -scale-margin to scale corrections by violation depth),
-// and -stl-from-monitor emits the monitor's own margins instead of a
-// second rule evaluation. -sink persists the event stream: an
-// append-only JSONL log, a fixed-size ring snapshot, and per-patient
-// margin histograms, in any combination.
+// robustness margin — by default each worker shard evaluates its whole
+// live window through one shard-batched rule-stream push per cycle
+// (bit-identical to the per-session path, which -stl-per-session
+// selects). With -monitor cawot the streaming context-aware monitor
+// rides in the loop (-monitor cawot-batch evaluates it shard-batched;
+// add -mitigate for Algorithm 1, -scale-margin to scale corrections by
+// violation depth), and -stl-from-monitor emits the monitor's own
+// margins instead of a second rule evaluation. -sink persists the event
+// stream: an append-only JSONL log (rotated and retired per
+// -sink-rotate-bytes/-sink-rotate-age/-sink-keep), a fixed-size ring
+// snapshot, and per-patient margin histograms, in any combination;
+// -sharded-sinks buffers events per worker and merges them in canonical
+// (parallelism-independent) order when the run completes.
 //
 //	fleetsim -platform glucosym -patients 5 -scenarios 88 -sessions 2000 \
 //	         -parallel 8 -duration 30s -seed 1 -noise 2.5 \
-//	         -monitor cawot -mitigate -scale-margin -stl-from-monitor \
-//	         -sink log,hist -sink-path events.jsonl
+//	         -monitor cawot-batch -mitigate -scale-margin -stl-from-monitor \
+//	         -sink log,hist -sink-path events.jsonl \
+//	         -sink-rotate-bytes 10000000 -sink-keep 5
 package main
 
 import (
@@ -47,14 +53,19 @@ func main() {
 		steps        = flag.Int("steps", 150, "control cycles per session")
 		noise        = flag.Float64("noise", 0, "CGM sensor noise SD in mg/dL (0 = clean sensor)")
 		progress     = flag.Int("progress", 0, "print a progress line every k completed sessions")
-		monitorName  = flag.String("monitor", "", "attach a per-session safety monitor: cawot (streaming context-aware, default thresholds)")
+		monitorName  = flag.String("monitor", "", "attach a safety monitor: cawot (per-session streaming context-aware) or cawot-batch (shard-batched, bit-identical)")
 		mitigate     = flag.Bool("mitigate", false, "enable Algorithm 1 mitigation (requires -monitor)")
 		scaleMargin  = flag.Bool("scale-margin", false, "scale mitigation corrections by the verdict's violation depth (requires -mitigate)")
-		stlTelem     = flag.Bool("stl", false, "stream per-cycle STL robustness margins (Table I rules, streaming engine)")
+		stlTelem     = flag.Bool("stl", false, "stream per-cycle STL robustness margins (Table I rules, shard-batched streaming engine)")
+		stlPerSess   = flag.Bool("stl-per-session", false, "evaluate telemetry with one rule set per session instead of the shard-batched engine (requires -stl)")
 		stlFromMon   = flag.Bool("stl-from-monitor", false, "emit the monitor's own streaming margins instead of a separate rule set (requires -monitor; implies -stl)")
 		stlEvery     = flag.Int("stl-every", 1, "emit a robustness event every k cycles per session")
 		sinkList     = flag.String("sink", "", "comma-separated telemetry sinks: log (JSONL append), ring (snapshot buffer), hist (per-patient margin histograms)")
 		sinkPath     = flag.String("sink-path", "fleet-events.jsonl", "output path for the log sink")
+		sinkRotBytes = flag.Int64("sink-rotate-bytes", 0, "rotate the log sink once the file reaches this many bytes (0 = no size trigger)")
+		sinkRotAge   = flag.Duration("sink-rotate-age", 0, "rotate the log sink once the file is this old (0 = no age trigger)")
+		sinkKeep     = flag.Int("sink-keep", 0, "retain at most this many rotated log files, deleting older ones (0 = keep all)")
+		shardedSinks = flag.Bool("sharded-sinks", false, "buffer sink events per worker and merge in canonical parallelism-independent order at completion (finite runs)")
 		ringSize     = flag.Int("ring-size", 1024, "ring sink capacity (events)")
 		verbose      = flag.Bool("v", false, "stream alarm/hazard events (with -stl: also rule-violation margins)")
 	)
@@ -96,8 +107,12 @@ func main() {
 		cfg.NewMonitor = func(int) (apsmonitor.Monitor, error) {
 			return apsmonitor.NewCAWOTMonitor(apsmonitor.TableI())
 		}
+	case "cawot-batch":
+		cfg.NewBatchMonitor = func() (apsmonitor.BatchMonitor, error) {
+			return apsmonitor.NewBatchCAWOTMonitor(apsmonitor.TableI())
+		}
 	default:
-		fail(fmt.Errorf("unknown monitor %q (want cawot)", *monitorName))
+		fail(fmt.Errorf("unknown monitor %q (want cawot or cawot-batch)", *monitorName))
 	}
 	cfg.Mitigate = *mitigate
 	if *scaleMargin {
@@ -106,10 +121,29 @@ func main() {
 		}
 		cfg.Mitigation.ScaleByMargin = true
 	}
+	if *stlPerSess && !*stlTelem {
+		fail(fmt.Errorf("-stl-per-session requires -stl"))
+	}
+	if *shardedSinks && *duration > 0 {
+		// Sharded delivery buffers the whole event stream and merges at
+		// completion; a serving fleet would grow that buffer unboundedly
+		// and write nothing until shutdown.
+		fail(fmt.Errorf("-sharded-sinks requires a finite run (incompatible with -duration)"))
+	}
+	if *sinkKeep > 0 && *sinkRotBytes <= 0 && *sinkRotAge <= 0 {
+		fail(fmt.Errorf("-sink-keep requires a rotation trigger (-sink-rotate-bytes or -sink-rotate-age)"))
+	}
+	if *shardedSinks && *sinkList == "" {
+		fail(fmt.Errorf("-sharded-sinks requires -sink (it shards sink delivery)"))
+	}
+	if (*sinkRotBytes > 0 || *sinkRotAge > 0) && !sinkSelected(*sinkList, "log") {
+		fail(fmt.Errorf("-sink-rotate-bytes/-sink-rotate-age apply to the log sink; add -sink log"))
+	}
 	if *stlTelem || *stlFromMon {
 		cfg.Telemetry = &apsmonitor.FleetTelemetryConfig{
 			Every:       *stlEvery,
 			FromMonitor: *stlFromMon,
+			PerSession:  *stlPerSess,
 		}
 	}
 
@@ -119,14 +153,32 @@ func main() {
 		ringSink *apsmonitor.FleetRingSink
 		histSink *apsmonitor.FleetHistSink
 	)
+	cfg.ShardedSinks = *shardedSinks
 	if *sinkList != "" {
 		for _, name := range strings.Split(*sinkList, ",") {
 			switch strings.TrimSpace(name) {
 			case "log":
-				if logFile, err = os.Create(*sinkPath); err != nil {
-					fail(err)
+				if *sinkRotBytes > 0 || *sinkRotAge > 0 {
+					// With a rotation policy the sink owns its file: it
+					// appends across restarts (numbering resumes past
+					// existing rotated files) and rotates/retires per the
+					// policy, bounding disk for continuous serving.
+					logSink, err = apsmonitor.NewRotatingFleetLogSink(*sinkPath, apsmonitor.FleetLogRotation{
+						MaxBytes: *sinkRotBytes,
+						MaxAge:   *sinkRotAge,
+						Keep:     *sinkKeep,
+					})
+					if err != nil {
+						fail(err)
+					}
+				} else {
+					// Without rotation each run replaces the file, so the
+					// artifact is exactly one run's event stream.
+					if logFile, err = os.Create(*sinkPath); err != nil {
+						fail(err)
+					}
+					logSink = apsmonitor.NewFleetLogSink(logFile)
 				}
-				logSink = apsmonitor.NewFleetLogSink(logFile)
 				cfg.Sinks = append(cfg.Sinks, logSink)
 			case "ring":
 				if ringSink, err = apsmonitor.NewFleetRingSink(*ringSize); err != nil {
@@ -223,9 +275,18 @@ func main() {
 			telem.events, telem.violations, telem.minMargin, telem.minRule)
 	}
 	if logSink != nil {
-		fmt.Printf("  log sink:   %d events -> %s\n", logSink.Written(), *sinkPath)
-		if err := logFile.Close(); err != nil {
+		fmt.Printf("  log sink:   %d events -> %s", logSink.Written(), *sinkPath)
+		if n := logSink.Rotations(); n > 0 {
+			fmt.Printf(" (%d rotations, %d rotated files retained)", n, len(logSink.RotatedFiles()))
+		}
+		fmt.Println()
+		if err := logSink.Close(); err != nil {
 			fail(err)
+		}
+		if logFile != nil {
+			if err := logFile.Close(); err != nil {
+				fail(err)
+			}
 		}
 	}
 	if ringSink != nil {
@@ -243,6 +304,17 @@ func main() {
 			fmt.Printf("    %s\n", line)
 		}
 	}
+}
+
+// sinkSelected reports whether the comma-separated -sink list names the
+// given sink.
+func sinkSelected(list, name string) bool {
+	for _, s := range strings.Split(list, ",") {
+		if strings.TrimSpace(s) == name {
+			return true
+		}
+	}
+	return false
 }
 
 func fail(err error) {

@@ -1,0 +1,56 @@
+// Package fleet is the streaming concurrent simulation engine: it runs
+// N patients x M scenarios as long-running closed-loop sessions instead
+// of one-shot batch jobs. The batch campaign of internal/experiment is
+// the run-to-completion special case; continuous mode keeps every
+// session slot busy forever, which is the serving shape the roadmap's
+// million-session target grows from.
+//
+// # Architecture
+//
+// Sessions are dealt round-robin to Parallel worker shards; each shard
+// owns its sessions exclusively and steps its live window in lock-step
+// rounds. Workers share only atomic counters and the event channel, so
+// the engine is race-free by construction. Each session is driven by a
+// closedloop.Stepper — the single implementation of the simulation
+// loop — with a per-session deterministic RNG and a pooled trace
+// buffer.
+//
+// # Invariants
+//
+// Determinism: a session's entire evolution is a function of (master
+// seed, slot, patient, scenario, replica) — never of goroutine
+// scheduling — so traces, margins, and histograms are byte-identical at
+// any parallelism level, with sensor noise and margin-scaled mitigation
+// in the loop (TestFleetDeterministicAcrossParallelism).
+//
+// Batched ≡ per-session, bit-identically: the lock-step rounds let a
+// shard evaluate all its sessions' monitor decisions in one call
+// (Config.NewBatchMonitor) and all its sessions' hazard telemetry in
+// one struct-of-arrays rule-stream push (Config.Telemetry's default;
+// TelemetryConfig.PerSession keeps the per-session oracle reachable).
+// Both batched paths produce exactly the verdicts and margins the
+// per-session paths produce — not statistically, bit-for-bit
+// (TestFleetBatchedMonitorMatchesPerSession,
+// TestFleetBatchedTelemetryMatchesPerSession) — so batching is purely a
+// throughput decision.
+//
+// One evaluation per cycle: with TelemetryConfig.FromMonitor, telemetry
+// reads the monitor's own streaming verdict (per-session or per-lane),
+// so alarm, Algorithm 1 mitigation, and telemetry never evaluate the
+// rules twice for the same cycle.
+//
+// Event values are deterministic, event order is not: events from
+// different shards interleave by scheduling. The deterministic
+// artifacts of a run are its traces and per-(session, replica, step)
+// event values — and, with Config.ShardedSinks, the sink streams too:
+// per-worker buffers merge in canonical session-coordinate order at
+// completion, making sink output byte-identical across parallelism
+// levels (TestShardedSinksDeterministicAcrossParallelism).
+//
+// Telemetry is never silently dropped while a run is live: the
+// collector goroutine backpressures workers through a bounded channel
+// (a slow sink slows the fleet rather than losing events), a failing
+// sink is detached and its error surfaces from Run after simulation
+// completes, and LogSink rotation retires whole files without ever
+// splitting or dropping a record.
+package fleet

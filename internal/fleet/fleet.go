@@ -1,21 +1,3 @@
-// Package fleet is the streaming concurrent simulation engine: it runs
-// N patients x M scenarios as long-running closed-loop sessions instead
-// of one-shot batch jobs. Each session owns a deterministic per-session
-// RNG (seeded from patient x scenario x replica, so results are
-// identical at any parallelism level), a pooled trace buffer, and an
-// attached safety monitor; sessions are driven by a sharded worker pool
-// with context cancellation, progress/hazard events are streamed over a
-// channel, and DT/MLP/LSTM inference can be batched per shard so monitor
-// evaluation amortizes across sessions (see internal/ml's batched
-// forward passes).
-//
-// The batch campaign of internal/experiment is the run-to-completion
-// special case: experiment.Run builds a Config with one session per
-// patient x scenario pair and collects the traces in deterministic
-// order. Continuous mode keeps every session slot busy — when a session
-// completes, its trace buffer is recycled and the slot restarts with a
-// fresh RNG stream — which is the serving shape the roadmap's
-// million-session target grows from.
 package fleet
 
 import (
@@ -42,11 +24,14 @@ import (
 // margin and its attribution, delivered over Config.Events and/or
 // Config.Sinks.
 //
-// The verdicts come either from a dedicated per-session scs.StreamSet
-// (O(window) state regardless of session length), or — with FromMonitor
-// — from the session monitor's own single streaming evaluation, so a
-// fleet serving margin-carrying monitors (the streaming CAWT/CAWOT)
-// pays for exactly one rule evaluation per cycle.
+// By default every worker shard evaluates its whole live window through
+// one shard-batched scs.BatchStreamSet — a single struct-of-arrays push
+// per cycle, bit-identical per lane to a dedicated per-session
+// scs.StreamSet (which PerSession selects explicitly). With FromMonitor
+// the verdicts instead come from the session monitor's own single
+// streaming evaluation, so a fleet serving margin-carrying monitors
+// (the streaming CAWT/CAWOT, per-session or shard-batched) pays for
+// exactly one rule evaluation per cycle.
 type TelemetryConfig struct {
 	// Rules is the Safety Context Specification to stream; nil selects
 	// the paper's Table I. Ignored with FromMonitor.
@@ -63,9 +48,16 @@ type TelemetryConfig struct {
 	// FromMonitor emits the session monitor's own streaming verdict
 	// instead of attaching a separate telemetry rule set — the
 	// one-evaluation invariant for serving fleets. Requires NewMonitor
-	// to build margin-carrying monitors (monitors exposing
-	// StreamVerdict, e.g. monitor.ContextAware).
+	// building margin-carrying monitors (monitors exposing
+	// StreamVerdict, e.g. monitor.ContextAware) or NewBatchMonitor
+	// building lane-margin monitors (monitor.BatchContextAware).
 	FromMonitor bool
+	// PerSession evaluates telemetry with one scs.StreamSet per session
+	// instead of the shard-batched engine. The two paths are
+	// bit-identical (the differential tests compare them); this is the
+	// escape hatch that keeps the per-session oracle reachable. Ignored
+	// with FromMonitor.
+	PerSession bool
 }
 
 // marginMonitor is the capability FromMonitor telemetry needs: access
@@ -73,6 +65,26 @@ type TelemetryConfig struct {
 // monitor.ContextAware implements it.
 type marginMonitor interface {
 	StreamVerdict() (scs.StreamVerdict, bool)
+}
+
+// laneMarginMonitor is the batched counterpart of marginMonitor: a
+// BatchMonitor exposing each lane's full streaming verdict.
+// monitor.BatchContextAware implements it.
+type laneMarginMonitor interface {
+	StreamVerdictLane(lane int) (scs.StreamVerdict, bool)
+}
+
+// laneMargin adapts one lane of a laneMarginMonitor to the per-session
+// marginMonitor surface, so FromMonitor telemetry reads batched and
+// per-session monitors through one code path.
+type laneMargin struct {
+	m    laneMarginMonitor
+	lane int
+}
+
+// StreamVerdict implements marginMonitor for one lane.
+func (a laneMargin) StreamVerdict() (scs.StreamVerdict, bool) {
+	return a.m.StreamVerdictLane(a.lane)
 }
 
 // Platform couples a patient cohort with its controller. It is
@@ -152,6 +164,16 @@ type Config struct {
 	// backpressure and error semantics). Sinks and Events may be combined;
 	// sinks are flushed when Run returns.
 	Sinks []Sink
+	// ShardedSinks replaces the collector goroutine with per-worker
+	// event buffers merged into the sinks in canonical order when the
+	// run completes (see shard_sink.go): workers append events locally —
+	// no channel, no cross-shard contention — and the merged delivery
+	// order is a pure function of the session coordinates, so sink
+	// output is byte-identical at any parallelism level, like traces.
+	// The trade-offs: sinks see nothing until the run ends, and the
+	// buffered stream is held in memory, so continuous serving fleets
+	// should prefer the streaming collector. Events still stream live.
+	ShardedSinks bool
 	// ProgressEvery emits an EventProgress every k completed sessions
 	// (default 0: no progress events).
 	ProgressEvery int
@@ -163,6 +185,13 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.NewMonitor != nil && c.NewBatchMonitor != nil {
 		return c, fmt.Errorf("fleet: NewMonitor and NewBatchMonitor are mutually exclusive")
+	}
+	if c.ShardedSinks && c.Continuous {
+		// Sharded delivery buffers every event until the run completes; a
+		// serving fleet would grow that buffer unboundedly and persist
+		// nothing until shutdown. Continuous fleets use the streaming
+		// collector.
+		return c, fmt.Errorf("fleet: ShardedSinks requires a finite run")
 	}
 	if len(c.Patients) == 0 {
 		c.Patients = make([]int, c.Platform.NumPatients)
@@ -199,8 +228,8 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("fleet: Telemetry requires Events or Sinks")
 		}
 		t := *c.Telemetry // defaults must not mutate the caller's config
-		if t.FromMonitor && c.NewMonitor == nil {
-			return c, fmt.Errorf("fleet: Telemetry.FromMonitor requires NewMonitor")
+		if t.FromMonitor && c.NewMonitor == nil && c.NewBatchMonitor == nil {
+			return c, fmt.Errorf("fleet: Telemetry.FromMonitor requires NewMonitor or NewBatchMonitor")
 		}
 		if len(t.Rules) == 0 {
 			t.Rules = scs.TableI()
@@ -274,25 +303,31 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	eng.errs = make([]error, cfg.Parallel)
 
-	// One collector goroutine owns sink delivery: Emit never races with
-	// itself, and a slow sink backpressures the workers through the
-	// bounded channel instead of dropping telemetry.
+	// Sink delivery: by default one collector goroutine owns it — Emit
+	// never races with itself, and a slow sink backpressures the workers
+	// through the bounded channel instead of dropping telemetry. With
+	// ShardedSinks each worker buffers its own events instead, and the
+	// buffers merge into the sinks in canonical order after simulation.
 	var collectorDone chan struct{}
 	sinkErrs := make([]error, len(cfg.Sinks))
 	if len(cfg.Sinks) > 0 {
-		eng.sinkCh = make(chan Event, 256)
-		collectorDone = make(chan struct{})
-		go func() {
-			defer close(collectorDone)
-			for ev := range eng.sinkCh {
-				for i, s := range cfg.Sinks {
-					if sinkErrs[i] != nil {
-						continue // detached after first error
+		if cfg.ShardedSinks {
+			eng.shardBufs = make([][]Event, cfg.Parallel)
+		} else {
+			eng.sinkCh = make(chan Event, 256)
+			collectorDone = make(chan struct{})
+			go func() {
+				defer close(collectorDone)
+				for ev := range eng.sinkCh {
+					for i, s := range cfg.Sinks {
+						if sinkErrs[i] != nil {
+							continue // detached after first error
+						}
+						sinkErrs[i] = s.Emit(ev)
 					}
-					sinkErrs[i] = s.Emit(ev)
 				}
-			}
-		}()
+			}()
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -308,6 +343,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	if eng.sinkCh != nil {
 		close(eng.sinkCh)
 		<-collectorDone
+	}
+	if eng.shardBufs != nil {
+		deliverSharded(eng.shardBufs, &cfg, sinkErrs)
 	}
 	var flushErrs []error
 	for _, s := range cfg.Sinks {
@@ -337,12 +375,13 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 // trace slots and communicate only through the atomic counters and the
 // event channel, so the whole run is data-race free by construction.
 type engine struct {
-	ctx    context.Context
-	cfg    Config
-	pool   *bufferPool
-	traces []*trace.Trace
-	errs   []error
-	sinkCh chan Event
+	ctx       context.Context
+	cfg       Config
+	pool      *bufferPool
+	traces    []*trace.Trace
+	errs      []error
+	sinkCh    chan Event
+	shardBufs [][]Event // per-worker sink buffers (ShardedSinks)
 
 	steps     atomic.Int64
 	completed atomic.Int64
@@ -350,9 +389,10 @@ type engine struct {
 	alarmed   atomic.Int64
 }
 
-// emit streams an event to the Events channel and the sink collector
-// unless the run is shutting down.
-func (e *engine) emit(ev Event) {
+// emit streams an event from one worker shard to the Events channel and
+// the sink layer (the collector channel, or the shard's own buffer when
+// sinks are sharded) unless the run is shutting down.
+func (e *engine) emit(shard int, ev Event) {
 	if e.cfg.Events != nil {
 		select {
 		case e.cfg.Events <- ev:
@@ -364,6 +404,12 @@ func (e *engine) emit(ev Event) {
 		case e.sinkCh <- ev:
 		case <-e.ctx.Done():
 		}
+	}
+	if e.shardBufs != nil && ev.Kind != EventProgress {
+		// Progress events are a live-streaming affordance whose payload
+		// (the global completion count) is scheduling-dependent; the
+		// canonical merge re-synthesizes them deterministically.
+		e.shardBufs[shard] = append(e.shardBufs[shard], ev)
 	}
 }
 
@@ -384,6 +430,7 @@ func (e *engine) runShard(shard int) {
 	}
 
 	var bm monitor.BatchMonitor
+	var laneMargins laneMarginMonitor
 	if cfg.NewBatchMonitor != nil {
 		var err error
 		if bm, err = cfg.NewBatchMonitor(); err != nil {
@@ -391,6 +438,36 @@ func (e *engine) runShard(shard int) {
 			return
 		}
 		bm.ResetLanes(window)
+		if t := cfg.Telemetry; t != nil && t.FromMonitor {
+			lm, ok := bm.(laneMarginMonitor)
+			if !ok {
+				e.errs[shard] = fmt.Errorf(
+					"fleet: Telemetry.FromMonitor requires a lane-margin batch monitor, got %T", bm)
+				return
+			}
+			laneMargins = lm
+		}
+	}
+
+	// Shard-batched telemetry: the whole live window's rule streams
+	// advance in one struct-of-arrays push per cycle, bit-identical per
+	// lane to the per-session StreamSet path (TelemetryConfig.PerSession).
+	var batchTelem *scs.BatchStreamSet
+	var telemSamples []trace.Sample
+	var telemStates []scs.State
+	var telemLanes []int
+	var telemVerdicts []scs.StreamVerdict
+	if t := cfg.Telemetry; t != nil && !t.FromMonitor && !t.PerSession {
+		var err error
+		batchTelem, err = scs.NewBatchStreamSet(t.Rules, t.Thresholds, t.Params, cfg.CycleMin, window)
+		if err != nil {
+			e.errs[shard] = fmt.Errorf("fleet: shard %d telemetry: %w", shard, err)
+			return
+		}
+		telemSamples = make([]trace.Sample, 0, window)
+		telemStates = make([]scs.State, 0, window)
+		telemLanes = make([]int, 0, window)
+		telemVerdicts = make([]scs.StreamVerdict, window)
 	}
 
 	next := 0 // next queued slot
@@ -399,7 +476,12 @@ func (e *engine) runShard(shard int) {
 		if err != nil {
 			return nil, err
 		}
-		e.emit(Event{Kind: EventSessionStart, Session: s.Index, PatientIdx: s.PatientIdx, Replica: s.Replica})
+		if laneMargins != nil {
+			// FromMonitor telemetry reads the shard's batched monitor at
+			// this session's lane.
+			s.margin = laneMargin{m: laneMargins, lane: lane}
+		}
+		e.emit(shard, Event{Kind: EventSessionStart, Session: s.Index, PatientIdx: s.PatientIdx, Replica: s.Replica})
 		return s, nil
 	}
 	live := make([]*Session, 0, window)
@@ -437,18 +519,43 @@ func (e *engine) runShard(shard int) {
 			bm.StepBatch(lanes, obs, verdicts[:len(live)])
 			for i, s := range live {
 				s.FinishStep(verdicts[i])
-				if err := e.noteStep(s); err != nil {
-					e.errs[shard] = err
-					return
-				}
 			}
 		} else {
 			for _, s := range live {
 				s.Step()
-				if err := e.noteStep(s); err != nil {
-					e.errs[shard] = err
+			}
+		}
+		if batchTelem != nil {
+			// One batched rule-stream push covers the whole window's
+			// telemetry for this cycle. The samples are copied once here
+			// and shared with noteStep below.
+			telemSamples, telemStates, telemLanes = telemSamples[:0], telemStates[:0], telemLanes[:0]
+			for _, s := range live {
+				sample, ok := s.st.LastSample()
+				if !ok {
+					e.errs[shard] = fmt.Errorf("fleet: session %d stepped without a sample", s.Index)
 					return
 				}
+				telemSamples = append(telemSamples, sample)
+				telemLanes = append(telemLanes, s.lane)
+			}
+			for i := range telemSamples {
+				telemStates = append(telemStates, scs.StateFromSample(&telemSamples[i]))
+			}
+			if err := batchTelem.PushLanes(telemLanes, telemStates, telemVerdicts[:len(live)]); err != nil {
+				e.errs[shard] = fmt.Errorf("fleet: shard %d telemetry: %w", shard, err)
+				return
+			}
+		}
+		for i, s := range live {
+			var sample *trace.Sample
+			var bv *scs.StreamVerdict
+			if batchTelem != nil {
+				sample, bv = &telemSamples[i], &telemVerdicts[i]
+			}
+			if err := e.noteStep(shard, s, sample, bv); err != nil {
+				e.errs[shard] = err
+				return
 			}
 		}
 		e.steps.Add(int64(len(live)))
@@ -460,7 +567,7 @@ func (e *engine) runShard(shard int) {
 			if !s.Done() {
 				continue
 			}
-			e.finalize(s)
+			e.finalize(shard, s)
 			var refill *spec
 			switch {
 			case cfg.Continuous && e.ctx.Err() == nil:
@@ -481,6 +588,9 @@ func (e *engine) runShard(shard int) {
 			if bm != nil {
 				bm.ResetLane(s.lane)
 			}
+			if batchTelem != nil {
+				batchTelem.ResetLane(s.lane)
+			}
 			// The retired session's telemetry streams reset and carry
 			// over, so continuous-mode replica churn does not rebuild
 			// rule sets.
@@ -496,21 +606,27 @@ func (e *engine) runShard(shard int) {
 
 // noteStep streams the session's first monitor alarm as a live event
 // and, when telemetry is attached, emits the cycle's robustness margin
-// — from the session's own streaming STL rule set, or (FromMonitor)
-// from the monitor's single evaluation, so alarm and telemetry never
-// evaluate the rules twice.
-func (e *engine) noteStep(s *Session) error {
-	hasTelemetry := s.telemetry != nil || s.margin != nil
+// — from the shard-batched push (bv), the session's own streaming STL
+// rule set, or (FromMonitor) the monitor's single evaluation, so alarm
+// and telemetry never evaluate the rules twice. A non-nil sample is the
+// cycle's already-copied last sample (the batched path shares the copy
+// it made for the rule push); nil makes noteStep fetch it.
+func (e *engine) noteStep(shard int, s *Session, preSample *trace.Sample, bv *scs.StreamVerdict) error {
+	hasTelemetry := bv != nil || s.telemetry != nil || s.margin != nil
 	if !hasTelemetry && s.alarmed {
 		return nil // nothing left to observe: skip the sample copy
 	}
-	sample, ok := s.st.LastSample()
-	if !ok {
-		return nil
+	sample := preSample
+	if sample == nil {
+		sm, ok := s.st.LastSample()
+		if !ok {
+			return nil
+		}
+		sample = &sm
 	}
 	if !s.alarmed && sample.Alarm {
 		s.alarmed = true
-		e.emit(Event{
+		e.emit(shard, Event{
 			Kind: EventAlarm, Session: s.Index, PatientIdx: s.PatientIdx,
 			Replica: s.Replica, Step: sample.Step, Hazard: sample.AlarmHazard,
 		})
@@ -519,20 +635,23 @@ func (e *engine) noteStep(s *Session) error {
 		return nil
 	}
 	var v scs.StreamVerdict
-	if s.margin != nil {
+	switch {
+	case bv != nil:
+		v = *bv
+	case s.margin != nil:
 		sv, ok := s.margin.StreamVerdict()
 		if !ok {
 			return fmt.Errorf("fleet: session %d: monitor produced no streaming verdict", s.Index)
 		}
 		v = sv
-	} else {
+	default:
 		var err error
-		if v, err = s.telemetry.Push(scs.StateFromSample(&sample)); err != nil {
+		if v, err = s.telemetry.Push(scs.StateFromSample(sample)); err != nil {
 			return fmt.Errorf("fleet: session %d telemetry: %w", s.Index, err)
 		}
 	}
 	if every := e.cfg.Telemetry.Every; every == 1 || (sample.Step+1)%every == 0 {
-		e.emit(Event{
+		e.emit(shard, Event{
 			Kind: EventRobustness, Session: s.Index, PatientIdx: s.PatientIdx,
 			Replica: s.Replica, Step: sample.Step,
 			Robustness: v.MinRobust, Rule: v.WorstRule,
@@ -544,7 +663,7 @@ func (e *engine) noteStep(s *Session) error {
 
 // finalize labels a completed session, folds it into the counters,
 // streams its terminal events, and either retains or recycles the trace.
-func (e *engine) finalize(s *Session) {
+func (e *engine) finalize(shard int, s *Session) {
 	tr := s.Finish()
 	if s.alarmed {
 		e.alarmed.Add(1)
@@ -552,18 +671,18 @@ func (e *engine) finalize(s *Session) {
 	hazard := tr.DominantHazard()
 	if hazard != trace.HazardNone {
 		e.hazardous.Add(1)
-		e.emit(Event{
+		e.emit(shard, Event{
 			Kind: EventHazard, Session: s.Index, PatientIdx: s.PatientIdx,
 			Replica: s.Replica, Step: tr.FirstHazardStep(), Hazard: hazard,
 		})
 	}
 	done := e.completed.Add(1)
-	e.emit(Event{
+	e.emit(shard, Event{
 		Kind: EventSessionDone, Session: s.Index, PatientIdx: s.PatientIdx,
 		Replica: s.Replica, Step: tr.Len(), Hazard: hazard, Completed: done,
 	})
 	if pe := e.cfg.ProgressEvery; pe > 0 && done%int64(pe) == 0 {
-		e.emit(Event{Kind: EventProgress, Completed: done})
+		e.emit(shard, Event{Kind: EventProgress, Completed: done})
 	}
 	if e.traces != nil {
 		e.traces[s.Index] = tr
@@ -627,18 +746,26 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet) (*Session, 
 	}
 	var margin marginMonitor
 	if t := cfg.Telemetry; t != nil {
-		if t.FromMonitor {
+		switch {
+		case t.FromMonitor:
 			// One-evaluation invariant: telemetry reads the monitor's own
 			// streaming verdicts instead of attaching a second rule set.
-			mm, ok := mon.(marginMonitor)
-			if !ok {
-				return nil, wrap(fmt.Errorf(
-					"fleet: Telemetry.FromMonitor requires a margin-carrying monitor, got %T", mon))
+			// With a batched monitor the shard assigns the lane adapter
+			// after construction.
+			if cfg.NewMonitor != nil {
+				mm, ok := mon.(marginMonitor)
+				if !ok {
+					return nil, wrap(fmt.Errorf(
+						"fleet: Telemetry.FromMonitor requires a margin-carrying monitor, got %T", mon))
+				}
+				margin = mm
 			}
-			margin = mm
-		} else if telem != nil {
+		case !t.PerSession:
+			// Default: the shard evaluates telemetry batched across its
+			// whole live window; nothing to attach per session.
+		case telem != nil:
 			telem.Reset()
-		} else {
+		default:
 			telem, err = scs.NewStreamSet(t.Rules, t.Thresholds, t.Params, cfg.CycleMin)
 			if err != nil {
 				return nil, wrap(err)

@@ -525,11 +525,178 @@ func TestFleetValidation(t *testing.T) {
 	if _, err := Run(context.Background(), both); err == nil {
 		t.Error("NewMonitor + NewBatchMonitor should fail")
 	}
+	ring, err := NewRingSink(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedContinuous := Config{
+		Platform:     glucosymPlatform(),
+		Continuous:   true,
+		ShardedSinks: true,
+		Sinks:        []Sink{ring},
+	}
+	if _, err := Run(context.Background(), shardedContinuous); err == nil {
+		t.Error("ShardedSinks + Continuous should fail (unbounded buffering)")
+	}
 	noEvents := Config{
 		Platform:  glucosymPlatform(),
 		Telemetry: &TelemetryConfig{},
 	}
 	if _, err := Run(context.Background(), noEvents); err == nil {
 		t.Error("Telemetry without Events should fail")
+	}
+}
+
+// allKindScenarios builds a scenario subset guaranteed to cover every
+// fault kind in the Table II campaign, plus a handful of extras.
+func allKindScenarios(perKind int) []fault.Scenario {
+	all := fault.Campaign(nil)
+	taken := make(map[fault.Kind]int)
+	var out []fault.Scenario
+	for _, sc := range all {
+		if taken[sc.Fault.Kind] < perKind {
+			taken[sc.Fault.Kind]++
+			out = append(out, sc)
+		}
+	}
+	if len(taken) != len(fault.Kinds) {
+		panic("campaign does not cover every fault kind")
+	}
+	return out
+}
+
+// TestFleetBatchedTelemetryMatchesPerSession is the tentpole
+// differential: the shard-batched telemetry engine (the default) must
+// emit exactly the same robustness events — margin, arg-min rule,
+// hazard, for every session and step — as the per-session StreamSet
+// path, across every fault kind, with sensor noise, at multiple
+// parallelism levels; and the traces must be byte-identical too
+// (telemetry never perturbs simulation).
+func TestFleetBatchedTelemetryMatchesPerSession(t *testing.T) {
+	base := Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 2},
+		Scenarios: allKindScenarios(3),
+		Steps:     40,
+		Seed:      13,
+		Sensor:    &sensor.Config{NoiseSD: 2},
+		Telemetry: &TelemetryConfig{},
+	}
+	type robFull struct {
+		rob, margin float64
+		rule, mrule int
+		hazard      trace.HazardType
+	}
+	collect := func(cfg Config) (map[robKey]robFull, []byte) {
+		events := make(chan Event, 256)
+		cfg.Events = events
+		got := make(map[robKey]robFull)
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for ev := range events {
+				if ev.Kind != EventRobustness {
+					continue
+				}
+				got[robKey{ev.Session, ev.Replica, ev.Step}] = robFull{
+					rob: ev.Robustness, margin: ev.Margin,
+					rule: ev.Rule, mrule: ev.MarginRule, hazard: ev.Hazard,
+				}
+			}
+		}()
+		res, err := Run(context.Background(), cfg)
+		close(events)
+		<-drained
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, tracesCSV(t, res.Traces)
+	}
+
+	for _, parallel := range []int{1, runtime.NumCPU()} {
+		batched := base
+		batched.Parallel = parallel
+		perSession := base
+		perSession.Parallel = parallel
+		perSession.Telemetry = &TelemetryConfig{PerSession: true}
+
+		gotB, tracesB := collect(batched)
+		gotP, tracesP := collect(perSession)
+		if len(gotB) == 0 || len(gotB) != len(gotP) {
+			t.Fatalf("Parallel=%d: event counts differ: batched %d vs per-session %d",
+				parallel, len(gotB), len(gotP))
+		}
+		hazards, violations := 0, 0
+		for k, v := range gotB {
+			pv, ok := gotP[k]
+			if !ok || pv != v {
+				t.Fatalf("Parallel=%d event %+v differs: batched %+v vs per-session %+v",
+					parallel, k, v, pv)
+			}
+			if v.margin < 0 {
+				violations++
+			}
+			if v.hazard != trace.HazardNone {
+				hazards++
+			}
+		}
+		if violations == 0 || hazards == 0 {
+			t.Fatalf("Parallel=%d: %d violations, %d hazards across an all-kind fault campaign — comparison is vacuous",
+				parallel, violations, hazards)
+		}
+		if !bytes.Equal(tracesB, tracesP) {
+			t.Fatalf("Parallel=%d: traces differ between batched and per-session telemetry", parallel)
+		}
+	}
+}
+
+// TestFleetFromMonitorBatchedCAWT: FromMonitor telemetry served by the
+// shard-batched context-aware monitor must reproduce the per-session
+// CAWT fleet exactly — traces and robustness events alike — including
+// under margin-scaled mitigation, where verdict margins feed back into
+// insulin delivery.
+func TestFleetFromMonitorBatchedCAWT(t *testing.T) {
+	base := Config{
+		Platform:   glucosymPlatform(),
+		Patients:   []int{0, 3},
+		Scenarios:  allKindScenarios(2),
+		Steps:      40,
+		Seed:       29,
+		Sensor:     &sensor.Config{NoiseSD: 2},
+		Mitigate:   true,
+		Mitigation: closedloop.MitigationConfig{ScaleByMargin: true},
+		Telemetry:  &TelemetryConfig{FromMonitor: true},
+	}
+	perCfg := base
+	perCfg.NewMonitor = func(int) (monitor.Monitor, error) {
+		return monitor.NewCAWOT(scs.TableI(), scs.Params{})
+	}
+	batchCfg := base
+	batchCfg.NewBatchMonitor = func() (monitor.BatchMonitor, error) {
+		return monitor.NewBatchCAWOT(scs.TableI(), scs.Params{})
+	}
+
+	runOne := func(cfg Config) (map[robKey]robVal, []byte, Result) {
+		got, res := collectRobustness(t, cfg)
+		return got, tracesCSV(t, res.Traces), res
+	}
+	gotPer, tracesPer, resPer := runOne(perCfg)
+	gotBatch, tracesBatch, resBatch := runOne(batchCfg)
+	if resPer.Alarmed == 0 {
+		t.Fatal("monitor never alarmed — comparison is vacuous")
+	}
+	if resPer.Alarmed != resBatch.Alarmed || resPer.Hazardous != resBatch.Hazardous {
+		t.Fatalf("counters differ: per %+v batch %+v", resPer, resBatch)
+	}
+	if !bytes.Equal(tracesPer, tracesBatch) {
+		t.Fatal("batched-CAWT traces differ from per-session CAWT traces")
+	}
+	if len(gotPer) == 0 || len(gotPer) != len(gotBatch) {
+		t.Fatalf("event counts differ: %d vs %d", len(gotPer), len(gotBatch))
+	}
+	for k, v := range gotPer {
+		if bv, ok := gotBatch[k]; !ok || bv != v {
+			t.Fatalf("event %+v differs: per-session %+v vs batched %+v", k, v, bv)
+		}
 	}
 }

@@ -1,0 +1,90 @@
+package fleet
+
+import "sort"
+
+// Sharded sink delivery. The single collector goroutine that normally
+// owns Sink.Emit serializes every worker through one channel — fine for
+// a handful of shards, a bottleneck on the road to million-session
+// fleets. With Config.ShardedSinks each worker appends its events to a
+// private buffer instead (no channel, no cross-shard contention), and
+// when simulation completes the buffers merge into the sinks in
+// *canonical order*: sorted by (Session, Replica, Step, kind rank),
+// with completion counters re-stamped and progress events re-synthesized
+// along the merged order. Every component of that key is a pure
+// function of the session's coordinates — never of goroutine scheduling
+// — so sharded sink output is byte-identical at any parallelism level,
+// the same determinism contract the traces carry
+// (TestShardedSinksDeterministicAcrossParallelism).
+
+// kindRank orders a session's events within one step for the canonical
+// merge: an alarm precedes the robustness sample of the same cycle
+// (matching live emission order), and terminal events sort after the
+// per-step stream at equal step numbers.
+func kindRank(k EventKind) int {
+	switch k {
+	case EventSessionStart:
+		return 0
+	case EventAlarm:
+		return 1
+	case EventRobustness:
+		return 2
+	case EventHazard:
+		return 3
+	case EventSessionDone:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// canonicalLess is the merged delivery order over buffered shard events.
+func canonicalLess(a, b *Event) bool {
+	if a.Session != b.Session {
+		return a.Session < b.Session
+	}
+	if a.Replica != b.Replica {
+		return a.Replica < b.Replica
+	}
+	if a.Step != b.Step {
+		return a.Step < b.Step
+	}
+	return kindRank(a.Kind) < kindRank(b.Kind)
+}
+
+// deliverSharded merges the per-worker event buffers and replays them
+// into every sink in canonical order, re-stamping EventSessionDone
+// completion counts and synthesizing EventProgress marks so the
+// delivered stream is fully deterministic. Sink error semantics match
+// the collector: the first Emit error detaches a sink for the rest of
+// the delivery and is reported through sinkErrs.
+func deliverSharded(bufs [][]Event, cfg *Config, sinkErrs []error) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	merged := make([]Event, 0, total)
+	for _, b := range bufs {
+		merged = append(merged, b...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return canonicalLess(&merged[i], &merged[j]) })
+
+	deliver := func(ev Event) {
+		for i, s := range cfg.Sinks {
+			if sinkErrs[i] != nil {
+				continue // detached after first error
+			}
+			sinkErrs[i] = s.Emit(ev)
+		}
+	}
+	var completed int64
+	for _, ev := range merged {
+		if ev.Kind == EventSessionDone {
+			completed++
+			ev.Completed = completed
+		}
+		deliver(ev)
+		if pe := cfg.ProgressEvery; ev.Kind == EventSessionDone && pe > 0 && completed%int64(pe) == 0 {
+			deliver(Event{Kind: EventProgress, Completed: completed})
+		}
+	}
+}

@@ -6,9 +6,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -74,28 +78,226 @@ func toJSONEvent(ev Event) jsonEvent {
 	return je
 }
 
+// RotationPolicy bounds a file-backed log sink so continuous serving
+// never grows one JSONL file forever. Rotation renames the active file
+// to <path>.<N> (N strictly increasing across the sink's lifetime,
+// resuming past the highest existing suffix on reopen) and starts a
+// fresh file at <path>; records are never split across a rotation and
+// none are dropped — every emitted event lands in exactly one of the
+// retained files until retention deletes that whole file.
+type RotationPolicy struct {
+	// MaxBytes rotates once the active file reaches this size
+	// (checked before each write, so files may exceed it by at most one
+	// record). Zero disables the size trigger.
+	MaxBytes int64
+	// MaxAge rotates once the active file has been open this long.
+	// Zero disables the age trigger.
+	MaxAge time.Duration
+	// Keep is the retention bound: after each rotation only the Keep
+	// newest rotated files survive, older ones are deleted. Keep <= 0
+	// retains every rotated file.
+	Keep int
+}
+
+// enabled reports whether any rotation trigger is configured.
+func (p RotationPolicy) enabled() bool { return p.MaxBytes > 0 || p.MaxAge > 0 }
+
 // LogSink appends every event as one JSON line to a writer — the
 // durable, replayable form of the telemetry stream (dashboards and
 // alerting tail it). Writes are buffered; Flush drains the buffer.
+// File-backed sinks (NewRotatingLogSink) additionally rotate and retire
+// files per their RotationPolicy.
 type LogSink struct {
 	mu      sync.Mutex
 	w       *bufio.Writer
 	enc     *json.Encoder
 	written int64
+
+	closed bool
+
+	// File-backed rotation state; zero-valued for plain writer sinks.
+	path     string
+	pol      RotationPolicy
+	f        *os.File
+	size     int64
+	openedAt time.Time
+	nextIdx  int
+	rotated  int64
+	now      func() time.Time // injectable clock for the age trigger
 }
 
 // NewLogSink wraps a writer (a file, a pipe, a network conn) in a
 // JSONL sink. The caller owns closing the underlying writer after Run
 // returns.
 func NewLogSink(w io.Writer) *LogSink {
-	bw := bufio.NewWriter(w)
-	return &LogSink{w: bw, enc: json.NewEncoder(bw)}
+	s := &LogSink{w: bufio.NewWriter(w)}
+	s.enc = json.NewEncoder(&countingWriter{w: s.w, n: &s.size})
+	return s
+}
+
+// NewRotatingLogSink opens (or resumes appending to) a JSONL file that
+// the sink owns, rotating it per the policy. Rotated files continue the
+// numbering of any <path>.<N> files already on disk, so restarts of a
+// continuous fleet never overwrite earlier history. Close the sink
+// after Run returns.
+func NewRotatingLogSink(path string, pol RotationPolicy) (*LogSink, error) {
+	if pol.MaxBytes < 0 || pol.MaxAge < 0 {
+		return nil, fmt.Errorf("fleet: negative rotation bounds %+v", pol)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: log sink: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: log sink: %w", err)
+	}
+	s := &LogSink{
+		w:    bufio.NewWriter(f),
+		path: path, pol: pol, f: f,
+		size: st.Size(), now: time.Now,
+	}
+	s.openedAt = s.now()
+	if st.Size() > 0 {
+		// Resuming a non-empty file: age it from its last write, not from
+		// this open, so an age-only policy still fires across periodic
+		// restarts instead of resetting its clock every reopen.
+		s.openedAt = st.ModTime()
+	}
+	if idxs := rotatedIndices(path); len(idxs) > 0 {
+		s.nextIdx = idxs[len(idxs)-1] + 1
+	} else {
+		s.nextIdx = 1
+	}
+	s.enc = json.NewEncoder(&countingWriter{w: s.w, n: &s.size})
+	return s, nil
+}
+
+// countingWriter tracks the logical size of the active file, including
+// bytes still sitting in the bufio layer.
+type countingWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// rotationDue reports whether the active file must rotate before the
+// next record.
+func (s *LogSink) rotationDue() bool {
+	if !s.pol.enabled() || s.size == 0 {
+		return false // never rotate an empty file
+	}
+	if s.pol.MaxBytes > 0 && s.size >= s.pol.MaxBytes {
+		return true
+	}
+	return s.pol.MaxAge > 0 && s.now().Sub(s.openedAt) >= s.pol.MaxAge
+}
+
+// rotate retires the active file to <path>.<nextIdx>, prunes per the
+// retention bound, and starts a fresh file. Caller holds the lock.
+func (s *LogSink) rotate() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(s.path, fmt.Sprintf("%s.%d", s.path, s.nextIdx)); err != nil {
+		return err
+	}
+	s.nextIdx++
+	s.rotated++
+	if s.pol.Keep > 0 {
+		idxs := rotatedIndices(s.path)
+		for len(idxs) > s.pol.Keep {
+			// A file already gone (an external shipper consumed it) is the
+			// desired end state, not a reason to detach the sink.
+			if err := os.Remove(fmt.Sprintf("%s.%d", s.path, idxs[0])); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			idxs = idxs[1:]
+		}
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.size = 0
+	s.openedAt = s.now()
+	s.w.Reset(f)
+	return nil
+}
+
+// rotatedIndices returns the numeric suffixes of existing <path>.<N>
+// files, ascending (oldest first). The directory is listed and suffixes
+// matched literally — not globbed — so paths containing glob
+// metacharacters cannot break suffix resumption or retention.
+func rotatedIndices(path string) []int {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var idxs []int
+	for _, e := range entries {
+		suffix, ok := strings.CutPrefix(e.Name(), base+".")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.Atoi(suffix); err == nil && n > 0 {
+			idxs = append(idxs, n)
+		}
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// RotatedFiles returns the retained rotated files, oldest first. It is
+// empty for writer-backed sinks.
+func (s *LogSink) RotatedFiles() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.path == "" {
+		return nil
+	}
+	idxs := rotatedIndices(s.path)
+	out := make([]string, len(idxs))
+	for i, n := range idxs {
+		out[i] = fmt.Sprintf("%s.%d", s.path, n)
+	}
+	return out
+}
+
+// Rotations returns how many times the sink has rotated its file.
+func (s *LogSink) Rotations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rotated
 }
 
 // Emit implements Sink.
 func (s *LogSink) Emit(ev Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		// Buffering into a closed sink would silently lose the record.
+		return fmt.Errorf("fleet: log sink: emit after Close")
+	}
+	if s.f != nil && s.rotationDue() {
+		if err := s.rotate(); err != nil {
+			return fmt.Errorf("fleet: log sink rotate: %w", err)
+		}
+	}
 	if err := s.enc.Encode(toJSONEvent(ev)); err != nil {
 		return fmt.Errorf("fleet: log sink: %w", err)
 	}
@@ -109,6 +311,29 @@ func (s *LogSink) Flush() error {
 	defer s.mu.Unlock()
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("fleet: log sink flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes the buffer and, for file-backed sinks, closes the owned
+// file. Writer-backed sinks leave closing the writer to its owner.
+// Emitting after Close returns an error rather than silently buffering
+// records no flush will ever persist.
+func (s *LogSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("fleet: log sink flush: %w", err)
+	}
+	s.closed = true
+	if s.f != nil {
+		if err := s.f.Close(); err != nil {
+			return fmt.Errorf("fleet: log sink close: %w", err)
+		}
+		s.f = nil
 	}
 	return nil
 }

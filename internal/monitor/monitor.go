@@ -1,12 +1,3 @@
-// Package monitor implements the paper's safety monitors: the proposed
-// context-aware monitor with learned thresholds (CAWT), its unlearned
-// variant (CAWOT), and the baselines — medical-guideline rules
-// (Table III), model-predictive control (Eq. 6), and wrappers around the
-// ML classifiers of internal/ml.
-//
-// Every monitor observes only the controller's input-output interface:
-// the clean sensed glucose, a monitor-side IOB estimate, and the issued
-// command (Section II's wrapper assumption).
 package monitor
 
 import (

@@ -1,0 +1,177 @@
+package scs
+
+import (
+	"fmt"
+
+	"repro/internal/stl"
+)
+
+// BatchStreamSet evaluates a Safety Context Specification across a
+// whole shard of sessions in one push: the rules' antecedents compile
+// into a single hash-consed stl.BatchStreamGroup whose per-node state
+// is a [lanes]-wide vector, and the structurally fixed consequent folds
+// inline per lane exactly as StreamSet does per session. One PushLanes
+// per control cycle yields every live session's StreamVerdict —
+// bit-identical to pushing each session through its own StreamSet (the
+// batched differential tests enforce exact equality of margins, arg-min
+// rules, hazards, and fired sets) — while dispatch, memo checks, and
+// rule loops amortize across the shard. Lanes reset independently, so a
+// fleet shard recycles a completed session's lane without disturbing
+// its neighbors.
+type BatchStreamSet struct {
+	rules []Rule
+	group *stl.BatchStreamGroup
+	ante  []int
+	width int
+
+	// fold is the shared Eq. 1 verdict fold (see fold.go); ls/lr are its
+	// reused per-rule antecedent scratch, gathered per lane.
+	fold ruleFold
+	ls   []bool
+	lr   []float64
+
+	// vals is the reused struct-of-arrays push matrix; sel maps each
+	// group variable row to its State field. sats/robs cache each rule's
+	// result vectors for the verdict fold.
+	vals  []float64
+	sel   []int
+	sats  [][]bool
+	robs  [][]float64
+	fired [][]int // per active index k: rule IDs violated at the last push
+	n     int
+}
+
+// NewBatchStreamSet compiles every rule body for batched evaluation
+// across `width` session lanes at sampling period dtMin minutes (nil
+// thresholds select the rules' CAWOT defaults). Rule validation matches
+// NewStreamSet exactly.
+func NewBatchStreamSet(rules []Rule, th Thresholds, p Params, dtMin float64, width int) (*BatchStreamSet, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("scs: stream set needs at least one rule")
+	}
+	if th == nil {
+		th = Defaults(rules)
+	}
+	p = p.WithDefaults()
+	group, err := stl.NewBatchStreamGroup(dtMin, width)
+	if err != nil {
+		return nil, fmt.Errorf("scs: %w", err)
+	}
+	bs := &BatchStreamSet{
+		rules: rules,
+		group: group,
+		width: width,
+		fold:  newRuleFold(rules),
+		ls:    make([]bool, len(rules)),
+		lr:    make([]float64, len(rules)),
+		sats:  make([][]bool, len(rules)),
+		robs:  make([][]float64, len(rules)),
+		fired: make([][]int, width),
+	}
+	if bs.ante, err = compileAntecedents(rules, th, p, group.Add); err != nil {
+		return nil, err
+	}
+	if bs.sel, err = fieldSelectors(group.Vars()); err != nil {
+		return nil, err
+	}
+	bs.vals = make([]float64, len(bs.sel)*width)
+	for k := range bs.fired {
+		bs.fired[k] = make([]int, 0, len(rules))
+	}
+	return bs, nil
+}
+
+// Rules returns the compiled rule set.
+func (bs *BatchStreamSet) Rules() []Rule { return bs.rules }
+
+// Width returns the lane count.
+func (bs *BatchStreamSet) Width() int { return bs.width }
+
+// Len returns the number of batched pushes consumed.
+func (bs *BatchStreamSet) Len() int { return bs.n }
+
+// PushLanes feeds one control cycle's context state for each of the
+// given lanes and writes the per-lane verdicts into out (len(out) must
+// be at least len(lanes)). states[k] is the cycle state of session lane
+// lanes[k]; lanes absent from the call do not advance. The verdict
+// aggregation per lane is the exact fold of StreamSet.Push, so batched
+// margins, rules, and hazards are bit-identical to per-session
+// evaluation.
+func (bs *BatchStreamSet) PushLanes(lanes []int, states []State, out []StreamVerdict) error {
+	n := len(lanes)
+	if n > bs.width {
+		// Checked here because the value-matrix fill below slices bs.vals
+		// by n before the lane-level validation in the group runs.
+		return fmt.Errorf("scs: %d lanes exceed width %d", n, bs.width)
+	}
+	if len(states) != n {
+		return fmt.Errorf("scs: %d states for %d lanes", len(states), n)
+	}
+	if len(out) < n {
+		return fmt.Errorf("scs: verdict buffer holds %d, need %d", len(out), n)
+	}
+	for vi, sel := range bs.sel {
+		row := bs.vals[vi*n : (vi+1)*n]
+		switch sel {
+		case selBG:
+			for k := range states {
+				row[k] = states[k].BG
+			}
+		case selBGPrime:
+			for k := range states {
+				row[k] = states[k].BGPrime
+			}
+		case selIOB:
+			for k := range states {
+				row[k] = states[k].IOB
+			}
+		case selIOBPrime:
+			for k := range states {
+				row[k] = states[k].IOBPrime
+			}
+		case selAction:
+			for k := range states {
+				row[k] = float64(states[k].Action)
+			}
+		}
+	}
+	if err := bs.group.PushLanes(lanes, bs.vals[:len(bs.sel)*n]); err != nil {
+		return fmt.Errorf("scs: %w", err)
+	}
+	for i := range bs.rules {
+		bs.sats[i] = bs.group.Sats(bs.ante[i])
+		bs.robs[i] = bs.group.Robs(bs.ante[i])
+	}
+	for k := 0; k < n; k++ {
+		for i := range bs.rules {
+			bs.ls[i], bs.lr[i] = bs.sats[i][k], bs.robs[i][k]
+		}
+		out[k], bs.fired[k] = bs.fold.fold(float64(states[k].Action), bs.ls, bs.lr, bs.fired[k][:0])
+	}
+	bs.n++
+	return nil
+}
+
+// Fired returns the rule IDs violated at active index k of the last
+// push (k indexes the lanes slice that push was called with), in rule
+// order. The slice is reused by the next push; callers that retain it
+// must copy.
+func (bs *BatchStreamSet) Fired(k int) []int { return bs.fired[k] }
+
+// StateSamples returns the total buffered per-sample entries across the
+// rule set's unique operator nodes, summed over all lanes (hash-consed
+// subformulas count once).
+func (bs *BatchStreamSet) StateSamples() int { return bs.group.StateSamples() }
+
+// ResetLane clears one lane's rule-stream state — a session restarting
+// in place — leaving other lanes untouched.
+func (bs *BatchStreamSet) ResetLane(lane int) { bs.group.ResetLane(lane) }
+
+// Reset clears all rule-stream state in every lane.
+func (bs *BatchStreamSet) Reset() {
+	bs.group.Reset()
+	bs.n = 0
+	for k := range bs.fired {
+		bs.fired[k] = bs.fired[k][:0]
+	}
+}

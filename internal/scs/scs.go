@@ -1,15 +1,3 @@
-// Package scs encodes the paper's Safety Context Specification: the
-// twelve Table I rules that describe in which multi-dimensional system
-// context  µ(x) = (BG, BG', IOB, IOB')  each control action u1..u4 is an
-// Unsafe Control Action leading to hazard H1 or H2.
-//
-// Each rule carries one learnable boundary threshold β (on IOB for rules
-// 1-9, 11, 12; on BG for rule 10) that the stllearn package refines from
-// fault-injected traces. Rules render to STL formulas of the Eq. 1 shape
-//
-//	G[t0,te]( context(µ(x)) ∧ learnable ⇒ ¬u )
-//
-// and are evaluated online against per-cycle states.
 package scs
 
 import (

@@ -2,7 +2,6 @@ package scs
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/stl"
 	"repro/internal/trace"
@@ -55,11 +54,11 @@ type StreamSet struct {
 	params Params
 	n      int
 
-	// Per-rule consequent specialization: the action the rule names and
-	// whether it is required (rule 10) or forbidden.
-	action   []float64
-	required []bool
-	isH1     []bool
+	// fold is the shared Eq. 1 verdict fold (see fold.go); ls/lr are its
+	// reused per-rule antecedent scratch.
+	fold ruleFold
+	ls   []bool
+	lr   []float64
 
 	// vals is the reused PushVector binding; sel maps each group
 	// variable slot to its State field so pushes touch no maps.
@@ -95,48 +94,19 @@ func NewStreamSet(rules []Rule, th Thresholds, p Params, dtMin float64) (*Stream
 		return nil, fmt.Errorf("scs: %w", err)
 	}
 	ss := &StreamSet{
-		rules:    rules,
-		group:    group,
-		ante:     make([]int, len(rules)),
-		params:   p,
-		action:   make([]float64, len(rules)),
-		required: make([]bool, len(rules)),
-		isH1:     make([]bool, len(rules)),
-		fired:    make([]int, 0, len(rules)),
+		rules:  rules,
+		group:  group,
+		params: p,
+		fold:   newRuleFold(rules),
+		ls:     make([]bool, len(rules)),
+		lr:     make([]float64, len(rules)),
+		fired:  make([]int, 0, len(rules)),
 	}
-	for i, r := range rules {
-		beta, ok := th[r.ID]
-		if !ok {
-			return nil, fmt.Errorf("scs: missing threshold for rule %d", r.ID)
-		}
-		if r.Hazard == trace.HazardNone {
-			// Every Safety Context Specification rule predicts a hazard
-			// class; a zero Hazard is a construction bug, and admitting it
-			// would fabricate an H2 attribution on violation.
-			return nil, fmt.Errorf("scs: rule %d has no hazard class", r.ID)
-		}
-		if ss.ante[i], err = group.Add(r.Antecedent(p, beta)); err != nil {
-			return nil, fmt.Errorf("scs: rule %d antecedent: %w", r.ID, err)
-		}
-		ss.action[i] = float64(r.Action)
-		ss.required[i] = r.Required
-		ss.isH1[i] = r.Hazard == trace.HazardH1
+	if ss.ante, err = compileAntecedents(rules, th, p, group.Add); err != nil {
+		return nil, err
 	}
-	for _, name := range group.Vars() {
-		switch name {
-		case "BG":
-			ss.sel = append(ss.sel, selBG)
-		case "BG'":
-			ss.sel = append(ss.sel, selBGPrime)
-		case "IOB":
-			ss.sel = append(ss.sel, selIOB)
-		case "IOB'":
-			ss.sel = append(ss.sel, selIOBPrime)
-		case "u":
-			ss.sel = append(ss.sel, selAction)
-		default:
-			return nil, fmt.Errorf("scs: rule set reads unknown variable %q", name)
-		}
+	if ss.sel, err = fieldSelectors(group.Vars()); err != nil {
+		return nil, err
 	}
 	ss.vals = make([]float64, len(ss.sel))
 	return ss, nil
@@ -171,51 +141,11 @@ func (ss *StreamSet) Push(s State) (StreamVerdict, error) {
 		return StreamVerdict{}, fmt.Errorf("scs: %w", err)
 	}
 	sats, robs := ss.group.Results()
-
-	u := float64(s.Action)
-	v := StreamVerdict{Sat: true, MinRobust: math.Inf(1)}
-	ss.fired = ss.fired[:0]
-	worst := math.Inf(1) // violation depth of the worst violated rule
-	anyH1 := false
 	for i := range ss.rules {
-		ls, lr := sats[ss.ante[i]], robs[ss.ante[i]]
-		// Consequent inline: rob(u == a) = -|u - a|, negated for the
-		// forbidden-action form ¬(u == a). Identical to compiling
-		// Rule.Consequent, minus the dispatch.
-		rs, rr := u == ss.action[i], -math.Abs(u-ss.action[i])
-		if !ss.required[i] {
-			rs, rr = !rs, -rr
-		}
-		rob := rr // Eq. 1 body robustness: max(-lr, rr), finite operands
-		if -lr > rob {
-			rob = -lr
-		}
-		if rob < v.MinRobust {
-			v.MinRobust = rob
-			v.WorstRule = ss.rules[i].ID
-		}
-		if !ls || rs {
-			continue // body satisfied
-		}
-		v.Sat = false
-		ss.fired = append(ss.fired, ss.rules[i].ID)
-		if ss.isH1[i] {
-			anyH1 = true
-		}
-		if m := -lr; m < worst {
-			worst = m
-			v.Rule = ss.rules[i].ID
-		}
+		ss.ls[i], ss.lr[i] = sats[ss.ante[i]], robs[ss.ante[i]]
 	}
-	if v.Sat {
-		v.Margin, v.Rule = v.MinRobust, v.WorstRule
-	} else {
-		v.Margin = worst
-		v.Hazard = trace.HazardH2
-		if anyH1 {
-			v.Hazard = trace.HazardH1
-		}
-	}
+	var v StreamVerdict
+	v, ss.fired = ss.fold.fold(float64(s.Action), ss.ls, ss.lr, ss.fired[:0])
 	ss.n++
 	return v, nil
 }

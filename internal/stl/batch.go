@@ -1,0 +1,754 @@
+package stl
+
+import (
+	"fmt"
+	"math"
+)
+
+// batchCtx carries one batched push through the node DAG: the active
+// lane list, the struct-of-arrays value matrix (vals[v*n+k] holds
+// variable v of active lane k), and the push sequence number that
+// memoized shared nodes key their caches on.
+type batchCtx struct {
+	lanes []int
+	vals  []float64
+	n     int
+	seq   uint64
+}
+
+// batchNode is one compiled operator evaluated across a whole shard of
+// sessions at once: step consumes the newest sample of every active
+// lane and returns satisfaction and robustness vectors indexed like
+// ctx.lanes. The returned slices are owned by the node and stay valid
+// until its next step; aliasing between parents is safe because a
+// bare-shared stateless node rewrites identical values and stateful
+// shared nodes are memo-guarded.
+type batchNode interface {
+	step(ctx *batchCtx) (sat []bool, rob []float64)
+	state() int
+	reset()
+	resetLane(lane int)
+}
+
+// batchCompiler mirrors compiler for the batched engine: it lowers
+// past-only formulas to nodes whose per-operator state is a
+// [lanes]-wide vector of the scalar cores, hash-consing structurally
+// identical subformulas exactly like the per-session group compiler.
+type batchCompiler struct {
+	dt     float64
+	width  int
+	vars   []string
+	varIdx map[string]int
+	cache  map[string]batchNode
+	memos  []*batchMemoNode
+}
+
+func newBatchCompiler(dt float64, width int) *batchCompiler {
+	return &batchCompiler{
+		dt: dt, width: width,
+		varIdx: make(map[string]int),
+		cache:  make(map[string]batchNode),
+	}
+}
+
+func (c *batchCompiler) varIndex(name string) int {
+	if i, ok := c.varIdx[name]; ok {
+		return i
+	}
+	i := len(c.vars)
+	c.vars = append(c.vars, name)
+	c.varIdx[name] = i
+	return i
+}
+
+// compile lowers one formula with hash-consed sharing: the canonical
+// key and the memo policy (only stateful subtrees are seq-guarded) are
+// identical to the per-session compiler, so the batched DAG has exactly
+// the same sharing structure and per-push advance discipline.
+func (c *batchCompiler) compile(f Formula) (batchNode, error) {
+	key := f.String()
+	if n, ok := c.cache[key]; ok {
+		return n, nil
+	}
+	inner, err := c.lower(f)
+	if err != nil {
+		return nil, err
+	}
+	out := inner
+	if hasState(f) {
+		m := &batchMemoNode{inner: inner}
+		c.memos = append(c.memos, m)
+		out = m
+	}
+	c.cache[key] = out
+	return out, nil
+}
+
+func (c *batchCompiler) lower(f Formula) (batchNode, error) {
+	switch n := f.(type) {
+	case *Atom:
+		if n.Op < OpLT || n.Op > OpNE {
+			return nil, fmt.Errorf("stl: invalid comparison op %d", int(n.Op))
+		}
+		return &batchAtomNode{
+			varIdx: c.varIndex(n.Var), op: n.Op, threshold: n.Threshold,
+			out: newBatchOut(c.width),
+		}, nil
+	case Const:
+		bc := &batchConstNode{out: newBatchOut(c.width)}
+		rob := math.Inf(-1)
+		if bool(n) {
+			rob = math.Inf(1)
+		}
+		for k := 0; k < c.width; k++ {
+			bc.out.sat[k] = bool(n)
+			bc.out.rob[k] = rob
+		}
+		return bc, nil
+	case *Not:
+		child, err := c.compile(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &batchNotNode{child: child, out: newBatchOut(c.width)}, nil
+	case *And:
+		if atoms, ok := flatOrderAtoms(n.Children); ok {
+			fa := &batchFlatAndNode{
+				atoms: make([]fusedAtom, len(atoms)),
+				out:   newBatchOut(c.width),
+			}
+			for i, a := range atoms {
+				fa.atoms[i] = newFusedAtom(c.varIndex(a.Var), a.Op, a.Threshold)
+			}
+			return fa, nil
+		}
+		cs, err := c.compileChildren(n.Children)
+		if err != nil {
+			return nil, err
+		}
+		return &batchAndNode{children: cs, out: newBatchOut(c.width)}, nil
+	case *Or:
+		cs, err := c.compileChildren(n.Children)
+		if err != nil {
+			return nil, err
+		}
+		return &batchOrNode{children: cs, out: newBatchOut(c.width)}, nil
+	case *Implies:
+		l, err := c.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &batchImpliesNode{l: l, r: r, out: newBatchOut(c.width)}, nil
+	case *Once:
+		child, err := c.compile(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := pastWindow(n.Bounds, c.dt)
+		if err != nil {
+			return nil, err
+		}
+		return newBatchWindowNode(child, lo, hi, false, c.width), nil
+	case *Historically:
+		child, err := c.compile(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := pastWindow(n.Bounds, c.dt)
+		if err != nil {
+			return nil, err
+		}
+		return newBatchWindowNode(child, lo, hi, true, c.width), nil
+	case *Since:
+		l, err := c.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := pastWindow(n.Bounds, c.dt)
+		if err != nil {
+			return nil, err
+		}
+		return newBatchSinceNode(l, r, lo, hi, c.width), nil
+	default:
+		return nil, fmt.Errorf("stl: cannot stream %T", f)
+	}
+}
+
+func (c *batchCompiler) compileChildren(children []Formula) ([]batchNode, error) {
+	out := make([]batchNode, len(children))
+	for i, child := range children {
+		n, err := c.compile(child)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// batchOut is a node's output vector pair, sized to the group width at
+// construction so the hot path never allocates.
+type batchOut struct {
+	sat []bool
+	rob []float64
+}
+
+func newBatchOut(width int) batchOut {
+	return batchOut{sat: make([]bool, width), rob: make([]float64, width)}
+}
+
+// batchMemoNode guards a stateful node shared between formulas: the
+// first step of a push advances the inner node across all active lanes,
+// later steps within the same push return the cached vectors, so shared
+// operator state consumes each batched sample exactly once.
+type batchMemoNode struct {
+	inner   batchNode
+	seq     uint64
+	sat     []bool
+	rob     []float64
+	visited bool // StateSamples dedup walk marker
+}
+
+func (m *batchMemoNode) step(ctx *batchCtx) ([]bool, []float64) {
+	if m.seq == ctx.seq {
+		return m.sat, m.rob
+	}
+	m.seq = ctx.seq
+	m.sat, m.rob = m.inner.step(ctx)
+	return m.sat, m.rob
+}
+
+func (m *batchMemoNode) state() int {
+	if m.visited {
+		return 0
+	}
+	m.visited = true
+	return m.inner.state()
+}
+
+func (m *batchMemoNode) reset() {
+	m.seq = 0
+	m.inner.reset()
+}
+
+func (m *batchMemoNode) resetLane(lane int) { m.inner.resetLane(lane) }
+
+// --- stateless batch nodes -------------------------------------------
+
+type batchAtomNode struct {
+	varIdx    int
+	op        CmpOp
+	threshold float64
+	out       batchOut
+}
+
+func (a *batchAtomNode) step(ctx *batchCtx) ([]bool, []float64) {
+	n := ctx.n
+	vals := ctx.vals[a.varIdx*n : (a.varIdx+1)*n]
+	sat, rob := a.out.sat[:n], a.out.rob[:n]
+	th := a.threshold
+	// One loop per comparison op: the per-lane arithmetic is exactly the
+	// scalar atomNode switch with the dispatch hoisted out of the lane
+	// loop.
+	switch a.op {
+	case OpLT:
+		for k, v := range vals {
+			sat[k], rob[k] = v < th, th-v
+		}
+	case OpLE:
+		for k, v := range vals {
+			sat[k], rob[k] = v <= th, th-v
+		}
+	case OpGT:
+		for k, v := range vals {
+			sat[k], rob[k] = v > th, v-th
+		}
+	case OpGE:
+		for k, v := range vals {
+			sat[k], rob[k] = v >= th, v-th
+		}
+	case OpEQ:
+		for k, v := range vals {
+			sat[k], rob[k] = v == th, -math.Abs(v-th)
+		}
+	case OpNE:
+		for k, v := range vals {
+			sat[k], rob[k] = v != th, math.Abs(v-th)
+		}
+	}
+	return sat, rob
+}
+
+func (a *batchAtomNode) state() int    { return 0 }
+func (a *batchAtomNode) reset()        {}
+func (a *batchAtomNode) resetLane(int) {}
+
+type batchConstNode struct{ out batchOut }
+
+func (c *batchConstNode) step(ctx *batchCtx) ([]bool, []float64) {
+	return c.out.sat[:ctx.n], c.out.rob[:ctx.n]
+}
+
+func (c *batchConstNode) state() int    { return 0 }
+func (c *batchConstNode) reset()        {}
+func (c *batchConstNode) resetLane(int) {}
+
+type batchNotNode struct {
+	child batchNode
+	out   batchOut
+}
+
+func (nn *batchNotNode) step(ctx *batchCtx) ([]bool, []float64) {
+	cs, cr := nn.child.step(ctx)
+	sat, rob := nn.out.sat[:ctx.n], nn.out.rob[:ctx.n]
+	for k := range cs {
+		sat[k], rob[k] = !cs[k], -cr[k]
+	}
+	return sat, rob
+}
+
+func (nn *batchNotNode) state() int         { return nn.child.state() }
+func (nn *batchNotNode) reset()             { nn.child.reset() }
+func (nn *batchNotNode) resetLane(lane int) { nn.child.resetLane(lane) }
+
+// batchFlatAndNode is the fused conjunction-of-ordering-predicates
+// kernel iterated session-major: the atom loop is outer, the lane loop
+// inner, so each linear form streams through the whole shard's values
+// contiguously. Per-lane fold order equals flatAndNode exactly.
+type batchFlatAndNode struct {
+	atoms []fusedAtom
+	out   batchOut
+}
+
+func (a *batchFlatAndNode) step(ctx *batchCtx) ([]bool, []float64) {
+	n := ctx.n
+	sat, rob := a.out.sat[:n], a.out.rob[:n]
+	for k := range sat {
+		sat[k], rob[k] = true, math.Inf(1)
+	}
+	for i := range a.atoms {
+		at := &a.atoms[i]
+		vals := ctx.vals[at.varIdx*n : (at.varIdx+1)*n]
+		if at.strict {
+			for k, v := range vals {
+				cr := v*at.mul + at.add
+				if !(cr > 0) {
+					sat[k] = false
+				}
+				if cr < rob[k] || cr != cr {
+					rob[k] = cr
+				}
+			}
+		} else {
+			for k, v := range vals {
+				cr := v*at.mul + at.add
+				if !(cr >= 0) {
+					sat[k] = false
+				}
+				if cr < rob[k] || cr != cr {
+					rob[k] = cr
+				}
+			}
+		}
+	}
+	return sat, rob
+}
+
+func (a *batchFlatAndNode) state() int    { return 0 }
+func (a *batchFlatAndNode) reset()        {}
+func (a *batchFlatAndNode) resetLane(int) {}
+
+type batchAndNode struct {
+	children []batchNode
+	out      batchOut
+}
+
+func (a *batchAndNode) step(ctx *batchCtx) ([]bool, []float64) {
+	n := ctx.n
+	sat, rob := a.out.sat[:n], a.out.rob[:n]
+	for k := range sat {
+		sat[k], rob[k] = true, math.Inf(1)
+	}
+	for _, c := range a.children {
+		cs, cr := c.step(ctx)
+		for k := range cs {
+			sat[k] = sat[k] && cs[k]
+			rob[k] = math.Min(rob[k], cr[k])
+		}
+	}
+	return sat, rob
+}
+
+func (a *batchAndNode) state() int         { return batchChildrenState(a.children) }
+func (a *batchAndNode) reset()             { batchResetChildren(a.children) }
+func (a *batchAndNode) resetLane(lane int) { batchResetChildrenLane(a.children, lane) }
+
+type batchOrNode struct {
+	children []batchNode
+	out      batchOut
+}
+
+func (o *batchOrNode) step(ctx *batchCtx) ([]bool, []float64) {
+	n := ctx.n
+	sat, rob := o.out.sat[:n], o.out.rob[:n]
+	for k := range sat {
+		sat[k], rob[k] = false, math.Inf(-1)
+	}
+	for _, c := range o.children {
+		cs, cr := c.step(ctx)
+		for k := range cs {
+			sat[k] = sat[k] || cs[k]
+			rob[k] = math.Max(rob[k], cr[k])
+		}
+	}
+	return sat, rob
+}
+
+func (o *batchOrNode) state() int         { return batchChildrenState(o.children) }
+func (o *batchOrNode) reset()             { batchResetChildren(o.children) }
+func (o *batchOrNode) resetLane(lane int) { batchResetChildrenLane(o.children, lane) }
+
+type batchImpliesNode struct {
+	l, r batchNode
+	out  batchOut
+}
+
+func (im *batchImpliesNode) step(ctx *batchCtx) ([]bool, []float64) {
+	ls, lr := im.l.step(ctx)
+	rs, rr := im.r.step(ctx)
+	sat, rob := im.out.sat[:ctx.n], im.out.rob[:ctx.n]
+	for k := range ls {
+		sat[k] = !ls[k] || rs[k]
+		rob[k] = math.Max(-lr[k], rr[k])
+	}
+	return sat, rob
+}
+
+func (im *batchImpliesNode) state() int { return im.l.state() + im.r.state() }
+func (im *batchImpliesNode) reset()     { im.l.reset(); im.r.reset() }
+func (im *batchImpliesNode) resetLane(lane int) {
+	im.l.resetLane(lane)
+	im.r.resetLane(lane)
+}
+
+func batchChildrenState(cs []batchNode) int {
+	t := 0
+	for _, c := range cs {
+		t += c.state()
+	}
+	return t
+}
+
+func batchResetChildren(cs []batchNode) {
+	for _, c := range cs {
+		c.reset()
+	}
+}
+
+func batchResetChildrenLane(cs []batchNode, lane int) {
+	for _, c := range cs {
+		c.resetLane(lane)
+	}
+}
+
+// --- stateful batch nodes --------------------------------------------
+
+// batchWindowNode is Once/Historically across the shard: per-node state
+// is a [lanes]-wide vector of the scalar extremum cores (delay line +
+// Lemire deque each), iterated session-major per push, so every lane's
+// arithmetic is bit-identical to the per-session windowNode while the
+// node's dispatch and the child's vector stay hot across the shard.
+type batchWindowNode struct {
+	child batchNode
+	robC  []*extremumCore
+	satC  []*extremumCore
+	out   batchOut
+}
+
+func newBatchWindowNode(child batchNode, lo, hi int, isMin bool, width int) *batchWindowNode {
+	w := &batchWindowNode{
+		child: child,
+		robC:  make([]*extremumCore, width),
+		satC:  make([]*extremumCore, width),
+		out:   newBatchOut(width),
+	}
+	for i := range w.robC {
+		w.robC[i] = newExtremumCore(lo, hi, isMin)
+		w.satC[i] = newExtremumCore(lo, hi, isMin)
+	}
+	return w
+}
+
+func (w *batchWindowNode) step(ctx *batchCtx) ([]bool, []float64) {
+	cs, cr := w.child.step(ctx)
+	sat, rob := w.out.sat[:ctx.n], w.out.rob[:ctx.n]
+	for k := 0; k < ctx.n; k++ {
+		lane := ctx.lanes[k]
+		rob[k] = w.robC[lane].push(cr[k])
+		sat[k] = w.satC[lane].push(boolToFloat(cs[k])) > 0.5
+	}
+	return sat, rob
+}
+
+func (w *batchWindowNode) state() int {
+	t := w.child.state()
+	for i := range w.robC {
+		t += w.robC[i].state() + w.satC[i].state()
+	}
+	return t
+}
+
+func (w *batchWindowNode) reset() {
+	w.child.reset()
+	for i := range w.robC {
+		w.robC[i].reset()
+		w.satC[i].reset()
+	}
+}
+
+func (w *batchWindowNode) resetLane(lane int) {
+	w.child.resetLane(lane)
+	w.robC[lane].reset()
+	w.satC[lane].reset()
+}
+
+// batchSinceNode is L S[a,b] R across the shard, one pair of scalar
+// since cores per lane.
+type batchSinceNode struct {
+	l, r batchNode
+	robC []*sinceCore
+	satC []*sinceCore
+	out  batchOut
+}
+
+func newBatchSinceNode(l, r batchNode, lo, hi, width int) *batchSinceNode {
+	s := &batchSinceNode{
+		l: l, r: r,
+		robC: make([]*sinceCore, width),
+		satC: make([]*sinceCore, width),
+		out:  newBatchOut(width),
+	}
+	for i := range s.robC {
+		s.robC[i] = newSinceCore(lo, hi)
+		s.satC[i] = newSinceCore(lo, hi)
+	}
+	return s
+}
+
+func (s *batchSinceNode) step(ctx *batchCtx) ([]bool, []float64) {
+	ls, lr := s.l.step(ctx)
+	rs, rr := s.r.step(ctx)
+	sat, rob := s.out.sat[:ctx.n], s.out.rob[:ctx.n]
+	for k := 0; k < ctx.n; k++ {
+		lane := ctx.lanes[k]
+		rob[k] = s.robC[lane].push(lr[k], rr[k])
+		sat[k] = s.satC[lane].push(boolToFloat(ls[k]), boolToFloat(rs[k])) > 0.5
+	}
+	return sat, rob
+}
+
+func (s *batchSinceNode) state() int {
+	t := s.l.state() + s.r.state()
+	for i := range s.robC {
+		t += s.robC[i].state() + s.satC[i].state()
+	}
+	return t
+}
+
+func (s *batchSinceNode) reset() {
+	s.l.reset()
+	s.r.reset()
+	for i := range s.robC {
+		s.robC[i].reset()
+		s.satC[i].reset()
+	}
+}
+
+func (s *batchSinceNode) resetLane(lane int) {
+	s.l.resetLane(lane)
+	s.r.resetLane(lane)
+	s.robC[lane].reset()
+	s.satC[lane].reset()
+}
+
+// --- group -----------------------------------------------------------
+
+// BatchStreamGroup evaluates many past-only formulas across a whole
+// shard of independent sessions (lanes) in one struct-of-arrays push:
+// the formulas compile into the same hash-consed node DAG as
+// StreamGroup, but every node carries [lanes]-wide state and output
+// vectors and iterates session-major, so per-push dispatch, memo
+// checks, and value loads amortize across the shard instead of being
+// paid once per session. Per-lane results are bit-identical to pushing
+// each lane's samples through its own StreamGroup (the batched
+// differential tests enforce exact equality), and lanes reset
+// independently, which is what lets a fleet shard recycle a lane for a
+// fresh session without touching its neighbors.
+type BatchStreamGroup struct {
+	comp     *batchCompiler
+	formulas []Formula
+	roots    []batchNode
+	outSat   [][]bool
+	outRob   [][]float64
+	width    int
+	pushes   uint64
+	ctx      batchCtx
+	seen     []bool // per-lane duplicate check scratch
+}
+
+// NewBatchStreamGroup creates an empty batched group at sampling period
+// dtMin minutes with the given lane count.
+func NewBatchStreamGroup(dtMin float64, width int) (*BatchStreamGroup, error) {
+	if dtMin <= 0 {
+		return nil, fmt.Errorf("stl: non-positive sampling period %v", dtMin)
+	}
+	if width <= 0 {
+		return nil, fmt.Errorf("stl: batch group needs positive width, got %d", width)
+	}
+	return &BatchStreamGroup{
+		comp:  newBatchCompiler(dtMin, width),
+		width: width,
+		seen:  make([]bool, width),
+	}, nil
+}
+
+// Add compiles a past-only formula into the group and returns its
+// index. Formulas may only be added before the first push.
+func (g *BatchStreamGroup) Add(f Formula) (int, error) {
+	if f == nil {
+		return 0, fmt.Errorf("stl: nil formula")
+	}
+	if g.pushes > 0 {
+		return 0, fmt.Errorf("stl: cannot add formulas to a running group")
+	}
+	if !PastOnly(f) {
+		return 0, fmt.Errorf("stl: formula %q needs future knowledge; cannot monitor online", f)
+	}
+	root, err := g.comp.compile(f)
+	if err != nil {
+		return 0, err
+	}
+	g.formulas = append(g.formulas, f)
+	g.roots = append(g.roots, root)
+	g.outSat = append(g.outSat, nil)
+	g.outRob = append(g.outRob, nil)
+	return len(g.roots) - 1, nil
+}
+
+// Size returns the number of formulas in the group.
+func (g *BatchStreamGroup) Size() int { return len(g.roots) }
+
+// Width returns the lane count.
+func (g *BatchStreamGroup) Width() int { return g.width }
+
+// Len returns the number of batched pushes consumed.
+func (g *BatchStreamGroup) Len() int { return int(g.pushes) }
+
+// Dt returns the sampling period in minutes.
+func (g *BatchStreamGroup) Dt() float64 { return g.comp.dt }
+
+// Vars returns the variable table: PushLanes values are indexed by this
+// order. The table grows only in Add, never during pushes.
+func (g *BatchStreamGroup) Vars() []string { return g.comp.vars }
+
+// VarIndex resolves a variable name to its value-matrix row.
+func (g *BatchStreamGroup) VarIndex(name string) (int, bool) {
+	i, ok := g.comp.varIdx[name]
+	return i, ok
+}
+
+// PushLanes consumes one sample for each of the given lanes: vals is
+// the struct-of-arrays value matrix, vals[v*len(lanes)+k] holding
+// variable v (in Vars order) of lane lanes[k]. Lanes absent from the
+// call do not advance. A duplicated lane ID is rejected before any
+// operator state advances — it would double-advance that lane's
+// operator state, silently corrupting its windows.
+func (g *BatchStreamGroup) PushLanes(lanes []int, vals []float64) error {
+	n := len(lanes)
+	if n == 0 {
+		return fmt.Errorf("stl: empty batch push")
+	}
+	for i, lane := range lanes {
+		if lane < 0 || lane >= g.width {
+			g.clearSeen(lanes[:i])
+			return fmt.Errorf("stl: lane %d out of range [0, %d)", lane, g.width)
+		}
+		if g.seen[lane] {
+			g.clearSeen(lanes[:i])
+			return fmt.Errorf("stl: duplicate lane %d in one push", lane)
+		}
+		g.seen[lane] = true
+	}
+	g.clearSeen(lanes)
+	if want := len(g.comp.vars) * n; len(vals) != want {
+		return fmt.Errorf("stl: value matrix has %d entries, want %d (%d variables x %d lanes)",
+			len(vals), want, len(g.comp.vars), n)
+	}
+	g.pushes++
+	g.ctx = batchCtx{lanes: lanes, vals: vals, n: n, seq: g.pushes}
+	for i, r := range g.roots {
+		g.outSat[i], g.outRob[i] = r.step(&g.ctx)
+	}
+	g.ctx.vals = nil
+	return nil
+}
+
+// clearSeen unmarks the duplicate-check scratch for the given lanes
+// (only touched entries, so the check stays O(len(lanes)) per push).
+func (g *BatchStreamGroup) clearSeen(lanes []int) {
+	for _, lane := range lanes {
+		g.seen[lane] = false
+	}
+}
+
+// Sats returns formula i's satisfaction vector at the last push,
+// indexed like the lanes slice that push was called with. The slice is
+// reused by the next push; callers that retain it must copy.
+func (g *BatchStreamGroup) Sats(i int) []bool { return g.outSat[i] }
+
+// Robs returns formula i's robustness vector at the last push, indexed
+// like the lanes slice that push was called with. The slice is reused
+// by the next push; callers that retain it must copy.
+func (g *BatchStreamGroup) Robs(i int) []float64 { return g.outRob[i] }
+
+// StateSamples returns the total buffered per-sample entries across the
+// group's unique operator nodes, summed over all lanes (hash-consed
+// subformulas count once).
+func (g *BatchStreamGroup) StateSamples() int {
+	for _, m := range g.comp.memos {
+		m.visited = false
+	}
+	t := 0
+	for _, r := range g.roots {
+		t += r.state()
+	}
+	return t
+}
+
+// ResetLane clears one lane's operator state, as if that lane had seen
+// no samples; other lanes are untouched.
+func (g *BatchStreamGroup) ResetLane(lane int) {
+	for _, r := range g.roots {
+		r.resetLane(lane)
+	}
+}
+
+// Reset clears all operator state in every lane. Sats/Robs return nil
+// again until the next push, as on a fresh group.
+func (g *BatchStreamGroup) Reset() {
+	for _, r := range g.roots {
+		r.reset()
+	}
+	for i := range g.outSat {
+		g.outSat[i], g.outRob[i] = nil, nil
+	}
+	g.pushes = 0
+}

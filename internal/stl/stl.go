@@ -1,12 +1,3 @@
-// Package stl implements bounded-time Signal Temporal Logic over sampled
-// multi-variable traces: the formula AST, boolean satisfaction, the
-// standard quantitative (robustness) semantics used by the paper's
-// threshold-learning step, past-time operators for online monitoring,
-// and a text parser.
-//
-// Time bounds are expressed in minutes and converted to sample indices
-// through the trace's sampling period, so the same formula evaluates on
-// traces of any uniform rate.
 package stl
 
 import (
