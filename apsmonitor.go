@@ -162,8 +162,11 @@ func RunCampaign(cfg CampaignConfig) ([]*Trace, error) { return experiment.Run(c
 // Fleet engine: streaming concurrent sessions (see internal/fleet and
 // DESIGN.md). RunCampaign is the batch special case; RunFleet exposes
 // the full engine — session replication, continuous serving mode,
-// per-session sensor noise, event streaming, and per-shard batched
-// monitor inference.
+// per-session sensor noise, event streaming, per-shard batched monitor
+// inference, and sharded sink delivery (FleetConfig.ShardedSinks with
+// FleetConfig.SinkEpoch: per-worker buffers merged in canonical
+// parallelism-independent order at epoch barriers, so continuous
+// serving fleets get contention-free sinks with bounded memory).
 type (
 	// FleetConfig describes a fleet run.
 	FleetConfig = fleet.Config
@@ -179,9 +182,10 @@ type (
 	// BatchMonitor is the batched-inference monitor contract.
 	BatchMonitor = monitor.BatchMonitor
 	// FleetSink persists the fleet's event stream (FleetConfig.Sinks):
-	// Emit receives every event from one collector goroutine, Flush runs
-	// when the fleet stops. See NewFleetLogSink, NewFleetRingSink, and
-	// NewFleetHistSink for the shipped implementations.
+	// Emit receives every event serially — from one collector goroutine,
+	// or in canonical merged order under sharded delivery — and Flush
+	// runs when the fleet stops. See NewFleetLogSink, NewFleetRingSink,
+	// and NewFleetHistSink for the shipped implementations.
 	FleetSink = fleet.Sink
 	// FleetLogSink appends events as JSON lines to a writer.
 	FleetLogSink = fleet.LogSink

@@ -1,7 +1,9 @@
 package apsmonitor_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	apsmonitor "repro"
 )
@@ -126,6 +128,46 @@ func TestFacadeSTL(t *testing.T) {
 	sat, err := f.Sat(tr, 0)
 	if err != nil || !sat {
 		t.Errorf("in-range trace should satisfy: %v %v", sat, err)
+	}
+}
+
+// TestFacadeContinuousShardedSinks drives the continuous-serving shape
+// through the public API: a serving fleet with sharded sink delivery
+// paced by SinkEpoch must run (the finite-run restriction is lifted),
+// persist telemetry while live, and shut down cleanly on deadline.
+func TestFacadeContinuousShardedSinks(t *testing.T) {
+	hist, err := apsmonitor.NewFleetHistSink(-5, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := apsmonitor.NewFleetRingSink(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res, err := apsmonitor.RunFleet(ctx, apsmonitor.FleetConfig{
+		Platform:     apsmonitor.FleetPlatform(apsmonitor.MustPlatform("glucosym")),
+		Patients:     []int{0},
+		Scenarios:    apsmonitor.QuickScenarios(300),
+		Steps:        5,
+		Continuous:   true,
+		Telemetry:    &apsmonitor.FleetTelemetryConfig{},
+		Sinks:        []apsmonitor.FleetSink{hist, ring},
+		ShardedSinks: true,
+		SinkEpoch:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed <= int64(res.Sessions) {
+		t.Fatalf("no replica restarts (completed %d of %d slots)", res.Completed, res.Sessions)
+	}
+	if ring.Total() == 0 {
+		t.Fatal("sharded continuous delivery reached no sink")
+	}
+	if len(hist.Patients()) == 0 {
+		t.Fatal("no margins aggregated from the serving fleet")
 	}
 }
 

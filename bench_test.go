@@ -698,6 +698,51 @@ func BenchmarkFleetTelemetry(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedSinkEpochMerge prices the sink delivery shapes on a
+// telemetry-heavy 100-session fleet, all into the same null sink:
+//
+//   - collector: the single collector goroutine (channel per event) —
+//     the streaming default;
+//   - run-end: ShardedSinks with SinkEpoch=0 — per-worker buffers, one
+//     canonical merge at completion (finite runs only, O(run) memory);
+//   - epoch-16: ShardedSinks with SinkEpoch=16 — the same canonical
+//     stream delivered incrementally at epoch barriers, the shape that
+//     serves continuous fleets with O(epoch) memory.
+//
+// steps/s gaps between the three are the cost of the channel hop
+// (collector vs run-end) and of the barrier quiesce (run-end vs epoch).
+// BENCH_sinks.json tracks the trajectory.
+func BenchmarkShardedSinkEpochMerge(b *testing.B) {
+	platform := experiment.Glucosym()
+	base := fleet.Config{
+		Platform:      fleet.Platform(platform),
+		Patients:      []int{0, 1, 2, 3},
+		Scenarios:     experiment.ScenarioSubset(36),
+		Sessions:      100,
+		Steps:         50,
+		DiscardTraces: true,
+		Telemetry:     &fleet.TelemetryConfig{},
+	}
+	run := func(b *testing.B, sharded bool, sinkEpoch int) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Sinks = []fleet.Sink{&nullSink{}}
+			cfg.ShardedSinks = sharded
+			cfg.SinkEpoch = sinkEpoch
+			res, err := fleet.Run(context.Background(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("collector", func(b *testing.B) { run(b, false, 0) })
+	b.Run("run-end", func(b *testing.B) { run(b, true, 0) })
+	b.Run("epoch-16", func(b *testing.B) { run(b, true, 16) })
+}
+
 // BenchmarkSCSBatchPush is the kernel-level view of telemetry batching:
 // one control cycle of Table I rule evaluation for 128 sessions, as 128
 // per-session StreamSet pushes versus one BatchStreamSet push.

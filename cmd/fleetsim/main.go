@@ -19,13 +19,16 @@
 // -sink-rotate-bytes/-sink-rotate-age/-sink-keep), a fixed-size ring
 // snapshot, and per-patient margin histograms, in any combination;
 // -sharded-sinks buffers events per worker and merges them in canonical
-// (parallelism-independent) order when the run completes.
+// (parallelism-independent) order — at every -sink-epoch rounds, so
+// delivery stays live with bounded buffers (the default for continuous
+// serving), or once at completion for finite runs with -sink-epoch 0.
 //
 //	fleetsim -platform glucosym -patients 5 -scenarios 88 -sessions 2000 \
 //	         -parallel 8 -duration 30s -seed 1 -noise 2.5 \
 //	         -monitor cawot-batch -mitigate -scale-margin -stl-from-monitor \
 //	         -sink log,hist -sink-path events.jsonl \
-//	         -sink-rotate-bytes 10000000 -sink-keep 5
+//	         -sink-rotate-bytes 10000000 -sink-keep 5 \
+//	         -sharded-sinks -sink-epoch 64
 package main
 
 import (
@@ -65,7 +68,8 @@ func main() {
 		sinkRotBytes = flag.Int64("sink-rotate-bytes", 0, "rotate the log sink once the file reaches this many bytes (0 = no size trigger)")
 		sinkRotAge   = flag.Duration("sink-rotate-age", 0, "rotate the log sink once the file is this old (0 = no age trigger)")
 		sinkKeep     = flag.Int("sink-keep", 0, "retain at most this many rotated log files, deleting older ones (0 = keep all)")
-		shardedSinks = flag.Bool("sharded-sinks", false, "buffer sink events per worker and merge in canonical parallelism-independent order at completion (finite runs)")
+		shardedSinks = flag.Bool("sharded-sinks", false, "buffer sink events per worker and merge in canonical parallelism-independent order")
+		sinkEpoch    = flag.Int("sink-epoch", 0, "with -sharded-sinks: merge and deliver buffers every k lock-step rounds (0 = at completion for finite runs; continuous runs default to 64)")
 		ringSize     = flag.Int("ring-size", 1024, "ring sink capacity (events)")
 		verbose      = flag.Bool("v", false, "stream alarm/hazard events (with -stl: also rule-violation margins)")
 	)
@@ -124,11 +128,8 @@ func main() {
 	if *stlPerSess && !*stlTelem {
 		fail(fmt.Errorf("-stl-per-session requires -stl"))
 	}
-	if *shardedSinks && *duration > 0 {
-		// Sharded delivery buffers the whole event stream and merges at
-		// completion; a serving fleet would grow that buffer unboundedly
-		// and write nothing until shutdown.
-		fail(fmt.Errorf("-sharded-sinks requires a finite run (incompatible with -duration)"))
+	if *sinkEpoch != 0 && !*shardedSinks {
+		fail(fmt.Errorf("-sink-epoch requires -sharded-sinks (it paces sharded delivery)"))
 	}
 	if *sinkKeep > 0 && *sinkRotBytes <= 0 && *sinkRotAge <= 0 {
 		fail(fmt.Errorf("-sink-keep requires a rotation trigger (-sink-rotate-bytes or -sink-rotate-age)"))
@@ -154,6 +155,7 @@ func main() {
 		histSink *apsmonitor.FleetHistSink
 	)
 	cfg.ShardedSinks = *shardedSinks
+	cfg.SinkEpoch = *sinkEpoch
 	if *sinkList != "" {
 		for _, name := range strings.Split(*sinkList, ",") {
 			switch strings.TrimSpace(name) {

@@ -43,9 +43,26 @@
 // different shards interleave by scheduling. The deterministic
 // artifacts of a run are its traces and per-(session, replica, step)
 // event values — and, with Config.ShardedSinks, the sink streams too:
-// per-worker buffers merge in canonical session-coordinate order at
-// completion, making sink output byte-identical across parallelism
-// levels (TestShardedSinksDeterministicAcrossParallelism).
+// per-worker buffers merge in canonical session-coordinate order,
+// making sink output byte-identical across parallelism levels
+// (TestShardedSinksDeterministicAcrossParallelism). With
+// Config.SinkEpoch the merge happens incrementally at epoch barriers
+// every SinkEpoch lock-step rounds: finite runs stream the stable
+// prefix of the canonical order (concatenated epoch merges are
+// byte-identical to the run-end merge at any (Parallel, SinkEpoch) —
+// TestShardedSinkEpochMergeMatchesRunEnd), and continuous runs drain
+// every closed epoch whole with memory bounded by one epoch window
+// (TestShardedSinksContinuousBounded). See shard_sink.go.
+//
+// Cancellation loses only the in-flight tail, identically in both
+// delivery modes: channel-based delivery (the collector goroutine and
+// the Events channel) abandons sends once the context is cancelled, and
+// sharded delivery skips the open — un-barriered — epoch of a cancelled
+// run, delivering only epochs that closed before shutdown (plus any
+// canonical-order holdback from closed epochs). Neither mode replays
+// the cancelled tail as if the run had completed
+// (TestShardedSinkCancelSkipsOpenEpoch); a durable record of the final
+// instants before shutdown requires a clean (finite) completion.
 //
 // Telemetry is never silently dropped while a run is live: the
 // collector goroutine backpressures workers through a bounded channel

@@ -26,6 +26,12 @@ const (
 	// margin — the minimum quantitative margin across the telemetry rule
 	// set, evaluated by the incremental streaming engine (Config.Telemetry).
 	EventRobustness
+
+	// eventKindCount sentinels the enum. A new kind goes above this line
+	// and must be given a String name and an explicit kindRank merge
+	// position — TestKindRankExhaustive fails otherwise, so a future
+	// event kind cannot silently get a nondeterministic merge position.
+	eventKindCount
 )
 
 // String implements fmt.Stringer.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -165,15 +166,30 @@ type Config struct {
 	// sinks are flushed when Run returns.
 	Sinks []Sink
 	// ShardedSinks replaces the collector goroutine with per-worker
-	// event buffers merged into the sinks in canonical order when the
-	// run completes (see shard_sink.go): workers append events locally —
-	// no channel, no cross-shard contention — and the merged delivery
-	// order is a pure function of the session coordinates, so sink
-	// output is byte-identical at any parallelism level, like traces.
-	// The trade-offs: sinks see nothing until the run ends, and the
-	// buffered stream is held in memory, so continuous serving fleets
-	// should prefer the streaming collector. Events still stream live.
+	// event buffers merged into the sinks in canonical order (see
+	// shard_sink.go): workers append events locally — no channel, no
+	// cross-shard contention — and the merged delivery order is a pure
+	// function of the session coordinates, so sink output is
+	// byte-identical at any parallelism level, like traces. With
+	// SinkEpoch == 0 the merge happens once, when the run completes
+	// (finite runs only); with SinkEpoch > 0 the buffers drain at epoch
+	// barriers, so delivery is live and memory is bounded by one epoch
+	// window. Events still stream live either way.
 	ShardedSinks bool
+	// SinkEpoch (with ShardedSinks) drains the per-worker buffers at an
+	// epoch barrier every SinkEpoch completed lock-step rounds: all
+	// shards quiesce, the closed epoch merges in canonical order, and
+	// the deliverable prefix streams to the sinks immediately, with
+	// completion counts and progress marks re-stamped incrementally
+	// across epochs. For finite runs the concatenation of epoch merges
+	// is byte-identical to the single run-end merge at any (Parallel,
+	// SinkEpoch). Zero defers delivery to run end (finite runs;
+	// continuous fleets require epochs and default to 64).
+	SinkEpoch int
+	// sinkEpochHook, when set (tests only), observes each closed epoch:
+	// the epoch index, how many events were buffered at the barrier, and
+	// how many of them were delivered.
+	sinkEpochHook func(epoch, buffered, delivered int)
 	// ProgressEvery emits an EventProgress every k completed sessions
 	// (default 0: no progress events).
 	ProgressEvery int
@@ -186,12 +202,16 @@ func (c Config) withDefaults() (Config, error) {
 	if c.NewMonitor != nil && c.NewBatchMonitor != nil {
 		return c, fmt.Errorf("fleet: NewMonitor and NewBatchMonitor are mutually exclusive")
 	}
-	if c.ShardedSinks && c.Continuous {
-		// Sharded delivery buffers every event until the run completes; a
-		// serving fleet would grow that buffer unboundedly and persist
-		// nothing until shutdown. Continuous fleets use the streaming
-		// collector.
-		return c, fmt.Errorf("fleet: ShardedSinks requires a finite run")
+	if c.SinkEpoch < 0 {
+		return c, fmt.Errorf("fleet: negative SinkEpoch %d", c.SinkEpoch)
+	}
+	if c.SinkEpoch > 0 && !c.ShardedSinks {
+		return c, fmt.Errorf("fleet: SinkEpoch requires ShardedSinks")
+	}
+	if c.ShardedSinks && c.Continuous && c.SinkEpoch == 0 {
+		// Run-end-only merge never happens on a serving fleet; epoch
+		// barriers keep delivery live and the buffers bounded.
+		c.SinkEpoch = 64
 	}
 	if len(c.Patients) == 0 {
 		c.Patients = make([]int, c.Platform.NumPatients)
@@ -307,12 +327,13 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	// never races with itself, and a slow sink backpressures the workers
 	// through the bounded channel instead of dropping telemetry. With
 	// ShardedSinks each worker buffers its own events instead, and the
-	// buffers merge into the sinks in canonical order after simulation.
+	// buffers merge into the sinks in canonical order — at every
+	// SinkEpoch barrier, and once more when the workers exit.
 	var collectorDone chan struct{}
 	sinkErrs := make([]error, len(cfg.Sinks))
 	if len(cfg.Sinks) > 0 {
 		if cfg.ShardedSinks {
-			eng.shardBufs = make([][]Event, cfg.Parallel)
+			eng.sinks = newShardedDelivery(&eng.cfg, sinkErrs)
 		} else {
 			eng.sinkCh = make(chan Event, 256)
 			collectorDone = make(chan struct{})
@@ -344,8 +365,8 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		close(eng.sinkCh)
 		<-collectorDone
 	}
-	if eng.shardBufs != nil {
-		deliverSharded(eng.shardBufs, &cfg, sinkErrs)
+	if eng.sinks != nil {
+		eng.sinks.finish()
 	}
 	var flushErrs []error
 	for _, s := range cfg.Sinks {
@@ -375,13 +396,13 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 // trace slots and communicate only through the atomic counters and the
 // event channel, so the whole run is data-race free by construction.
 type engine struct {
-	ctx       context.Context
-	cfg       Config
-	pool      *bufferPool
-	traces    []*trace.Trace
-	errs      []error
-	sinkCh    chan Event
-	shardBufs [][]Event // per-worker sink buffers (ShardedSinks)
+	ctx    context.Context
+	cfg    Config
+	pool   *bufferPool
+	traces []*trace.Trace
+	errs   []error
+	sinkCh chan Event
+	sinks  *shardedDelivery // per-worker sink buffers + epoch barrier (ShardedSinks)
 
 	steps     atomic.Int64
 	completed atomic.Int64
@@ -405,11 +426,11 @@ func (e *engine) emit(shard int, ev Event) {
 		case <-e.ctx.Done():
 		}
 	}
-	if e.shardBufs != nil && ev.Kind != EventProgress {
+	if e.sinks != nil && ev.Kind != EventProgress {
 		// Progress events are a live-streaming affordance whose payload
 		// (the global completion count) is scheduling-dependent; the
 		// canonical merge re-synthesizes them deterministically.
-		e.shardBufs[shard] = append(e.shardBufs[shard], ev)
+		e.sinks.buffer(shard, ev)
 	}
 }
 
@@ -420,6 +441,14 @@ func (e *engine) emit(shard int, ev Event) {
 // complete, reusing their lane (and its recycled buffers).
 func (e *engine) runShard(shard int) {
 	cfg := &e.cfg
+	cleanExit := false
+	if e.sinks != nil {
+		// A shard leaving the run withdraws from the epoch barrier so the
+		// others never wait on it; a clean exit flushes its remaining
+		// buffer, an aborted one (cancellation, error) drops the open
+		// epoch — see shard_sink.go for the cancellation contract.
+		defer func() { e.sinks.leave(shard, cleanExit) }()
+	}
 	var slots []int
 	for slot := shard; slot < cfg.Sessions; slot += cfg.Parallel {
 		slots = append(slots, slot)
@@ -500,6 +529,7 @@ func (e *engine) runShard(shard int) {
 	obs := make([]closedloop.Observation, 0, len(live))
 	verdicts := make([]closedloop.Verdict, len(live))
 
+	rounds := 0 // completed lock-step rounds since the last epoch barrier
 	for len(live) > 0 {
 		select {
 		case <-e.ctx.Done():
@@ -601,7 +631,33 @@ func (e *engine) runShard(shard int) {
 			}
 			live[i] = ns
 		}
+
+		if e.sinks != nil && cfg.SinkEpoch > 0 {
+			rounds++
+			if rounds == cfg.SinkEpoch {
+				rounds = 0
+				frontier := math.MaxInt
+				if !cfg.Continuous {
+					// The smallest session slot this shard will still emit
+					// events for: the live window always holds the shard's
+					// lowest unfinished slots (queued ones are all higher),
+					// so its minimum is the shard's frontier.
+					for _, s := range live {
+						if s.Index < frontier {
+							frontier = s.Index
+						}
+					}
+				}
+				e.sinks.await(shard, frontier)
+			}
+		}
 	}
+	// A continuous shard only drains its live window when cancellation
+	// stopped the refills mid-round — that exit abandons an open epoch
+	// and must not flush it (the cancellation contract in shard_sink.go);
+	// checking the context rather than the mode also keeps a finite run
+	// that was cancelled on its final round from flushing.
+	cleanExit = e.ctx.Err() == nil
 }
 
 // noteStep streams the session's first monitor alarm as a live event

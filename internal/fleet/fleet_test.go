@@ -529,14 +529,39 @@ func TestFleetValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	epochNoShard := Config{
+		Platform:  glucosymPlatform(),
+		SinkEpoch: 8,
+		Sinks:     []Sink{ring},
+	}
+	if _, err := Run(context.Background(), epochNoShard); err == nil {
+		t.Error("SinkEpoch without ShardedSinks should fail")
+	}
+	negEpoch := Config{
+		Platform:     glucosymPlatform(),
+		ShardedSinks: true,
+		SinkEpoch:    -1,
+		Sinks:        []Sink{ring},
+	}
+	if _, err := Run(context.Background(), negEpoch); err == nil {
+		t.Error("negative SinkEpoch should fail")
+	}
+	// ShardedSinks + Continuous is no longer rejected: epoch barriers
+	// bound the buffers, so serving fleets get contention-free sinks
+	// (TestShardedSinksContinuousBounded exercises the run itself).
 	shardedContinuous := Config{
 		Platform:     glucosymPlatform(),
+		Patients:     []int{0},
+		Scenarios:    thinScenarios(300),
+		Steps:        5,
 		Continuous:   true,
 		ShardedSinks: true,
 		Sinks:        []Sink{ring},
 	}
-	if _, err := Run(context.Background(), shardedContinuous); err == nil {
-		t.Error("ShardedSinks + Continuous should fail (unbounded buffering)")
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := Run(ctx, shardedContinuous); err != nil {
+		t.Errorf("ShardedSinks + Continuous should run with epoch delivery: %v", err)
 	}
 	noEvents := Config{
 		Platform:  glucosymPlatform(),

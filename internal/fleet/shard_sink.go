@@ -1,25 +1,72 @@
 package fleet
 
-import "sort"
+import (
+	"math"
+	"sort"
+	"sync"
+)
 
 // Sharded sink delivery. The single collector goroutine that normally
 // owns Sink.Emit serializes every worker through one channel — fine for
 // a handful of shards, a bottleneck on the road to million-session
 // fleets. With Config.ShardedSinks each worker appends its events to a
 // private buffer instead (no channel, no cross-shard contention), and
-// when simulation completes the buffers merge into the sinks in
-// *canonical order*: sorted by (Session, Replica, Step, kind rank),
-// with completion counters re-stamped and progress events re-synthesized
-// along the merged order. Every component of that key is a pure
-// function of the session's coordinates — never of goroutine scheduling
-// — so sharded sink output is byte-identical at any parallelism level,
-// the same determinism contract the traces carry
+// the buffers merge into the sinks in *canonical order*: sorted by
+// (Session, Replica, Step, kind rank), with completion counters
+// re-stamped and progress events re-synthesized along the merged order.
+// Every component of that key is a pure function of the session's
+// coordinates — never of goroutine scheduling — so sharded sink output
+// is byte-identical at any parallelism level, the same determinism
+// contract the traces carry
 // (TestShardedSinksDeterministicAcrossParallelism).
+//
+// # Epoch barriers
+//
+// Delivery is no longer deferred to run end: with Config.SinkEpoch > 0
+// every worker shard reaches a generation barrier each SinkEpoch
+// completed lock-step rounds. All shards quiesce, the last arriver
+// merges the per-worker buffers for the closed epoch into the pending
+// pool, and the deliverable part streams into the sinks immediately
+// while the other shards wait — so per-worker buffering composes with
+// live delivery and bounded memory:
+//
+//   - Finite runs deliver the *stable prefix* of the canonical order:
+//     every pending event whose Session precedes the fleet frontier
+//     (the smallest session slot any shard will still emit for). A
+//     session below the frontier is fully finalized, so its events can
+//     never be preceded by a future event, and the concatenation of
+//     epoch deliveries is exactly the run-end canonical merge, chunked
+//     — byte-identical at any (Parallel, SinkEpoch), including
+//     SinkEpoch == 0, the run-end-only special case
+//     (TestShardedSinkEpochMergeMatchesRunEnd).
+//
+//   - Continuous runs drain every closed epoch whole: all slots are
+//     live forever and advance in lock-step with the barriers, so the
+//     assignment of events to epochs is itself a pure function of the
+//     session coordinates (round = Replica*Steps + Step), and each
+//     chunk — sorted canonically within itself — is deterministic
+//     across parallelism. Buffered memory is bounded by one epoch
+//     window per shard instead of the whole run
+//     (TestShardedSinksContinuousBounded).
+//
+// # Cancellation
+//
+// A shard that exits without completing its run (context cancelled, or
+// a session build error) abandons its open-epoch buffer, and the
+// not-yet-closed epoch is never delivered: cancelled fleets lose the
+// un-barriered tail under sharded delivery exactly as channel-based
+// delivery abandons in-flight events on ctx.Done (see Sink and
+// fleet/doc.go for the contract). Events already held back from closed
+// epochs (the finite-mode stable-prefix residue) still deliver when the
+// run returns.
 
 // kindRank orders a session's events within one step for the canonical
 // merge: an alarm precedes the robustness sample of the same cycle
 // (matching live emission order), and terminal events sort after the
-// per-step stream at equal step numbers.
+// per-step stream at equal step numbers. Every declared EventKind must
+// have an explicit rank — an unknown kind would otherwise silently get
+// a merge position that changes when the enum grows
+// (TestKindRankExhaustive guards this).
 func kindRank(k EventKind) int {
 	switch k {
 	case EventSessionStart:
@@ -32,8 +79,13 @@ func kindRank(k EventKind) int {
 		return 3
 	case EventSessionDone:
 		return 4
-	default:
+	case EventProgress:
+		// Progress marks are never buffered (emit excludes them); they are
+		// re-synthesized during delivery. The rank exists only so the
+		// exhaustiveness guard covers the whole enum.
 		return 5
+	default:
+		return -1
 	}
 }
 
@@ -51,40 +103,201 @@ func canonicalLess(a, b *Event) bool {
 	return kindRank(a.Kind) < kindRank(b.Kind)
 }
 
-// deliverSharded merges the per-worker event buffers and replays them
-// into every sink in canonical order, re-stamping EventSessionDone
-// completion counts and synthesizing EventProgress marks so the
-// delivered stream is fully deterministic. Sink error semantics match
-// the collector: the first Emit error detaches a sink for the rest of
-// the delivery and is reported through sinkErrs.
-func deliverSharded(bufs [][]Event, cfg *Config, sinkErrs []error) {
-	total := 0
-	for _, b := range bufs {
-		total += len(b)
-	}
-	merged := make([]Event, 0, total)
-	for _, b := range bufs {
-		merged = append(merged, b...)
-	}
-	sort.Slice(merged, func(i, j int) bool { return canonicalLess(&merged[i], &merged[j]) })
+// shardedDelivery owns sharded sink delivery for one run: the
+// per-worker event buffers, the epoch barrier the worker shards
+// rendezvous on, the pending pool of merged-but-not-yet-deliverable
+// events, and the re-stamping cursors carried across epochs. All fields
+// except bufs are guarded by mu; bufs[shard] is owned by worker shard
+// between barriers and only read under mu while every participant is
+// quiesced (arrived at the barrier, or left).
+type shardedDelivery struct {
+	cfg      *Config
+	sinkErrs []error
 
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	bufs     [][]Event // per-worker open-epoch buffers
+	pending  []Event   // merged events held back for canonical order (finite)
+	frontier []int     // per-shard smallest session slot still unfinished
+
+	parties int // shards still participating in the barrier
+	arrived int
+	phase   int  // barrier generation, for spurious-wakeup-safe waiting
+	aborted bool // an open epoch was abandoned: stop epoch deliveries
+
+	epoch     int   // closed (delivered) epochs so far
+	completed int64 // re-stamp cursor for EventSessionDone, carried across epochs
+}
+
+func newShardedDelivery(cfg *Config, sinkErrs []error) *shardedDelivery {
+	d := &shardedDelivery{
+		cfg:      cfg,
+		sinkErrs: sinkErrs,
+		bufs:     make([][]Event, cfg.Parallel),
+		frontier: make([]int, cfg.Parallel),
+		parties:  cfg.Parallel,
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// buffer appends one event to the shard's open-epoch buffer. No lock:
+// the buffer is owned by the worker between barriers, and the barrier
+// protocol guarantees no reader runs while any owner is appending.
+func (d *shardedDelivery) buffer(shard int, ev Event) {
+	d.bufs[shard] = append(d.bufs[shard], ev)
+}
+
+// await is the epoch barrier: the shard publishes its frontier (the
+// smallest session slot it will still emit events for; MaxInt when
+// irrelevant) and blocks until every participating shard has arrived.
+// The last arriver closes the epoch — merges all buffers and delivers
+// the stable prefix — before releasing the others.
+func (d *shardedDelivery) await(shard, frontier int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frontier[shard] = frontier
+	d.arrived++
+	if d.arrived == d.parties {
+		d.completeBarrier()
+		return
+	}
+	ph := d.phase
+	for ph == d.phase {
+		d.cond.Wait()
+	}
+}
+
+// leave withdraws a shard from the barrier. A shard that completed its
+// run flushes its remaining buffer into the pending pool (flush=true);
+// a shard abandoning an open epoch — cancellation or error — drops the
+// buffer and poisons epoch delivery, because that epoch can never close
+// for every shard (flush=false). Either way, if the departure makes the
+// remaining arrivals complete, the barrier is released here.
+func (d *shardedDelivery) leave(shard int, flush bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if flush {
+		d.pending = append(d.pending, d.bufs[shard]...)
+	} else {
+		d.aborted = true
+	}
+	d.bufs[shard] = nil
+	d.frontier[shard] = math.MaxInt
+	d.parties--
+	if d.parties > 0 && d.arrived == d.parties {
+		d.completeBarrier()
+	}
+}
+
+// completeBarrier closes the epoch (unless an open epoch was abandoned)
+// and releases every waiting shard. Caller holds mu.
+func (d *shardedDelivery) completeBarrier() {
+	if d.aborted {
+		// The abandoned epoch can never close for every shard, so barriers
+		// will deliver nothing more — drop the dead buffers instead of
+		// letting surviving shards grow them until the run is cancelled
+		// (a continuous fleet may keep stepping long after one shard
+		// errors out).
+		for i, b := range d.bufs {
+			if len(b) > 0 {
+				d.bufs[i] = b[:0]
+			}
+		}
+	} else {
+		d.closeEpoch()
+	}
+	d.arrived = 0
+	d.phase++
+	d.cond.Broadcast()
+}
+
+// closeEpoch merges every shard buffer into the pending pool, sorts it
+// canonically, and delivers the stable prefix: everything for a
+// continuous fleet (the whole closed epoch), events below the fleet
+// frontier for a finite one. Caller holds mu; the workers are all
+// quiesced, so reading their buffers is safe.
+func (d *shardedDelivery) closeEpoch() {
+	for i, b := range d.bufs {
+		if len(b) > 0 {
+			d.pending = append(d.pending, b...)
+			d.bufs[i] = b[:0]
+		}
+	}
+	buffered := len(d.pending)
+	cut := buffered
+	if !d.cfg.Continuous {
+		u := math.MaxInt
+		for _, f := range d.frontier {
+			if f < u {
+				u = f
+			}
+		}
+		// Count the deliverable events before paying for the sort: while
+		// the frontier sits below every buffered session (the common case
+		// between completion waves) the barrier delivers nothing, and
+		// pending can stay unsorted until a barrier that does.
+		cut = 0
+		for i := range d.pending {
+			if d.pending[i].Session < u {
+				cut++
+			}
+		}
+	}
+	if cut > 0 {
+		// The held-back residue is already sorted from the last delivering
+		// barrier; re-sorting it with the new events trades a sorted-runs
+		// merge for simplicity. Delivering barriers are rare — at most one
+		// per completion wave — so stepping, not this sort, dominates.
+		sort.Slice(d.pending, func(i, j int) bool { return canonicalLess(&d.pending[i], &d.pending[j]) })
+		d.deliverPrefix(cut)
+	}
+	if h := d.cfg.sinkEpochHook; h != nil {
+		h(d.epoch, buffered, cut)
+	}
+	d.epoch++
+}
+
+// finish delivers everything still pending once every worker has
+// exited: the full run-end merge when SinkEpoch is zero, the residue of
+// the last stable prefix otherwise. Open-epoch buffers of shards that
+// left without flushing were already dropped.
+func (d *shardedDelivery) finish() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, b := range d.bufs {
+		d.pending = append(d.pending, b...)
+		d.bufs[i] = nil
+	}
+	sort.Slice(d.pending, func(i, j int) bool { return canonicalLess(&d.pending[i], &d.pending[j]) })
+	d.deliverPrefix(len(d.pending))
+}
+
+// deliverPrefix replays pending[:cut] into every sink, re-stamping
+// EventSessionDone completion counts along the carried cursor and
+// synthesizing EventProgress marks, then retains the rest. Sink error
+// semantics match the collector: the first Emit error detaches a sink
+// for the rest of the run and is reported through sinkErrs.
+func (d *shardedDelivery) deliverPrefix(cut int) {
 	deliver := func(ev Event) {
-		for i, s := range cfg.Sinks {
-			if sinkErrs[i] != nil {
+		for i, s := range d.cfg.Sinks {
+			if d.sinkErrs[i] != nil {
 				continue // detached after first error
 			}
-			sinkErrs[i] = s.Emit(ev)
+			d.sinkErrs[i] = s.Emit(ev)
 		}
 	}
-	var completed int64
-	for _, ev := range merged {
+	for k := 0; k < cut; k++ {
+		ev := d.pending[k]
 		if ev.Kind == EventSessionDone {
-			completed++
-			ev.Completed = completed
+			d.completed++
+			ev.Completed = d.completed
 		}
 		deliver(ev)
-		if pe := cfg.ProgressEvery; ev.Kind == EventSessionDone && pe > 0 && completed%int64(pe) == 0 {
-			deliver(Event{Kind: EventProgress, Completed: completed})
+		if pe := d.cfg.ProgressEvery; ev.Kind == EventSessionDone && pe > 0 && d.completed%int64(pe) == 0 {
+			deliver(Event{Kind: EventProgress, Completed: d.completed})
 		}
 	}
+	d.pending = append(d.pending[:0], d.pending[cut:]...)
 }

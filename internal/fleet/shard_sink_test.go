@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/scs"
+	"repro/internal/sensor"
+)
+
+// TestKindRankExhaustive is the enum guard: every declared EventKind
+// must carry an explicit, unique canonical-merge rank and a String
+// name. A kind added without them would silently sort at an arbitrary
+// position (the old default rank) and render as "unknown" — this test
+// turns that into a compile-adjacent failure via the eventKindCount
+// sentinel.
+func TestKindRankExhaustive(t *testing.T) {
+	seen := make(map[int]EventKind, eventKindCount)
+	for k := EventKind(0); k < eventKindCount; k++ {
+		r := kindRank(k)
+		if r < 0 {
+			t.Errorf("event kind %v (%d) has no explicit merge rank in kindRank", k, int(k))
+		}
+		if prev, dup := seen[r]; dup {
+			t.Errorf("event kinds %v and %v share merge rank %d — canonical order is ambiguous", prev, k, r)
+		}
+		seen[r] = k
+		if k.String() == "unknown" {
+			t.Errorf("event kind %d has no String name", int(k))
+		}
+	}
+	if kindRank(eventKindCount) >= 0 {
+		t.Error("undeclared event kind got a merge rank — the default arm must reject it")
+	}
+}
+
+// epochFleetConfig is a finite campaign rich in every event kind
+// (alarms, hazards, robustness telemetry, progress marks), shared by
+// the epoch-merge tests. The sink is attached by the caller.
+func epochFleetConfig() Config {
+	return Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 2},
+		Scenarios: thinScenarios(90),
+		Steps:     30,
+		Seed:      3,
+		Sensor:    &sensor.Config{NoiseSD: 2},
+		NewMonitor: func(int) (monitor.Monitor, error) {
+			return monitor.NewCAWOT(scs.TableI(), scs.Params{})
+		},
+		Telemetry:     &TelemetryConfig{FromMonitor: true},
+		ShardedSinks:  true,
+		ProgressEvery: 7,
+	}
+}
+
+// TestShardedSinkEpochMergeMatchesRunEnd is the tentpole differential:
+// for a finite run, the concatenation of epoch merges must be
+// byte-identical (LogSink JSONL) to the single run-end merge at every
+// tested (Parallel, SinkEpoch) — including with the live window capped
+// so sessions queue and the delivery frontier advances in waves. Epoch
+// chunking may only change *when* events reach the sinks, never their
+// order, payloads, re-stamped completion counts, or synthesized
+// progress marks.
+func TestShardedSinkEpochMergeMatchesRunEnd(t *testing.T) {
+	type variant struct {
+		parallel  int
+		sinkEpoch int
+		maxLive   int
+	}
+	run := func(v variant) ([]byte, int) {
+		var buf bytes.Buffer
+		cfg := epochFleetConfig()
+		cfg.Sinks = []Sink{NewLogSink(&buf)}
+		cfg.Parallel = v.parallel
+		cfg.SinkEpoch = v.sinkEpoch
+		cfg.MaxLivePerShard = v.maxLive
+		liveDelivered := 0
+		cfg.sinkEpochHook = func(_, _, delivered int) { liveDelivered += delivered }
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(res.Completed) != len(cfg.Patients)*len(cfg.Scenarios) {
+			t.Fatalf("completed %d sessions", res.Completed)
+		}
+		return buf.Bytes(), liveDelivered
+	}
+
+	golden, _ := run(variant{parallel: 1}) // SinkEpoch=0: the run-end merge
+	if len(golden) == 0 {
+		t.Fatal("run-end merge delivered nothing")
+	}
+	variants := []variant{}
+	for _, p := range []int{1, 4, runtime.NumCPU()} {
+		for _, e := range []int{1, 7, 30 /* = Steps: run-length epochs */} {
+			variants = append(variants, variant{parallel: p, sinkEpoch: e})
+		}
+	}
+	// Cap the live window so slots queue: the frontier then advances in
+	// waves and epoch barriers deliver mid-run instead of only at exit.
+	queued := variant{parallel: 2, sinkEpoch: 7, maxLive: 3}
+	variants = append(variants, queued)
+	for _, v := range variants {
+		got, live := run(v)
+		if !bytes.Equal(got, golden) {
+			t.Errorf("Parallel=%d SinkEpoch=%d MaxLive=%d: epoch-merged stream differs from run-end merge",
+				v.parallel, v.sinkEpoch, v.maxLive)
+		}
+		if v == queued && live == 0 {
+			t.Error("queued variant delivered nothing at epoch barriers — stable-prefix delivery is vacuous")
+		}
+	}
+}
+
+// TestShardedSinksContinuousBounded is the serving-mode soak: a
+// continuous fleet with sharded sinks must (1) run at all — the old
+// "ShardedSinks requires a finite run" rejection is lifted — (2) drain
+// its buffers completely at every epoch barrier, keeping buffered
+// memory bounded by one epoch window across ≥3 epochs (the StateSamples
+// style of boundedness guard), (3) deliver only closed epochs, so a
+// cancelled fleet loses exactly the un-barriered tail that channel
+// delivery would also abandon, and (4) produce a byte-identical stream
+// at every parallelism level, because event-to-epoch assignment is a
+// pure function of the session coordinates in continuous mode.
+func TestShardedSinksContinuousBounded(t *testing.T) {
+	const (
+		steps     = 5
+		sinkEpoch = 4
+		stopAfter = 5 // closed epochs before cancellation
+	)
+	type epochObs struct{ epoch, buffered, delivered int }
+	run := func(parallel int) ([]byte, []epochObs) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var buf bytes.Buffer
+		var obs []epochObs
+		cfg := Config{
+			Platform:     glucosymPlatform(),
+			Patients:     []int{0},
+			Scenarios:    thinScenarios(300), // 3 scenarios: 3 slots
+			Steps:        steps,
+			Seed:         11,
+			Parallel:     parallel,
+			Continuous:   true,
+			Sensor:       &sensor.Config{NoiseSD: 2},
+			Telemetry:    &TelemetryConfig{},
+			Sinks:        []Sink{NewLogSink(&buf)},
+			ShardedSinks: true,
+			SinkEpoch:    sinkEpoch,
+		}
+		cfg.sinkEpochHook = func(epoch, buffered, delivered int) {
+			// Runs under the barrier lock: appends are ordered and safe.
+			obs = append(obs, epochObs{epoch, buffered, delivered})
+			if len(obs) == stopAfter {
+				cancel()
+			}
+		}
+		if _, err := Run(ctx, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), obs
+	}
+
+	golden, goldenObs := run(1)
+	for _, parallel := range []int{2, 3} {
+		got, obs := run(parallel)
+		if !bytes.Equal(got, golden) {
+			t.Errorf("Parallel=%d: continuous epoch stream differs from Parallel=1", parallel)
+		}
+		if len(obs) != len(goldenObs) {
+			t.Errorf("Parallel=%d: %d closed epochs, want %d", parallel, len(obs), len(goldenObs))
+		}
+	}
+
+	if len(goldenObs) < 3 {
+		t.Fatalf("only %d closed epochs — soak is vacuous", len(goldenObs))
+	}
+	// Buffer boundedness: each barrier drains everything it merged, and
+	// what it merged is one epoch window of events — per session, at most
+	// one robustness event per round plus the per-replica boundary events
+	// (start, alarm, hazard, done) for every replica the window touches.
+	const slots = 3
+	bound := slots * (sinkEpoch + 4*(sinkEpoch/steps+2))
+	for _, o := range goldenObs {
+		if o.delivered != o.buffered {
+			t.Fatalf("epoch %d: delivered %d of %d buffered — continuous epochs must drain whole",
+				o.epoch, o.delivered, o.buffered)
+		}
+		if o.buffered == 0 || o.buffered > bound {
+			t.Fatalf("epoch %d buffered %d events, want (0, %d] — sharded buffers are not bounded by the epoch window",
+				o.epoch, o.buffered, bound)
+		}
+	}
+
+	// Closed-epoch-only delivery: every delivered event was emitted in a
+	// lock-step round strictly before the cancellation cut, and replica
+	// churn is visible (the stream really spans generations).
+	horizon := len(goldenObs) * sinkEpoch
+	replicas := make(map[int]bool)
+	sc := bufio.NewScanner(bytes.NewReader(golden))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Kind    string `json:"kind"`
+			Replica int    `json:"replica"`
+			Step    int    `json:"step"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		replicas[rec.Replica] = true
+		round := 0
+		switch rec.Kind {
+		case "robustness", "alarm":
+			round = rec.Replica*steps + rec.Step
+		case "done", "hazard":
+			round = rec.Replica*steps + steps - 1
+		case "start":
+			if rec.Replica > 0 {
+				round = rec.Replica*steps - 1
+			}
+		case "progress":
+			continue // synthesized at delivery, no emission round
+		default:
+			t.Fatalf("unexpected event kind %q", rec.Kind)
+		}
+		if round >= horizon {
+			t.Fatalf("delivered %s event from round %d, but only %d epochs (%d rounds) closed before cancellation",
+				rec.Kind, round, len(goldenObs), horizon)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("continuous sharded sinks delivered nothing")
+	}
+	if len(replicas) < 2 {
+		t.Fatalf("delivered events span %d replica generations, want >= 2", len(replicas))
+	}
+}
+
+// TestShardedSinkCancelSkipsOpenEpoch pins the cancellation contract
+// from the sink side: sharded delivery must not replay the open
+// (un-barriered) epoch of a cancelled run. With SinkEpoch=0 the whole
+// run is one open epoch, so a run cancelled before any barrier delivers
+// nothing — the same events channel-based delivery abandons in flight —
+// instead of the old behavior of persisting the full buffered stream as
+// if the run had completed.
+func TestShardedSinkCancelSkipsOpenEpoch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, sharded := range []bool{true, false} {
+		sink := NewLogSink(&bytes.Buffer{})
+		cfg := sinkFleetConfig()
+		cfg.Sinks = []Sink{sink}
+		cfg.ShardedSinks = sharded
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Fatalf("sharded=%v: cancelled finite run should fail", sharded)
+		}
+		if sharded && sink.Written() != 0 {
+			t.Fatalf("sharded delivery persisted %d events from a run cancelled before any epoch closed", sink.Written())
+		}
+	}
+}
+
+// TestShardedDeliveryAbortDropsDeadBuffers: once a shard abandons an
+// open epoch (cancellation or error), barriers deliver nothing more —
+// but surviving shards may keep stepping for a long time (a continuous
+// fleet errors out of one shard and runs until external cancellation),
+// so aborted barriers must also truncate the dead buffers instead of
+// growing them unboundedly, and neither the barrier nor finish may leak
+// the abandoned epoch to the sinks.
+func TestShardedDeliveryAbortDropsDeadBuffers(t *testing.T) {
+	ring, err := NewRingSink(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{Parallel: 2, SinkEpoch: 4, Continuous: true, Sinks: []Sink{ring}}
+	d := newShardedDelivery(cfg, make([]error, 1))
+	d.buffer(0, Event{Kind: EventRobustness, Session: 0})
+	d.buffer(1, Event{Kind: EventRobustness, Session: 1})
+	d.leave(1, false) // shard 1 aborts mid-epoch
+	d.buffer(0, Event{Kind: EventRobustness, Session: 0, Step: 1})
+	d.await(0, 0) // shard 0 completes the barrier alone: aborted, no delivery
+	if got := len(d.bufs[0]); got != 0 {
+		t.Fatalf("aborted barrier left %d buffered events — dead buffers would grow unboundedly", got)
+	}
+	if ring.Total() != 0 {
+		t.Fatalf("aborted barrier delivered %d events", ring.Total())
+	}
+	d.leave(0, false)
+	d.finish()
+	if ring.Total() != 0 {
+		t.Fatalf("finish delivered %d abandoned open-epoch events", ring.Total())
+	}
+}
+
+// TestShardedSinkEpochRestampsAcrossEpochs: the completion counter and
+// progress marks must be re-stamped with a cursor carried across epoch
+// deliveries, not restarted per epoch — dones count 1..N along the
+// concatenated stream and every progress mark trails a
+// multiple-of-ProgressEvery done, exactly as in the run-end merge.
+func TestShardedSinkEpochRestampsAcrossEpochs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := epochFleetConfig()
+	cfg.Sinks = []Sink{NewLogSink(&buf)}
+	cfg.Parallel = 2
+	cfg.SinkEpoch = 7
+	cfg.MaxLivePerShard = 3 // queue slots so multiple epochs deliver dones
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	var dones, progress int64
+	scanner := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for scanner.Scan() {
+		var rec struct {
+			Kind      string `json:"kind"`
+			Completed int64  `json:"completed"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		switch rec.Kind {
+		case "done":
+			dones++
+			if rec.Completed != dones {
+				t.Fatalf("done #%d carries completed=%d — cursor not carried across epochs", dones, rec.Completed)
+			}
+		case "progress":
+			progress++
+			if rec.Completed%int64(cfg.ProgressEvery) != 0 {
+				t.Fatalf("progress at completed=%d, want multiples of %d", rec.Completed, cfg.ProgressEvery)
+			}
+		}
+	}
+	if dones == 0 || progress != dones/int64(cfg.ProgressEvery) {
+		t.Fatalf("%d dones, %d progress marks, want %d", dones, progress, dones/int64(cfg.ProgressEvery))
+	}
+}

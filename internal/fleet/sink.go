@@ -31,7 +31,10 @@ import (
 // live, and once the context is cancelled (the normal shutdown of a
 // continuous fleet) in-flight events are abandoned, so a durable sink
 // may miss the final instants before shutdown, exactly as a channel
-// consumer would. A sink whose Emit returns an error is detached
+// consumer would. Sharded delivery (Config.ShardedSinks) keeps the
+// same contract: a cancelled run's open — un-barriered — sink epoch is
+// skipped, so only epochs closed before shutdown are persisted (see
+// fleet/doc.go). A sink whose Emit returns an error is detached
 // for the rest of the run and the first error per sink is reported by
 // Run after the simulation completes; telemetry failure does not abort
 // a serving fleet. Flush is called once for every sink (even detached
@@ -403,16 +406,19 @@ func (s *RingSink) Snapshot() []Event {
 // histograms — the alerting-dashboard shape: a bounded summary of how
 // close each patient's sessions run to their unsafe-control-action
 // boundaries. Margins below the range clamp into the first bin, above
-// it into the last, so violations are never dropped.
+// it into the last, so violations are never dropped; non-finite margins
+// (NaN, ±Inf) have no bin or meaningful mean and are dropped and
+// counted instead (Dropped), never aggregated.
 type HistSink struct {
 	mu   sync.Mutex
 	lo   float64
 	hi   float64
 	bins int
 
-	counts map[int][]int64 // patientIdx -> bin counts
-	sum    map[int]float64 // patientIdx -> margin sum (for means)
-	n      map[int]int64
+	counts  map[int][]int64 // patientIdx -> bin counts
+	sum     map[int]float64 // patientIdx -> margin sum (for means)
+	n       map[int]int64
+	dropped int64 // non-finite margins rejected
 }
 
 // NewHistSink creates a histogram sink with the given margin range and
@@ -441,6 +447,14 @@ func (s *HistSink) Emit(ev Event) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if math.IsNaN(ev.Margin) || math.IsInf(ev.Margin, 0) {
+		// A NaN margin would make both clamp comparisons below false and
+		// feed an implementation-defined float->int conversion, corrupting
+		// counts and sums; ±Inf would poison the running mean. Count the
+		// drop so the gap is observable instead of silent.
+		s.dropped++
+		return nil
+	}
 	c, ok := s.counts[ev.PatientIdx]
 	if !ok {
 		c = make([]int64, s.bins)
@@ -461,6 +475,14 @@ func (s *HistSink) Emit(ev Event) error {
 
 // Flush implements Sink (aggregation lives in memory).
 func (s *HistSink) Flush() error { return nil }
+
+// Dropped returns how many non-finite margins were rejected instead of
+// aggregated.
+func (s *HistSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
 
 // Patients returns the patient indices seen, ascending.
 func (s *HistSink) Patients() []int {

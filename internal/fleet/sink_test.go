@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -153,6 +154,54 @@ func TestHistSinkAggregatesMargins(t *testing.T) {
 	}
 	if sink.Render() == "" {
 		t.Fatal("empty render")
+	}
+}
+
+// TestHistSinkDropsNonFiniteMargins: a NaN margin makes both clamp
+// comparisons false and feeds an implementation-defined float->int
+// conversion; ±Inf poisons the running mean. Non-finite margins must be
+// dropped and counted, never aggregated, and finite margins around them
+// must keep binning exactly as before.
+func TestHistSinkDropsNonFiniteMargins(t *testing.T) {
+	sink, err := NewHistSink(-5, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit := func(margin float64) {
+		if err := sink.Emit(Event{Kind: EventRobustness, PatientIdx: 1, Margin: margin}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emit(-1)
+	emit(math.NaN())
+	emit(math.Inf(1))
+	emit(math.Inf(-1))
+	emit(2)
+	// Non-robustness events never aggregate, finite margin or not.
+	if err := sink.Emit(Event{Kind: EventSessionDone, PatientIdx: 1, Margin: math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := sink.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	hist, ok := sink.Histogram(1)
+	if !ok {
+		t.Fatal("no histogram for patient 1")
+	}
+	var total int64
+	for _, c := range hist {
+		if c < 0 {
+			t.Fatalf("negative bin count %d — counts corrupted", c)
+		}
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("histogram holds %d margins, want the 2 finite ones", total)
+	}
+	mean, n := sink.Mean(1)
+	if n != 2 || mean != 0.5 {
+		t.Fatalf("Mean() = (%v, %d), want (0.5, 2) over the finite margins only", mean, n)
 	}
 }
 
