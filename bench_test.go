@@ -25,11 +25,15 @@ import (
 	"testing"
 
 	apsmonitor "repro"
+	"repro/internal/closedloop"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
 	"repro/internal/ml"
 	"repro/internal/monitor"
 	"repro/internal/scs"
+	"repro/internal/sim"
+	"repro/internal/sim/glucosym"
+	"repro/internal/sim/uvapadova"
 	"repro/internal/stl"
 	"repro/internal/stllearn"
 	"repro/internal/trace"
@@ -813,5 +817,72 @@ func BenchmarkThresholdLearning(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchPatientStep is the kernel-level view of physiology
+// batching: one 5-minute control cycle of ODE integration for 128
+// sessions, as 128 scalar Patient.Step calls versus one
+// BatchPatient.StepLanes sweep, on both cohort models. lane-steps/s is
+// the shard's physiology throughput; the two paths are bit-identical
+// per lane (TestBatchMatchesScalarDifferential).
+func BenchmarkBatchPatientStep(b *testing.B) {
+	const lanes = 128
+	backends := []struct {
+		name   string
+		cohort int
+		scalar func(idx int) (closedloop.Patient, error)
+		batch  func(lanes int) (sim.BatchPatient, error)
+	}{
+		{"glucosym", glucosym.NumPatients,
+			func(idx int) (closedloop.Patient, error) { return glucosym.New(idx) },
+			func(lanes int) (sim.BatchPatient, error) { return glucosym.NewBatch(lanes) }},
+		{"uvapadova", uvapadova.NumPatients,
+			func(idx int) (closedloop.Patient, error) { return uvapadova.New(idx) },
+			func(lanes int) (sim.BatchPatient, error) { return uvapadova.NewBatch(lanes) }},
+	}
+	rng := rand.New(rand.NewSource(23))
+	ins := make([]float64, lanes)
+	for k := range ins {
+		ins[k] = rng.Float64() * 4
+	}
+	for _, be := range backends {
+		b.Run(be.name+"/per-session", func(b *testing.B) {
+			pts := make([]closedloop.Patient, lanes)
+			for k := range pts {
+				p, err := be.scalar(k % be.cohort)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pts[k] = p
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k, p := range pts {
+					p.Step(ins[k], 0, 5)
+				}
+			}
+			b.ReportMetric(float64(b.N)*lanes/b.Elapsed().Seconds(), "lane-steps/s")
+		})
+		b.Run(be.name+"/batched", func(b *testing.B) {
+			bp, err := be.batch(lanes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			laneIDs := make([]int, lanes)
+			for k := range laneIDs {
+				laneIDs[k] = k
+				if err := bp.ConfigureLane(k, k%be.cohort); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bp.StepLanes(laneIDs, ins, nil, 5)
+			}
+			b.ReportMetric(float64(b.N)*lanes/b.Elapsed().Seconds(), "lane-steps/s")
+		})
 	}
 }

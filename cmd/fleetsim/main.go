@@ -6,6 +6,12 @@
 // and trace buffers are recycled — and reports sustained throughput;
 // without it, the session matrix runs once to completion.
 //
+// Each worker shard advances its whole live window's physiology through
+// one shard-batched struct-of-arrays integration per control cycle
+// (sim.BatchPatient); -step-per-session selects the scalar
+// one-integrator-per-session path instead, which is bit-identical per
+// session and serves as the differential oracle.
+//
 // Telemetry: with -stl every session streams its per-cycle STL
 // robustness margin — by default each worker shard evaluates its whole
 // live window through one shard-batched rule-stream push per cycle
@@ -54,7 +60,8 @@ func main() {
 		duration     = flag.Duration("duration", 0, "continuous serving mode: run for this long, recycling sessions (0 = run the matrix once)")
 		seed         = flag.Int64("seed", 1, "master seed for per-session RNG streams")
 		steps        = flag.Int("steps", 150, "control cycles per session")
-		noise        = flag.Float64("noise", 0, "CGM sensor noise SD in mg/dL (0 = clean sensor)")
+		noise        = flag.Float64("noise", 0, "CGM sensor noise SD in mg/dL (0 = clean sensor; negative = sensor error channel with AR(1) noise explicitly disabled)")
+		stepPerSess  = flag.Bool("step-per-session", false, "advance each session's physiology with its own scalar integrator instead of the shard-batched SoA stepper (bit-identical oracle path)")
 		progress     = flag.Int("progress", 0, "print a progress line every k completed sessions")
 		monitorName  = flag.String("monitor", "", "attach a safety monitor: cawot (per-session streaming context-aware) or cawot-batch (shard-batched, bit-identical)")
 		mitigate     = flag.Bool("mitigate", false, "enable Algorithm 1 mitigation (requires -monitor)")
@@ -99,9 +106,13 @@ func main() {
 		}
 		cfg.Scenarios = all
 	}
-	if *noise > 0 {
+	if *noise != 0 {
+		// Negative means "sensor model on, AR(1) noise explicitly off":
+		// calibration gain/drift and dropout behavior still apply, which
+		// is distinct from the clean pass-through sensor at 0.
 		cfg.Sensor = &sensor.Config{NoiseSD: *noise}
 	}
+	cfg.PerSessionStepping = *stepPerSess
 	switch *monitorName {
 	case "":
 		if *mitigate || *stlFromMon {

@@ -426,3 +426,68 @@ func TestMitigationRejectsNegativeMarginRef(t *testing.T) {
 		t.Error("negative MarginRef should be rejected")
 	}
 }
+
+// TestDeferredSteppingMatchesStep: driving a stepper through the
+// batched-engine protocol — CleanCGM + external sensor transform,
+// BeginStepSensed, MonitorVerdict, FinishStepDeferred, then advancing
+// the patient outside the stepper — must reproduce the plain Step loop
+// sample for sample, including under margin-scaled mitigation.
+func TestDeferredSteppingMatchesStep(t *testing.T) {
+	newCfg := func() (Config, StepperOptions) {
+		p, ctrl := newGlucosymRig(t, 1)
+		f := &fault.Fault{Kind: fault.KindAdd, Target: "glucose", Value: 60, StartStep: 10, Duration: 30}
+		cfg := Config{
+			Patient: p, Controller: ctrl, InitialBG: 130, Steps: 60, CycleMin: 5,
+			Fault: f,
+			// threshold 0: alarm (and mitigate) on every cycle, so the
+			// deferred path is compared under active mitigation throughout.
+			Monitor:    &marginMonitor{threshold: 0, margin: -1},
+			Mitigation: MitigationConfig{Enabled: true, ScaleByMargin: true, MarginRef: 2},
+		}
+		sensorFn := func(clean, _ float64) float64 { return clean + 1.5 }
+		return cfg, StepperOptions{Sensor: sensorFn}
+	}
+
+	cfgA, optsA := newCfg()
+	stA, err := NewStepper(cfgA, optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !stA.Done() {
+		stA.Step()
+	}
+	want := stA.Finish()
+
+	cfgB, _ := newCfg()
+	// The deferred path owns the sensor channel and physiology itself.
+	stB, err := NewStepper(cfgB, StepperOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !stB.Done() {
+		cgm := stB.CleanCGM() + 1.5
+		if now := stB.CycleTime(); now != float64(stB.StepIndex())*5 {
+			t.Fatalf("CycleTime %v at step %d", now, stB.StepIndex())
+		}
+		obs := stB.BeginStepSensed(cgm)
+		delivered := stB.FinishStepDeferred(stB.MonitorVerdict(obs))
+		cfgB.Patient.Step(delivered, 0, 5)
+	}
+	got := stB.Finish()
+
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("%d samples, want %d", len(got.Samples), len(want.Samples))
+	}
+	mitigated := false
+	for i := range want.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			t.Fatalf("step %d differs:\ndeferred %+v\nstep     %+v", i, got.Samples[i], want.Samples[i])
+		}
+		if want.Samples[i].Mitigated {
+			mitigated = true
+		}
+	}
+	if !mitigated {
+		t.Fatal("mitigation never fired — comparison is vacuous")
+	}
+}

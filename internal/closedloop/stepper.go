@@ -140,20 +140,38 @@ func (st *Stepper) LastVerdict() (Verdict, bool) {
 	return st.lastVerdict, true
 }
 
+// CycleTime returns the simulation time (minutes) of the next cycle to
+// run — the timestamp a batched sensor sweep must stamp on this
+// session's reading.
+func (st *Stepper) CycleTime() float64 { return float64(st.step) * st.cfg.CycleMin }
+
+// CleanCGM returns the patient's current noise-free sensor glucose —
+// the input a batched sensor sweep feeds through its error model before
+// BeginStepSensed.
+func (st *Stepper) CleanCGM() float64 { return st.cfg.Patient.CGM() }
+
 // BeginStep advances the cycle to its monitor decision point: it reads
 // the sensors, lets the controller decide, and returns the monitor's
 // observation. The caller must follow with FinishStep. Calling BeginStep
 // on a finished or already-pending stepper panics (engine bug).
 func (st *Stepper) BeginStep() Observation {
+	cgm := st.cfg.Patient.CGM()
+	if st.opts.Sensor != nil {
+		cgm = st.opts.Sensor(cgm, st.CycleTime())
+	}
+	return st.BeginStepSensed(cgm)
+}
+
+// BeginStepSensed is BeginStep for engines that run the sensor channel
+// themselves: cgm is the already-sensed reading for this cycle (e.g.
+// from a sensor.BatchModel sweep over the shard). The caller must
+// follow with FinishStep or FinishStepDeferred.
+func (st *Stepper) BeginStepSensed(cgm float64) Observation {
 	if st.Done() || st.pending.active {
 		panic("closedloop: BeginStep out of order")
 	}
 	cfg := &st.cfg
-	now := float64(st.step) * cfg.CycleMin
-	cgm := cfg.Patient.CGM()
-	if st.opts.Sensor != nil {
-		cgm = st.opts.Sensor(cgm, now)
-	}
+	now := st.CycleTime()
 	iob := st.monIOB.IOB()
 
 	bgPrime := 0.0
@@ -206,6 +224,18 @@ func (st *Stepper) BeginStep() Observation {
 // scaled by the verdict's robustness margin — then delivers insulin and
 // advances the patient, controller, and IOB model.
 func (st *Stepper) FinishStep(v Verdict) {
+	delivered := st.FinishStepDeferred(v)
+	st.cfg.Patient.Step(delivered, 0, st.cfg.CycleMin)
+}
+
+// FinishStepDeferred is FinishStep for engines that advance physiology
+// themselves: it applies the verdict, records the delivery with the
+// controller and IOB model, and returns the delivered rate (U/h) —
+// but does NOT step the patient. The caller must advance this
+// session's physiology by CycleMin minutes at the returned rate (e.g.
+// through one sim.BatchPatient.StepLanes sweep) before the next
+// BeginStep.
+func (st *Stepper) FinishStepDeferred(v Verdict) float64 {
 	if !st.pending.active {
 		panic("closedloop: FinishStep without BeginStep")
 	}
@@ -236,23 +266,29 @@ func (st *Stepper) FinishStep(v Verdict) {
 	s.Delivered = delivered
 	st.tr.Samples = append(st.tr.Samples, s)
 
-	cfg.Patient.Step(delivered, 0, cfg.CycleMin)
 	cfg.Controller.RecordDelivery(delivered, cfg.CycleMin)
 	st.monIOB.Record(delivered, cfg.CycleMin)
 
 	st.prevDelivered = delivered
 	st.pending.active = false
 	st.step++
+	return delivered
+}
+
+// MonitorVerdict evaluates the attached monitor (if any) on the
+// observation, for engines that drive BeginStepSensed/FinishStepDeferred
+// directly instead of Step.
+func (st *Stepper) MonitorVerdict(obs Observation) Verdict {
+	if st.cfg.Monitor == nil {
+		return Verdict{}
+	}
+	return st.cfg.Monitor.Step(obs)
 }
 
 // Step runs one full cycle, consulting cfg.Monitor when attached.
 func (st *Stepper) Step() {
 	obs := st.BeginStep()
-	var v Verdict
-	if st.cfg.Monitor != nil {
-		v = st.cfg.Monitor.Step(obs)
-	}
-	st.FinishStep(v)
+	st.FinishStep(st.MonitorVerdict(obs))
 }
 
 // Finish labels the trace and returns it, releasing the fault-injection

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/closedloop"
 	"repro/internal/control"
+	"repro/internal/sim"
 	"repro/internal/sim/glucosym"
 	"repro/internal/sim/uvapadova"
 )
@@ -21,6 +22,9 @@ type Platform struct {
 	NumPatients int
 	// NewPatient builds cohort patient idx.
 	NewPatient func(idx int) (closedloop.Patient, error)
+	// NewBatchPatient builds a struct-of-arrays bank of lanes patients
+	// for shard-batched fleet stepping; nil platforms step per session.
+	NewBatchPatient func(lanes int) (sim.BatchPatient, error)
 	// NewController builds the platform's controller for a patient with
 	// the given basal rate.
 	NewController func(basalUPerH float64) (control.Controller, error)
@@ -49,6 +53,9 @@ func Glucosym() Platform {
 		NewPatient: func(idx int) (closedloop.Patient, error) {
 			return glucosym.New(idx)
 		},
+		NewBatchPatient: func(lanes int) (sim.BatchPatient, error) {
+			return glucosym.NewBatch(lanes)
+		},
 		NewController: func(basal float64) (control.Controller, error) {
 			return control.NewOpenAPS(control.OpenAPSConfig{
 				Basal: basal,
@@ -66,6 +73,9 @@ func T1DS2013() Platform {
 		NumPatients: uvapadova.NumPatients,
 		NewPatient: func(idx int) (closedloop.Patient, error) {
 			return uvapadova.New(idx)
+		},
+		NewBatchPatient: func(lanes int) (sim.BatchPatient, error) {
+			return uvapadova.NewBatch(lanes)
 		},
 		NewController: func(basal float64) (control.Controller, error) {
 			return control.NewBasalBolus(control.BasalBolusConfig{

@@ -16,6 +16,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/scs"
 	"repro/internal/sensor"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -97,6 +98,13 @@ type Platform struct {
 	NumPatients int
 	// NewPatient builds cohort patient idx.
 	NewPatient func(idx int) (closedloop.Patient, error)
+	// NewBatchPatient, when non-nil, builds a struct-of-arrays bank of
+	// lanes patients and enables shard-batched physiology/sensor stepping:
+	// each worker advances its whole live window's ODE state through one
+	// batched RK4 call per round, bit-identical per lane to the scalar
+	// NewPatient path (which Config.PerSessionStepping selects
+	// explicitly).
+	NewBatchPatient func(lanes int) (sim.BatchPatient, error)
 	// NewController builds the platform's controller for a patient with
 	// the given basal rate.
 	NewController func(basalUPerH float64) (control.Controller, error)
@@ -133,6 +141,13 @@ type Config struct {
 	// Sensor optionally attaches a CGM error model per session, driven
 	// by the session RNG. Nil reads the clean CGM.
 	Sensor *sensor.Config
+	// PerSessionStepping disables shard-batched physiology/sensor
+	// stepping on platforms that provide NewBatchPatient, building each
+	// session its own scalar patient (and sensor closure) instead. The
+	// two paths are bit-identical per session (the differential tests
+	// compare them); this is the escape hatch that keeps the per-session
+	// oracle reachable, mirroring TelemetryConfig.PerSession.
+	PerSessionStepping bool
 	// NewMonitor optionally builds a per-session safety monitor.
 	NewMonitor func(patientIdx int) (monitor.Monitor, error)
 	// NewBatchMonitor optionally builds one batched monitor per shard;
@@ -458,6 +473,27 @@ func (e *engine) runShard(shard int) {
 		window = cfg.MaxLivePerShard
 	}
 
+	// Shard-batched physiology: the whole live window's ODE state lives
+	// in one struct-of-arrays bank advanced by a single batched RK4 call
+	// per round, with a matching per-lane sensor bank when a CGM error
+	// model is attached. Bit-identical per lane to the per-session path
+	// (Config.PerSessionStepping).
+	var batchPat sim.BatchPatient
+	var batchSensor *sensor.BatchModel
+	if cfg.Platform.NewBatchPatient != nil && !cfg.PerSessionStepping {
+		var err error
+		if batchPat, err = cfg.Platform.NewBatchPatient(window); err != nil {
+			e.errs[shard] = fmt.Errorf("fleet: shard %d batch patient: %w", shard, err)
+			return
+		}
+		if cfg.Sensor != nil {
+			if batchSensor, err = sensor.NewBatchModel(window); err != nil {
+				e.errs[shard] = fmt.Errorf("fleet: shard %d batch sensor: %w", shard, err)
+				return
+			}
+		}
+	}
+
 	var bm monitor.BatchMonitor
 	var laneMargins laneMarginMonitor
 	if cfg.NewBatchMonitor != nil {
@@ -501,7 +537,7 @@ func (e *engine) runShard(shard int) {
 
 	next := 0 // next queued slot
 	start := func(sp spec, lane int, telem *scs.StreamSet) (*Session, error) {
-		s, err := e.newSession(sp, lane, telem)
+		s, err := e.newSession(sp, lane, telem, batchPat, batchSensor)
 		if err != nil {
 			return nil, err
 		}
@@ -524,10 +560,19 @@ func (e *engine) runShard(shard int) {
 		live = append(live, s)
 	}
 
-	// Per-round scratch for the batched path.
+	// Per-round scratch for the batched paths.
 	lanes := make([]int, 0, len(live))
 	obs := make([]closedloop.Observation, 0, len(live))
 	verdicts := make([]closedloop.Verdict, len(live))
+	var cleanCGM, sensedCGM, tMins, delivered []float64
+	if batchPat != nil {
+		sensedCGM = make([]float64, len(live))
+		delivered = make([]float64, len(live))
+		if batchSensor != nil {
+			cleanCGM = make([]float64, 0, len(live))
+			tMins = make([]float64, 0, len(live))
+		}
+	}
 
 	rounds := 0 // completed lock-step rounds since the last epoch barrier
 	for len(live) > 0 {
@@ -540,7 +585,45 @@ func (e *engine) runShard(shard int) {
 		default:
 		}
 
-		if bm != nil {
+		switch {
+		case batchPat != nil:
+			// Fully batched round: one sensor sweep, the monitor decision
+			// (batched or per-session), then one struct-of-arrays ODE step
+			// advances every live session's physiology together. Each
+			// stage runs per lane in the same order with the same
+			// arithmetic as the scalar cycle, so traces stay identical.
+			lanes = lanes[:0]
+			for _, s := range live {
+				lanes = append(lanes, s.lane)
+			}
+			if batchSensor != nil {
+				cleanCGM, tMins = cleanCGM[:0], tMins[:0]
+				for _, s := range live {
+					cleanCGM = append(cleanCGM, s.st.CleanCGM())
+					tMins = append(tMins, s.st.CycleTime())
+				}
+				batchSensor.ReadLanes(lanes, cleanCGM, tMins, sensedCGM[:len(live)])
+			} else {
+				for i, s := range live {
+					sensedCGM[i] = s.st.CleanCGM()
+				}
+			}
+			obs = obs[:0]
+			for i, s := range live {
+				obs = append(obs, s.st.BeginStepSensed(sensedCGM[i]))
+			}
+			if bm != nil {
+				bm.StepBatch(lanes, obs, verdicts[:len(live)])
+			} else {
+				for i, s := range live {
+					verdicts[i] = s.st.MonitorVerdict(obs[i])
+				}
+			}
+			for i, s := range live {
+				delivered[i] = s.st.FinishStepDeferred(verdicts[i])
+			}
+			batchPat.StepLanes(lanes, delivered[:len(live)], nil, cfg.CycleMin)
+		case bm != nil:
 			lanes, obs = lanes[:0], obs[:0]
 			for _, s := range live {
 				lanes = append(lanes, s.lane)
@@ -550,7 +633,7 @@ func (e *engine) runShard(shard int) {
 			for i, s := range live {
 				s.FinishStep(verdicts[i])
 			}
-		} else {
+		default:
 			for _, s := range live {
 				s.Step()
 			}
@@ -749,17 +832,30 @@ func (e *engine) finalize(shard int, s *Session) {
 
 // newSession builds the patient, controller, monitor, sensor, telemetry,
 // and stepper for one session slot. A telemetry stream set handed in
-// from a retired session is reset and reused.
-func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet) (*Session, error) {
+// from a retired session is reset and reused. With a batched patient
+// bank the session's physiology is its lane of the bank (configured
+// here) and its sensor joins the shard's batched sensor sweep; the
+// session RNG seeds the lane's noise stream exactly as the scalar path
+// would, so the two paths draw identical noise.
+func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat sim.BatchPatient, batchSensor *sensor.BatchModel) (*Session, error) {
 	cfg := &e.cfg
 	sc := cfg.Scenarios[sp.scenIdx]
 	wrap := func(err error) error {
 		return fmt.Errorf("fleet: session %d (patient %d, %s): %w",
 			sp.index, sp.patientIdx, sc.Fault.Name(), err)
 	}
-	patient, err := cfg.Platform.NewPatient(sp.patientIdx)
-	if err != nil {
-		return nil, wrap(err)
+	var patient closedloop.Patient
+	if batchPat != nil {
+		if err := batchPat.ConfigureLane(lane, sp.patientIdx); err != nil {
+			return nil, wrap(err)
+		}
+		patient = sim.LaneView{B: batchPat, Lane: lane}
+	} else {
+		p, err := cfg.Platform.NewPatient(sp.patientIdx)
+		if err != nil {
+			return nil, wrap(err)
+		}
+		patient = p
 	}
 	ctrl, err := cfg.Platform.NewController(patient.Basal())
 	if err != nil {
@@ -774,11 +870,20 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet) (*Session, 
 	rng := rand.New(rand.NewSource(sessionSeed(cfg.Seed, sp)))
 	opts := closedloop.StepperOptions{Samples: e.pool.get()}
 	if cfg.Sensor != nil {
-		model, err := sensor.New(*cfg.Sensor, rng)
-		if err != nil {
-			return nil, wrap(err)
+		if batchSensor != nil {
+			// The lane joins the shard's batched sensor sweep instead of
+			// hooking the stepper: same config, same per-session RNG, so
+			// the lane's noise stream is the scalar model's stream.
+			if err := batchSensor.SetLane(lane, *cfg.Sensor, rng); err != nil {
+				return nil, wrap(err)
+			}
+		} else {
+			model, err := sensor.New(*cfg.Sensor, rng)
+			if err != nil {
+				return nil, wrap(err)
+			}
+			opts.Sensor = model.Read
 		}
-		opts.Sensor = model.Read
 	}
 	mitigation := cfg.Mitigation
 	mitigation.Enabled = cfg.Mitigate && (mon != nil || cfg.NewBatchMonitor != nil)

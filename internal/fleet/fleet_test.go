@@ -15,7 +15,9 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/scs"
 	"repro/internal/sensor"
+	"repro/internal/sim"
 	"repro/internal/sim/glucosym"
+	"repro/internal/sim/uvapadova"
 	"repro/internal/stl"
 	"repro/internal/trace"
 )
@@ -28,6 +30,9 @@ func glucosymPlatform() Platform {
 		NumPatients: glucosym.NumPatients,
 		NewPatient: func(idx int) (closedloop.Patient, error) {
 			return glucosym.New(idx)
+		},
+		NewBatchPatient: func(lanes int) (sim.BatchPatient, error) {
+			return glucosym.NewBatch(lanes)
 		},
 		NewController: func(basal float64) (control.Controller, error) {
 			return control.NewOpenAPS(control.OpenAPSConfig{Basal: basal, ISF: 50})
@@ -723,5 +728,144 @@ func TestFleetFromMonitorBatchedCAWT(t *testing.T) {
 		if bv, ok := gotBatch[k]; !ok || bv != v {
 			t.Fatalf("event %+v differs: per-session %+v vs batched %+v", k, v, bv)
 		}
+	}
+}
+
+// TestFleetBatchedSteppingMatchesPerSession is this revision's tentpole
+// differential: the shard-batched struct-of-arrays patient/sensor
+// stepping (the default on platforms providing NewBatchPatient) must
+// produce byte-identical traces, identical robustness telemetry, and
+// identical counters to the per-session scalar oracle
+// (Config.PerSessionStepping) — across every fault kind, with sensor
+// noise, with margin-scaled mitigation on and off, at multiple
+// parallelism levels.
+func TestFleetBatchedSteppingMatchesPerSession(t *testing.T) {
+	base := Config{
+		Platform:  glucosymPlatform(),
+		Patients:  []int{0, 2},
+		Scenarios: allKindScenarios(3),
+		Steps:     50,
+		Seed:      31,
+		Sensor:    &sensor.Config{NoiseSD: 2.5},
+		Telemetry: &TelemetryConfig{},
+	}
+	type robM struct {
+		rob, margin float64
+		rule        int
+	}
+	collect := func(cfg Config) (map[robKey]robM, Result) {
+		events := make(chan Event, 256)
+		cfg.Events = events
+		got := make(map[robKey]robM)
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for ev := range events {
+				if ev.Kind != EventRobustness {
+					continue
+				}
+				got[robKey{ev.Session, ev.Replica, ev.Step}] = robM{ev.Robustness, ev.Margin, ev.Rule}
+			}
+		}()
+		res, err := Run(context.Background(), cfg)
+		close(events)
+		<-drained
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, res
+	}
+	for _, mitigate := range []bool{false, true} {
+		cfg := base
+		if mitigate {
+			cfg.NewMonitor = func(int) (monitor.Monitor, error) {
+				return monitor.NewCAWOT(scs.TableI(), scs.Params{})
+			}
+			cfg.Mitigate = true
+			cfg.Mitigation = closedloop.MitigationConfig{ScaleByMargin: true}
+		}
+		for _, parallel := range []int{1, runtime.NumCPU()} {
+			batched := cfg
+			batched.Parallel = parallel
+			oracle := cfg
+			oracle.Parallel = parallel
+			oracle.PerSessionStepping = true
+
+			gotB, resB := collect(batched)
+			gotP, resP := collect(oracle)
+			tracesB := tracesCSV(t, resB.Traces)
+			tracesP := tracesCSV(t, resP.Traces)
+
+			label := "mitigate=" + map[bool]string{false: "off", true: "on"}[mitigate]
+			violations := 0
+			for _, v := range gotP {
+				if v.margin < 0 {
+					violations++
+				}
+			}
+			if violations == 0 {
+				t.Fatalf("%s Parallel=%d: no STL violations across an all-kind campaign — comparison is vacuous",
+					label, parallel)
+			}
+			if mitigate && resP.Alarmed == 0 {
+				t.Fatalf("%s Parallel=%d: monitor never alarmed — mitigation leg is vacuous", label, parallel)
+			}
+			if resB.Hazardous != resP.Hazardous || resB.Alarmed != resP.Alarmed || resB.Steps != resP.Steps {
+				t.Fatalf("%s Parallel=%d: counters differ: batched %+v vs per-session %+v",
+					label, parallel, resB, resP)
+			}
+			if len(gotB) == 0 || len(gotB) != len(gotP) {
+				t.Fatalf("%s Parallel=%d: robustness event counts differ: %d vs %d",
+					label, parallel, len(gotB), len(gotP))
+			}
+			for k, v := range gotB {
+				if pv, ok := gotP[k]; !ok || pv != v {
+					t.Fatalf("%s Parallel=%d: event %+v differs: batched %+v vs per-session %+v",
+						label, parallel, k, v, pv)
+				}
+			}
+			if !bytes.Equal(tracesB, tracesP) {
+				t.Fatalf("%s Parallel=%d: traces differ between batched and per-session stepping", label, parallel)
+			}
+		}
+	}
+}
+
+// TestFleetBatchedSteppingUVA runs the second platform's batch backend
+// through the same oracle comparison (single parallelism level; the
+// scheduling-independence legs above already cover parallelism).
+func TestFleetBatchedSteppingUVA(t *testing.T) {
+	base := Config{
+		Platform: Platform{
+			Name:        "t1ds2013",
+			NumPatients: uvapadova.NumPatients,
+			NewPatient: func(idx int) (closedloop.Patient, error) {
+				return uvapadova.New(idx)
+			},
+			NewBatchPatient: func(lanes int) (sim.BatchPatient, error) {
+				return uvapadova.NewBatch(lanes)
+			},
+			NewController: func(basal float64) (control.Controller, error) {
+				return control.NewBasalBolus(control.BasalBolusConfig{Basal: basal, ISF: 40})
+			},
+		},
+		Patients:  []int{0, 5},
+		Scenarios: allKindScenarios(1),
+		Steps:     40,
+		Seed:      17,
+		Sensor:    &sensor.Config{NoiseSD: 2},
+	}
+	oracle := base
+	oracle.PerSessionStepping = true
+	resB, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resP, err := Run(context.Background(), oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tracesCSV(t, resB.Traces), tracesCSV(t, resP.Traces)) {
+		t.Fatal("UVA-Padova batched traces differ from per-session stepping")
 	}
 }

@@ -1,0 +1,63 @@
+// Shard-batched CGM error modeling: a BatchModel is a bank of per-lane
+// Models read in one sweep per fleet round. Each lane keeps its own
+// Model value — its own config, AR(1) state, and *rand.Rand — and
+// ReadLane delegates to exactly the scalar Model.Read, so a lane's
+// reading sequence and RNG stream are bit-identical to a standalone
+// Model consuming the same (trueGlucose, tMin) series.
+
+package sensor
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BatchModel is a bank of independent CGM error models, one per fleet
+// lane. It is not safe for concurrent use; create one per shard.
+type BatchModel struct {
+	models []Model
+}
+
+// NewBatchModel builds a bank with capacity for lanes sensors. Lanes
+// start unconfigured; install one with SetLane before reading it.
+func NewBatchModel(lanes int) (*BatchModel, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("sensor: batch model needs at least one lane, got %d", lanes)
+	}
+	return &BatchModel{models: make([]Model, lanes)}, nil
+}
+
+// NumLanes returns the bank's capacity.
+func (b *BatchModel) NumLanes() int { return len(b.models) }
+
+// SetLane installs a fresh error model on the lane, validated and
+// defaulted exactly like New. The rng becomes the lane's private noise
+// stream — hand each lane its own deterministic source.
+func (b *BatchModel) SetLane(lane int, cfg Config, rng *rand.Rand) error {
+	m, err := New(cfg, rng)
+	if err != nil {
+		return err
+	}
+	b.models[lane] = *m
+	return nil
+}
+
+// ReadLane converts the lane's true glucose into a sensor reading at
+// tMin minutes, via the scalar Model.Read on the lane's own state.
+func (b *BatchModel) ReadLane(lane int, trueGlucose, tMin float64) float64 {
+	return b.models[lane].Read(trueGlucose, tMin)
+}
+
+// ReadLanes reads every listed lane in one sweep: lanes[i] converts
+// trueGlucose[i] at time tMin[i] into out[i]. Times are per lane because
+// fleet sessions refill at different rounds and each session's sensor
+// clock starts at zero.
+func (b *BatchModel) ReadLanes(lanes []int, trueGlucose, tMin, out []float64) {
+	for i, l := range lanes {
+		out[i] = b.models[l].Read(trueGlucose[i], tMin[i])
+	}
+}
+
+// ResetLane rewinds the lane's model state (same configuration, same
+// rng stream), like the scalar Model.Reset.
+func (b *BatchModel) ResetLane(lane int) { b.models[lane].Reset() }

@@ -22,17 +22,22 @@ type Config struct {
 	// reports Gain*BG + Offset before noise. Defaults 1.0 and 0.
 	Gain   float64
 	Offset float64
-	// GainDriftPerDay is the relative gain drift per 24h (sensor aging);
-	// default 0.02 (2%/day).
+	// GainDriftPerDay is the relative gain drift per 24h (sensor aging).
+	// Zero selects the default 0.02 (2%/day); any negative value
+	// explicitly disables drift.
 	GainDriftPerDay float64
-	// CalibrationIntervalMin resets the drift (fingerstick calibration);
-	// default 720 (12 h). Zero or negative disables calibration.
+	// CalibrationIntervalMin resets the drift (fingerstick calibration).
+	// Zero selects the default 720 (12 h); any negative value explicitly
+	// disables calibration.
 	CalibrationIntervalMin float64
 	// NoiseSD is the standard deviation of the AR(1) noise process in
-	// mg/dL; default 2.5.
+	// mg/dL. Zero selects the default 2.5; any negative value explicitly
+	// disables additive noise (the RNG stream still advances so traces
+	// stay comparable across configurations).
 	NoiseSD float64
-	// NoisePhi is the AR(1) coefficient; default 0.7 (CGM noise is
-	// strongly autocorrelated).
+	// NoisePhi is the AR(1) coefficient. Zero selects the default 0.7
+	// (CGM noise is strongly autocorrelated); any negative value
+	// explicitly selects white noise (phi = 0).
 	NoisePhi float64
 	// DropoutProb is the per-sample probability of a missed reading
 	// (the model holds the previous value); default 0.
@@ -50,17 +55,31 @@ func (c Config) withDefaults() Config {
 	if c.Gain == 0 {
 		c.Gain = 1
 	}
-	if c.GainDriftPerDay == 0 {
+	// For the drift/noise knobs the zero value means "unset, take the
+	// default" (so Config{} stays a realistic sensor), while a negative
+	// value is an explicit "off". Without the negative branch a caller
+	// writing NoiseSD: 0 to ask for a noise-free sensor silently got the
+	// 2.5 mg/dL default back.
+	switch {
+	case c.GainDriftPerDay == 0:
 		c.GainDriftPerDay = 0.02
+	case c.GainDriftPerDay < 0:
+		c.GainDriftPerDay = 0
 	}
 	if c.CalibrationIntervalMin == 0 {
 		c.CalibrationIntervalMin = 720
 	}
-	if c.NoiseSD == 0 {
+	switch {
+	case c.NoiseSD == 0:
 		c.NoiseSD = 2.5
+	case c.NoiseSD < 0:
+		c.NoiseSD = 0
 	}
-	if c.NoisePhi == 0 {
+	switch {
+	case c.NoisePhi == 0:
 		c.NoisePhi = 0.7
+	case c.NoisePhi < 0:
+		c.NoisePhi = 0
 	}
 	if c.SpikeSD == 0 {
 		c.SpikeSD = 15

@@ -1,0 +1,204 @@
+// Shard-batched struct-of-arrays patient stepping: the whole live
+// window of a fleet worker advances its ODE state through one batched
+// RK4 call per control cycle instead of one interface call per session.
+// The batched integrator runs the exact scalar arithmetic per lane —
+// same substep count, same stage expressions, same derivative code —
+// so a lane of a BatchPatient is bit-identical to a standalone Patient
+// fed the same inputs (the differential tests in the backend packages
+// and internal/fleet pin this).
+
+package sim
+
+// BatchDerivs computes dy/dt for every listed lane. y and dydt are
+// lane-major flat matrices of n states per lane: lane l occupies
+// [l*n, (l+1)*n). Implementations must evaluate each lane with exactly
+// the scalar model's arithmetic so batched stepping stays bit-identical
+// per lane.
+type BatchDerivs func(t float64, lanes []int, y, dydt []float64)
+
+// BatchRK4 advances a lane-major flat state matrix by classical
+// Runge-Kutta steps, evaluating all active lanes stage by stage: one
+// derivative sweep per stage across the whole batch, then one combine
+// sweep. The per-lane combine expressions are copied verbatim from the
+// scalar RK4, so each lane's floating-point trajectory is identical to
+// stepping it alone.
+type BatchRK4 struct {
+	n                   int // states per lane
+	k1, k2, k3, k4, tmp []float64
+}
+
+// NewBatchRK4 returns a batched integrator for lanes independent
+// n-dimensional states.
+func NewBatchRK4(lanes, n int) *BatchRK4 {
+	size := lanes * n
+	return &BatchRK4{
+		n:   n,
+		k1:  make([]float64, size),
+		k2:  make([]float64, size),
+		k3:  make([]float64, size),
+		k4:  make([]float64, size),
+		tmp: make([]float64, size),
+	}
+}
+
+// Step advances every listed lane of y by one RK4 step of size h.
+func (r *BatchRK4) Step(f BatchDerivs, t float64, lanes []int, y []float64, h float64) {
+	n := r.n
+	// A fleet shard's live window is almost always a contiguous ascending
+	// lane range; its combine sweeps then run as single flat loops over
+	// [lo, hi) instead of per-lane windows. The arithmetic is elementwise
+	// and order-independent across elements, so both shapes produce the
+	// same bits per lane.
+	lo, hi, dense := denseRange(lanes, n)
+	f(t, lanes, y, r.k1)
+	if dense {
+		combineFlat(r.tmp[lo:hi], y[lo:hi], r.k1[lo:hi], 0.5*h)
+	} else {
+		for _, l := range lanes {
+			o := l * n
+			combineFlat(r.tmp[o:o+n], y[o:o+n], r.k1[o:o+n], 0.5*h)
+		}
+	}
+	f(t+0.5*h, lanes, r.tmp, r.k2)
+	if dense {
+		combineFlat(r.tmp[lo:hi], y[lo:hi], r.k2[lo:hi], 0.5*h)
+	} else {
+		for _, l := range lanes {
+			o := l * n
+			combineFlat(r.tmp[o:o+n], y[o:o+n], r.k2[o:o+n], 0.5*h)
+		}
+	}
+	f(t+0.5*h, lanes, r.tmp, r.k3)
+	if dense {
+		combineFlat(r.tmp[lo:hi], y[lo:hi], r.k3[lo:hi], h)
+	} else {
+		for _, l := range lanes {
+			o := l * n
+			combineFlat(r.tmp[o:o+n], y[o:o+n], r.k3[o:o+n], h)
+		}
+	}
+	f(t+h, lanes, r.tmp, r.k4)
+	if dense {
+		finalFlat(y[lo:hi], r.k1[lo:hi], r.k2[lo:hi], r.k3[lo:hi], r.k4[lo:hi], h)
+	} else {
+		for _, l := range lanes {
+			o := l * n
+			finalFlat(y[o:o+n], r.k1[o:o+n], r.k2[o:o+n], r.k3[o:o+n], r.k4[o:o+n], h)
+		}
+	}
+}
+
+// denseRange reports whether lanes is a contiguous ascending run and, if
+// so, the flat element range [lo, hi) it covers.
+func denseRange(lanes []int, n int) (lo, hi int, dense bool) {
+	if len(lanes) == 0 {
+		return 0, 0, false
+	}
+	for i := 1; i < len(lanes); i++ {
+		if lanes[i] != lanes[i-1]+1 {
+			return 0, 0, false
+		}
+	}
+	return lanes[0] * n, (lanes[len(lanes)-1] + 1) * n, true
+}
+
+// combineFlat writes tmp = y + hf*k elementwise — the RK4 stage-combine
+// expression, identical to the scalar integrator's.
+func combineFlat(tmp, y, k []float64, hf float64) {
+	_ = y[len(tmp)-1]
+	_ = k[len(tmp)-1]
+	for i := range tmp {
+		tmp[i] = y[i] + hf*k[i]
+	}
+}
+
+// finalFlat applies the RK4 update y += h/6*(k1 + 2*k2 + 2*k3 + k4)
+// elementwise, identical to the scalar integrator's combine.
+func finalFlat(y, k1, k2, k3, k4 []float64, h float64) {
+	_ = k1[len(y)-1]
+	_ = k2[len(y)-1]
+	_ = k3[len(y)-1]
+	_ = k4[len(y)-1]
+	for i := range y {
+		y[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+	}
+}
+
+// Integrate advances every listed lane from t over total minutes using
+// fixed substeps of at most maxH minutes — the same (ceiling) substep
+// schedule as the scalar RK4.Integrate.
+func (r *BatchRK4) Integrate(f BatchDerivs, t float64, lanes []int, y []float64, total, maxH float64) {
+	if total <= 0 {
+		return
+	}
+	steps := substeps(total, maxH)
+	h := total / float64(steps)
+	for i := 0; i < steps; i++ {
+		r.Step(f, t+float64(i)*h, lanes, y, h)
+	}
+}
+
+// BatchPatient is a bank of independent virtual patients stepped as one
+// struct-of-arrays batch — the fleet engine's per-shard physiology
+// engine. Lanes are re-parameterized per session via ConfigureLane and
+// reset independently; every read/step accessor addresses one lane.
+// Implemented by glucosym.Batch and uvapadova.Batch.
+type BatchPatient interface {
+	// NumLanes returns the bank's capacity.
+	NumLanes() int
+	// ConfigureLane re-parameterizes a lane as cohort patient idx and
+	// resets it to the model's target glucose, exactly like constructing
+	// a fresh scalar patient.
+	ConfigureLane(lane, patientIdx int) error
+	// ID returns the lane's patient identifier.
+	ID(lane int) string
+	// Basal returns the lane's steady-state basal insulin rate in U/h.
+	Basal(lane int) float64
+	// BG returns the lane's true plasma glucose in mg/dL.
+	BG(lane int) float64
+	// CGM returns the lane's sensed glucose in mg/dL (may lag BG).
+	CGM(lane int) float64
+	// Reset reinitializes the lane at the given starting glucose with
+	// insulin compartments at their basal steady state.
+	Reset(lane int, initialBG float64)
+	// StepLane advances one lane exactly like the scalar Patient.Step.
+	StepLane(lane int, insulinUPerH, carbGPerMin, dtMin float64)
+	// StepLanes advances every listed lane by dtMin minutes in one
+	// batched integration; insulinUPerH[i] (U/h) and carbGPerMin[i]
+	// (g/min) feed lanes[i]. A nil carbGPerMin means no carbohydrate
+	// intake on any lane (the closed-loop cycle shape).
+	StepLanes(lanes []int, insulinUPerH, carbGPerMin []float64, dtMin float64)
+}
+
+// LaneView adapts one lane of a BatchPatient to the scalar Patient
+// interface, so a closed-loop stepper can read (and, outside the
+// batched hot path, step) its session's physiology without knowing the
+// state lives in a shard-wide bank.
+type LaneView struct {
+	// B is the underlying batch; Lane the lane this view addresses.
+	B    BatchPatient
+	Lane int
+}
+
+var _ Patient = LaneView{}
+
+// ID implements Patient for the viewed lane.
+func (v LaneView) ID() string { return v.B.ID(v.Lane) }
+
+// Basal implements Patient for the viewed lane.
+func (v LaneView) Basal() float64 { return v.B.Basal(v.Lane) }
+
+// BG implements Patient for the viewed lane.
+func (v LaneView) BG() float64 { return v.B.BG(v.Lane) }
+
+// CGM implements Patient for the viewed lane.
+func (v LaneView) CGM() float64 { return v.B.CGM(v.Lane) }
+
+// Reset implements Patient for the viewed lane.
+func (v LaneView) Reset(initialBG float64) { v.B.Reset(v.Lane, initialBG) }
+
+// Step implements Patient for the viewed lane (scalar fallback; the
+// batched engine advances lanes through StepLanes instead).
+func (v LaneView) Step(insulinUPerH, carbGPerMin, dtMin float64) {
+	v.B.StepLane(v.Lane, insulinUPerH, carbGPerMin, dtMin)
+}

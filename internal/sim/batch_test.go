@@ -1,0 +1,183 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sim/glucosym"
+	"repro/internal/sim/uvapadova"
+)
+
+// scalarPatient is the per-session surface the differential compares
+// against; both cohort models expose plasma insulin beyond sim.Patient.
+type scalarPatient interface {
+	sim.Patient
+	PlasmaInsulin() float64
+}
+
+// plasmaBatch is the matching per-lane surface of the batch backends.
+type plasmaBatch interface {
+	sim.BatchPatient
+	PlasmaInsulin(lane int) float64
+}
+
+// backends enumerates both cohort models for the differential tests.
+var backends = []struct {
+	name   string
+	cohort int
+	scalar func(idx int) (scalarPatient, error)
+	batch  func(lanes int) (plasmaBatch, error)
+}{
+	{
+		name: "glucosym", cohort: glucosym.NumPatients,
+		scalar: func(idx int) (scalarPatient, error) { return glucosym.New(idx) },
+		batch:  func(lanes int) (plasmaBatch, error) { return glucosym.NewBatch(lanes) },
+	},
+	{
+		name: "uvapadova", cohort: uvapadova.NumPatients,
+		scalar: func(idx int) (scalarPatient, error) { return uvapadova.New(idx) },
+		batch:  func(lanes int) (plasmaBatch, error) { return uvapadova.NewBatch(lanes) },
+	},
+}
+
+// TestBatchMatchesScalarDifferential drives a bank of lanes and a
+// matching set of standalone patients through randomized insulin/carb
+// schedules — including negative-input clamping, subset-lane rounds
+// through LaneView, mid-run resets, and lane re-parameterization — and
+// requires every lane's BG, CGM, and plasma insulin to stay bit-exactly
+// equal to its scalar twin at every step.
+func TestBatchMatchesScalarDifferential(t *testing.T) {
+	const (
+		lanes = 6
+		steps = 150
+		dtMin = 5.0
+	)
+	for _, be := range backends {
+		t.Run(be.name, func(t *testing.T) {
+			b, err := be.batch(lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.NumLanes() != lanes {
+				t.Fatalf("NumLanes = %d, want %d", b.NumLanes(), lanes)
+			}
+			scalars := make([]scalarPatient, lanes)
+			configure := func(lane, idx int) {
+				if err := b.ConfigureLane(lane, idx); err != nil {
+					t.Fatal(err)
+				}
+				if scalars[lane], err = be.scalar(idx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for l := 0; l < lanes; l++ {
+				configure(l, (l*3)%be.cohort)
+				if b.ID(l) != scalars[l].ID() {
+					t.Fatalf("lane %d ID %q != scalar %q", l, b.ID(l), scalars[l].ID())
+				}
+				if b.Basal(l) != scalars[l].Basal() {
+					t.Fatalf("lane %d basal %v != scalar %v", l, b.Basal(l), scalars[l].Basal())
+				}
+			}
+
+			rng := rand.New(rand.NewSource(99))
+			allLanes := make([]int, lanes)
+			ins := make([]float64, lanes)
+			carb := make([]float64, lanes)
+			for l := range allLanes {
+				allLanes[l] = l
+			}
+			for step := 0; step < steps; step++ {
+				for l := 0; l < lanes; l++ {
+					// Occasionally negative to exercise the input clamps.
+					ins[l] = rng.Float64()*6 - 0.5
+					carb[l] = 0
+					if step%30 == 10 {
+						carb[l] = rng.Float64() * 2
+					}
+				}
+				if step%10 == 7 {
+					// Subset round: lane 1 steps through its LaneView (the
+					// scalar interface adapter), the rest as one batch.
+					sub := make([]int, 0, lanes-1)
+					for _, l := range allLanes {
+						if l != 1 {
+							sub = append(sub, l)
+						}
+					}
+					subIns := make([]float64, len(sub))
+					subCarb := make([]float64, len(sub))
+					for i, l := range sub {
+						subIns[i], subCarb[i] = ins[l], carb[l]
+					}
+					sim.LaneView{B: b, Lane: 1}.Step(ins[1], carb[1], dtMin)
+					b.StepLanes(sub, subIns, subCarb, dtMin)
+				} else {
+					b.StepLanes(allLanes, ins, carb, dtMin)
+				}
+				for l := 0; l < lanes; l++ {
+					scalars[l].Step(ins[l], carb[l], dtMin)
+				}
+
+				for l := 0; l < lanes; l++ {
+					if got, want := b.BG(l), scalars[l].BG(); got != want {
+						t.Fatalf("step %d lane %d: BG %v != scalar %v", step, l, got, want)
+					}
+					if got, want := b.CGM(l), scalars[l].CGM(); got != want {
+						t.Fatalf("step %d lane %d: CGM %v != scalar %v", step, l, got, want)
+					}
+					if got, want := b.PlasmaInsulin(l), scalars[l].PlasmaInsulin(); got != want {
+						t.Fatalf("step %d lane %d: plasma insulin %v != scalar %v", step, l, got, want)
+					}
+				}
+
+				switch step {
+				case 60:
+					// Mid-run session churn: lane 2 restarts at a new BG,
+					// lane 4 is handed to a different cohort patient.
+					b.Reset(2, 180)
+					scalars[2].Reset(180)
+					configure(4, (4*3+1)%be.cohort)
+				case 100:
+					b.Reset(0, 60)
+					scalars[0].Reset(60)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchLaneIndependence pins lane isolation: stepping one lane must
+// leave every other lane's state untouched.
+func TestBatchLaneIndependence(t *testing.T) {
+	for _, be := range backends {
+		t.Run(be.name, func(t *testing.T) {
+			b, err := be.batch(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < 4; l++ {
+				if err := b.ConfigureLane(l, l%be.cohort); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := make([]float64, 4)
+			for l := range before {
+				before[l] = b.BG(l)
+			}
+			b.StepLane(2, 8, 1.5, 5)
+			for l := 0; l < 4; l++ {
+				if l == 2 {
+					if b.BG(l) == before[l] {
+						t.Errorf("lane 2 did not move under a large bolus+meal step")
+					}
+					continue
+				}
+				if b.BG(l) != before[l] {
+					t.Errorf("lane %d moved (%v -> %v) when only lane 2 stepped", l, before[l], b.BG(l))
+				}
+			}
+		})
+	}
+}

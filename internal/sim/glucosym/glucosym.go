@@ -187,17 +187,24 @@ func (p *Patient) Reset(initialBG float64) {
 
 // derivs computes the MVP model right-hand side.
 func (p *Patient) derivs(_ float64, y, dydt []float64) {
-	prm := &p.params
-	idRate := p.insulinUPerH * 1e6 / 60             // µU/min
-	ra := prm.MealF * y[iQ2] / prm.TauMeal / prm.VG // mg/dL/min
+	derivsAt(&p.params, p.insulinUPerH, p.carbGPerMin, y, dydt, 0)
+}
 
-	dydt[iIsc] = -y[iIsc]/prm.Tau1 + idRate/(prm.Tau1*prm.CI)
-	dydt[iIp] = -(y[iIp] - y[iIsc]) / prm.Tau2
-	dydt[iIeff] = -prm.P2*y[iIeff] + prm.P2*prm.SI*y[iIp]
-	dydt[iG] = -(prm.GEZI+y[iIeff])*y[iG] + prm.EGP + ra
-	dydt[iQ1] = -y[iQ1]/prm.TauMeal + 1000*p.carbGPerMin
-	dydt[iQ2] = (y[iQ1] - y[iQ2]) / prm.TauMeal
-	dydt[iGs] = (y[iG] - y[iGs]) / prm.SensorLag
+// derivsAt evaluates the MVP right-hand side for the state window
+// starting at offset o of y/dydt. Both the scalar and batched steppers
+// compile through this one function, which is what makes a batch lane's
+// floating-point trajectory bit-identical to a standalone patient's.
+func derivsAt(prm *Params, insulinUPerH, carbGPerMin float64, y, dydt []float64, o int) {
+	idRate := insulinUPerH * 1e6 / 60                 // µU/min
+	ra := prm.MealF * y[o+iQ2] / prm.TauMeal / prm.VG // mg/dL/min
+
+	dydt[o+iIsc] = -y[o+iIsc]/prm.Tau1 + idRate/(prm.Tau1*prm.CI)
+	dydt[o+iIp] = -(y[o+iIp] - y[o+iIsc]) / prm.Tau2
+	dydt[o+iIeff] = -prm.P2*y[o+iIeff] + prm.P2*prm.SI*y[o+iIp]
+	dydt[o+iG] = -(prm.GEZI+y[o+iIeff])*y[o+iG] + prm.EGP + ra
+	dydt[o+iQ1] = -y[o+iQ1]/prm.TauMeal + 1000*carbGPerMin
+	dydt[o+iQ2] = (y[o+iQ1] - y[o+iQ2]) / prm.TauMeal
+	dydt[o+iGs] = (y[o+iG] - y[o+iGs]) / prm.SensorLag
 }
 
 // Step implements sim.Patient using RK4 with 1-minute substeps.
@@ -214,15 +221,21 @@ func (p *Patient) Step(insulinUPerH, carbGPerMin, dtMin float64) {
 	p.insulinUPerH = insulinUPerH
 	p.carbGPerMin = carbGPerMin
 	p.rk4.Integrate(p.derivs, 0, p.y, dtMin, 1.0)
-	sim.ClampNonNegative(p.y)
-	// Keep glucose above a survivable floor so downstream math (risk
-	// logarithms) stays defined even under absurd fault magnitudes.
+	clampStates(p.y)
+}
+
+// clampStates applies the post-integration guards shared by the scalar
+// and batched steppers: non-negative physiological states, and glucose
+// held above a survivable floor so downstream math (risk logarithms)
+// stays defined even under absurd fault magnitudes.
+func clampStates(y []float64) {
+	sim.ClampNonNegative(y)
 	const bgFloor = 10
-	if p.y[iG] < bgFloor {
-		p.y[iG] = bgFloor
+	if y[iG] < bgFloor {
+		y[iG] = bgFloor
 	}
-	if p.y[iGs] < bgFloor {
-		p.y[iGs] = bgFloor
+	if y[iGs] < bgFloor {
+		y[iGs] = bgFloor
 	}
 }
 

@@ -8,6 +8,8 @@
 // and as the (possibly delayed) sensor value a CGM would show.
 package sim
 
+import "math"
+
 // Patient is a virtual Type 1 diabetes patient model.
 type Patient interface {
 	// ID returns the stable patient identifier (e.g. "glucosym-3").
@@ -74,14 +76,24 @@ func (r *RK4) Integrate(f Derivs, t float64, y []float64, total, maxH float64) {
 	if total <= 0 {
 		return
 	}
-	steps := int(total/maxH + 0.5)
-	if steps < 1 {
-		steps = 1
-	}
+	steps := substeps(total, maxH)
 	h := total / float64(steps)
 	for i := 0; i < steps; i++ {
 		r.Step(f, t+float64(i)*h, y, h)
 	}
+}
+
+// substeps returns the number of equal substeps needed to cover total
+// minutes without any substep exceeding maxH. The count must round UP:
+// rounding to nearest (the historical bug) made e.g. total=5, maxH=3.4
+// integrate as a single h=5 substep, violating the "at most maxH"
+// contract and silently coarsening the integration.
+func substeps(total, maxH float64) int {
+	steps := int(math.Ceil(total / maxH))
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
 }
 
 // ClampNonNegative floors every state variable at zero. Physiological

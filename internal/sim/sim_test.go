@@ -80,3 +80,49 @@ func TestClampNonNegative(t *testing.T) {
 		t.Errorf("positive value modified: %v", y[0])
 	}
 }
+
+// TestIntegrateSubstepCeiling is the regression test for the historical
+// rounding bug: Integrate computed its substep count by rounding
+// total/maxH to nearest, so e.g. total=5, maxH=3.4 integrated as a
+// single h=5 substep — violating the documented "substeps of at most
+// maxH". The count must round up.
+func TestIntegrateSubstepCeiling(t *testing.T) {
+	cases := []struct {
+		total, maxH float64
+		want        int
+	}{
+		{5, 1, 5},      // the default cycle/substep shape: exact division,
+		{5, 5, 1},      // so golden traces did not shift with the fix
+		{5, 2.5, 2},    // exact division at a half-ratio
+		{5, 3.4, 2},    // the bug: nearest-rounding gave 1 (h=5 > 3.4)
+		{5, 4.9, 2},    // ratio just above 1 must still split
+		{5, 2.49, 3},   // just under a half-ratio boundary
+		{7, 3.5, 2},    // exact division
+		{7.01, 3.5, 3}, // just above it
+		{0.1, 1, 1},    // short totals take a single shrunken substep
+	}
+	for _, c := range cases {
+		if got := substeps(c.total, c.maxH); got != c.want {
+			t.Errorf("substeps(%v, %v) = %d, want %d", c.total, c.maxH, got, c.want)
+		}
+	}
+
+	// Every substep Integrate actually takes must respect maxH: count the
+	// derivative evaluations (4 per RK4 step) over a sweep of ratios.
+	for _, c := range cases {
+		evals := 0
+		f := func(_ float64, _, dydt []float64) { evals++; dydt[0] = 1 }
+		y := []float64{0}
+		NewRK4(1).Integrate(f, 0, y, c.total, c.maxH)
+		if steps := evals / 4; steps != c.want {
+			t.Errorf("Integrate(total=%v, maxH=%v) took %d substeps, want %d", c.total, c.maxH, steps, c.want)
+		}
+		if h := c.total / float64(c.want); h > c.maxH+1e-12 {
+			t.Errorf("Integrate(total=%v, maxH=%v): substep %v exceeds maxH", c.total, c.maxH, c.total/float64(c.want))
+		}
+		// dy/dt = 1 integrates exactly regardless of the schedule.
+		if math.Abs(y[0]-c.total) > 1e-12 {
+			t.Errorf("Integrate(total=%v, maxH=%v) advanced y by %v", c.total, c.maxH, y[0])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Shard-batched struct-of-arrays backend for the Dalla Man model: one
+// flat [lanes x nStates] state matrix, one sim.BatchRK4 integration per
+// step, per-lane derivatives evaluated by the same compiled
+// Patient.derivs as the scalar path and the clamp arithmetic shared, so
+// a lane is bit-identical to a standalone *Patient fed the same inputs
+// (TestBatchMatchesScalarDifferential).
+
+package uvapadova
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Batch is a struct-of-arrays bank of Dalla Man virtual patients
+// implementing sim.BatchPatient. Lanes share one flat state matrix and
+// one batched integrator; each lane carries its own cohort parameters
+// and steps independently of the others.
+type Batch struct {
+	y   []float64 // [lanes*nStates], lane-major
+	pts []Patient // per-lane params/inputs; y aliases the flat matrix
+	rk4 *sim.BatchRK4
+
+	// single-lane scratch so StepLane stays allocation-free
+	oneLane [1]int
+	oneIns  [1]float64
+	oneCarb [1]float64
+}
+
+var _ sim.BatchPatient = (*Batch)(nil)
+
+// NewBatch builds a bank of lanes Dalla Man patients, every lane
+// initially configured as cohort patient 0 at TargetBG; callers
+// re-parameterize lanes with ConfigureLane.
+func NewBatch(lanes int) (*Batch, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("uvapadova: batch needs at least one lane, got %d", lanes)
+	}
+	b := &Batch{
+		y:   make([]float64, lanes*nStates),
+		pts: make([]Patient, lanes),
+		rk4: sim.NewBatchRK4(lanes, nStates),
+	}
+	for l := range b.pts {
+		b.pts[l].y = b.laneY(l)
+		if err := b.ConfigureLane(l, 0); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// laneY returns lane l's state window of the flat matrix.
+func (b *Batch) laneY(l int) []float64 {
+	o := l * nStates
+	return b.y[o : o+nStates : o+nStates]
+}
+
+// NumLanes implements sim.BatchPatient.
+func (b *Batch) NumLanes() int { return len(b.pts) }
+
+// ConfigureLane implements sim.BatchPatient: the lane takes cohort
+// patient idx's parameters (derived exactly like New, including the
+// basal steady-state solve) and resets to TargetBG.
+func (b *Batch) ConfigureLane(lane, patientIdx int) error {
+	p, err := New(patientIdx)
+	if err != nil {
+		return err
+	}
+	lp := &b.pts[lane]
+	keep := lp.y // alias into the flat matrix, preserved across configs
+	*lp = *p
+	lp.y = keep
+	lp.rk4 = nil // lanes integrate through the shared BatchRK4
+	lp.Reset(TargetBG)
+	return nil
+}
+
+// ID implements sim.BatchPatient.
+func (b *Batch) ID(lane int) string { return b.pts[lane].id }
+
+// Basal implements sim.BatchPatient.
+func (b *Batch) Basal(lane int) float64 { return b.pts[lane].basalUPerH }
+
+// BG implements sim.BatchPatient.
+func (b *Batch) BG(lane int) float64 { return b.pts[lane].y[iGp] / b.pts[lane].params.VG }
+
+// CGM implements sim.BatchPatient.
+func (b *Batch) CGM(lane int) float64 { return b.pts[lane].y[iGs] }
+
+// PlasmaInsulin returns the lane's plasma insulin concentration
+// (pmol/L), exposed for the differential tests.
+func (b *Batch) PlasmaInsulin(lane int) float64 { return b.pts[lane].y[iIp] / b.pts[lane].params.VI }
+
+// Reset implements sim.BatchPatient.
+func (b *Batch) Reset(lane int, initialBG float64) { b.pts[lane].Reset(initialBG) }
+
+// StepLane implements sim.BatchPatient by running the lane through the
+// batched integrator alone — the same code path as StepLanes, so the
+// two are trivially identical.
+func (b *Batch) StepLane(lane int, insulinUPerH, carbGPerMin, dtMin float64) {
+	b.oneLane[0] = lane
+	b.oneIns[0] = insulinUPerH
+	b.oneCarb[0] = carbGPerMin
+	b.StepLanes(b.oneLane[:], b.oneIns[:], b.oneCarb[:], dtMin)
+}
+
+// StepLanes implements sim.BatchPatient: one batched RK4 integration
+// (1-minute substeps, like the scalar Step) advances every listed lane.
+func (b *Batch) StepLanes(lanes []int, insulinUPerH, carbGPerMin []float64, dtMin float64) {
+	if dtMin <= 0 {
+		return
+	}
+	for i, l := range lanes {
+		ins := insulinUPerH[i]
+		if ins < 0 {
+			ins = 0
+		}
+		carb := 0.0
+		if carbGPerMin != nil {
+			carb = carbGPerMin[i]
+			if carb < 0 {
+				carb = 0
+			}
+		}
+		p := &b.pts[l]
+		p.insulinPmolKgMin = ins * 6000 / 60 / p.params.BW
+		p.carbMgPerMin = carb * 1000
+	}
+	b.rk4.Integrate(b.derivs, 0, lanes, b.y, dtMin, 1.0)
+	for _, l := range lanes {
+		clampStates(b.laneY(l), b.pts[l].params.VG)
+	}
+}
+
+// derivs evaluates the Dalla Man right-hand side for every listed lane
+// by delegating to derivsAt on the lane's window of the flat matrix —
+// literally the same compiled arithmetic as the per-session path.
+func (b *Batch) derivs(_ float64, lanes []int, y, dydt []float64) {
+	for _, l := range lanes {
+		p := &b.pts[l]
+		derivsAt(&p.params, p.ib, p.insulinPmolKgMin, p.carbMgPerMin, y, dydt, l*nStates)
+	}
+}

@@ -285,8 +285,15 @@ func (p *Patient) Reset(initialBG float64) {
 }
 
 func (p *Patient) derivs(_ float64, y, dydt []float64) {
-	prm := &p.params
-	gp, gt := y[iGp], y[iGt]
+	derivsAt(&p.params, p.ib, p.insulinPmolKgMin, p.carbMgPerMin, y, dydt, 0)
+}
+
+// derivsAt evaluates the Dalla Man right-hand side for the state window
+// starting at offset o of y/dydt. Both the scalar and batched steppers
+// compile through this one function, which is what makes a batch lane's
+// floating-point trajectory bit-identical to a standalone patient's.
+func derivsAt(prm *Params, ib, insulinPmolKgMin, carbMgPerMin float64, y, dydt []float64, o int) {
+	gp, gt := y[o+iGp], y[o+iGt]
 	if gp < 0 {
 		gp = 0
 	}
@@ -294,35 +301,35 @@ func (p *Patient) derivs(_ float64, y, dydt []float64) {
 		gt = 0
 	}
 	g := gp / prm.VG
-	i := y[iIp] / prm.VI // plasma insulin concentration, pmol/L
+	i := y[o+iIp] / prm.VI // plasma insulin concentration, pmol/L
 
-	egp := prm.Kp1 - prm.Kp2*gp - prm.Kp3*y[iId]
+	egp := prm.Kp1 - prm.Kp2*gp - prm.Kp3*y[o+iId]
 	if egp < 0 {
 		egp = 0
 	}
 	e := renal(prm, gp)
-	vm := prm.Vm0 + prm.Vmx*y[iX]
+	vm := prm.Vm0 + prm.Vmx*y[o+iX]
 	if vm < 0 {
 		vm = 0
 	}
 	uid := vm * gt / (prm.Km0 + gt)
-	ra := prm.Fab * prm.Kabs * y[iQgut] / prm.BW
+	ra := prm.Fab * prm.Kabs * y[o+iQgut] / prm.BW
 
-	rai := prm.Ka1*y[iIsc1] + prm.Ka2*y[iIsc2]
+	rai := prm.Ka1*y[o+iIsc1] + prm.Ka2*y[o+iIsc2]
 
-	dydt[iGp] = egp + ra - prm.Fsnc - e - prm.K1*gp + prm.K2*gt
-	dydt[iGt] = -uid + prm.K1*gp - prm.K2*gt
-	dydt[iIl] = -(prm.M1+prm.M3)*y[iIl] + prm.M2*y[iIp]
-	dydt[iIp] = -(prm.M2+prm.M4)*y[iIp] + prm.M1*y[iIl] + rai
-	dydt[iX] = -prm.P2U*y[iX] + prm.P2U*(i-p.ib)
-	dydt[iI1] = -prm.Ki * (y[iI1] - i)
-	dydt[iId] = -prm.Ki * (y[iId] - y[iI1])
-	dydt[iIsc1] = -(prm.Kd+prm.Ka1)*y[iIsc1] + p.insulinPmolKgMin
-	dydt[iIsc2] = prm.Kd*y[iIsc1] - prm.Ka2*y[iIsc2]
-	dydt[iQs1] = -prm.Kgri*y[iQs1] + p.carbMgPerMin
-	dydt[iQs2] = prm.Kgri*y[iQs1] - prm.Kemp*y[iQs2]
-	dydt[iQgut] = prm.Kemp*y[iQs2] - prm.Kabs*y[iQgut]
-	dydt[iGs] = (g - y[iGs]) / prm.Ts
+	dydt[o+iGp] = egp + ra - prm.Fsnc - e - prm.K1*gp + prm.K2*gt
+	dydt[o+iGt] = -uid + prm.K1*gp - prm.K2*gt
+	dydt[o+iIl] = -(prm.M1+prm.M3)*y[o+iIl] + prm.M2*y[o+iIp]
+	dydt[o+iIp] = -(prm.M2+prm.M4)*y[o+iIp] + prm.M1*y[o+iIl] + rai
+	dydt[o+iX] = -prm.P2U*y[o+iX] + prm.P2U*(i-ib)
+	dydt[o+iI1] = -prm.Ki * (y[o+iI1] - i)
+	dydt[o+iId] = -prm.Ki * (y[o+iId] - y[o+iI1])
+	dydt[o+iIsc1] = -(prm.Kd+prm.Ka1)*y[o+iIsc1] + insulinPmolKgMin
+	dydt[o+iIsc2] = prm.Kd*y[o+iIsc1] - prm.Ka2*y[o+iIsc2]
+	dydt[o+iQs1] = -prm.Kgri*y[o+iQs1] + carbMgPerMin
+	dydt[o+iQs2] = prm.Kgri*y[o+iQs1] - prm.Kemp*y[o+iQs2]
+	dydt[o+iQgut] = prm.Kemp*y[o+iQs2] - prm.Kabs*y[o+iQgut]
+	dydt[o+iGs] = (g - y[o+iGs]) / prm.Ts
 }
 
 // Step implements sim.Patient using RK4 with 1-minute substeps.
@@ -339,23 +346,29 @@ func (p *Patient) Step(insulinUPerH, carbGPerMin, dtMin float64) {
 	p.insulinPmolKgMin = insulinUPerH * 6000 / 60 / p.params.BW
 	p.carbMgPerMin = carbGPerMin * 1000
 	p.rk4.Integrate(p.derivs, 0, p.y, dtMin, 1.0)
-	// Clamp physical masses at zero; the insulin-action state X is a
-	// deviation variable and legitimately goes negative during insulin
-	// suspension, so it is exempt.
-	for idx := range p.y {
+	clampStates(p.y, p.params.VG)
+}
+
+// clampStates applies the post-integration guards shared by the scalar
+// and batched steppers. Physical masses clamp at zero; the
+// insulin-action state X is a deviation variable and legitimately goes
+// negative during insulin suspension, so it is exempt. Glucose is held
+// above a survivable floor so downstream math stays defined.
+func clampStates(y []float64, vg float64) {
+	for idx := range y {
 		if idx == iX {
 			continue
 		}
-		if p.y[idx] < 0 {
-			p.y[idx] = 0
+		if y[idx] < 0 {
+			y[idx] = 0
 		}
 	}
 	const bgFloorMass = 10 // mg/dL floor expressed on the mass state
-	if p.y[iGp] < bgFloorMass*p.params.VG {
-		p.y[iGp] = bgFloorMass * p.params.VG
+	if y[iGp] < bgFloorMass*vg {
+		y[iGp] = bgFloorMass * vg
 	}
-	if p.y[iGs] < bgFloorMass {
-		p.y[iGs] = bgFloorMass
+	if y[iGs] < bgFloorMass {
+		y[iGs] = bgFloorMass
 	}
 }
 
