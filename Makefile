@@ -9,7 +9,7 @@ DOC_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{.Dir}}' ./... \
 	| grep -v '^repro/cmd/' | grep -v '^repro/examples/' \
 	| awk '{print $$2}')
 
-.PHONY: build test race bench bench-smoke short vet docs ci
+.PHONY: build test race bench bench-smoke short vet fmt lint docs ci
 
 ## build: compile every package and command
 build:
@@ -59,10 +59,17 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-## docs: documentation gate — vet plus the doc-comment lint (every
-## package comment present, every exported API documented)
+## lint: the fleetvet multichecker — determinism, hot-path noalloc,
+## enum exhaustiveness, and the doc-comment contract, over every
+## package (see internal/analysis and DESIGN.md "Static invariants")
+lint:
+	$(GO) run ./cmd/fleetvet ./...
+
+## docs: documentation gate — vet plus the doc-comment lint. The lint
+## target runs the same doclint rules as one fleetvet pass; this target
+## remains for linting documentation in isolation via cmd/doclint.
 docs: vet
 	$(GO) run ./cmd/doclint $(DOC_PKGS)
 
 ## ci: what a gate should run
-ci: fmt vet docs test race
+ci: fmt vet lint test race

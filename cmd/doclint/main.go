@@ -2,8 +2,13 @@
 // listed package must carry a package-level doc comment, and every
 // exported top-level declaration (functions, methods on exported
 // receivers, types, constants, and variables) must carry a doc comment.
-// It exits non-zero listing each violation, which is how `make docs`
-// and the CI docs job fail a change that adds an undocumented API.
+// It exits non-zero listing each violation.
+//
+// The rules live in internal/analysis as the doclint pass of the
+// fleetvet multichecker; this command is a thin parse-only wrapper kept
+// for scripts that lint documentation in isolation. Prefer
+// `go run ./cmd/fleetvet ./...` (or `make lint`), which runs doclint
+// alongside the determinism, noalloc, and exhaustive passes.
 //
 // Usage:
 //
@@ -20,8 +25,9 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
+
+	"repro/internal/analysis"
 )
 
 func main() {
@@ -29,28 +35,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir> [<package-dir>...]")
 		os.Exit(2)
 	}
-	var problems []string
+	pass := analysis.NewDocLint()
+	total := 0
 	for _, dir := range os.Args[1:] {
-		ps, err := lintDir(dir)
+		diags, err := lintDir(pass, dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
 			os.Exit(2)
 		}
-		problems = append(problems, ps...)
-	}
-	if len(problems) > 0 {
-		sort.Strings(problems)
-		for _, p := range problems {
-			fmt.Println(p)
+		for _, d := range diags {
+			fmt.Println(d)
 		}
-		fmt.Printf("doclint: %d undocumented exported declarations\n", len(problems))
+		total += len(diags)
+	}
+	if total > 0 {
+		fmt.Printf("doclint: %d undocumented exported declarations\n", total)
 		os.Exit(1)
 	}
 }
 
 // lintDir parses every non-test Go file of one package directory and
-// returns a problem line per undocumented exported declaration.
-func lintDir(dir string) ([]string, error) {
+// runs the shared doclint pass over them.
+func lintDir(pass *analysis.Analyzer, dir string) ([]analysis.Diagnostic, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -62,8 +68,7 @@ func lintDir(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -72,95 +77,5 @@ func lintDir(dir string) ([]string, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("%s: no Go files", dir)
 	}
-
-	var problems []string
-	pos := func(n ast.Node) string {
-		p := fset.Position(n.Pos())
-		return fmt.Sprintf("%s:%d", p.Filename, p.Line)
-	}
-
-	hasPkgDoc := false
-	for _, f := range files {
-		if f.Doc != nil {
-			hasPkgDoc = true
-		}
-	}
-	if !hasPkgDoc {
-		problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, files[0].Name.Name))
-	}
-
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if !d.Name.IsExported() || d.Doc != nil {
-					continue
-				}
-				if d.Recv != nil && !exportedReceiver(d.Recv) {
-					continue
-				}
-				problems = append(problems, fmt.Sprintf("%s: %s lacks a doc comment", pos(d), declName(d)))
-			case *ast.GenDecl:
-				if d.Doc != nil && len(d.Specs) == 1 {
-					continue
-				}
-				for _, spec := range d.Specs {
-					switch s := spec.(type) {
-					case *ast.TypeSpec:
-						if s.Name.IsExported() && s.Doc == nil && (d.Doc == nil || len(d.Specs) > 1) {
-							problems = append(problems, fmt.Sprintf("%s: type %s lacks a doc comment", pos(s), s.Name.Name))
-						}
-					case *ast.ValueSpec:
-						if s.Doc != nil || d.Doc != nil && len(d.Specs) == 1 {
-							continue
-						}
-						for _, n := range s.Names {
-							if !n.IsExported() {
-								continue
-							}
-							// Inside a documented const/var block, individual
-							// specs may ride on the block comment only when
-							// the block as a whole is documented.
-							if d.Doc != nil {
-								continue
-							}
-							problems = append(problems, fmt.Sprintf("%s: %s lacks a doc comment", pos(s), n.Name))
-						}
-					}
-				}
-			}
-		}
-	}
-	return problems, nil
-}
-
-// exportedReceiver reports whether a method's receiver base type is
-// exported (methods on unexported types are internal API).
-func exportedReceiver(recv *ast.FieldList) bool {
-	if len(recv.List) == 0 {
-		return false
-	}
-	t := recv.List[0].Type
-	for {
-		switch n := t.(type) {
-		case *ast.StarExpr:
-			t = n.X
-		case *ast.IndexExpr: // generic receiver, one type parameter
-			t = n.X
-		case *ast.IndexListExpr: // generic receiver, two or more type parameters
-			t = n.X
-		case *ast.Ident:
-			return n.IsExported()
-		default:
-			return false
-		}
-	}
-}
-
-// declName renders a function or method name for the problem line.
-func declName(d *ast.FuncDecl) string {
-	if d.Recv == nil {
-		return "func " + d.Name.Name
-	}
-	return "method " + d.Name.Name
+	return analysis.RunSyntactic(pass, fset, files, dir, files[0].Name.Name)
 }

@@ -238,6 +238,9 @@ func main() {
 		defer close(drained)
 		for ev := range events {
 			switch ev.Kind {
+			case apsmonitor.FleetSessionStart, apsmonitor.FleetSessionDone:
+				// Lifecycle events are summarized from FleetResult after
+				// the run; streaming them would drown the progress log.
 			case apsmonitor.FleetProgress:
 				fmt.Println(ev)
 			case apsmonitor.FleetAlarm, apsmonitor.FleetHazard:

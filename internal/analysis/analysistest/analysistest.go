@@ -1,0 +1,119 @@
+// Package analysistest runs fleetvet analyzers over golden packages
+// and checks their findings against // want "regexp" comment
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest
+// on the repo's stdlib-only analysis framework. A want comment
+// attaches to its own source line; every finding must match exactly
+// one want on its line and every want must be matched, so both false
+// positives and false negatives fail the test. A want with a line
+// offset (`// want-1 "pat"`) expects the finding that many lines away,
+// which lets expectations anchor to findings reported at comment
+// positions — a line comment cannot carry a second line comment.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted expectation patterns of a want comment —
+// interpreted double-quoted strings or raw backquoted ones.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// wantHeadRe matches the want marker and its optional line offset.
+var wantHeadRe = regexp.MustCompile(`^want([+-]\d+)? `)
+
+// expectation is one // want pattern awaiting a matching finding.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the single golden package in dir with the given passes
+// and reports every mismatch between findings and want comments as a
+// test error.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.CheckDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(analyzers, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding at %s:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Message, d.Pass)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no finding matched want %q at %s:%d", w.pattern, w.file, w.line)
+		}
+	}
+}
+
+// claim marks the first unmatched want satisfied by a finding.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment of the package.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				head := wantHeadRe.FindStringSubmatch(text)
+				if head == nil {
+					continue
+				}
+				offset := 0
+				if head[1] != "" {
+					offset, _ = strconv.Atoi(head[1])
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(text[len(head[0]):], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment without quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, q := range quoted {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line + offset, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

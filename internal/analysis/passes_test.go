@@ -1,0 +1,85 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func golden(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestDeterminismPass(t *testing.T) {
+	analysistest.Run(t, golden("determinism"), analysis.NewDeterminism())
+}
+
+func TestDeterminismUnmarkedPackage(t *testing.T) {
+	analysistest.Run(t, golden("determinismoff"), analysis.NewDeterminism())
+}
+
+func TestNoAllocPass(t *testing.T) {
+	analysistest.Run(t, golden("noalloc"), analysis.NewNoAlloc())
+}
+
+func TestExhaustivePass(t *testing.T) {
+	analysistest.Run(t, golden("exhaustive"), analysis.NewExhaustive())
+}
+
+func TestDocLintPass(t *testing.T) {
+	analysistest.Run(t, golden("doclint"), analysis.NewDocLint())
+}
+
+// TestWaiverScope pins the satellite contract: a waiver suppresses
+// exactly one statement line (trailing or standalone), and a waiver
+// without a reason is itself a finding.
+func TestWaiverScope(t *testing.T) {
+	analysistest.Run(t, golden("waiver"), analysis.NewDeterminism())
+}
+
+// TestLoadRealPackage exercises the go list -export loader against a
+// real module package with module-internal imports.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := analysis.Load(".", []string{"repro/internal/scs"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var found bool
+	for _, p := range pkgs {
+		if p.ImportPath == "repro/internal/scs" {
+			found = true
+			if !p.Target {
+				t.Errorf("requested package not marked Target")
+			}
+			if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+				t.Errorf("package loaded without syntax or types")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("repro/internal/scs not in loaded set")
+	}
+}
+
+// TestSuiteCleanOnModule is the in-suite twin of `make lint`: the
+// whole module must be free of fleetvet findings, so a change that
+// violates a declared invariant fails tier-1 tests even before CI's
+// lint step runs.
+func TestSuiteCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is seconds-long; covered by make lint")
+	}
+	pkgs, err := analysis.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := analysis.Run(analysis.Suite(), pkgs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

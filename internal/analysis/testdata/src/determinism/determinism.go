@@ -1,0 +1,55 @@
+// Package determinism is a fleetvet golden package: each construct
+// below either seeds an expected determinism finding or proves a
+// negative.
+//
+//fleetvet:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Iterate ranges over a map (flagged) and a slice (ordered, clean).
+func Iterate(m map[string]int, s []int) int {
+	t := 0
+	for _, v := range m { // want `range over map map\[string\]int: iteration order is nondeterministic`
+		t += v
+	}
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Clocks reads the wall clock as a call and as a stored function
+// value; both leak wall time into the run.
+func Clocks() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	clock := time.Now   // want `time\.Now reads the wall clock`
+	_ = clock
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Draw contrasts the process-global source with a seeded generator.
+func Draw() float64 {
+	r := rand.New(rand.NewSource(1))
+	if r.Float64() > 0.5 {
+		return rand.Float64() // want `rand\.Float64 draws from the process-global source`
+	}
+	return r.ExpFloat64()
+}
+
+// Waived holds audited sites suppressed by trailing and standalone
+// waivers.
+func Waived(m map[string]int) int {
+	t := 0
+	for _, v := range m { //fleetvet:nondeterministic audited: order-independent sum
+		t += v
+	}
+	//fleetvet:nondeterministic audited: order-independent sum
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

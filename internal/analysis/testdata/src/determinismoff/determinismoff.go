@@ -1,0 +1,14 @@
+// Package determinismoff is a fleetvet golden package proving the
+// determinism pass only applies to packages carrying the
+// //fleetvet:deterministic marker: the constructs below would all be
+// findings in a marked package.
+package determinismoff
+
+import "time"
+
+// Unchecked ranges over a map and reads the clock without findings.
+func Unchecked(m map[string]int) time.Time {
+	for range m {
+	}
+	return time.Now()
+}

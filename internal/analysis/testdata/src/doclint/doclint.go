@@ -1,0 +1,23 @@
+package doclint // want `package doclint has no package comment`
+
+// Documented carries its contract.
+func Documented() {}
+
+func Exported() {} // want `func Exported lacks a doc comment`
+
+type T struct{} // want `type T lacks a doc comment`
+
+// Method docs hang off exported receivers.
+func (T) Documented() {}
+
+func (T) Bare() {} // want `method Bare lacks a doc comment`
+
+var Value = 3 // want `Value lacks a doc comment`
+
+type hidden struct{}
+
+func (hidden) Bare() {}
+
+func helper() {}
+
+var small = 1

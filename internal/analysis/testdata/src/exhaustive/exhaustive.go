@@ -1,0 +1,76 @@
+// Package exhaustive is a fleetvet golden package for the enum
+// exhaustiveness pass: switches over the marked Kind must cover every
+// non-sentinel enumerator, with or without a default clause; unmarked
+// types and tagless switches are ignored.
+package exhaustive
+
+// Kind enumerates golden cases.
+//
+//fleetvet:exhaustive
+type Kind int
+
+// Kind enumerators; kindCount is the excluded sentinel.
+const (
+	A Kind = iota
+	B
+	C
+	//fleetvet:sentinel
+	kindCount
+)
+
+// Plain is an unmarked enum look-alike.
+type Plain int
+
+// Plain enumerators.
+const (
+	P Plain = iota
+	Q
+)
+
+// Full covers every enumerator.
+func Full(k Kind) int {
+	switch k {
+	case A:
+		return 1
+	case B, C:
+		return 2
+	}
+	return 0
+}
+
+// Missing lacks C.
+func Missing(k Kind) int {
+	switch k { // want `switch over testdata/exhaustive\.Kind is missing cases: C`
+	case A, B:
+		return 1
+	}
+	return 0
+}
+
+// Defaulted has a default clause but still lacks B and C: a default is
+// not a decision about each enumerator.
+func Defaulted(k Kind) int {
+	switch k { // want `switch over testdata/exhaustive\.Kind is missing cases: B, C`
+	case A:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Ignored shows tagless switches and unmarked types stay unchecked.
+func Ignored(k Kind, p Plain, n int) int {
+	switch {
+	case k == A:
+		return 1
+	}
+	switch p {
+	case P:
+		return 2
+	}
+	switch n {
+	case 3:
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,71 @@
+// Package noalloc is a fleetvet golden package for the hot-path
+// allocation pass: the marked functions seed one finding per
+// allocation-prone construct; the unmarked twin proves the pass only
+// applies under the //fleetvet:noalloc directive.
+package noalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sink consumes boxed values.
+type Sink interface {
+	// Accept consumes one value.
+	Accept(v any)
+}
+
+// point is scratch geometry.
+type point struct{ x, y int }
+
+// Hot is marked allocation-free and violates every rule once.
+//
+//fleetvet:noalloc
+func Hot(xs []int, s Sink) string {
+	msg := fmt.Sprintf("%d", len(xs)) // want `call to fmt\.Sprintf allocates`
+	err := errors.New("boom")         // want `call to errors\.New allocates`
+	_ = err
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	sl := []int{1, 2} // want `slice literal allocates its backing array`
+	_ = sl
+	b := make([]byte, 8) // want `make allocates`
+	_ = b
+	xs = append(xs, 1) // want `append may grow its backing array`
+	p := &point{}      // want `address of composite literal escapes to the heap`
+	_ = p
+	f := func() {} // want `function literal allocates its closure`
+	_ = f
+	s.Accept(len(xs)) // want `int value boxes into interface`
+	var box any
+	box = xs[0] // want `int value boxes into interface`
+	_ = box
+	return msg
+}
+
+// Warm has one audited allocation site under a reasoned waiver.
+//
+//fleetvet:noalloc
+func Warm(buf []int) []int {
+	buf = append(buf, 1) //fleetvet:alloc capacity preallocated at construction
+	return buf
+}
+
+// Cold allocates only while constructing its error result, the exempt
+// cold exit; the non-error results are still checked.
+//
+//fleetvet:noalloc
+func Cold(n int, s Sink) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative count %d", n)
+	}
+	return n, nil
+}
+
+// Unmarked repeats the violations without the directive: no findings.
+func Unmarked(xs []int) string {
+	m := map[int]int{}
+	_ = m
+	xs = append(xs, 1)
+	return fmt.Sprintf("%d", len(xs))
+}

@@ -1,0 +1,64 @@
+// Package waiver is a fleetvet golden package pinning the waiver
+// directive's contract: a waiver suppresses exactly one statement line
+// — trailing for its own line, standalone for the single line below —
+// and a waiver without a reason is itself a finding that suppresses
+// nothing.
+//
+//fleetvet:deterministic
+package waiver
+
+// Scope shows each waiver form covering exactly one following range.
+func Scope(m map[string]int) int {
+	t := 0
+	for range m { //fleetvet:nondeterministic audited: order-independent count
+		t++
+	}
+	for range m { // want `range over map`
+		t++
+	}
+	//fleetvet:nondeterministic audited: order-independent count
+	for range m {
+		t++
+	}
+	for range m { // want `range over map`
+		t++
+	}
+	return t
+}
+
+// Trailing proves a trailing waiver covers only its own line, not the
+// statement on the next one.
+func Trailing(m map[string]int) int {
+	t := 0
+	for range m { //fleetvet:nondeterministic audited: outer count only
+		for range m { // want `range over map`
+			t++
+		}
+	}
+	return t
+}
+
+// Standalone proves a standalone waiver line covers only the next
+// line, not itself two statements down.
+func Standalone(m map[string]int) int {
+	t := 0
+	//fleetvet:nondeterministic audited: first loop only
+	for range m {
+		t++
+	}
+	for range m { // want `range over map`
+		t++
+	}
+	return t
+}
+
+// Reasonless proves a bare waiver is a finding and waives nothing.
+func Reasonless(m map[string]int) int {
+	t := 0
+	//fleetvet:nondeterministic
+	// want-1 `//fleetvet:nondeterministic waiver requires a reason`
+	for range m { // want `range over map`
+		t++
+	}
+	return t
+}

@@ -2,6 +2,8 @@
 // optional fault injector, and an optional safety monitor into the
 // closed-loop simulation of Fig. 5a: 150 five-minute control cycles
 // (about 12 hours) starting from a configurable initial glucose.
+//
+//fleetvet:deterministic
 package closedloop
 
 import (

@@ -44,6 +44,8 @@ func DefaultValue(kind Kind, target string) float64 { return valueFor(kind, targ
 // [0, 30] U/h.
 func valueFor(kind Kind, target string) float64 {
 	switch kind {
+	case KindTruncate, KindHold:
+		// No magnitude: truncate zeroes the variable, hold freezes it.
 	case KindMax:
 		switch target {
 		case "glucose":

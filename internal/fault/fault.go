@@ -13,7 +13,12 @@ import (
 	"repro/internal/trace"
 )
 
-// Kind enumerates the fault/attack types of Table II.
+// Kind enumerates the fault/attack types of Table II. Every switch
+// over it must cover every kind (fleetvet's exhaustive pass), so a new
+// fault type cannot silently fall through an injection or labeling
+// switch.
+//
+//fleetvet:exhaustive
 type Kind int
 
 // Fault kinds from Table II of the paper.

@@ -70,4 +70,6 @@
 // sink is detached and its error surfaces from Run after simulation
 // completes, and LogSink rotation retires whole files without ever
 // splitting or dropping a record.
+//
+//fleetvet:deterministic
 package fleet

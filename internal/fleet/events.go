@@ -6,7 +6,11 @@ import (
 	"repro/internal/trace"
 )
 
-// EventKind enumerates the fleet's lifecycle events.
+// EventKind enumerates the fleet's lifecycle events. Every switch over
+// it must cover every kind — fleetvet's exhaustive pass is the static
+// twin of the TestKindRankExhaustive runtime guard.
+//
+//fleetvet:exhaustive
 type EventKind int
 
 const (
@@ -29,8 +33,10 @@ const (
 
 	// eventKindCount sentinels the enum. A new kind goes above this line
 	// and must be given a String name and an explicit kindRank merge
-	// position — TestKindRankExhaustive fails otherwise, so a future
-	// event kind cannot silently get a nondeterministic merge position.
+	// position — fleetvet's exhaustive pass and TestKindRankExhaustive
+	// fail otherwise, so a future event kind cannot silently get a
+	// nondeterministic merge position.
+	//fleetvet:sentinel
 	eventKindCount
 )
 
@@ -93,6 +99,9 @@ func (e Event) String() string {
 	case EventRobustness:
 		return fmt.Sprintf("robustness: session %d (patient %d) margin %.3f (rule %d, min STL %.3f) at step %d",
 			e.Session, e.PatientIdx, e.Margin, e.MarginRule, e.Robustness, e.Step)
+	case EventSessionStart, EventSessionDone:
+		return fmt.Sprintf("%s: session %d (patient %d, replica %d)",
+			e.Kind, e.Session, e.PatientIdx, e.Replica)
 	default:
 		return fmt.Sprintf("%s: session %d (patient %d, replica %d)",
 			e.Kind, e.Session, e.PatientIdx, e.Replica)

@@ -159,6 +159,7 @@ func NewRotatingLogSink(path string, pol RotationPolicy) (*LogSink, error) {
 	s := &LogSink{
 		w:    bufio.NewWriter(f),
 		path: path, pol: pol, f: f,
+		//fleetvet:nondeterministic rotation clock only paces file rollover, never record content; tests inject a fake
 		size: st.Size(), now: time.Now,
 	}
 	s.openedAt = s.now()
@@ -489,7 +490,7 @@ func (s *HistSink) Patients() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]int, 0, len(s.counts))
-	for p := range s.counts {
+	for p := range s.counts { //fleetvet:nondeterministic order-independent: keys are sorted before return
 		out = append(out, p)
 	}
 	sort.Ints(out)

@@ -52,6 +52,8 @@ type BatchSequenceClassifier interface {
 // and measures slower.) Each accumulator performs the same operations
 // in the same order as denseLayer.forward, so results are
 // bit-identical to the per-sample path.
+//
+//fleetvet:noalloc
 func forwardBatchDense(l *denseLayer, in, out []float64, n int, relu bool) {
 	nIn, nOut := l.in, l.out
 	s := 0
@@ -175,6 +177,8 @@ func (b *MLPBatch) ensure(n int) {
 
 // PredictBatchInto implements BatchClassifier. Results are bit-identical
 // to calling m.Predict on each row.
+//
+//fleetvet:noalloc
 func (b *MLPBatch) PredictBatchInto(X [][]float64, out []int) {
 	n := len(X)
 	if n == 0 {
@@ -189,6 +193,8 @@ func (b *MLPBatch) PredictBatchInto(X [][]float64, out []int) {
 }
 
 // PredictProbaBatchInto implements BatchClassifier.
+//
+//fleetvet:noalloc
 func (b *MLPBatch) PredictProbaBatchInto(X [][]float64, proba []float64) {
 	n := len(X)
 	if n == 0 {
@@ -203,6 +209,8 @@ func (b *MLPBatch) PredictProbaBatchInto(X [][]float64, proba []float64) {
 
 // forward runs the batched layers and returns the row-major logits
 // (n x Classes) in the reused scratch.
+//
+//fleetvet:noalloc
 func (b *MLPBatch) forward(X [][]float64) []float64 {
 	n := len(X)
 	b.ensure(n)
@@ -264,6 +272,8 @@ func (b *LSTMBatch) ensure(n int) {
 
 // PredictSeqBatchInto implements BatchSequenceClassifier. Results are
 // bit-identical to calling m.Predict on each window.
+//
+//fleetvet:noalloc
 func (b *LSTMBatch) PredictSeqBatchInto(windows [][][]float64, out []int) {
 	n := len(windows)
 	if n == 0 {
@@ -277,6 +287,8 @@ func (b *LSTMBatch) PredictSeqBatchInto(windows [][][]float64, out []int) {
 }
 
 // PredictProbaSeqBatchInto implements BatchSequenceClassifier.
+//
+//fleetvet:noalloc
 func (b *LSTMBatch) PredictProbaSeqBatchInto(windows [][][]float64, proba []float64) {
 	n := len(windows)
 	if n == 0 {
@@ -291,6 +303,8 @@ func (b *LSTMBatch) PredictProbaSeqBatchInto(windows [][][]float64, proba []floa
 
 // forward runs the batched recurrent layers and head, returning the
 // row-major logits (n x Classes) in the reused scratch.
+//
+//fleetvet:noalloc
 func (b *LSTMBatch) forward(windows [][][]float64) []float64 {
 	n := len(windows)
 	b.ensure(n)
@@ -327,6 +341,8 @@ func (b *LSTMBatch) forward(windows [][][]float64) []float64 {
 // states into nxt (n x t x l.units). Gate weight rows are loaded once
 // per timestep and reused across the whole batch; the per-sample
 // accumulation order matches lstmLayer.forward exactly.
+//
+//fleetvet:noalloc
 func (b *LSTMBatch) forwardLayer(l *lstmLayer, cur, nxt []float64, n, t int) {
 	u := l.units
 	h := b.h[:n*u]

@@ -35,4 +35,6 @@
 // telemetry are all views of that single evaluation — nothing in the
 // system evaluates the Safety Context Specification twice for the same
 // cycle.
+//
+//fleetvet:deterministic
 package monitor

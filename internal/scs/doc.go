@@ -36,4 +36,6 @@
 //     randomized thresholds. The verdict fold per lane is the exact
 //     same arithmetic in the exact same order; only the loop over
 //     sessions moved inside the node DAG.
+//
+//fleetvet:deterministic
 package scs

@@ -122,6 +122,8 @@ func (ss *StreamSet) Len() int { return ss.n }
 // returns the aggregate verdict. Alarm, STL robustness, signed margin,
 // and rule attribution all come from this single incremental
 // evaluation.
+//
+//fleetvet:noalloc
 func (ss *StreamSet) Push(s State) (StreamVerdict, error) {
 	for i, sel := range ss.sel {
 		switch sel {

@@ -8,6 +8,8 @@
 // existing detectors; this package makes that assumption testable — the
 // evaluation can re-run with realistic sensor error and measure how much
 // monitor accuracy degrades.
+//
+//fleetvet:deterministic
 package sensor
 
 import (

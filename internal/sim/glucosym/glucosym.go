@@ -10,6 +10,8 @@
 // The original Glucosym patient constants are not redistributable, so the
 // ten profiles here are synthetic parameter sets spread around the
 // published Kanderian population means (see DESIGN.md, substitutions).
+//
+//fleetvet:deterministic
 package glucosym
 
 import (

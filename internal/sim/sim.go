@@ -6,6 +6,8 @@
 // steps inside each 5-minute control cycle. Insulin is commanded as a
 // rate in U/h; glucose is reported in mg/dL both as the true plasma value
 // and as the (possibly delayed) sensor value a CGM would show.
+//
+//fleetvet:deterministic
 package sim
 
 import "math"

@@ -12,6 +12,8 @@
 // dynamics from the Glucosym/MVP platform — a slower subcutaneous route
 // and nonlinear utilization — which is what differentiates the monitors'
 // relative performance across the paper's two test beds.
+//
+//fleetvet:deterministic
 package uvapadova
 
 import (

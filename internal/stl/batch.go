@@ -217,6 +217,7 @@ type batchMemoNode struct {
 	visited bool // StateSamples dedup walk marker
 }
 
+//fleetvet:noalloc
 func (m *batchMemoNode) step(ctx *batchCtx) ([]bool, []float64) {
 	if m.seq == ctx.seq {
 		return m.sat, m.rob
@@ -250,6 +251,7 @@ type batchAtomNode struct {
 	out       batchOut
 }
 
+//fleetvet:noalloc
 func (a *batchAtomNode) step(ctx *batchCtx) ([]bool, []float64) {
 	n := ctx.n
 	vals := ctx.vals[a.varIdx*n : (a.varIdx+1)*n]
@@ -293,6 +295,7 @@ func (a *batchAtomNode) resetLane(int) {}
 
 type batchConstNode struct{ out batchOut }
 
+//fleetvet:noalloc
 func (c *batchConstNode) step(ctx *batchCtx) ([]bool, []float64) {
 	return c.out.sat[:ctx.n], c.out.rob[:ctx.n]
 }
@@ -306,6 +309,7 @@ type batchNotNode struct {
 	out   batchOut
 }
 
+//fleetvet:noalloc
 func (nn *batchNotNode) step(ctx *batchCtx) ([]bool, []float64) {
 	cs, cr := nn.child.step(ctx)
 	sat, rob := nn.out.sat[:ctx.n], nn.out.rob[:ctx.n]
@@ -328,6 +332,7 @@ type batchFlatAndNode struct {
 	out   batchOut
 }
 
+//fleetvet:noalloc
 func (a *batchFlatAndNode) step(ctx *batchCtx) ([]bool, []float64) {
 	n := ctx.n
 	sat, rob := a.out.sat[:n], a.out.rob[:n]
@@ -371,6 +376,7 @@ type batchAndNode struct {
 	out      batchOut
 }
 
+//fleetvet:noalloc
 func (a *batchAndNode) step(ctx *batchCtx) ([]bool, []float64) {
 	n := ctx.n
 	sat, rob := a.out.sat[:n], a.out.rob[:n]
@@ -396,6 +402,7 @@ type batchOrNode struct {
 	out      batchOut
 }
 
+//fleetvet:noalloc
 func (o *batchOrNode) step(ctx *batchCtx) ([]bool, []float64) {
 	n := ctx.n
 	sat, rob := o.out.sat[:n], o.out.rob[:n]
@@ -421,6 +428,7 @@ type batchImpliesNode struct {
 	out  batchOut
 }
 
+//fleetvet:noalloc
 func (im *batchImpliesNode) step(ctx *batchCtx) ([]bool, []float64) {
 	ls, lr := im.l.step(ctx)
 	rs, rr := im.r.step(ctx)
@@ -487,6 +495,7 @@ func newBatchWindowNode(child batchNode, lo, hi int, isMin bool, width int) *bat
 	return w
 }
 
+//fleetvet:noalloc
 func (w *batchWindowNode) step(ctx *batchCtx) ([]bool, []float64) {
 	cs, cr := w.child.step(ctx)
 	sat, rob := w.out.sat[:ctx.n], w.out.rob[:ctx.n]
@@ -543,6 +552,7 @@ func newBatchSinceNode(l, r batchNode, lo, hi, width int) *batchSinceNode {
 	return s
 }
 
+//fleetvet:noalloc
 func (s *batchSinceNode) step(ctx *batchCtx) ([]bool, []float64) {
 	ls, lr := s.l.step(ctx)
 	rs, rr := s.r.step(ctx)
@@ -671,6 +681,8 @@ func (g *BatchStreamGroup) VarIndex(name string) (int, bool) {
 // call do not advance. A duplicated lane ID is rejected before any
 // operator state advances — it would double-advance that lane's
 // operator state, silently corrupting its windows.
+//
+//fleetvet:noalloc
 func (g *BatchStreamGroup) PushLanes(lanes []int, vals []float64) error {
 	n := len(lanes)
 	if n == 0 {

@@ -48,4 +48,6 @@
 // the per-session group compiler, the two DAGs share structure
 // one-for-one: anything proven about sharing or state bounds on one
 // path transfers to the other.
+//
+//fleetvet:deterministic
 package stl

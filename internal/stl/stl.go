@@ -40,7 +40,7 @@ func (t *Trace) Set(name string, values []float64) error {
 
 // Append extends every named series by one sample. Missing names get NaN.
 func (t *Trace) Append(sample map[string]float64) {
-	for name := range sample {
+	for name := range sample { //fleetvet:nondeterministic order-independent: each new name is backfilled in isolation
 		if _, ok := t.vars[name]; !ok {
 			// Backfill a new variable with NaN for earlier samples.
 			t.vars[name] = make([]float64, t.n)
@@ -49,7 +49,7 @@ func (t *Trace) Append(sample map[string]float64) {
 			}
 		}
 	}
-	for name, series := range t.vars {
+	for name, series := range t.vars { //fleetvet:nondeterministic order-independent: each series is extended in isolation
 		v, ok := sample[name]
 		if !ok {
 			v = math.NaN()
@@ -74,7 +74,7 @@ func (t *Trace) Value(name string, i int) (float64, error) {
 // Names returns the sorted variable names.
 func (t *Trace) Names() []string {
 	names := make([]string, 0, len(t.vars))
-	for n := range t.vars {
+	for n := range t.vars { //fleetvet:nondeterministic order-independent: names are sorted before return
 		names = append(names, n)
 	}
 	sort.Strings(names)

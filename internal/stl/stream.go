@@ -72,6 +72,8 @@ func (s *Stream) Len() int { return s.n }
 // robustness margin at that sample. A sample missing a referenced
 // variable is rejected before any operator state advances, so the
 // stream stays consistent and the caller may push a corrected sample.
+//
+//fleetvet:noalloc
 func (s *Stream) Push(sample map[string]float64) (bool, float64, error) {
 	for i, v := range s.comp.vars {
 		val, ok := sample[v]
@@ -333,6 +335,7 @@ type memoNode struct {
 	visited bool // StateSamples dedup walk marker
 }
 
+//fleetvet:noalloc
 func (m *memoNode) step(ctx *stepCtx) (bool, float64) {
 	if m.seq == ctx.seq {
 		return m.sat, m.rob
@@ -433,6 +436,8 @@ func (g *StreamGroup) VarIndex(name string) (int, bool) {
 // Push consumes one sample for every formula in the group. A sample
 // missing a referenced variable is rejected before any operator state
 // advances.
+//
+//fleetvet:noalloc
 func (g *StreamGroup) Push(sample map[string]float64) error {
 	for i, name := range g.comp.vars {
 		v, ok := sample[name]
@@ -447,6 +452,8 @@ func (g *StreamGroup) Push(sample map[string]float64) error {
 // PushVector is the allocation- and map-free push: vals must hold one
 // value per Vars() entry, in table order. It is the hot path for
 // callers with a fixed vocabulary (e.g. the per-monitor rule sets).
+//
+//fleetvet:noalloc
 func (g *StreamGroup) PushVector(vals []float64) error {
 	if len(vals) != len(g.comp.vars) {
 		return fmt.Errorf("stl: value vector has %d entries, group reads %d variables",
@@ -515,6 +522,7 @@ type atomNode struct {
 	threshold float64
 }
 
+//fleetvet:noalloc
 func (a *atomNode) step(ctx *stepCtx) (bool, float64) {
 	v := ctx.vals[a.varIdx]
 	var sat bool
@@ -541,6 +549,7 @@ func (a *atomNode) reset()     {}
 
 type constNode struct{ value bool }
 
+//fleetvet:noalloc
 func (c *constNode) step(*stepCtx) (bool, float64) {
 	if c.value {
 		return true, math.Inf(1)
@@ -553,6 +562,7 @@ func (c *constNode) reset()     {}
 
 type notNode struct{ child streamNode }
 
+//fleetvet:noalloc
 func (n *notNode) step(ctx *stepCtx) (bool, float64) {
 	sat, rob := n.child.step(ctx)
 	return !sat, -rob
@@ -600,6 +610,7 @@ func newFusedAtom(varIdx int, op CmpOp, threshold float64) fusedAtom {
 // loop. Semantics are exactly andNode over the same atoms.
 type flatAndNode struct{ atoms []fusedAtom }
 
+//fleetvet:noalloc
 func (a *flatAndNode) step(ctx *stepCtx) (bool, float64) {
 	sat := true
 	rob := math.Inf(1)
@@ -630,6 +641,7 @@ func (a *flatAndNode) reset()     {}
 
 type andNode struct{ children []streamNode }
 
+//fleetvet:noalloc
 func (a *andNode) step(ctx *stepCtx) (bool, float64) {
 	sat := true
 	rob := math.Inf(1)
@@ -646,6 +658,7 @@ func (a *andNode) reset()     { resetChildren(a.children) }
 
 type orNode struct{ children []streamNode }
 
+//fleetvet:noalloc
 func (o *orNode) step(ctx *stepCtx) (bool, float64) {
 	sat := false
 	rob := math.Inf(-1)
@@ -662,6 +675,7 @@ func (o *orNode) reset()     { resetChildren(o.children) }
 
 type impliesNode struct{ l, r streamNode }
 
+//fleetvet:noalloc
 func (im *impliesNode) step(ctx *stepCtx) (bool, float64) {
 	ls, lr := im.l.step(ctx)
 	rs, rr := im.r.step(ctx)
@@ -702,6 +716,8 @@ func newDelayLine(size int) *delayLine {
 
 // push inserts v and returns the value falling out of the line, if any.
 // A zero-size line passes v straight through.
+//
+//fleetvet:noalloc
 func (d *delayLine) push(v float64) (out float64, ok bool) {
 	if len(d.buf) == 0 {
 		return v, true
@@ -754,6 +770,7 @@ func (q *monoDeque) dominates(v, u float64) bool {
 	return v >= u
 }
 
+//fleetvet:noalloc
 func (q *monoDeque) push(i int, v float64) {
 	for q.len() > 0 && q.dominates(v, q.val[len(q.val)-1]) {
 		q.idx = q.idx[:len(q.idx)-1]
@@ -772,8 +789,8 @@ func (q *monoDeque) push(i int, v float64) {
 		q.val = q.val[:n]
 		q.head = 0
 	}
-	q.idx = append(q.idx, i)
-	q.val = append(q.val, v)
+	q.idx = append(q.idx, i) //fleetvet:alloc capacity preallocated for the window bound at construction
+	q.val = append(q.val, v) //fleetvet:alloc capacity preallocated for the window bound at construction
 }
 
 // evictBefore drops front entries with index < minIdx.
@@ -855,6 +872,7 @@ func (c *extremumCore) empty() float64 {
 	return math.Inf(-1)
 }
 
+//fleetvet:noalloc
 func (c *extremumCore) push(v float64) float64 {
 	i := c.i
 	c.i++
@@ -911,6 +929,7 @@ func newWindowNode(child streamNode, lo, hi int, isMin bool) *windowNode {
 	}
 }
 
+//fleetvet:noalloc
 func (w *windowNode) step(ctx *stepCtx) (bool, float64) {
 	cs, cr := w.child.step(ctx)
 	rob := w.rob.push(cr)
@@ -980,6 +999,7 @@ func newSinceCore(lo, hi int) *sinceCore {
 	return c
 }
 
+//fleetvet:noalloc
 func (c *sinceCore) push(phi, psi float64) float64 {
 	i := c.i
 	c.i++
@@ -1074,6 +1094,7 @@ func newSinceNode(l, r streamNode, lo, hi int) *sinceNode {
 	}
 }
 
+//fleetvet:noalloc
 func (s *sinceNode) step(ctx *stepCtx) (bool, float64) {
 	ls, lr := s.l.step(ctx)
 	rs, rr := s.r.step(ctx)

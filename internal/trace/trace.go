@@ -5,6 +5,8 @@
 // Every other package in this repository (simulators, controllers, fault
 // injection, monitors, metrics) communicates through these types, so the
 // package is deliberately dependency-free.
+//
+//fleetvet:deterministic
 package trace
 
 import (
