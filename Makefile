@@ -9,7 +9,7 @@ DOC_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{.Dir}}' ./... \
 	| grep -v '^repro/cmd/' | grep -v '^repro/examples/' \
 	| awk '{print $$2}')
 
-.PHONY: build test race bench bench-smoke short vet fmt lint docs ci
+.PHONY: build test race bench bench-smoke smoke-fleetd short vet fmt lint docs ci
 
 ## build: compile every package and command
 build:
@@ -50,6 +50,12 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedSinkEpochMerge' \
 		-benchtime 10x -benchmem . >> bench-smoke.txt || { cat bench-smoke.txt; exit 1; }
 	@cat bench-smoke.txt
+
+## smoke-fleetd: end-to-end control-plane smoke — start fleetd, admit a
+## tenant over HTTP, read one telemetry line off its stream, and drain
+## with SIGTERM (see scripts/fleetd_smoke.sh)
+smoke-fleetd:
+	sh scripts/fleetd_smoke.sh
 
 ## vet: static checks
 vet:

@@ -194,7 +194,28 @@ type (
 	// FleetHistSink aggregates robustness margins into per-patient
 	// histograms.
 	FleetHistSink = fleet.HistSink
+	// FleetAlert records one margin sample below a FleetHistSink's
+	// configured alert floor (FleetHistSink.SetAlertFloor).
+	FleetAlert = fleet.Alert
+	// FleetAdmissions is the runtime admission/eviction controller of a
+	// continuous fleet (FleetConfig.Admissions): Admit/Evict/EvictGroup
+	// grow and shrink the live slot set at lock-step admission gates
+	// while the fleet runs.
+	FleetAdmissions = fleet.Admissions
+	// FleetAdmitSpec describes one session to admit into a running
+	// fleet.
+	FleetAdmitSpec = fleet.AdmitSpec
+	// FleetLiveSession is one live slot of an admission-controlled
+	// fleet.
+	FleetLiveSession = fleet.LiveSession
+	// FleetReject records an admission the gate refused.
+	FleetReject = fleet.Reject
 )
+
+// NewFleetAdmissions creates a runtime admission controller to set on
+// FleetConfig.Admissions (requires FleetConfig.Continuous and
+// FleetConfig.MaxSessions).
+func NewFleetAdmissions() *FleetAdmissions { return fleet.NewAdmissions() }
 
 // NewFleetLogSink creates an append-only JSONL sink over a writer (a
 // file, a pipe, a network connection). The caller closes the writer
@@ -231,6 +252,7 @@ const (
 	FleetSessionDone  = fleet.EventSessionDone
 	FleetProgress     = fleet.EventProgress
 	FleetRobustness   = fleet.EventRobustness
+	FleetSessionEvict = fleet.EventSessionEvict
 )
 
 // RunFleet executes a fleet of concurrent closed-loop sessions.

@@ -1,0 +1,123 @@
+// Command fleetd serves the fleet control plane: one continuously
+// running admission-controlled fleet behind a multi-tenant HTTP API.
+// Tenants declare desired state (patients x fault scenarios, monitor
+// and mitigation config) with PUT /v1/tenants/{id}; a reconcile loop
+// admits and evicts sessions at the fleet's deterministic admission
+// gates, and per-tenant telemetry streams back as JSONL or SSE from
+// the epoch-merged sharded sinks.
+//
+//	fleetd -addr :8344 -platform glucosym -max-sessions 256 \
+//	       -parallel 8 -seed 1 -token secret -alert-floor -0.5
+//
+//	curl -H 'Authorization: Bearer secret' -X PUT -d \
+//	  '{"patients":[0,1],"scenarios":[3,4],"mitigate":true}' \
+//	  localhost:8344/v1/tenants/acme
+//	curl -N -H 'Authorization: Bearer secret' \
+//	  localhost:8344/v1/tenants/acme/telemetry
+//
+// On SIGINT/SIGTERM the server drains: the fleet stops at its next
+// gate, telemetry streams end, and in-flight requests finish before
+// exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/fleetd"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8344", "listen address")
+		platformName = flag.String("platform", "glucosym", "platform: glucosym or t1ds2013")
+		scenarios    = flag.Int("scenarios", 0, "limit the scenario table to the first M entries (0 = full 882 matrix)")
+		maxSessions  = flag.Int("max-sessions", 256, "fleet-wide live session capacity")
+		parallel     = flag.Int("parallel", 0, "worker shards (0 = NumCPU)")
+		steps        = flag.Int("steps", 288, "control cycles per session replica")
+		seed         = flag.Int64("seed", 1, "master seed for per-session RNG streams")
+		sinkEpoch    = flag.Int("sink-epoch", 8, "merge and deliver telemetry every k lock-step rounds")
+		admitEvery   = flag.Int("admit-every", 0, "admission-gate period in rounds (0 = fleet default)")
+		token        = flag.String("token", "", "require this bearer token on /v1/ endpoints (empty = no auth)")
+		alertFloor   = flag.Float64("alert-floor", math.NaN(), "record per-tenant alerts when a robustness margin falls below this floor (NaN = off)")
+		streamBuffer = flag.Int("stream-buffer", 0, "per-subscriber telemetry buffer in events (0 = default 256)")
+		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget after SIGTERM")
+	)
+	flag.Parse()
+
+	platform, err := experiment.PlatformByName(*platformName)
+	if err != nil {
+		fail(err)
+	}
+	table := fault.Campaign(nil)
+	if *scenarios > 0 && *scenarios < len(table) {
+		table = table[:*scenarios]
+	}
+	srv, err := fleetd.New(fleetd.Config{
+		Platform:     fleet.Platform(platform),
+		Scenarios:    table,
+		MaxSessions:  *maxSessions,
+		Parallel:     *parallel,
+		Steps:        *steps,
+		Seed:         *seed,
+		SinkEpoch:    *sinkEpoch,
+		AdmitEvery:   *admitEvery,
+		Token:        *token,
+		AlertFloor:   *alertFloor,
+		StreamBuffer: *streamBuffer,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Start(context.Background()); err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	httpErr := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "fleetd: serving %s on %s (%d scenarios, capacity %d)\n",
+			*platformName, *addr, len(table), *maxSessions)
+		httpErr <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-httpErr:
+		fail(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "fleetd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Order matters: ending the fleet first closes telemetry streams,
+	// so Shutdown's wait for in-flight requests can complete.
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "fleetd: shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "fleetd: stopped")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleetd:", err)
+	os.Exit(1)
+}

@@ -78,6 +78,7 @@ func main() {
 		shardedSinks = flag.Bool("sharded-sinks", false, "buffer sink events per worker and merge in canonical parallelism-independent order")
 		sinkEpoch    = flag.Int("sink-epoch", 0, "with -sharded-sinks: merge and deliver buffers every k lock-step rounds (0 = at completion for finite runs; continuous runs default to 64)")
 		ringSize     = flag.Int("ring-size", 1024, "ring sink capacity (events)")
+		alertFloor   = flag.Float64("alert-floor", math.NaN(), "with -sink hist: record an alert whenever a robustness margin falls below this floor (NaN = off)")
 		verbose      = flag.Bool("v", false, "stream alarm/hazard events (with -stl: also rule-violation margins)")
 	)
 	flag.Parse()
@@ -99,13 +100,14 @@ func main() {
 			cfg.Patients = append(cfg.Patients, i)
 		}
 	}
-	if *scenarios > 0 {
-		all := apsmonitor.FullCampaign()
-		if *scenarios < len(all) {
-			all = all[:*scenarios]
-		}
-		cfg.Scenarios = all
+	// The scenario table is always declared explicitly — continuous mode
+	// (fleet.Config.Validate) refuses to default a serving fleet to the
+	// full 882-scenario campaign silently.
+	allScenarios := apsmonitor.FullCampaign()
+	if *scenarios > 0 && *scenarios < len(allScenarios) {
+		allScenarios = allScenarios[:*scenarios]
 	}
+	cfg.Scenarios = allScenarios
 	if *noise != 0 {
 		// Negative means "sensor model on, AR(1) noise explicitly off":
 		// calibration gain/drift and dropout behavior still apply, which
@@ -150,6 +152,9 @@ func main() {
 	}
 	if (*sinkRotBytes > 0 || *sinkRotAge > 0) && !sinkSelected(*sinkList, "log") {
 		fail(fmt.Errorf("-sink-rotate-bytes/-sink-rotate-age apply to the log sink; add -sink log"))
+	}
+	if !math.IsNaN(*alertFloor) && !sinkSelected(*sinkList, "hist") {
+		fail(fmt.Errorf("-alert-floor applies to the histogram sink; add -sink hist"))
 	}
 	if *stlTelem || *stlFromMon {
 		cfg.Telemetry = &apsmonitor.FleetTelemetryConfig{
@@ -205,6 +210,9 @@ func main() {
 				if histSink, err = apsmonitor.NewFleetHistSink(-5, 5, 50); err != nil {
 					fail(err)
 				}
+				if !math.IsNaN(*alertFloor) {
+					histSink.SetAlertFloor(*alertFloor, nil)
+				}
 				cfg.Sinks = append(cfg.Sinks, histSink)
 			default:
 				fail(fmt.Errorf("unknown sink %q (want log, ring, or hist)", name))
@@ -238,9 +246,11 @@ func main() {
 		defer close(drained)
 		for ev := range events {
 			switch ev.Kind {
-			case apsmonitor.FleetSessionStart, apsmonitor.FleetSessionDone:
+			case apsmonitor.FleetSessionStart, apsmonitor.FleetSessionDone, apsmonitor.FleetSessionEvict:
 				// Lifecycle events are summarized from FleetResult after
 				// the run; streaming them would drown the progress log.
+				// (Evictions only occur on admission-controlled fleets —
+				// fleetd's territory — never in this CLI.)
 			case apsmonitor.FleetProgress:
 				fmt.Println(ev)
 			case apsmonitor.FleetAlarm, apsmonitor.FleetHazard:
@@ -318,6 +328,17 @@ func main() {
 		fmt.Printf("  hist sink:\n")
 		for _, line := range strings.Split(strings.TrimRight(histSink.Render(), "\n"), "\n") {
 			fmt.Printf("    %s\n", line)
+		}
+		if !math.IsNaN(*alertFloor) {
+			fmt.Printf("  alerts:     %d margins below floor %.3f\n", histSink.AlertCount(), *alertFloor)
+			alerts := histSink.Alerts()
+			for i := len(alerts) - 3; i < len(alerts); i++ {
+				if i >= 0 {
+					a := alerts[i]
+					fmt.Printf("    session %d (patient %d) margin %.3f (rule %d) at step %d\n",
+						a.Session, a.PatientIdx, a.Margin, a.Rule, a.Step)
+				}
+			}
 		}
 	}
 }

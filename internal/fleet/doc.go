@@ -71,5 +71,25 @@
 // completes, and LogSink rotation retires whole files without ever
 // splitting or dropping a record.
 //
+// # Runtime admission
+//
+// Config.Admissions turns session arrival and departure into a
+// first-class runtime operation on a continuous fleet: admission gates
+// fire every Config.AdmitEvery lock-step rounds, all shards rendezvous
+// on the shared round counter, and the queued operations — AdmitSpec
+// admissions, slot or group evictions — apply identically for every
+// shard before the barrier releases. Gates key on the round clock, not
+// wall time, so the fleet-shape history joins the seed as a
+// deterministic input: for a fixed admission schedule the sharded-sink
+// stream is byte-identical at any Parallel
+// (TestFleetAdmissionStreamDeterministicAcrossParallelism). Slots are
+// never reused, acceptance depends only on the fleet-wide live count
+// against Config.MaxSessions (every shard sizes its lane banks to the
+// capacity), evicted sessions emit a terminal EventSessionEvict and
+// are never counted completed, and an empty fleet parks at the gate
+// until the controller wakes it. internal/fleetd builds the
+// multi-tenant HTTP control plane on this surface; see admission.go
+// and DESIGN.md "Runtime admission".
+//
 //fleetvet:deterministic
 package fleet

@@ -30,6 +30,11 @@ const (
 	// margin — the minimum quantitative margin across the telemetry rule
 	// set, evaluated by the incremental streaming engine (Config.Telemetry).
 	EventRobustness
+	// EventSessionEvict marks a session removed from a running fleet by
+	// an admission-gate eviction (Config.Admissions); Step is the cycle
+	// it had reached. Evicted sessions emit no EventSessionDone and are
+	// not counted completed.
+	EventSessionEvict
 
 	// eventKindCount sentinels the enum. A new kind goes above this line
 	// and must be given a String name and an explicit kindRank merge
@@ -55,6 +60,8 @@ func (k EventKind) String() string {
 		return "progress"
 	case EventRobustness:
 		return "robustness"
+	case EventSessionEvict:
+		return "evict"
 	default:
 		return "unknown"
 	}
@@ -68,6 +75,9 @@ type Event struct {
 	Session    int // session slot index
 	PatientIdx int
 	Replica    int
+	// Group tags every event of an admitted session with its AdmitSpec
+	// group (the control plane's tenant ID). Empty for static slots.
+	Group string
 	// Step is the cycle of the event: first alarm step for EventAlarm,
 	// first hazard step for EventHazard, trace length for
 	// EventSessionDone.
@@ -99,7 +109,7 @@ func (e Event) String() string {
 	case EventRobustness:
 		return fmt.Sprintf("robustness: session %d (patient %d) margin %.3f (rule %d, min STL %.3f) at step %d",
 			e.Session, e.PatientIdx, e.Margin, e.MarginRule, e.Robustness, e.Step)
-	case EventSessionStart, EventSessionDone:
+	case EventSessionStart, EventSessionDone, EventSessionEvict:
 		return fmt.Sprintf("%s: session %d (patient %d, replica %d)",
 			e.Kind, e.Session, e.PatientIdx, e.Replica)
 	default:

@@ -169,6 +169,24 @@ type Config struct {
 	// mode). The context deadline/cancellation is the normal way to stop
 	// a continuous fleet and is not reported as an error.
 	Continuous bool
+	// Admissions attaches a runtime admission/eviction controller
+	// (NewAdmissions): the fleet grows and shrinks its live slot set at
+	// admission gates every AdmitEvery lock-step rounds (see
+	// admission.go for the protocol and determinism contract). Requires
+	// Continuous and MaxSessions; Sessions then defaults to zero (start
+	// empty) instead of the full matrix, and an explicit Scenarios table
+	// declares what admitted sessions may run.
+	Admissions *Admissions
+	// MaxSessions bounds the total live slot set of an
+	// admission-controlled fleet; admissions beyond it are rejected (not
+	// queued). Each shard sizes its batched lane banks to MaxSessions so
+	// acceptance never depends on Parallel. Required with Admissions.
+	MaxSessions int
+	// AdmitEvery is the admission-gate period in lock-step rounds
+	// (default 16). Queued admissions/evictions apply only at gate
+	// rounds, which is what keeps runtime fleet-shape changes
+	// deterministic.
+	AdmitEvery int
 	// Telemetry optionally streams per-cycle STL robustness margins for
 	// every session as EventRobustness events. Requires Events or Sinks.
 	Telemetry *TelemetryConfig
@@ -210,18 +228,88 @@ type Config struct {
 	ProgressEvery int
 }
 
-func (c Config) withDefaults() (Config, error) {
+// Validate surfaces contradictory configurations as errors without
+// normalizing anything — the checks Run applies before filling
+// defaults, exposed so a control plane can reject a bad declared spec
+// up front (fleetd turns these into 400s) instead of discovering the
+// contradiction when the fleet starts.
+func (c Config) Validate() error {
 	if c.Platform.NewPatient == nil || c.Platform.NewController == nil {
-		return c, fmt.Errorf("fleet: incomplete platform")
+		return fmt.Errorf("fleet: incomplete platform")
+	}
+	if c.Sessions < 0 {
+		return fmt.Errorf("fleet: negative Sessions %d", c.Sessions)
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("fleet: negative Steps %d", c.Steps)
+	}
+	if c.CycleMin < 0 {
+		return fmt.Errorf("fleet: negative CycleMin %v", c.CycleMin)
+	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("fleet: negative Parallel %d", c.Parallel)
+	}
+	if c.MaxLivePerShard < 0 {
+		return fmt.Errorf("fleet: negative MaxLivePerShard %d", c.MaxLivePerShard)
+	}
+	if c.ProgressEvery < 0 {
+		return fmt.Errorf("fleet: negative ProgressEvery %d", c.ProgressEvery)
 	}
 	if c.NewMonitor != nil && c.NewBatchMonitor != nil {
-		return c, fmt.Errorf("fleet: NewMonitor and NewBatchMonitor are mutually exclusive")
+		return fmt.Errorf("fleet: NewMonitor and NewBatchMonitor are mutually exclusive")
 	}
 	if c.SinkEpoch < 0 {
-		return c, fmt.Errorf("fleet: negative SinkEpoch %d", c.SinkEpoch)
+		return fmt.Errorf("fleet: negative SinkEpoch %d", c.SinkEpoch)
 	}
 	if c.SinkEpoch > 0 && !c.ShardedSinks {
-		return c, fmt.Errorf("fleet: SinkEpoch requires ShardedSinks")
+		return fmt.Errorf("fleet: SinkEpoch requires ShardedSinks")
+	}
+	if c.Continuous && len(c.Scenarios) == 0 {
+		// A serving fleet runs its scenario table forever; defaulting to
+		// the full 882-scenario campaign is never what a continuous
+		// deployment meant — declare the table explicitly.
+		return fmt.Errorf("fleet: Continuous requires an explicit Scenarios table")
+	}
+	if c.Telemetry != nil {
+		if c.Events == nil && len(c.Sinks) == 0 {
+			return fmt.Errorf("fleet: Telemetry requires Events or Sinks")
+		}
+		if c.Telemetry.FromMonitor && c.NewMonitor == nil && c.NewBatchMonitor == nil {
+			return fmt.Errorf("fleet: Telemetry.FromMonitor requires NewMonitor or NewBatchMonitor")
+		}
+	}
+	for i, s := range c.Sinks {
+		if s == nil {
+			return fmt.Errorf("fleet: nil sink at index %d", i)
+		}
+	}
+	if c.Admissions != nil {
+		if !c.Continuous {
+			return fmt.Errorf("fleet: Admissions requires Continuous")
+		}
+		if c.MaxSessions <= 0 {
+			return fmt.Errorf("fleet: Admissions requires positive MaxSessions, got %d", c.MaxSessions)
+		}
+		if c.MaxSessions < c.Sessions {
+			return fmt.Errorf("fleet: MaxSessions %d below the static Sessions %d", c.MaxSessions, c.Sessions)
+		}
+	} else {
+		if c.MaxSessions != 0 {
+			return fmt.Errorf("fleet: MaxSessions requires Admissions")
+		}
+		if c.AdmitEvery != 0 {
+			return fmt.Errorf("fleet: AdmitEvery requires Admissions")
+		}
+	}
+	if c.AdmitEvery < 0 {
+		return fmt.Errorf("fleet: negative AdmitEvery %d", c.AdmitEvery)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Validate(); err != nil {
+		return c, err
 	}
 	if c.ShardedSinks && c.Continuous && c.SinkEpoch == 0 {
 		// Run-end-only merge never happens on a serving fleet; epoch
@@ -237,7 +325,10 @@ func (c Config) withDefaults() (Config, error) {
 	if len(c.Scenarios) == 0 {
 		c.Scenarios = fault.Campaign(nil)
 	}
-	if c.Sessions <= 0 {
+	if c.Sessions <= 0 && c.Admissions == nil {
+		// An admission-controlled fleet starts with exactly the declared
+		// static slots (possibly none); only batch runs default to the
+		// full matrix.
 		c.Sessions = len(c.Patients) * len(c.Scenarios)
 	}
 	if c.Steps == 0 {
@@ -246,7 +337,17 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Parallel <= 0 {
 		c.Parallel = runtime.NumCPU()
 	}
-	if c.Parallel > c.Sessions {
+	switch {
+	case c.Admissions != nil:
+		// Shards outlive any static slot set; bound them by the fleet
+		// capacity instead.
+		if c.Parallel > c.MaxSessions {
+			c.Parallel = c.MaxSessions
+		}
+		if c.AdmitEvery == 0 {
+			c.AdmitEvery = 16
+		}
+	case c.Parallel > c.Sessions:
 		c.Parallel = c.Sessions
 	}
 	if c.MaxLivePerShard <= 0 {
@@ -259,13 +360,7 @@ func (c Config) withDefaults() (Config, error) {
 		c.CycleMin = 5
 	}
 	if c.Telemetry != nil {
-		if c.Events == nil && len(c.Sinks) == 0 {
-			return c, fmt.Errorf("fleet: Telemetry requires Events or Sinks")
-		}
 		t := *c.Telemetry // defaults must not mutate the caller's config
-		if t.FromMonitor && c.NewMonitor == nil && c.NewBatchMonitor == nil {
-			return c, fmt.Errorf("fleet: Telemetry.FromMonitor requires NewMonitor or NewBatchMonitor")
-		}
 		if len(t.Rules) == 0 {
 			t.Rules = scs.TableI()
 		}
@@ -274,20 +369,21 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		c.Telemetry = &t
 	}
-	for i, s := range c.Sinks {
-		if s == nil {
-			return c, fmt.Errorf("fleet: nil sink at index %d", i)
-		}
-	}
 	return c, nil
 }
 
-// spec pins one session slot to its patient/scenario/replica coordinates.
+// spec pins one session slot to its patient/scenario/replica
+// coordinates, plus — for admitted sessions — the tenant group tag and
+// any per-session monitor/mitigation overrides from the AdmitSpec.
 type spec struct {
 	index      int // slot index: result slice position
 	patientIdx int
 	scenIdx    int
 	replica    int
+
+	group      string
+	newMonitor func(patientIdx int) (monitor.Monitor, error)
+	mitigate   bool
 }
 
 func (c *Config) specFor(slot, replica int) spec {
@@ -337,6 +433,12 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		eng.traces = make([]*trace.Trace, cfg.Sessions)
 	}
 	eng.errs = make([]error, cfg.Parallel)
+	if cfg.Admissions != nil {
+		if err := cfg.Admissions.bind(&eng.cfg); err != nil {
+			return Result{}, err
+		}
+		eng.gate = newAdmissionGate(ctx.Done(), &eng.cfg)
+	}
 
 	// Sink delivery: by default one collector goroutine owns it — Emit
 	// never races with itself, and a slow sink backpressures the workers
@@ -418,6 +520,7 @@ type engine struct {
 	errs   []error
 	sinkCh chan Event
 	sinks  *shardedDelivery // per-worker sink buffers + epoch barrier (ShardedSinks)
+	gate   *admissionGate   // runtime admission/eviction barrier (Config.Admissions)
 
 	steps     atomic.Int64
 	completed atomic.Int64
@@ -464,6 +567,12 @@ func (e *engine) runShard(shard int) {
 		// epoch — see shard_sink.go for the cancellation contract.
 		defer func() { e.sinks.leave(shard, cleanExit) }()
 	}
+	if e.gate != nil {
+		// A departing shard withdraws from the admission gate too: its
+		// registry entries purge (capacity frees up), no future admission
+		// lands on it, and a gate it would have completed releases.
+		defer e.gate.leave(shard)
+	}
 	var slots []int
 	for slot := shard; slot < cfg.Sessions; slot += cfg.Parallel {
 		slots = append(slots, slot)
@@ -471,6 +580,15 @@ func (e *engine) runShard(shard int) {
 	window := len(slots)
 	if !cfg.Continuous && window > cfg.MaxLivePerShard {
 		window = cfg.MaxLivePerShard
+	}
+	// capLanes is how many batched-bank lanes the shard owns. An
+	// admission-controlled shard sizes them to the whole fleet bound so
+	// admission acceptance depends only on the total live count — never
+	// on Parallel or on which shard hosts the session; a fixed fleet
+	// sizes exactly its live window.
+	capLanes := window
+	if e.gate != nil {
+		capLanes = cfg.MaxSessions
 	}
 
 	// Shard-batched physiology: the whole live window's ODE state lives
@@ -482,12 +600,12 @@ func (e *engine) runShard(shard int) {
 	var batchSensor *sensor.BatchModel
 	if cfg.Platform.NewBatchPatient != nil && !cfg.PerSessionStepping {
 		var err error
-		if batchPat, err = cfg.Platform.NewBatchPatient(window); err != nil {
+		if batchPat, err = cfg.Platform.NewBatchPatient(capLanes); err != nil {
 			e.errs[shard] = fmt.Errorf("fleet: shard %d batch patient: %w", shard, err)
 			return
 		}
 		if cfg.Sensor != nil {
-			if batchSensor, err = sensor.NewBatchModel(window); err != nil {
+			if batchSensor, err = sensor.NewBatchModel(capLanes); err != nil {
 				e.errs[shard] = fmt.Errorf("fleet: shard %d batch sensor: %w", shard, err)
 				return
 			}
@@ -502,7 +620,7 @@ func (e *engine) runShard(shard int) {
 			e.errs[shard] = fmt.Errorf("fleet: shard %d batch monitor: %w", shard, err)
 			return
 		}
-		bm.ResetLanes(window)
+		bm.ResetLanes(capLanes)
 		if t := cfg.Telemetry; t != nil && t.FromMonitor {
 			lm, ok := bm.(laneMarginMonitor)
 			if !ok {
@@ -524,29 +642,42 @@ func (e *engine) runShard(shard int) {
 	var telemVerdicts []scs.StreamVerdict
 	if t := cfg.Telemetry; t != nil && !t.FromMonitor && !t.PerSession {
 		var err error
-		batchTelem, err = scs.NewBatchStreamSet(t.Rules, t.Thresholds, t.Params, cfg.CycleMin, window)
+		batchTelem, err = scs.NewBatchStreamSet(t.Rules, t.Thresholds, t.Params, cfg.CycleMin, capLanes)
 		if err != nil {
 			e.errs[shard] = fmt.Errorf("fleet: shard %d telemetry: %w", shard, err)
 			return
 		}
-		telemSamples = make([]trace.Sample, 0, window)
-		telemStates = make([]scs.State, 0, window)
-		telemLanes = make([]int, 0, window)
-		telemVerdicts = make([]scs.StreamVerdict, window)
+		telemSamples = make([]trace.Sample, 0, capLanes)
+		telemStates = make([]scs.State, 0, capLanes)
+		telemLanes = make([]int, 0, capLanes)
+		telemVerdicts = make([]scs.StreamVerdict, capLanes)
 	}
 
+	// laneUsed tracks the free lanes of an admission-controlled shard;
+	// admitted sessions take the lowest free lane. (Fixed fleets reuse a
+	// retiring session's lane directly and never consult it.)
+	laneUsed := make([]bool, capLanes)
+	freeLane := func() int {
+		for i, u := range laneUsed {
+			if !u {
+				return i
+			}
+		}
+		return -1
+	}
 	next := 0 // next queued slot
 	start := func(sp spec, lane int, telem *scs.StreamSet) (*Session, error) {
 		s, err := e.newSession(sp, lane, telem, batchPat, batchSensor)
 		if err != nil {
 			return nil, err
 		}
+		laneUsed[lane] = true
 		if laneMargins != nil {
 			// FromMonitor telemetry reads the shard's batched monitor at
 			// this session's lane.
 			s.margin = laneMargin{m: laneMargins, lane: lane}
 		}
-		e.emit(shard, Event{Kind: EventSessionStart, Session: s.Index, PatientIdx: s.PatientIdx, Replica: s.Replica})
+		e.emit(shard, Event{Kind: EventSessionStart, Session: s.Index, PatientIdx: s.PatientIdx, Replica: s.Replica, Group: s.group})
 		return s, nil
 	}
 	live := make([]*Session, 0, window)
@@ -561,21 +692,67 @@ func (e *engine) runShard(shard int) {
 	}
 
 	// Per-round scratch for the batched paths.
-	lanes := make([]int, 0, len(live))
-	obs := make([]closedloop.Observation, 0, len(live))
-	verdicts := make([]closedloop.Verdict, len(live))
+	lanes := make([]int, 0, capLanes)
+	obs := make([]closedloop.Observation, 0, capLanes)
+	verdicts := make([]closedloop.Verdict, capLanes)
 	var cleanCGM, sensedCGM, tMins, delivered []float64
 	if batchPat != nil {
-		sensedCGM = make([]float64, len(live))
-		delivered = make([]float64, len(live))
+		sensedCGM = make([]float64, capLanes)
+		delivered = make([]float64, capLanes)
 		if batchSensor != nil {
-			cleanCGM = make([]float64, 0, len(live))
-			tMins = make([]float64, 0, len(live))
+			cleanCGM = make([]float64, 0, capLanes)
+			tMins = make([]float64, 0, capLanes)
 		}
 	}
 
+	round := 0  // global lock-step round: the shared clock admission gates key on
 	rounds := 0 // completed lock-step rounds since the last epoch barrier
-	for len(live) > 0 {
+	for len(live) > 0 || e.gate != nil {
+		if e.gate != nil && round%cfg.AdmitEvery == 0 {
+			// Admission gate: all shards rendezvous, the queued operations
+			// apply, and this shard picks up its assigned starts plus the
+			// fleet-wide eviction set. Gates fire at fixed global rounds, so
+			// fleet-shape changes are lock-step and — for a fixed schedule —
+			// deterministic at any parallelism (admission.go).
+			starts, evict := e.gate.rendezvous(shard, round)
+			for i := len(live) - 1; i >= 0; i-- {
+				s := live[i]
+				if !evict[s.Index] {
+					continue
+				}
+				e.emit(shard, Event{
+					Kind: EventSessionEvict, Session: s.Index, PatientIdx: s.PatientIdx,
+					Replica: s.Replica, Group: s.group, Step: s.StepIndex(),
+				})
+				e.pool.put(s.Finish().Samples)
+				laneUsed[s.lane] = false
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			for _, sp := range starts {
+				lane := freeLane()
+				if lane < 0 {
+					// Unreachable while the gate's capacity check holds (lanes
+					// are sized to MaxSessions); fail loudly rather than step a
+					// corrupt bank.
+					e.errs[shard] = fmt.Errorf("fleet: shard %d has no free lane for admitted session %d", shard, sp.index)
+					return
+				}
+				if bm != nil {
+					bm.ResetLane(lane)
+				}
+				if batchTelem != nil {
+					batchTelem.ResetLane(lane)
+				}
+				s, err := start(sp, lane, nil)
+				if err != nil {
+					e.errs[shard] = err
+					return
+				}
+				live = append(live, s)
+			}
+		}
+
 		select {
 		case <-e.ctx.Done():
 			if !cfg.Continuous {
@@ -586,6 +763,10 @@ func (e *engine) runShard(shard int) {
 		}
 
 		switch {
+		case len(live) == 0:
+			// An empty admission-controlled shard still walks the round
+			// clock (and the sink barriers below) so it stays lock-step
+			// with the fleet.
 		case batchPat != nil:
 			// Fully batched round: one sensor sweep, the monitor decision
 			// (batched or per-session), then one struct-of-arrays ODE step
@@ -638,7 +819,7 @@ func (e *engine) runShard(shard int) {
 				s.Step()
 			}
 		}
-		if batchTelem != nil {
+		if batchTelem != nil && len(live) > 0 {
 			// One batched rule-stream push covers the whole window's
 			// telemetry for this cycle. The samples are copied once here
 			// and shared with noteStep below.
@@ -687,6 +868,7 @@ func (e *engine) runShard(shard int) {
 				refill = &spec{
 					index: s.Index, patientIdx: s.PatientIdx,
 					scenIdx: s.scenIdx, replica: s.Replica + 1,
+					group: s.group, newMonitor: s.newMonitor, mitigate: s.mitigate,
 				}
 			case !cfg.Continuous && next < len(slots):
 				sp := cfg.specFor(slots[next], 0)
@@ -734,6 +916,7 @@ func (e *engine) runShard(shard int) {
 				e.sinks.await(shard, frontier)
 			}
 		}
+		round++
 	}
 	// A continuous shard only drains its live window when cancellation
 	// stopped the refills mid-round — that exit abandons an open epoch
@@ -767,7 +950,7 @@ func (e *engine) noteStep(shard int, s *Session, preSample *trace.Sample, bv *sc
 		s.alarmed = true
 		e.emit(shard, Event{
 			Kind: EventAlarm, Session: s.Index, PatientIdx: s.PatientIdx,
-			Replica: s.Replica, Step: sample.Step, Hazard: sample.AlarmHazard,
+			Replica: s.Replica, Group: s.group, Step: sample.Step, Hazard: sample.AlarmHazard,
 		})
 	}
 	if !hasTelemetry {
@@ -792,7 +975,7 @@ func (e *engine) noteStep(shard int, s *Session, preSample *trace.Sample, bv *sc
 	if every := e.cfg.Telemetry.Every; every == 1 || (sample.Step+1)%every == 0 {
 		e.emit(shard, Event{
 			Kind: EventRobustness, Session: s.Index, PatientIdx: s.PatientIdx,
-			Replica: s.Replica, Step: sample.Step,
+			Replica: s.Replica, Group: s.group, Step: sample.Step,
 			Robustness: v.MinRobust, Rule: v.WorstRule,
 			Margin: v.Margin, MarginRule: v.Rule, Hazard: v.Hazard,
 		})
@@ -812,13 +995,13 @@ func (e *engine) finalize(shard int, s *Session) {
 		e.hazardous.Add(1)
 		e.emit(shard, Event{
 			Kind: EventHazard, Session: s.Index, PatientIdx: s.PatientIdx,
-			Replica: s.Replica, Step: tr.FirstHazardStep(), Hazard: hazard,
+			Replica: s.Replica, Group: s.group, Step: tr.FirstHazardStep(), Hazard: hazard,
 		})
 	}
 	done := e.completed.Add(1)
 	e.emit(shard, Event{
 		Kind: EventSessionDone, Session: s.Index, PatientIdx: s.PatientIdx,
-		Replica: s.Replica, Step: tr.Len(), Hazard: hazard, Completed: done,
+		Replica: s.Replica, Group: s.group, Step: tr.Len(), Hazard: hazard, Completed: done,
 	})
 	if pe := e.cfg.ProgressEvery; pe > 0 && done%int64(pe) == 0 {
 		e.emit(shard, Event{Kind: EventProgress, Completed: done})
@@ -861,9 +1044,14 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 	if err != nil {
 		return nil, wrap(err)
 	}
+	nm := cfg.NewMonitor
+	if sp.newMonitor != nil {
+		// An admitted session's monitor override (AdmitSpec.NewMonitor).
+		nm = sp.newMonitor
+	}
 	var mon monitor.Monitor
-	if cfg.NewMonitor != nil {
-		if mon, err = cfg.NewMonitor(sp.patientIdx); err != nil {
+	if nm != nil {
+		if mon, err = nm(sp.patientIdx); err != nil {
 			return nil, wrap(err)
 		}
 	}
@@ -886,7 +1074,7 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 		}
 	}
 	mitigation := cfg.Mitigation
-	mitigation.Enabled = cfg.Mitigate && (mon != nil || cfg.NewBatchMonitor != nil)
+	mitigation.Enabled = (cfg.Mitigate || sp.mitigate) && (mon != nil || cfg.NewBatchMonitor != nil)
 	loopCfg := closedloop.Config{
 		Platform:   cfg.Platform.Name + "/" + ctrl.Name(),
 		Steps:      cfg.Steps,
@@ -913,7 +1101,7 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 			// streaming verdicts instead of attaching a second rule set.
 			// With a batched monitor the shard assigns the lane adapter
 			// after construction.
-			if cfg.NewMonitor != nil {
+			if nm != nil {
 				mm, ok := mon.(marginMonitor)
 				if !ok {
 					return nil, wrap(fmt.Errorf(
@@ -935,7 +1123,9 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 	}
 	return &Session{
 		Index: sp.index, PatientIdx: sp.patientIdx, Replica: sp.replica,
-		Scenario: sc, scenIdx: sp.scenIdx, lane: lane, rng: rng, st: st,
+		Scenario: sc, scenIdx: sp.scenIdx, group: sp.group,
+		newMonitor: sp.newMonitor, mitigate: sp.mitigate,
+		lane: lane, rng: rng, st: st,
 		telemetry: telem, margin: margin,
 	}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/closedloop"
 	"repro/internal/fault"
+	"repro/internal/monitor"
 	"repro/internal/scs"
 	"repro/internal/trace"
 )
@@ -24,13 +25,18 @@ type Session struct {
 	// replica draws from a fresh RNG stream.
 	Replica int
 
-	scenIdx   int
-	lane      int // shard-local lane for batched monitors
-	rng       *rand.Rand
-	st        *closedloop.Stepper
-	alarmed   bool
-	telemetry *scs.StreamSet // streaming STL rule set (Config.Telemetry)
-	margin    marginMonitor  // monitor-sourced telemetry (FromMonitor)
+	scenIdx int
+	group   string // AdmitSpec group tag (admitted sessions)
+	// newMonitor/mitigate carry an admitted session's per-spec overrides
+	// into continuous-mode replica restarts.
+	newMonitor func(patientIdx int) (monitor.Monitor, error)
+	mitigate   bool
+	lane       int // shard-local lane for batched monitors
+	rng        *rand.Rand
+	st         *closedloop.Stepper
+	alarmed    bool
+	telemetry  *scs.StreamSet // streaming STL rule set (Config.Telemetry)
+	margin     marginMonitor  // monitor-sourced telemetry (FromMonitor)
 }
 
 // LastVerdict returns the monitor verdict of the most recently

@@ -79,11 +79,16 @@ func kindRank(k EventKind) int {
 		return 3
 	case EventSessionDone:
 		return 4
+	case EventSessionEvict:
+		// An eviction is terminal like EventSessionDone but the session
+		// never completed; at an equal step it sorts after the per-step
+		// stream and after a completion (a slot cannot do both).
+		return 5
 	case EventProgress:
 		// Progress marks are never buffered (emit excludes them); they are
 		// re-synthesized during delivery. The rank exists only so the
 		// exhaustiveness guard covers the whole enum.
-		return 5
+		return 6
 	default:
 		return -1
 	}

@@ -342,3 +342,75 @@ func TestShardedSinkEpochRestampsAcrossEpochs(t *testing.T) {
 		t.Fatalf("%d dones, %d progress marks, want %d", dones, progress, dones/int64(cfg.ProgressEvery))
 	}
 }
+
+// TestShardedSinksContinuousProgressMonotone pins progress
+// re-synthesis across epochs in continuous mode: replica completions
+// re-stamped at epoch merges must form one strictly increasing
+// completion sequence spanning every delivered epoch, with a progress
+// mark at exactly each ProgressEvery-th completion — the continuous
+// stream must be indistinguishable from a single infinite merge.
+func TestShardedSinksContinuousProgressMonotone(t *testing.T) {
+	const stopAfter = 6 // closed epochs before cancellation
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	cfg := Config{
+		Platform:      glucosymPlatform(),
+		Patients:      []int{0},
+		Scenarios:     thinScenarios(300), // 3 scenarios: 3 slots
+		Steps:         3,                  // fast replica churn: dones in every epoch
+		Seed:          11,
+		Parallel:      2,
+		Continuous:    true,
+		Telemetry:     &TelemetryConfig{},
+		Sinks:         []Sink{NewLogSink(&buf)},
+		ShardedSinks:  true,
+		SinkEpoch:     4,
+		ProgressEvery: 2,
+	}
+	closed := 0
+	cfg.sinkEpochHook = func(int, int, int) {
+		if closed++; closed == stopAfter {
+			cancel()
+		}
+	}
+	if _, err := Run(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var dones, progress int64
+	lastProgressAt := int64(0)
+	scanner := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for scanner.Scan() {
+		var rec struct {
+			Kind      string `json:"kind"`
+			Completed int64  `json:"completed"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		switch rec.Kind {
+		case "done":
+			dones++
+			if rec.Completed != dones {
+				t.Fatalf("done #%d carries completed=%d — completion cursor reset between continuous epochs", dones, rec.Completed)
+			}
+		case "progress":
+			progress++
+			if rec.Completed%int64(cfg.ProgressEvery) != 0 || rec.Completed <= lastProgressAt {
+				t.Fatalf("progress at completed=%d after mark at %d — marks must be strictly increasing multiples of %d",
+					rec.Completed, lastProgressAt, cfg.ProgressEvery)
+			}
+			lastProgressAt = rec.Completed
+		}
+	}
+	// 3 slots churning every 3 rounds over ~24 rounds: dones must span
+	// several epochs, not pile into one merge.
+	minDones := int64(2 * cfg.SinkEpoch)
+	if dones < minDones {
+		t.Fatalf("%d dones delivered, want at least %d spanning multiple epochs", dones, minDones)
+	}
+	if progress != dones/int64(cfg.ProgressEvery) {
+		t.Fatalf("%d progress marks for %d dones, want %d", progress, dones, dones/int64(cfg.ProgressEvery))
+	}
+}

@@ -50,6 +50,7 @@ type jsonEvent struct {
 	Kind       string  `json:"kind"`
 	Session    int     `json:"session"`
 	PatientIdx int     `json:"patient"`
+	Group      string  `json:"group,omitempty"`
 	Replica    int     `json:"replica,omitempty"`
 	Step       int     `json:"step,omitempty"`
 	Hazard     string  `json:"hazard,omitempty"`
@@ -65,6 +66,7 @@ func toJSONEvent(ev Event) jsonEvent {
 		Kind:       ev.Kind.String(),
 		Session:    ev.Session,
 		PatientIdx: ev.PatientIdx,
+		Group:      ev.Group,
 		Replica:    ev.Replica,
 		Step:       ev.Step,
 		Completed:  ev.Completed,
@@ -79,6 +81,18 @@ func toJSONEvent(ev Event) jsonEvent {
 		je.MarginRule = ev.MarginRule
 	}
 	return je
+}
+
+// EncodeJSON renders one event as its JSONL wire line — the exact bytes
+// a LogSink would write, trailing newline included — so stream fan-outs
+// (fleetd's per-tenant telemetry) stay byte-identical to a log file of
+// the same events.
+func EncodeJSON(ev Event) ([]byte, error) {
+	b, err := json.Marshal(toJSONEvent(ev))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // RotationPolicy bounds a file-backed log sink so continuous serving
@@ -420,7 +434,34 @@ type HistSink struct {
 	sum     map[int]float64 // patientIdx -> margin sum (for means)
 	n       map[int]int64
 	dropped int64 // non-finite margins rejected
+
+	alertOn    bool
+	alertFloor float64
+	alertFn    func(Alert)
+	alerts     []Alert
+	alertN     int64
 }
+
+// Alert records one margin sample that fell below the sink's configured
+// alert floor — the push half of the alerting dashboard: dashboards get
+// told when a session runs too close to an unsafe-control-action
+// boundary instead of polling histograms.
+type Alert struct {
+	Session    int
+	PatientIdx int
+	Replica    int
+	// Group is the session's tenant tag (empty for static slots).
+	Group string
+	// Step is the control cycle of the breaching sample.
+	Step int
+	// Margin is the breaching signed rule margin; Rule attributes it.
+	Margin float64
+	Rule   int
+}
+
+// maxAlerts bounds the retained alert log; older alerts roll off while
+// AlertCount keeps the lifetime total.
+const maxAlerts = 64
 
 // NewHistSink creates a histogram sink with the given margin range and
 // bin count. The margin here is the signed rule margin of the telemetry
@@ -440,6 +481,36 @@ func NewHistSink(lo, hi float64, bins int) (*HistSink, error) {
 	}, nil
 }
 
+// SetAlertFloor arms margin-floor alerting: every robustness margin
+// strictly below floor records an Alert (bounded log + lifetime count)
+// and invokes fn, if non-nil, synchronously from Emit with no sink lock
+// held. Configure before the run starts; the callback must not block
+// (it runs on the sink delivery path).
+func (s *HistSink) SetAlertFloor(floor float64, fn func(Alert)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alertOn = true
+	s.alertFloor = floor
+	s.alertFn = fn
+}
+
+// AlertCount returns how many margins have breached the alert floor.
+func (s *HistSink) AlertCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alertN
+}
+
+// Alerts returns the most recent floor breaches, oldest first (bounded
+// to the last maxAlerts).
+func (s *HistSink) Alerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Alert, len(s.alerts))
+	copy(out, s.alerts)
+	return out
+}
+
 // Emit implements Sink: only robustness events aggregate, everything
 // else passes through untouched.
 func (s *HistSink) Emit(ev Event) error {
@@ -447,13 +518,13 @@ func (s *HistSink) Emit(ev Event) error {
 		return nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if math.IsNaN(ev.Margin) || math.IsInf(ev.Margin, 0) {
 		// A NaN margin would make both clamp comparisons below false and
 		// feed an implementation-defined float->int conversion, corrupting
 		// counts and sums; ±Inf would poison the running mean. Count the
 		// drop so the gap is observable instead of silent.
 		s.dropped++
+		s.mu.Unlock()
 		return nil
 	}
 	c, ok := s.counts[ev.PatientIdx]
@@ -471,6 +542,24 @@ func (s *HistSink) Emit(ev Event) error {
 	c[b]++
 	s.sum[ev.PatientIdx] += ev.Margin
 	s.n[ev.PatientIdx]++
+	var fire func(Alert)
+	var al Alert
+	if s.alertOn && ev.Margin < s.alertFloor {
+		al = Alert{
+			Session: ev.Session, PatientIdx: ev.PatientIdx, Replica: ev.Replica,
+			Group: ev.Group, Step: ev.Step, Margin: ev.Margin, Rule: ev.MarginRule,
+		}
+		s.alertN++
+		s.alerts = append(s.alerts, al)
+		if len(s.alerts) > maxAlerts {
+			s.alerts = s.alerts[len(s.alerts)-maxAlerts:]
+		}
+		fire = s.alertFn
+	}
+	s.mu.Unlock()
+	if fire != nil {
+		fire(al)
+	}
 	return nil
 }
 

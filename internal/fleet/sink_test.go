@@ -815,3 +815,62 @@ func TestLogSinkEmitAfterCloseErrors(t *testing.T) {
 		t.Fatalf("%d records persisted, want 1", got)
 	}
 }
+
+// TestHistSinkAlertFloor pins margin-floor alerting: only robustness
+// margins strictly below the floor alert, the callback runs without the
+// sink lock held (re-entrant reads must not deadlock), the alert log is
+// bounded at maxAlerts while AlertCount keeps the lifetime total, and
+// non-robustness events never alert regardless of their margin.
+func TestHistSinkAlertFloor(t *testing.T) {
+	sink, err := NewHistSink(-5, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []Alert
+	sink.SetAlertFloor(-1, func(al Alert) {
+		// Re-entrant read: deadlocks if Emit fires the callback under lock.
+		_ = sink.AlertCount()
+		fired = append(fired, al)
+	})
+
+	emit := func(kind EventKind, margin float64) {
+		if err := sink.Emit(Event{Kind: kind, Session: 7, PatientIdx: 2, Replica: 3,
+			Group: "acme", Step: 11, Margin: margin, MarginRule: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emit(EventRobustness, 0.5)        // healthy margin
+	emit(EventRobustness, -0.5)       // negative but above the floor
+	emit(EventRobustness, -1)         // exactly at the floor: not a breach
+	emit(EventAlarm, -4)              // wrong kind: histograms and alerts ignore it
+	emit(EventRobustness, math.NaN()) // dropped before alerting
+	emit(EventRobustness, -2.5)       // breach
+	if n := sink.AlertCount(); n != 1 {
+		t.Fatalf("AlertCount = %d after one breach, want 1", n)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("callback fired %d times, want 1", len(fired))
+	}
+	want := Alert{Session: 7, PatientIdx: 2, Replica: 3, Group: "acme", Step: 11, Margin: -2.5, Rule: 4}
+	if fired[0] != want {
+		t.Errorf("callback alert = %+v, want %+v", fired[0], want)
+	}
+	if got := sink.Alerts(); len(got) != 1 || got[0] != want {
+		t.Errorf("Alerts() = %+v, want [%+v]", got, want)
+	}
+
+	// Roll the bounded log over: the lifetime count keeps growing while
+	// the retained window holds only the most recent maxAlerts breaches.
+	for i := 0; i < maxAlerts+10; i++ {
+		emit(EventRobustness, -3)
+	}
+	if n := sink.AlertCount(); n != int64(1+maxAlerts+10) {
+		t.Fatalf("lifetime AlertCount = %d, want %d", n, 1+maxAlerts+10)
+	}
+	if got := sink.Alerts(); len(got) != maxAlerts {
+		t.Fatalf("retained alert log holds %d, want bounded at %d", len(got), maxAlerts)
+	}
+	if len(fired) != 1+maxAlerts+10 {
+		t.Fatalf("callback fired %d times, want %d", len(fired), 1+maxAlerts+10)
+	}
+}

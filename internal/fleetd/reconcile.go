@@ -1,0 +1,94 @@
+package fleetd
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// reconcilePeriod is the fallback poll interval: the loop also wakes
+// immediately on registry changes, so the ticker only covers fleet-side
+// transitions (gates applying a previous batch of operations).
+const reconcilePeriod = 25 * time.Millisecond
+
+// reconcileLoop converges the fleet toward the registry until ctx is
+// cancelled. It is the only writer of admission operations, so the
+// "skip while a batch is pending" guard below is race-free.
+func (s *Server) reconcileLoop(ctx context.Context) {
+	tick := time.NewTicker(reconcilePeriod)
+	defer tick.Stop()
+	for {
+		s.reconcile()
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.reg.change:
+		case <-tick.C:
+		}
+	}
+}
+
+// reconcile performs one level-triggered pass: diff the declared tenant
+// state against the fleet's live slot set and issue the admissions and
+// evictions that close the gap. Tenants are visited in sorted ID order
+// and live slots in slot order, so a fixed registry history yields a
+// fixed operation sequence — the fleet's gate protocol then makes the
+// resulting telemetry deterministic (see internal/fleet).
+func (s *Server) reconcile() {
+	if s.adm.PendingOps() != 0 {
+		// A previous batch has not reached a gate yet; Live() does not
+		// reflect it, so diffing now would double-issue. The ticker
+		// retries once the gate applies.
+		return
+	}
+	ids, specs := s.reg.list()
+	live := s.adm.Live() // sorted by slot
+
+	// Index the live slot set by tenant coordinate. A pair can appear
+	// more than once transiently (never steady-state); surplus copies
+	// are evicted below.
+	type pair struct {
+		group   string
+		patient int
+		scen    int
+	}
+	liveAt := make(map[pair][]int, len(live))
+	for _, ls := range live {
+		k := pair{ls.Group, ls.PatientIdx, ls.ScenIdx}
+		liveAt[k] = append(liveAt[k], ls.Slot)
+	}
+
+	var admits []fleet.AdmitSpec
+	var evicts []int
+	claimed := make(map[pair]int, len(live))
+	for _, id := range ids {
+		for _, as := range specSessions(id, specs[id]) {
+			k := pair{as.Group, as.PatientIdx, as.ScenIdx}
+			if slots := liveAt[k]; claimed[k] < len(slots) {
+				claimed[k]++ // keep the lowest-slot copy of the pair
+				continue
+			}
+			admits = append(admits, as)
+		}
+	}
+	// Anything live beyond a claimed desired pair — deleted tenants,
+	// shrunk specs, transient duplicates — is evicted. Iteration is in
+	// slot order, so the retained copy of a duplicated pair is the
+	// lowest slot, matching the claim order above.
+	drop := make(map[pair]int, len(live))
+	for _, ls := range live {
+		k := pair{ls.Group, ls.PatientIdx, ls.ScenIdx}
+		drop[k]++
+		if drop[k] > claimed[k] {
+			evicts = append(evicts, ls.Slot)
+		}
+	}
+
+	if len(evicts) > 0 {
+		s.adm.Evict(evicts...)
+	}
+	if len(admits) > 0 {
+		s.adm.Admit(admits...)
+	}
+}

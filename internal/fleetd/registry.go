@@ -1,0 +1,95 @@
+package fleetd
+
+import (
+	"sort"
+	"sync"
+)
+
+// registry is the desired-state store the reconciler converges the
+// fleet toward. Every mutation bumps the generation and pings the
+// change channel; the reconciler treats the ping as level-triggered
+// (it recomputes the full diff, never replays individual changes).
+type registry struct {
+	mu      sync.Mutex
+	tenants map[string]TenantSpec
+	gen     int64
+	change  chan struct{}
+}
+
+func newRegistry() *registry {
+	return &registry{
+		tenants: make(map[string]TenantSpec),
+		change:  make(chan struct{}, 1),
+	}
+}
+
+// ping nudges the reconciler without blocking (the channel is a
+// level-trigger of capacity one).
+func (r *registry) ping() {
+	select {
+	case r.change <- struct{}{}:
+	default:
+	}
+}
+
+// put upserts a tenant's desired state.
+func (r *registry) put(id string, spec TenantSpec) {
+	r.mu.Lock()
+	r.tenants[id] = spec
+	r.gen++
+	r.mu.Unlock()
+	r.ping()
+}
+
+// get returns a tenant's declared spec.
+func (r *registry) get(id string) (TenantSpec, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spec, ok := r.tenants[id]
+	return spec, ok
+}
+
+// delete removes a tenant; the reconciler then evicts its sessions.
+func (r *registry) delete(id string) bool {
+	r.mu.Lock()
+	_, ok := r.tenants[id]
+	if ok {
+		delete(r.tenants, id)
+		r.gen++
+	}
+	r.mu.Unlock()
+	if ok {
+		r.ping()
+	}
+	return ok
+}
+
+// list snapshots the registry as (sorted IDs, spec lookup): the
+// reconciler and status endpoints iterate tenants in this order so
+// their operation sequences are reproducible.
+func (r *registry) list() ([]string, map[string]TenantSpec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.tenants))
+	specs := make(map[string]TenantSpec, len(r.tenants))
+	for id, spec := range r.tenants { //fleetvet:nondeterministic map snapshot; ids are sorted before any caller iterates
+		ids = append(ids, id)
+		specs[id] = spec
+	}
+	sort.Strings(ids)
+	return ids, specs
+}
+
+// desiredTotal sums declared sessions across tenants, optionally
+// substituting one tenant's spec (capacity check for an incoming PUT).
+func (r *registry) desiredTotal(override string, spec TenantSpec) int {
+	ids, specs := r.list()
+	total := spec.desired()
+	for _, id := range ids {
+		if id == override {
+			continue
+		}
+		total += specs[id].desired()
+	}
+	return total
+}

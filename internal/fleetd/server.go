@@ -1,0 +1,426 @@
+package fleetd
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/monitor"
+	"repro/internal/scs"
+)
+
+// Config parameterizes a control-plane server. The zero value is not
+// runnable: Platform, Scenarios, and MaxSessions are required.
+type Config struct {
+	// Platform is the closed-loop test bed every session runs on.
+	Platform fleet.Platform
+	// Scenarios is the fault-scenario table tenant specs index into.
+	Scenarios []fault.Scenario
+	// MaxSessions bounds the fleet-wide live session total; PUTs whose
+	// declared total would exceed it are rejected with 409.
+	MaxSessions int
+	// Parallel is the fleet worker shard count (0 = GOMAXPROCS-ish
+	// fleet default).
+	Parallel int
+	// Steps is the session length in control cycles; each tenant
+	// session replays forever in replicas of this length. Default 288
+	// (one day of 5-minute cycles).
+	Steps int
+	// Seed is the fleet master seed; with a fixed admission history the
+	// whole telemetry stream is a deterministic function of it.
+	Seed int64
+	// SinkEpoch bounds sink buffering: telemetry is merged and
+	// delivered every SinkEpoch lock-step rounds. Default 8.
+	SinkEpoch int
+	// AdmitEvery is the admission-gate period in rounds (0 = fleet
+	// default).
+	AdmitEvery int
+	// Token, when non-empty, requires `Authorization: Bearer <Token>`
+	// on every /v1/ endpoint (never on /healthz).
+	Token string
+	// AlertFloor arms per-tenant margin-floor alerting; NaN disables.
+	AlertFloor float64
+	// StreamBuffer is the per-subscriber telemetry buffer in events
+	// (default 256); a subscriber that falls further behind loses
+	// events (counted, never blocking).
+	StreamBuffer int
+}
+
+// Server is one control-plane instance wrapping one continuous fleet
+// run. Create with New, start with Start, serve Handler, stop with
+// Drain.
+type Server struct {
+	cfg    Config
+	adm    *fleet.Admissions
+	reg    *registry
+	fan    *fanout
+	alerts *alertTable // nil when alerting is disabled
+	mux    *http.ServeMux
+
+	cancel    context.CancelFunc
+	fleetDone chan struct{}
+
+	mu       sync.Mutex
+	fleetErr error
+	draining bool
+	started  bool
+}
+
+// New validates the configuration and assembles an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Steps == 0 {
+		cfg.Steps = 288
+	}
+	if cfg.SinkEpoch == 0 {
+		cfg.SinkEpoch = 8
+	}
+	if cfg.StreamBuffer == 0 {
+		cfg.StreamBuffer = defaultStreamBuffer
+	}
+	s := &Server{
+		cfg:       cfg,
+		adm:       fleet.NewAdmissions(),
+		reg:       newRegistry(),
+		fan:       newFanout(),
+		fleetDone: make(chan struct{}),
+	}
+	if !math.IsNaN(cfg.AlertFloor) {
+		s.alerts = newAlertTable(cfg.AlertFloor)
+	}
+	if err := s.fleetConfig().Validate(); err != nil {
+		return nil, fmt.Errorf("fleetd: %w", err)
+	}
+	s.routes()
+	return s, nil
+}
+
+// fleetConfig assembles the continuous admission-controlled fleet the
+// server fronts.
+func (s *Server) fleetConfig() fleet.Config {
+	sinks := []fleet.Sink{s.fan}
+	if s.alerts != nil {
+		sinks = append(sinks, s.alerts)
+	}
+	return fleet.Config{
+		Platform:  s.cfg.Platform,
+		Scenarios: s.cfg.Scenarios,
+		Sessions:  0, // every session arrives through the reconciler
+		Steps:     s.cfg.Steps,
+		Seed:      s.cfg.Seed,
+		Parallel:  s.cfg.Parallel,
+		NewMonitor: func(int) (monitor.Monitor, error) {
+			return monitor.NewCAWOT(scs.TableI(), scs.Params{})
+		},
+		Telemetry:    &fleet.TelemetryConfig{FromMonitor: true},
+		Continuous:   true,
+		Admissions:   s.adm,
+		MaxSessions:  s.cfg.MaxSessions,
+		AdmitEvery:   s.cfg.AdmitEvery,
+		ShardedSinks: true,
+		SinkEpoch:    s.cfg.SinkEpoch,
+		Sinks:        sinks,
+	}
+}
+
+// Start launches the fleet engine and the reconcile loop. The server
+// runs until Drain; ctx cancellation also stops both.
+func (s *Server) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("fleetd: server already started")
+	}
+	s.started = true
+	ctx, s.cancel = context.WithCancel(ctx)
+	go s.reconcileLoop(ctx)
+	go func() {
+		_, err := fleet.Run(ctx, s.fleetConfig())
+		s.mu.Lock()
+		s.fleetErr = err
+		s.mu.Unlock()
+		close(s.fleetDone)
+	}()
+	return nil
+}
+
+// Drain gracefully stops the server: the reconciler and fleet shut
+// down, in-flight telemetry streams end, and Drain returns the fleet's
+// exit error (nil for a clean cancellation). ctx bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return errors.New("fleetd: server never started")
+	}
+	s.draining = true
+	cancel := s.cancel
+	s.mu.Unlock()
+
+	cancel()
+	select {
+	case <-s.fleetDone:
+	case <-ctx.Done():
+		s.fan.closeAll()
+		return fmt.Errorf("fleetd: drain: %w", ctx.Err())
+	}
+	s.fan.closeAll()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleetErr
+}
+
+// Handler returns the HTTP surface: /healthz plus the bearer-guarded
+// /v1/ API.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Token != "" && r.URL.Path != "/healthz" {
+			tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.Token)) != 1 {
+				httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+				return
+			}
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// routes wires the endpoint table (Go 1.22 method+wildcard patterns).
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("PUT /v1/tenants/{id}", s.handlePutTenant)
+	s.mux.HandleFunc("GET /v1/tenants/{id}", s.handleGetTenant)
+	s.mux.HandleFunc("DELETE /v1/tenants/{id}", s.handleDeleteTenant)
+	s.mux.HandleFunc("GET /v1/tenants/{id}/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("GET /v1/tenants/{id}/alerts", s.handleAlerts)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.fleetDone:
+		s.mu.Lock()
+		err := s.fleetErr
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("fleet stopped: %v", err))
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ids, specs := s.reg.list()
+	desired := 0
+	for _, id := range ids {
+		desired += specs[id].desired()
+	}
+	rejected, _ := s.adm.Rejected()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	st := Status{
+		Platform:      s.cfg.Platform.Name,
+		Scenarios:     len(s.cfg.Scenarios),
+		MaxSessions:   s.cfg.MaxSessions,
+		Live:          len(s.adm.Live()),
+		Tenants:       ids,
+		Desired:       desired,
+		Generation:    s.adm.Gen(),
+		Rejected:      rejected,
+		StreamDropped: s.fan.droppedTotal(),
+		Draining:      draining,
+	}
+	if s.alerts != nil {
+		floor := s.cfg.AlertFloor
+		st.AlertFloor = &floor
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handlePutTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !tenantIDOK(id) {
+		httpError(w, http.StatusBadRequest, "tenant id must be 1-64 chars of [a-zA-Z0-9._-]")
+		return
+	}
+	var spec TenantSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+		return
+	}
+	if err := spec.validate(s.cfg.Platform.NumPatients, len(s.cfg.Scenarios)); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Capacity admission control. Concurrent PUTs can race past this
+	// check; the fleet's own MaxSessions bound is the backstop and any
+	// overflow surfaces in Status.Rejected.
+	if total := s.reg.desiredTotal(id, spec); total > s.cfg.MaxSessions {
+		httpError(w, http.StatusConflict, fmt.Sprintf(
+			"declared total %d exceeds fleet capacity %d", total, s.cfg.MaxSessions))
+		return
+	}
+	_, existed := s.reg.get(id)
+	s.reg.put(id, spec)
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, s.tenantStatus(id, spec))
+}
+
+func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spec, ok := s.reg.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tenantStatus(id, spec))
+}
+
+func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.delete(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// tenantStatus assembles the reconciler's live view of one tenant.
+func (s *Server) tenantStatus(id string, spec TenantSpec) TenantStatus {
+	st := TenantStatus{
+		ID: id, Spec: spec, Desired: spec.desired(),
+		Slots:         []int{},
+		StreamDropped: s.fan.droppedFor(id),
+	}
+	for _, ls := range s.adm.Live() {
+		if ls.Group == id {
+			st.Slots = append(st.Slots, ls.Slot)
+		}
+	}
+	st.Live = len(st.Slots)
+	if s.alerts != nil {
+		if h := s.alerts.forTenant(id); h != nil {
+			st.AlertCount = h.AlertCount()
+		}
+	}
+	return st
+}
+
+// handleTelemetry streams the tenant's fleet events as JSONL (default)
+// or SSE (Accept: text/event-stream) until the client goes away or the
+// server drains. The stream is lossy under backpressure by contract:
+// events a slow client cannot buffer are dropped and counted, never
+// queued against the fleet.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.reg.get(id); !ok {
+		httpError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := s.fan.subscribe(id, s.cfg.StreamBuffer)
+	if sub == nil {
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	defer s.fan.unsubscribe(sub)
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case line, ok := <-sub.ch:
+			if !ok {
+				return // server drain
+			}
+			if sse {
+				// EncodeJSON lines are newline-terminated single lines;
+				// data: + blank line frames one SSE event.
+				if _, err := fmt.Fprintf(w, "data: %s\n", line); err != nil {
+					return
+				}
+			} else if _, err := w.Write(line); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// alertJSON is the wire shape of one margin-floor breach.
+type alertJSON struct {
+	Session    int     `json:"session"`
+	PatientIdx int     `json:"patient"`
+	Replica    int     `json:"replica,omitempty"`
+	Step       int     `json:"step"`
+	Margin     float64 `json:"margin"`
+	Rule       int     `json:"rule,omitempty"`
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.reg.get(id); !ok {
+		httpError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	type resp struct {
+		Enabled bool        `json:"enabled"`
+		Floor   float64     `json:"floor,omitempty"`
+		Count   int64       `json:"count"`
+		Alerts  []alertJSON `json:"alerts"`
+	}
+	out := resp{Alerts: []alertJSON{}}
+	if s.alerts != nil {
+		out.Enabled = true
+		out.Floor = s.cfg.AlertFloor
+		if h := s.alerts.forTenant(id); h != nil {
+			out.Count = h.AlertCount()
+			for _, al := range h.Alerts() {
+				out.Alerts = append(out.Alerts, alertJSON{
+					Session: al.Session, PatientIdx: al.PatientIdx, Replica: al.Replica,
+					Step: al.Step, Margin: al.Margin, Rule: al.Rule,
+				})
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,175 @@
+package fleetd
+
+import (
+	"sync"
+
+	"repro/internal/fleet"
+)
+
+// defaultStreamBuffer is the per-subscriber event buffer when
+// Config.StreamBuffer is zero.
+const defaultStreamBuffer = 256
+
+// subscriber is one telemetry stream client: a bounded channel of
+// pre-encoded JSONL lines for a single tenant group.
+type subscriber struct {
+	group string
+	ch    chan []byte
+}
+
+// fanout is the telemetry fan-out sink: it encodes each fleet event
+// once and offers the line to every matching subscriber. Emit NEVER
+// blocks — a subscriber whose buffer is full loses the line and the
+// drop is counted — so a stalled HTTP client cannot stall the fleet's
+// epoch merges or any other tenant's stream.
+type fanout struct {
+	mu      sync.Mutex
+	subs    []*subscriber
+	closed  bool
+	drops   map[string]int64 // per-tenant drop totals
+	dropped int64            // fleet-wide drop total
+}
+
+func newFanout() *fanout {
+	return &fanout{drops: make(map[string]int64)}
+}
+
+// Emit implements fleet.Sink. It runs on the fleet's delivery
+// goroutine: the non-blocking send below is the backpressure contract.
+func (f *fanout) Emit(ev fleet.Event) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || len(f.subs) == 0 {
+		return nil
+	}
+	line, err := fleet.EncodeJSON(ev)
+	if err != nil {
+		return err
+	}
+	for _, sub := range f.subs {
+		if sub.group != ev.Group {
+			continue
+		}
+		select {
+		case sub.ch <- line:
+		default:
+			f.drops[sub.group]++
+			f.dropped++
+		}
+	}
+	return nil
+}
+
+// Flush implements fleet.Sink; buffering lives in the subscribers.
+func (f *fanout) Flush() error { return nil }
+
+// subscribe registers a stream for one tenant group; nil after close.
+func (f *fanout) subscribe(group string, buffer int) *subscriber {
+	if buffer <= 0 {
+		buffer = defaultStreamBuffer
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	sub := &subscriber{group: group, ch: make(chan []byte, buffer)}
+	f.subs = append(f.subs, sub)
+	return sub
+}
+
+// unsubscribe detaches a stream; its channel is closed so a reader
+// blocked on it unblocks.
+func (f *fanout) unsubscribe(sub *subscriber) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, s := range f.subs {
+		if s == sub {
+			f.subs[i] = f.subs[len(f.subs)-1]
+			f.subs = f.subs[:len(f.subs)-1]
+			close(sub.ch)
+			return
+		}
+	}
+}
+
+// closeAll ends every stream (server drain): subscribers' channels
+// close, their HTTP handlers finish, and later Emits are no-ops.
+func (f *fanout) closeAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for _, sub := range f.subs {
+		close(sub.ch)
+	}
+	f.subs = nil
+}
+
+// droppedFor returns a tenant's lifetime stream-drop total.
+func (f *fanout) droppedFor(group string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drops[group]
+}
+
+// droppedTotal returns the fleet-wide stream-drop total.
+func (f *fanout) droppedTotal() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// alertTable routes robustness margins to one margin-floor-armed
+// HistSink per tenant, backing GET /v1/tenants/{id}/alerts.
+type alertTable struct {
+	mu    sync.Mutex
+	floor float64
+	hists map[string]*fleet.HistSink
+}
+
+// alertHist* fix the per-tenant histogram shape: the margin range
+// covers the SCS rules' practical span.
+const (
+	alertHistLo   = -10
+	alertHistHi   = 10
+	alertHistBins = 40
+)
+
+func newAlertTable(floor float64) *alertTable {
+	return &alertTable{floor: floor, hists: make(map[string]*fleet.HistSink)}
+}
+
+// Emit implements fleet.Sink: tenant-tagged robustness events land in
+// that tenant's histogram (created on first sight).
+func (t *alertTable) Emit(ev fleet.Event) error {
+	if ev.Kind != fleet.EventRobustness || ev.Group == "" {
+		return nil
+	}
+	t.mu.Lock()
+	h, ok := t.hists[ev.Group]
+	if !ok {
+		var err error
+		if h, err = fleet.NewHistSink(alertHistLo, alertHistHi, alertHistBins); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		h.SetAlertFloor(t.floor, nil)
+		t.hists[ev.Group] = h
+	}
+	t.mu.Unlock()
+	return h.Emit(ev)
+}
+
+// Flush implements fleet.Sink.
+func (t *alertTable) Flush() error { return nil }
+
+// forTenant returns a tenant's histogram sink, nil before its first
+// robustness event.
+func (t *alertTable) forTenant(group string) *fleet.HistSink {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hists[group]
+}
