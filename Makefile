@@ -9,7 +9,7 @@ DOC_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{.Dir}}' ./... \
 	| grep -v '^repro/cmd/' | grep -v '^repro/examples/' \
 	| awk '{print $$2}')
 
-.PHONY: build test race bench bench-smoke smoke-fleetd short vet fmt lint docs ci
+.PHONY: build test race bench bench-smoke smoke-fleetd smoke-snapshot fuzz-snapshot short vet fmt lint docs ci
 
 ## build: compile every package and command
 build:
@@ -56,6 +56,23 @@ bench-smoke:
 ## with SIGTERM (see scripts/fleetd_smoke.sh)
 smoke-fleetd:
 	sh scripts/fleetd_smoke.sh
+
+## smoke-snapshot: end-to-end drain/restore smoke — start fleetd with
+## -snapshot-file, admit a tenant, SIGTERM to an epoch-aligned drain
+## that writes the sealed control-plane snapshot, restart with
+## -restore, and check the tenant and its telemetry stream resume
+## without a re-PUT (see scripts/snapshot_smoke.sh)
+smoke-snapshot:
+	sh scripts/snapshot_smoke.sh
+
+## fuzz-snapshot: short fuzz pass over the snapshot codec — the sealed
+## envelope opener (arbitrary bytes must error or round-trip, never
+## panic) and the primitive decoder (truncation/corruption must fail
+## sticky). Go allows one -fuzz pattern per invocation, so two runs.
+FUZZTIME ?= 10s
+fuzz-snapshot:
+	$(GO) test -run '^$$' -fuzz '^FuzzOpen$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 
 ## vet: static checks
 vet:

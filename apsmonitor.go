@@ -210,7 +210,26 @@ type (
 	FleetLiveSession = fleet.LiveSession
 	// FleetReject records an admission the gate refused.
 	FleetReject = fleet.Reject
+	// FleetSessionSnapshot is one live session's bit-exact checkpoint
+	// (FleetAdmitSpec.Restore migrates one into a running fleet).
+	FleetSessionSnapshot = fleet.SessionSnapshot
+	// FleetSnapshot is a drained fleet's checkpoint: every live session
+	// at its exact cycle plus the sink completion cursor. Produce one
+	// with FleetAdmissions.Drain / DrainAt; resume it with
+	// FleetConfig.Restore under the same master seed and scenario table
+	// and the sink stream continues byte-identically.
+	FleetSnapshot = fleet.FleetSnapshot
+	// FleetDrainResult is the outcome of a fleet drain or group-snapshot
+	// request (FleetAdmissions.Drain / SnapshotGroup).
+	FleetDrainResult = fleet.DrainResult
 )
+
+// DecodeFleetSnapshot opens and parses a sealed fleet snapshot
+// (FleetSnapshot.Encode), failing loudly on corruption or a
+// format-version mismatch.
+func DecodeFleetSnapshot(data []byte) (*FleetSnapshot, error) {
+	return fleet.DecodeFleetSnapshot(data)
+}
 
 // NewFleetAdmissions creates a runtime admission controller to set on
 // FleetConfig.Admissions (requires FleetConfig.Continuous and

@@ -17,7 +17,14 @@
 //
 // On SIGINT/SIGTERM the server drains: the fleet stops at its next
 // gate, telemetry streams end, and in-flight requests finish before
-// exit.
+// exit. With -snapshot-file the drain instead lands on an epoch-aligned
+// admission gate and serializes the whole control plane — tenant
+// registry plus every live session at its exact cycle — into a sealed
+// snapshot; a later run started with -restore (and the same platform,
+// steps, seed, sink-epoch, and admit-every) resumes the fleet
+// bit-exactly, continuing every tenant's telemetry stream where the
+// drained run cut it. POST /v1/tenants/{id}/snapshot captures a single
+// tenant the same way without stopping the fleet.
 package main
 
 import (
@@ -53,6 +60,8 @@ func main() {
 		alertFloor   = flag.Float64("alert-floor", math.NaN(), "record per-tenant alerts when a robustness margin falls below this floor (NaN = off)")
 		streamBuffer = flag.Int("stream-buffer", 0, "per-subscriber telemetry buffer in events (0 = default 256)")
 		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget after SIGTERM")
+		snapshotFile = flag.String("snapshot-file", "", "on SIGTERM, drain the fleet at an epoch-aligned gate and write the control-plane snapshot here instead of discarding state")
+		restoreFile  = flag.String("restore", "", "seed the server from a control-plane snapshot written by -snapshot-file (requires the same platform/steps/seed/sink-epoch/admit-every)")
 	)
 	flag.Parse()
 
@@ -64,7 +73,7 @@ func main() {
 	if *scenarios > 0 && *scenarios < len(table) {
 		table = table[:*scenarios]
 	}
-	srv, err := fleetd.New(fleetd.Config{
+	cfg := fleetd.Config{
 		Platform:     fleet.Platform(platform),
 		Scenarios:    table,
 		MaxSessions:  *maxSessions,
@@ -76,7 +85,21 @@ func main() {
 		Token:        *token,
 		AlertFloor:   *alertFloor,
 		StreamBuffer: *streamBuffer,
-	})
+	}
+	if *restoreFile != "" {
+		data, err := os.ReadFile(*restoreFile)
+		if err != nil {
+			fail(err)
+		}
+		snap, err := fleetd.DecodeSnapshot(data)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Restore = snap
+		fmt.Fprintf(os.Stderr, "fleetd: restoring %d sessions across %d tenants from %s\n",
+			len(snap.Fleet.Sessions), len(snap.Tenants), *restoreFile)
+	}
+	srv, err := fleetd.New(cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -108,13 +131,34 @@ func main() {
 	defer cancel()
 	// Order matters: ending the fleet first closes telemetry streams,
 	// so Shutdown's wait for in-flight requests can complete.
-	if err := srv.Drain(drainCtx); err != nil {
+	if *snapshotFile != "" {
+		snap, err := srv.DrainToSnapshot(drainCtx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetd: snapshot drain: %v\n", err)
+		} else if err := writeSnapshot(*snapshotFile, snap.Encode()); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetd: snapshot write: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "fleetd: snapshot: %d sessions across %d tenants -> %s\n",
+				len(snap.Fleet.Sessions), len(snap.Tenants), *snapshotFile)
+		}
+	} else if err := srv.Drain(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "fleetd: drain: %v\n", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "fleetd: shutdown: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "fleetd: stopped")
+}
+
+// writeSnapshot lands the sealed snapshot atomically: a crash mid-write
+// must never leave a truncated envelope where the next -restore expects
+// a valid one.
+func writeSnapshot(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fail(err error) {

@@ -29,6 +29,13 @@
 // delivery stays live with bounded buffers (the default for continuous
 // serving), or once at completion for finite runs with -sink-epoch 0.
 //
+// Checkpointing: with -duration, -snapshot drains the fleet at an
+// epoch-aligned admission gate when the duration elapses and writes
+// every live session's bit-exact state to a sealed file; -restore
+// resumes such a file — run with the same seed, platform, and telemetry
+// flags, the resumed sink stream continues byte-identically where the
+// drained run cut it.
+//
 //	fleetsim -platform glucosym -patients 5 -scenarios 88 -sessions 2000 \
 //	         -parallel 8 -duration 30s -seed 1 -noise 2.5 \
 //	         -monitor cawot-batch -mitigate -scale-margin -stl-from-monitor \
@@ -80,6 +87,8 @@ func main() {
 		ringSize     = flag.Int("ring-size", 1024, "ring sink capacity (events)")
 		alertFloor   = flag.Float64("alert-floor", math.NaN(), "with -sink hist: record an alert whenever a robustness margin falls below this floor (NaN = off)")
 		verbose      = flag.Bool("v", false, "stream alarm/hazard events (with -stl: also rule-violation margins)")
+		snapshotPath = flag.String("snapshot", "", "with -duration: drain the fleet at an epoch-aligned admission gate when the duration elapses and write the sealed snapshot here")
+		restorePath  = flag.String("restore", "", "with -duration: resume a fleet from a -snapshot file instead of dealing fresh sessions (requires the same seed, platform, and telemetry flags as the drained run)")
 	)
 	flag.Parse()
 
@@ -220,16 +229,88 @@ func main() {
 		}
 	}
 
+	// Checkpointing rides the admission-gate protocol: -snapshot drains
+	// the fleet at an epoch-aligned gate into a sealed file, -restore
+	// resumes one. Both therefore attach an admission controller and
+	// require continuous mode, and with sharded sinks the gate period is
+	// pinned to the sink epoch so every gate is drain-aligned.
+	var adm *apsmonitor.FleetAdmissions
+	var restored *apsmonitor.FleetSnapshot
+	if *snapshotPath != "" || *restorePath != "" {
+		if *duration <= 0 {
+			fail(fmt.Errorf("-snapshot and -restore require -duration (the drain lands on a continuous fleet's admission gate)"))
+		}
+		adm = apsmonitor.NewFleetAdmissions()
+		cfg.Admissions = adm
+		if *shardedSinks {
+			epoch := *sinkEpoch
+			if epoch == 0 {
+				epoch = 64 // the continuous-mode default the fleet would pick
+			}
+			cfg.AdmitEvery = epoch
+		}
+		if *restorePath != "" {
+			data, err := os.ReadFile(*restorePath)
+			if err != nil {
+				fail(err)
+			}
+			if restored, err = apsmonitor.DecodeFleetSnapshot(data); err != nil {
+				fail(err)
+			}
+			cfg.Restore = restored
+			cfg.Sessions = 0 // the snapshot replaces the static slot set
+		} else if cfg.Sessions == 0 {
+			// An admission-controlled fleet does not default to the full
+			// matrix on its own; mirror the one-per-pair default here.
+			nP := len(cfg.Patients)
+			if nP == 0 {
+				nP = platform.NumPatients
+			}
+			cfg.Sessions = nP * len(cfg.Scenarios)
+		}
+		cfg.MaxSessions = cfg.Sessions
+		if restored != nil && len(restored.Sessions) > cfg.MaxSessions {
+			cfg.MaxSessions = len(restored.Sessions)
+		}
+		if cfg.MaxSessions == 0 {
+			cfg.MaxSessions = 1
+		}
+	}
+
 	ctx := context.Background()
 	if *duration > 0 {
 		cfg.Continuous = true
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *duration)
-		defer cancel()
+		if *snapshotPath == "" {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *duration)
+			defer cancel()
+		}
 	} else {
 		// One-shot fleets can be huge; traces are only summarized here,
 		// so recycle them instead of retaining the full matrix.
 		cfg.DiscardTraces = true
+	}
+
+	// With -snapshot the duration ends the run through a terminal drain
+	// instead of a context cancellation: the drain gate serializes every
+	// live session and RunFleet returns cleanly.
+	var snapCh chan *apsmonitor.FleetSnapshot
+	if *snapshotPath != "" {
+		snapCh = make(chan *apsmonitor.FleetSnapshot, 1)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		go func() {
+			time.Sleep(*duration)
+			dr := <-adm.Drain()
+			if dr.Err != nil {
+				fmt.Fprintln(os.Stderr, "fleetsim: snapshot drain:", dr.Err)
+				snapCh <- nil
+				cancel() // the fleet kept running; stop it the plain way
+				return
+			}
+			snapCh <- dr.Snapshot
+		}()
 	}
 
 	events := make(chan apsmonitor.FleetEvent, 256)
@@ -299,6 +380,18 @@ func main() {
 	if cfg.Telemetry != nil && telem.events > 0 {
 		fmt.Printf("  stl:        %d margins streamed, %d rule violations, min margin %.3f (rule %d)\n",
 			telem.events, telem.violations, telem.minMargin, telem.minRule)
+	}
+	if restored != nil {
+		fmt.Printf("  restored:   %d sessions from %s\n", len(restored.Sessions), *restorePath)
+	}
+	if snapCh != nil {
+		if snap := <-snapCh; snap != nil {
+			sealed := snap.Encode()
+			if err := os.WriteFile(*snapshotPath, sealed, 0o600); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  snapshot:   %d sessions (%d bytes) -> %s\n", len(snap.Sessions), len(sealed), *snapshotPath)
+		}
 	}
 	if logSink != nil {
 		fmt.Printf("  log sink:   %d events -> %s", logSink.Written(), *sinkPath)

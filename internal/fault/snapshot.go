@@ -1,0 +1,31 @@
+// Snapshot/restore of fault-injection state. The fault definition
+// itself is configuration (rebuilt from the scenario on restore); only
+// the injector's progress through it — the step counter and the
+// held-value latch — is serialized.
+
+package fault
+
+import "repro/internal/snapshot"
+
+var _ snapshot.Snapshotter = (*Injector)(nil)
+
+// SnapshotState implements snapshot.Snapshotter.
+func (inj *Injector) SnapshotState(enc *snapshot.Encoder) {
+	enc.Int(inj.step)
+	enc.Float64(inj.held)
+	enc.Bool(inj.holdSet)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (inj *Injector) RestoreState(dec *snapshot.Decoder) error {
+	step := dec.Int()
+	held := dec.Float64()
+	holdSet := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	inj.step = step
+	inj.held = held
+	inj.holdSet = holdSet
+	return nil
+}

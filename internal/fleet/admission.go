@@ -67,6 +67,14 @@ type AdmitSpec struct {
 	// Mitigate enables Algorithm 1 mitigation for this session even
 	// when Config.Mitigate is off (requires a monitor).
 	Mitigate bool
+	// Restore, when set, admits a previously captured session instead of
+	// a fresh one: the sealed SessionSnapshot bytes (SessionSnapshot.
+	// Encode) are validated at the gate and the session resumes its run
+	// bit-exactly on a fresh slot. The snapshot header supplies
+	// PatientIdx, ScenIdx, Replica, and Mitigate (the fields above are
+	// ignored); Group keeps the snapshot's tag unless overridden here.
+	// Mutually exclusive with NewMonitor.
+	Restore []byte
 }
 
 // LiveSession is one live slot of a running admission-controlled
@@ -91,12 +99,14 @@ type Reject struct {
 // maxRejects bounds the retained rejection log.
 const maxRejects = 64
 
-// admissionOp is one queued admission/eviction request.
+// admissionOp is one queued admission/eviction request, or one queued
+// snapshot request (snap non-nil).
 type admissionOp struct {
 	atRound     int // apply at the first gate whose round >= atRound
 	admit       []AdmitSpec
 	evictSlots  []int
 	evictGroups []string
+	snap        *snapshotCollector
 }
 
 // Admissions is the runtime admission/eviction controller of a
@@ -151,6 +161,35 @@ func (a *Admissions) bind(cfg *Config) error {
 		shard := slot % cfg.Parallel
 		a.live[slot] = liveSlot{spec: cfg.specFor(slot, 0), shard: shard}
 		a.loads[shard]++
+	}
+	if cfg.Restore != nil {
+		// Seed the registry from the snapshot: restored sessions keep
+		// their slots (shard = slot % Parallel, exactly as runShard deals
+		// them) and slot numbering continues where the drained fleet left
+		// off. Config validation guarantees Sessions == 0 here.
+		snap := cfg.Restore
+		if len(snap.Sessions) > cfg.MaxSessions {
+			return fmt.Errorf("fleet: restore snapshot holds %d sessions, above MaxSessions %d", len(snap.Sessions), cfg.MaxSessions)
+		}
+		for i := range snap.Sessions {
+			ss := &snap.Sessions[i]
+			if ss.Slot < 0 || ss.Slot >= snap.NextSlot {
+				return fmt.Errorf("fleet: restore snapshot slot %d outside [0, %d)", ss.Slot, snap.NextSlot)
+			}
+			if _, dup := a.live[ss.Slot]; dup {
+				return fmt.Errorf("fleet: restore snapshot repeats slot %d", ss.Slot)
+			}
+			if ss.PatientIdx < 0 || ss.PatientIdx >= cfg.Platform.NumPatients {
+				return fmt.Errorf("fleet: restore snapshot slot %d: patient index %d outside cohort [0, %d)", ss.Slot, ss.PatientIdx, cfg.Platform.NumPatients)
+			}
+			if ss.ScenIdx < 0 || ss.ScenIdx >= len(cfg.Scenarios) {
+				return fmt.Errorf("fleet: restore snapshot slot %d: scenario index %d outside the declared table [0, %d)", ss.Slot, ss.ScenIdx, len(cfg.Scenarios))
+			}
+			shard := ss.Slot % cfg.Parallel
+			a.live[ss.Slot] = liveSlot{spec: restoredSpec(ss), shard: shard}
+			a.loads[shard]++
+		}
+		a.nextSlot = snap.NextSlot
 	}
 	return nil
 }
@@ -309,8 +348,9 @@ type admissionGate struct {
 	phase   int
 	round   int // gate round published by the arrivers
 
-	starts [][]spec     // per-shard sessions to start this phase
-	evict  map[int]bool // slots to evict this phase (shared, read-only after release)
+	starts [][]spec             // per-shard sessions to start this phase
+	evict  map[int]bool         // slots to evict this phase (shared, read-only after release)
+	snaps  []*snapshotCollector // snapshot requests granted this phase (shared, read-only after release)
 }
 
 func newAdmissionGate(done <-chan struct{}, cfg *Config) *admissionGate {
@@ -327,8 +367,10 @@ func newAdmissionGate(done <-chan struct{}, cfg *Config) *admissionGate {
 
 // rendezvous blocks until every participating shard arrives, applies
 // the due operations (last arriver), and returns this shard's sessions
-// to start plus the shared eviction slot set.
-func (g *admissionGate) rendezvous(shard, round int) ([]spec, map[int]bool) {
+// to start, the shared eviction slot set, and any snapshot collectors
+// granted at this gate (serviced by every shard before evictions and
+// starts are applied).
+func (g *admissionGate) rendezvous(shard, round int) ([]spec, map[int]bool, []*snapshotCollector) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.round = round
@@ -343,7 +385,7 @@ func (g *admissionGate) rendezvous(shard, round int) ([]spec, map[int]bool) {
 	}
 	starts := g.starts[shard]
 	g.starts[shard] = nil
-	return starts, g.evict
+	return starts, g.evict, g.snaps
 }
 
 // leave withdraws a shard from the gate (cancellation or error): its
@@ -381,6 +423,7 @@ func (g *admissionGate) release(applyOps bool) {
 		g.apply()
 	} else {
 		g.evict = nil
+		g.snaps = nil
 	}
 	g.arrived = 0
 	g.phase++
@@ -411,6 +454,7 @@ func (g *admissionGate) apply() {
 			// post-mortem and release the shards so they observe ctx.Done.
 			a.mu.Unlock()
 			g.evict = nil
+			g.snaps = nil
 			return
 		}
 		ops := a.takeDueLocked(g.round)
@@ -439,6 +483,49 @@ func (g *admissionGate) apply() {
 // a.mu.
 func (g *admissionGate) applyOps(ops []admissionOp) {
 	a := g.adm
+	g.snaps = nil
+
+	// Snapshot requests resolve first. A group snapshot rides along: the
+	// shards serialize the group's pre-gate live set and the gate then
+	// proceeds normally. A terminal drain preempts the gate: every other
+	// due operation goes back on the queue unapplied, nothing starts or
+	// evicts, and the shards serialize everything and exit.
+	var drain *snapshotCollector
+	rest := ops[:0]
+	for _, op := range ops {
+		if op.snap == nil {
+			rest = append(rest, op)
+			continue
+		}
+		col := op.snap
+		switch {
+		case !col.terminal:
+			col.remaining = g.parties
+			col.nextSlot = a.nextSlot
+			g.snaps = append(g.snaps, col)
+		case drain != nil:
+			col.resolveErr(fmt.Errorf("fleet: drain already in progress at this gate"))
+		default:
+			if err := g.drainAlignmentError(); err != nil {
+				col.resolveErr(err)
+				continue
+			}
+			drain = col
+		}
+	}
+	ops = rest
+	if drain != nil {
+		if len(ops) > 0 {
+			a.queue = append(append([]admissionOp{}, ops...), a.queue...)
+		}
+		drain.remaining = g.parties
+		drain.nextSlot = a.nextSlot
+		g.snaps = append(g.snaps, drain)
+		g.evict = nil
+		a.gen++
+		return
+	}
+
 	evict := make(map[int]bool)
 	evictGroups := make(map[string]bool)
 	for _, op := range ops {
@@ -466,7 +553,8 @@ func (g *admissionGate) applyOps(ops []admissionOp) {
 	}
 	for _, op := range ops {
 		for _, sp := range op.admit {
-			if reason := g.validateSpec(sp); reason != "" {
+			reason, snap := g.validateSpec(sp)
+			if reason != "" {
 				a.rejectLocked(sp, reason)
 				continue
 			}
@@ -489,6 +577,19 @@ func (g *admissionGate) applyOps(ops []admissionOp) {
 				newMonitor: sp.NewMonitor,
 				mitigate:   sp.Mitigate,
 			}
+			if snap != nil {
+				// A restored admission resumes the captured session on the
+				// fresh slot: the snapshot header wins for every coordinate
+				// except the group tag, which the spec may override.
+				spc.patientIdx = snap.PatientIdx
+				spc.scenIdx = snap.ScenIdx
+				spc.replica = snap.Replica
+				spc.mitigate = snap.Mitigate
+				if sp.Group == "" {
+					spc.group = snap.Group
+				}
+				spc.restore = snap
+			}
 			a.live[slot] = liveSlot{spec: spc, shard: shard}
 			a.loads[shard]++
 			g.starts[shard] = append(g.starts[shard], spc)
@@ -498,19 +599,70 @@ func (g *admissionGate) applyOps(ops []admissionOp) {
 	g.evict = evict
 }
 
+// drainAlignmentError rejects a terminal drain at a gate round that
+// would strand buffered sink events: with sharded epoch sinks attached,
+// a drain must land on a round that is a multiple of SinkEpoch, where
+// the per-shard buffers are empty and the completion cursors agree (the
+// alignment invariant in this file's package comment).
+func (g *admissionGate) drainAlignmentError() error {
+	cfg := g.cfg
+	if len(cfg.Sinks) > 0 && cfg.ShardedSinks && cfg.SinkEpoch > 0 && g.round%cfg.SinkEpoch != 0 {
+		return fmt.Errorf(
+			"%w: gate round %d is not aligned to SinkEpoch %d; schedule DrainAt on a common multiple of AdmitEvery and SinkEpoch",
+			ErrDrainMisaligned, g.round, cfg.SinkEpoch)
+	}
+	return nil
+}
+
+// failRestore converts a restore failure at session start into a
+// rejected admission: the granted slot is unregistered (slots are never
+// reused, so the number is simply burned) and the failure lands in the
+// rejection log. The shard keeps running — a bad snapshot must not take
+// down the fleet.
+func (g *admissionGate) failRestore(shard int, sp spec, err error) {
+	a := g.adm
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.live, sp.index)
+	a.loads[shard]--
+	a.rejectLocked(AdmitSpec{
+		Group:      sp.group,
+		PatientIdx: sp.patientIdx,
+		ScenIdx:    sp.scenIdx,
+		Mitigate:   sp.mitigate,
+	}, fmt.Sprintf("restore failed: %v", err))
+}
+
 // validateSpec returns a non-empty rejection reason for an invalid
-// admission.
-func (g *admissionGate) validateSpec(sp AdmitSpec) string {
+// admission. For a restore admission it also returns the decoded
+// snapshot, whose header supplies the session coordinates.
+func (g *admissionGate) validateSpec(sp AdmitSpec) (string, *SessionSnapshot) {
+	if sp.Restore != nil {
+		if sp.NewMonitor != nil {
+			return "Restore conflicts with NewMonitor (a monitor override cannot be rebuilt from a snapshot)", nil
+		}
+		snap, err := DecodeSessionSnapshot(sp.Restore)
+		if err != nil {
+			return err.Error(), nil
+		}
+		if snap.PatientIdx < 0 || snap.PatientIdx >= g.cfg.Platform.NumPatients {
+			return fmt.Sprintf("snapshot patient index %d outside cohort [0, %d)", snap.PatientIdx, g.cfg.Platform.NumPatients), nil
+		}
+		if snap.ScenIdx < 0 || snap.ScenIdx >= len(g.cfg.Scenarios) {
+			return fmt.Sprintf("snapshot scenario index %d outside the declared table [0, %d)", snap.ScenIdx, len(g.cfg.Scenarios)), nil
+		}
+		return "", snap
+	}
 	if sp.PatientIdx < 0 || sp.PatientIdx >= g.cfg.Platform.NumPatients {
-		return fmt.Sprintf("patient index %d outside cohort [0, %d)", sp.PatientIdx, g.cfg.Platform.NumPatients)
+		return fmt.Sprintf("patient index %d outside cohort [0, %d)", sp.PatientIdx, g.cfg.Platform.NumPatients), nil
 	}
 	if sp.ScenIdx < 0 || sp.ScenIdx >= len(g.cfg.Scenarios) {
-		return fmt.Sprintf("scenario index %d outside the declared table [0, %d)", sp.ScenIdx, len(g.cfg.Scenarios))
+		return fmt.Sprintf("scenario index %d outside the declared table [0, %d)", sp.ScenIdx, len(g.cfg.Scenarios)), nil
 	}
 	if sp.NewMonitor != nil && g.cfg.NewBatchMonitor != nil {
-		return "per-session monitor override conflicts with Config.NewBatchMonitor"
+		return "per-session monitor override conflicts with Config.NewBatchMonitor", nil
 	}
-	return ""
+	return "", nil
 }
 
 // leastLoaded picks the live shard with the fewest sessions (lowest

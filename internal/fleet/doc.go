@@ -91,5 +91,25 @@
 // multi-tenant HTTP control plane on this surface; see admission.go
 // and DESIGN.md "Runtime admission".
 //
+// # Snapshot and resume
+//
+// Because a session's evolution is a pure function of its coordinates
+// and the round clock, a live fleet can be serialized and resumed
+// bit-exactly. Admissions.Drain stops the fleet at an admission gate
+// that is also a sink-epoch boundary — where the sharded sinks'
+// buffers are provably empty — and captures every live session's
+// component state (patient, sensor, controller, fault, mitigation,
+// streaming STL nodes, monitor, RNG position) into a sealed
+// FleetSnapshot; Drain at a misaligned gate fails with
+// ErrDrainMisaligned and the fleet keeps running. Config.Restore
+// rebuilds the fleet from a snapshot slot-for-slot, and the resumed
+// sink stream continues byte-identically with a run that never
+// stopped, at any Parallel (TestFleetSnapshotResumeGoldenDifferential).
+// SnapshotGroup captures one group's sessions the same way without
+// stopping the fleet, and AdmitSpec.Restore migrates a captured
+// session onto a new slot. The byte format, its versioning rules, and
+// the checked-in golden fixture guarding them live in
+// internal/snapshot and DESIGN.md "Snapshot format & versioning".
+//
 //fleetvet:deterministic
 package fleet

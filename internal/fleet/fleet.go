@@ -187,6 +187,13 @@ type Config struct {
 	// rounds, which is what keeps runtime fleet-shape changes
 	// deterministic.
 	AdmitEvery int
+	// Restore seeds the fleet from a drained snapshot instead of a
+	// static slot set: every captured session resumes on its original
+	// slot at its exact cycle, the completion cursor continues, and —
+	// run with the same master Seed and scenario table — the sink stream
+	// continues byte-identically where the drained run cut it (see
+	// snapshot.go). Requires Admissions; Sessions must stay zero.
+	Restore *FleetSnapshot
 	// Telemetry optionally streams per-cycle STL robustness margins for
 	// every session as EventRobustness events. Requires Events or Sinks.
 	Telemetry *TelemetryConfig
@@ -304,6 +311,14 @@ func (c Config) Validate() error {
 	if c.AdmitEvery < 0 {
 		return fmt.Errorf("fleet: negative AdmitEvery %d", c.AdmitEvery)
 	}
+	if c.Restore != nil {
+		if c.Admissions == nil {
+			return fmt.Errorf("fleet: Restore requires Admissions")
+		}
+		if c.Sessions != 0 {
+			return fmt.Errorf("fleet: Restore replaces the static slot set; leave Sessions zero")
+		}
+	}
 	return nil
 }
 
@@ -384,6 +399,9 @@ type spec struct {
 	group      string
 	newMonitor func(patientIdx int) (monitor.Monitor, error)
 	mitigate   bool
+	// restore, when non-nil, resumes the slot from a captured session
+	// instead of starting it fresh (Config.Restore or AdmitSpec.Restore).
+	restore *SessionSnapshot
 }
 
 func (c *Config) specFor(slot, replica int) spec {
@@ -429,6 +447,12 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	eng := &engine{ctx: ctx, cfg: cfg, pool: newBufferPool(cfg.Steps)}
+	if cfg.Restore != nil {
+		// The completion cursor continues from the drained run, so
+		// EventSessionDone re-stamping and Result.Completed count from
+		// where the snapshot cut.
+		eng.completed.Store(cfg.Restore.Completed)
+	}
 	if !cfg.DiscardTraces {
 		eng.traces = make([]*trace.Trace, cfg.Sessions)
 	}
@@ -671,16 +695,48 @@ func (e *engine) runShard(shard int) {
 		if err != nil {
 			return nil, err
 		}
+		if sp.restore != nil {
+			// A restored session resumes mid-flight: load every component's
+			// captured state onto the fresh lane and emit no start event —
+			// its original admission already did.
+			if err := e.restoreSessionState(s, sp.restore, bm, batchTelem, batchSensor); err != nil {
+				return nil, err
+			}
+		}
 		laneUsed[lane] = true
 		if laneMargins != nil {
 			// FromMonitor telemetry reads the shard's batched monitor at
 			// this session's lane.
 			s.margin = laneMargin{m: laneMargins, lane: lane}
 		}
-		e.emit(shard, Event{Kind: EventSessionStart, Session: s.Index, PatientIdx: s.PatientIdx, Replica: s.Replica, Group: s.group})
+		if sp.restore == nil {
+			e.emit(shard, Event{Kind: EventSessionStart, Session: s.Index, PatientIdx: s.PatientIdx, Replica: s.Replica, Group: s.group})
+		}
 		return s, nil
 	}
 	live := make([]*Session, 0, window)
+	if cfg.Restore != nil {
+		// Restored deal: this shard resumes the snapshot sessions whose
+		// slot maps to it, lanes assigned in slot order. A restore failure
+		// here is fatal — a fleet-level restore must be all-or-nothing.
+		for i := range cfg.Restore.Sessions {
+			ss := &cfg.Restore.Sessions[i]
+			if ss.Slot%cfg.Parallel != shard {
+				continue
+			}
+			lane := freeLane()
+			if lane < 0 {
+				e.errs[shard] = fmt.Errorf("fleet: shard %d has no free lane for restored session %d", shard, ss.Slot)
+				return
+			}
+			s, err := start(restoredSpec(ss), lane, nil)
+			if err != nil {
+				e.errs[shard] = err
+				return
+			}
+			live = append(live, s)
+		}
+	}
 	for lane := 0; lane < window; lane++ {
 		s, err := start(cfg.specFor(slots[next], 0), lane, nil)
 		if err != nil {
@@ -714,7 +770,22 @@ func (e *engine) runShard(shard int) {
 			// fleet-wide eviction set. Gates fire at fixed global rounds, so
 			// fleet-shape changes are lock-step and — for a fixed schedule —
 			// deterministic at any parallelism (admission.go).
-			starts, evict := e.gate.rendezvous(shard, round)
+			starts, evict, snaps := e.gate.rendezvous(shard, round)
+			terminal := false
+			for _, col := range snaps {
+				// Snapshot collectors see the pre-gate live set: a group
+				// snapshot captures the tenant as it ran into this gate, and
+				// a terminal drain captures everything before exiting.
+				e.shardSnapshots(col, live, bm, batchTelem, batchSensor)
+				terminal = terminal || col.terminal
+			}
+			if terminal {
+				// Drained: the fleet stops here by design, so this is a clean
+				// exit — the sink epoch buffers are empty at an aligned drain
+				// gate (the alignment invariant in snapshot.go).
+				cleanExit = true
+				return
+			}
 			for i := len(live) - 1; i >= 0; i-- {
 				s := live[i]
 				if !evict[s.Index] {
@@ -746,6 +817,13 @@ func (e *engine) runShard(shard int) {
 				}
 				s, err := start(sp, lane, nil)
 				if err != nil {
+					if sp.restore != nil {
+						// A bad session snapshot rejects that admission, not
+						// the fleet: unregister the slot (the lane was never
+						// marked used and its banks re-reset on next use).
+						e.gate.failRestore(shard, sp, err)
+						continue
+					}
 					e.errs[shard] = err
 					return
 				}
@@ -1055,8 +1133,16 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 			return nil, wrap(err)
 		}
 	}
-	rng := rand.New(rand.NewSource(sessionSeed(cfg.Seed, sp)))
+	seed := sessionSeed(cfg.Seed, sp)
+	if sp.restore != nil {
+		// A restored session keeps the seed its stream was built from —
+		// its trajectory must not depend on the slot it lands on.
+		seed = sp.restore.Seed
+	}
+	src := &countingSource{src: rand.NewSource(seed)}
+	rng := rand.New(src)
 	opts := closedloop.StepperOptions{Samples: e.pool.get()}
+	var sensorModel *sensor.Model
 	if cfg.Sensor != nil {
 		if batchSensor != nil {
 			// The lane joins the shard's batched sensor sweep instead of
@@ -1066,11 +1152,11 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 				return nil, wrap(err)
 			}
 		} else {
-			model, err := sensor.New(*cfg.Sensor, rng)
+			sensorModel, err = sensor.New(*cfg.Sensor, rng)
 			if err != nil {
 				return nil, wrap(err)
 			}
-			opts.Sensor = model.Read
+			opts.Sensor = sensorModel.Read
 		}
 	}
 	mitigation := cfg.Mitigation
@@ -1121,11 +1207,21 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 			}
 		}
 	}
+	if sp.restore != nil {
+		// Fast-forward the fresh stream to the captured draw position: no
+		// construction above consumes the RNG, so burning Draws values
+		// leaves the stream exactly where the snapshot cut it.
+		for i := uint64(0); i < sp.restore.Draws; i++ {
+			src.src.Int63()
+		}
+		src.n = sp.restore.Draws
+	}
 	return &Session{
 		Index: sp.index, PatientIdx: sp.patientIdx, Replica: sp.replica,
 		Scenario: sc, scenIdx: sp.scenIdx, group: sp.group,
 		newMonitor: sp.newMonitor, mitigate: sp.mitigate,
-		lane: lane, rng: rng, st: st,
+		lane: lane, rng: rng, seed: seed, src: src,
+		mon: mon, sensorModel: sensorModel, st: st,
 		telemetry: telem, margin: margin,
 	}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/monitor"
 	"repro/internal/scs"
+	"repro/internal/sensor"
 	"repro/internal/trace"
 )
 
@@ -33,10 +34,20 @@ type Session struct {
 	mitigate   bool
 	lane       int // shard-local lane for batched monitors
 	rng        *rand.Rand
-	st         *closedloop.Stepper
-	alarmed    bool
-	telemetry  *scs.StreamSet // streaming STL rule set (Config.Telemetry)
-	margin     marginMonitor  // monitor-sourced telemetry (FromMonitor)
+	// seed is the derived per-session seed and src the counting source
+	// behind rng; together they pin the RNG stream position a snapshot
+	// records (snapshot.go).
+	seed int64
+	src  *countingSource
+	// mon is the session's own monitor (nil with a shard-batched one) and
+	// sensorModel its scalar sensor model (nil when the shard batches
+	// sensing); both retained for checkpointing.
+	mon         monitor.Monitor
+	sensorModel *sensor.Model
+	st          *closedloop.Stepper
+	alarmed     bool
+	telemetry   *scs.StreamSet // streaming STL rule set (Config.Telemetry)
+	margin      marginMonitor  // monitor-sourced telemetry (FromMonitor)
 }
 
 // LastVerdict returns the monitor verdict of the most recently

@@ -143,6 +143,12 @@ func newShardedDelivery(cfg *Config, sinkErrs []error) *shardedDelivery {
 		frontier: make([]int, cfg.Parallel),
 		parties:  cfg.Parallel,
 	}
+	if cfg.Restore != nil {
+		// A restored fleet resumes the drained run's completion numbering:
+		// EventSessionDone re-stamping continues from the snapshot cursor
+		// so the concatenated sink streams count monotonically.
+		d.completed = cfg.Restore.Completed
+	}
 	d.cond = sync.NewCond(&d.mu)
 	return d
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/fleet"
@@ -52,6 +53,14 @@ type Config struct {
 	// (default 256); a subscriber that falls further behind loses
 	// events (counted, never blocking).
 	StreamBuffer int
+	// Restore seeds the server from a drained control-plane snapshot
+	// (Server.DrainToSnapshot / DecodeSnapshot) instead of starting
+	// empty: the tenant registry resumes, every captured session resumes
+	// at its exact cycle on its original slot, and — under the same
+	// Platform, Steps, Seed, SinkEpoch, and AdmitEvery, which New
+	// validates — the per-tenant telemetry streams continue
+	// byte-identically where the drained server cut them.
+	Restore *ServerSnapshot
 }
 
 // Server is one control-plane instance wrapping one continuous fleet
@@ -65,8 +74,9 @@ type Server struct {
 	alerts *alertTable // nil when alerting is disabled
 	mux    *http.ServeMux
 
-	cancel    context.CancelFunc
-	fleetDone chan struct{}
+	cancel      context.CancelFunc
+	reconCancel context.CancelFunc
+	fleetDone   chan struct{}
 
 	mu       sync.Mutex
 	fleetErr error
@@ -95,6 +105,17 @@ func New(cfg Config) (*Server, error) {
 	if !math.IsNaN(cfg.AlertFloor) {
 		s.alerts = newAlertTable(cfg.AlertFloor)
 	}
+	if cfg.Restore != nil {
+		if err := s.validateRestore(cfg.Restore); err != nil {
+			return nil, err
+		}
+		// Seed the registry before the reconciler ever runs: desired
+		// state equals the drained state, so a converged snapshot
+		// restores without a single admission or eviction.
+		for id, spec := range cfg.Restore.Tenants { //fleetvet:nondeterministic map insert order; the registry re-sorts on every list()
+			s.reg.put(id, spec)
+		}
+	}
 	if err := s.fleetConfig().Validate(); err != nil {
 		return nil, fmt.Errorf("fleetd: %w", err)
 	}
@@ -109,10 +130,15 @@ func (s *Server) fleetConfig() fleet.Config {
 	if s.alerts != nil {
 		sinks = append(sinks, s.alerts)
 	}
+	var restore *fleet.FleetSnapshot
+	if s.cfg.Restore != nil {
+		restore = s.cfg.Restore.Fleet
+	}
 	return fleet.Config{
 		Platform:  s.cfg.Platform,
 		Scenarios: s.cfg.Scenarios,
 		Sessions:  0, // every session arrives through the reconciler
+		Restore:   restore,
 		Steps:     s.cfg.Steps,
 		Seed:      s.cfg.Seed,
 		Parallel:  s.cfg.Parallel,
@@ -134,20 +160,44 @@ func (s *Server) fleetConfig() fleet.Config {
 // runs until Drain; ctx cancellation also stops both.
 func (s *Server) Start(ctx context.Context) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.started {
+		s.mu.Unlock()
 		return errors.New("fleetd: server already started")
 	}
 	s.started = true
-	ctx, s.cancel = context.WithCancel(ctx)
-	go s.reconcileLoop(ctx)
+	// The reconciler's context is a child of the fleet's: Drain stops
+	// both through cancel, while DrainToSnapshot stops only the
+	// reconciler and lets the fleet run to its drain gate.
+	fleetCtx, cancel := context.WithCancel(ctx)
+	reconCtx, reconCancel := context.WithCancel(fleetCtx)
+	s.cancel, s.reconCancel = cancel, reconCancel
+	s.mu.Unlock()
+
 	go func() {
-		_, err := fleet.Run(ctx, s.fleetConfig())
+		_, err := fleet.Run(fleetCtx, s.fleetConfig())
 		s.mu.Lock()
 		s.fleetErr = err
 		s.mu.Unlock()
 		close(s.fleetDone)
 	}()
+	if s.cfg.Restore != nil {
+		// The reconciler must not observe an empty fleet before the
+		// snapshot seeds the live slot set — it would queue duplicate
+		// admissions. Hold it back until the restored sessions are
+		// visible (or the fleet failed to start, which is fatal here).
+		want := len(s.cfg.Restore.Fleet.Sessions)
+		for len(s.adm.Live()) < want {
+			select {
+			case <-s.fleetDone:
+				s.mu.Lock()
+				err := s.fleetErr
+				s.mu.Unlock()
+				return fmt.Errorf("fleetd: restore: fleet failed to start: %w", err)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	go s.reconcileLoop(reconCtx)
 	return nil
 }
 
@@ -177,6 +227,91 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.fleetErr
 }
 
+// DrainToSnapshot gracefully stops the server through the fleet's
+// snapshot drain instead of a plain cancellation: the reconciler stops,
+// the fleet stops at its next epoch-aligned admission gate with every
+// live session serialized, and the returned control-plane snapshot
+// (registry + fleet state) resumes byte-identically through
+// Config.Restore. ctx bounds the wait. The server is unusable
+// afterwards; telemetry streams end as in Drain.
+func (s *Server) DrainToSnapshot(ctx context.Context) (*ServerSnapshot, error) {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil, errors.New("fleetd: server never started")
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errors.New("fleetd: server already draining")
+	}
+	s.draining = true
+	reconCancel, cancel := s.reconCancel, s.cancel
+	s.mu.Unlock()
+
+	// Stop the reconciler first so it cannot queue operations behind the
+	// drain request; whatever it already queued is re-queued unapplied by
+	// the drain gate and simply discarded with the run.
+	reconCancel()
+
+	var dr fleet.DrainResult
+	attempts := s.cfg.SinkEpoch // gates repeat mod lcm(AdmitEvery, SinkEpoch); SinkEpoch tries always reach an aligned one
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; ; i++ {
+		res := s.adm.Drain()
+		select {
+		case dr = <-res:
+		case <-ctx.Done():
+			s.fan.closeAll()
+			cancel()
+			return nil, fmt.Errorf("fleetd: snapshot drain: %w", ctx.Err())
+		case <-s.fleetDone:
+			s.mu.Lock()
+			err := s.fleetErr
+			s.mu.Unlock()
+			s.fan.closeAll()
+			return nil, fmt.Errorf("fleetd: snapshot drain: fleet stopped before the drain gate: %w", err)
+		}
+		if dr.Err == nil {
+			break
+		}
+		if !errors.Is(dr.Err, fleet.ErrDrainMisaligned) || i+1 >= attempts {
+			s.fan.closeAll()
+			cancel()
+			return nil, fmt.Errorf("fleetd: snapshot drain: %w", dr.Err)
+		}
+	}
+
+	// The drain gate makes Run return on its own; wait for it, then
+	// release the contexts and streams.
+	select {
+	case <-s.fleetDone:
+	case <-ctx.Done():
+		s.fan.closeAll()
+		cancel()
+		return nil, fmt.Errorf("fleetd: snapshot drain: %w", ctx.Err())
+	}
+	s.fan.closeAll()
+	cancel()
+	s.mu.Lock()
+	ferr := s.fleetErr
+	s.mu.Unlock()
+	if ferr != nil {
+		return nil, fmt.Errorf("fleetd: snapshot drain: %w", ferr)
+	}
+	_, specs := s.reg.list()
+	return &ServerSnapshot{
+		Platform:   s.cfg.Platform.Name,
+		Steps:      s.cfg.Steps,
+		Seed:       s.cfg.Seed,
+		SinkEpoch:  s.cfg.SinkEpoch,
+		AdmitEvery: s.cfg.AdmitEvery,
+		Tenants:    specs,
+		Fleet:      dr.Snapshot,
+	}, nil
+}
+
 // Handler returns the HTTP surface: /healthz plus the bearer-guarded
 // /v1/ API.
 func (s *Server) Handler() http.Handler {
@@ -202,6 +337,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/tenants/{id}", s.handleDeleteTenant)
 	s.mux.HandleFunc("GET /v1/tenants/{id}/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("GET /v1/tenants/{id}/alerts", s.handleAlerts)
+	s.mux.HandleFunc("POST /v1/tenants/{id}/snapshot", s.handleSnapshotTenant)
 }
 
 // httpError writes a JSON error body with the given status.
@@ -384,6 +520,56 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// snapshotJSON is the wire shape of a tenant snapshot: the sealed
+// fleet-snapshot envelope (base64 in JSON) holding every one of the
+// tenant's live sessions at one admission gate, ready for
+// fleet.AdmitSpec.Restore migration into another fleet.
+type snapshotJSON struct {
+	Sessions int    `json:"sessions"`
+	Bytes    int    `json:"bytes"`
+	Snapshot []byte `json:"snapshot"`
+}
+
+// handleSnapshotTenant captures one tenant's live sessions at the next
+// admission gate without disturbing the fleet: the sessions keep
+// running, and the sealed snapshot returns to the caller. The capture
+// waits for a gate, so the request completes within one AdmitEvery
+// period.
+func (s *Server) handleSnapshotTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.reg.get(id); !ok {
+		httpError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	res := s.adm.SnapshotGroup(id)
+	var dr fleet.DrainResult
+	select {
+	case dr = <-res:
+	case <-r.Context().Done():
+		return
+	case <-s.fleetDone:
+		httpError(w, http.StatusServiceUnavailable, "fleet stopped")
+		return
+	}
+	if dr.Err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("snapshot: %v", dr.Err))
+		return
+	}
+	sealed := dr.Snapshot.Encode()
+	writeJSON(w, http.StatusOK, snapshotJSON{
+		Sessions: len(dr.Snapshot.Sessions),
+		Bytes:    len(sealed),
+		Snapshot: sealed,
+	})
 }
 
 // alertJSON is the wire shape of one margin-floor breach.

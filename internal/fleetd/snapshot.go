@@ -1,0 +1,160 @@
+package fleetd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fleet"
+	"repro/internal/snapshot"
+)
+
+// stateMarker distinguishes a control-plane snapshot from a bare fleet
+// snapshot: both ride the same sealed envelope, so the payload leads
+// with this tag and DecodeSnapshot can fail with a precise message when
+// handed the wrong artifact.
+const stateMarker = "fleetd-state"
+
+// ServerSnapshot is a drained control plane: the tenant registry, the
+// fleet snapshot its sessions resume from, and the configuration the
+// resuming server must match for the telemetry stream to continue
+// byte-identically. Produce one with Server.DrainToSnapshot; feed it
+// back through Config.Restore.
+type ServerSnapshot struct {
+	// Platform is the platform name the drained fleet ran on.
+	Platform string
+	// Steps, Seed, SinkEpoch, and AdmitEvery pin the fleet parameters
+	// that shape the resumed stream; Config.Restore rejects a mismatch
+	// loudly instead of resuming a subtly different fleet.
+	Steps      int
+	Seed       int64
+	SinkEpoch  int
+	AdmitEvery int
+	// Tenants is the registry at drain time: the resuming server seeds
+	// its desired state from it, so the reconciler sees a converged
+	// fleet and issues no operations on startup.
+	Tenants map[string]TenantSpec
+	// Fleet is the drained fleet state (every live session at its exact
+	// cycle, plus the completion cursor the sink stream resumes from).
+	Fleet *fleet.FleetSnapshot
+}
+
+// Encode seals the control-plane snapshot into a versioned envelope
+// (same format family as fleet snapshots; see internal/snapshot).
+func (ss *ServerSnapshot) Encode() []byte {
+	enc := snapshot.NewEncoder()
+	enc.String(stateMarker)
+	enc.String(ss.Platform)
+	enc.Int(ss.Steps)
+	enc.Varint(ss.Seed)
+	enc.Int(ss.SinkEpoch)
+	enc.Int(ss.AdmitEvery)
+
+	ids := make([]string, 0, len(ss.Tenants))
+	for id := range ss.Tenants { //fleetvet:nondeterministic map keys are sorted before encoding
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	enc.Int(len(ids))
+	for _, id := range ids {
+		spec := ss.Tenants[id]
+		enc.String(id)
+		enc.Int(len(spec.Patients))
+		for _, p := range spec.Patients {
+			enc.Int(p)
+		}
+		enc.Int(len(spec.Scenarios))
+		for _, sc := range spec.Scenarios {
+			enc.Int(sc)
+		}
+		enc.String(spec.Monitor)
+		enc.Bool(spec.Mitigate)
+	}
+	enc.Bytes(ss.Fleet.Encode())
+	return snapshot.Seal(enc.Payload())
+}
+
+// DecodeSnapshot opens and parses a sealed control-plane snapshot,
+// failing loudly on corruption, a format-version mismatch, or a bare
+// fleet snapshot handed in by mistake.
+func DecodeSnapshot(data []byte) (*ServerSnapshot, error) {
+	payload, err := snapshot.Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("fleetd: snapshot: %w", err)
+	}
+	dec := snapshot.NewDecoder(payload)
+	if marker := dec.String(); dec.Err() == nil && marker != stateMarker {
+		return nil, fmt.Errorf("fleetd: snapshot: payload is %q, not a control-plane snapshot (want %q)", marker, stateMarker)
+	}
+	ss := &ServerSnapshot{
+		Platform:   dec.String(),
+		Steps:      dec.Int(),
+		Seed:       dec.Varint(),
+		SinkEpoch:  dec.Int(),
+		AdmitEvery: dec.Int(),
+		Tenants:    make(map[string]TenantSpec),
+	}
+	nTenants := dec.Count(1)
+	for i := 0; i < nTenants && dec.Err() == nil; i++ {
+		id := dec.String()
+		var spec TenantSpec
+		nP := dec.Count(1)
+		for j := 0; j < nP && dec.Err() == nil; j++ {
+			spec.Patients = append(spec.Patients, dec.Int())
+		}
+		nS := dec.Count(1)
+		for j := 0; j < nS && dec.Err() == nil; j++ {
+			spec.Scenarios = append(spec.Scenarios, dec.Int())
+		}
+		spec.Monitor = dec.String()
+		spec.Mitigate = dec.Bool()
+		if dec.Err() == nil {
+			if !tenantIDOK(id) {
+				dec.Fail(fmt.Sprintf("invalid tenant id %q", id))
+				break
+			}
+			ss.Tenants[id] = spec
+		}
+	}
+	fleetBytes := dec.Bytes()
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("fleetd: snapshot: %w", err)
+	}
+	fs, err := fleet.DecodeFleetSnapshot(fleetBytes)
+	if err != nil {
+		return nil, fmt.Errorf("fleetd: snapshot: %w", err)
+	}
+	ss.Fleet = fs
+	return ss, nil
+}
+
+// validateRestore checks a snapshot against the server configuration it
+// is being restored into. Every mismatch is fatal: resuming under a
+// different seed, platform, or epoch geometry would not continue the
+// drained stream, it would silently start a different one.
+func (s *Server) validateRestore(ss *ServerSnapshot) error {
+	cfg := s.cfg
+	switch {
+	case ss.Platform != cfg.Platform.Name:
+		return fmt.Errorf("fleetd: restore: snapshot ran platform %q, server is configured for %q", ss.Platform, cfg.Platform.Name)
+	case ss.Steps != cfg.Steps:
+		return fmt.Errorf("fleetd: restore: snapshot ran Steps %d, server is configured for %d", ss.Steps, cfg.Steps)
+	case ss.Seed != cfg.Seed:
+		return fmt.Errorf("fleetd: restore: snapshot ran Seed %d, server is configured for %d (the resumed stream requires the same master seed)", ss.Seed, cfg.Seed)
+	case ss.SinkEpoch != cfg.SinkEpoch:
+		return fmt.Errorf("fleetd: restore: snapshot ran SinkEpoch %d, server is configured for %d", ss.SinkEpoch, cfg.SinkEpoch)
+	case ss.AdmitEvery != cfg.AdmitEvery:
+		return fmt.Errorf("fleetd: restore: snapshot ran AdmitEvery %d, server is configured for %d", ss.AdmitEvery, cfg.AdmitEvery)
+	}
+	for id, spec := range ss.Tenants { //fleetvet:nondeterministic validation only; first error wins arbitrarily but deterministically fails
+		if err := spec.validate(cfg.Platform.NumPatients, len(cfg.Scenarios)); err != nil {
+			return fmt.Errorf("fleetd: restore: tenant %q: %w", id, err)
+		}
+	}
+	for i := range ss.Fleet.Sessions {
+		sess := &ss.Fleet.Sessions[i]
+		if _, ok := ss.Tenants[sess.Group]; !ok {
+			return fmt.Errorf("fleetd: restore: session slot %d belongs to group %q, which is not in the snapshot's registry", sess.Slot, sess.Group)
+		}
+	}
+	return nil
+}

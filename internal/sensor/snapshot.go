@@ -1,0 +1,53 @@
+// Snapshot/restore of CGM error-model state. The model's noise source
+// (*rand.Rand) is owned by the session and its stream position is
+// serialized at the session level; the model itself serializes only the
+// AR(1)/drift/calibration state. A batched lane's bytes are identical
+// to the scalar model's because a lane IS a scalar Model value.
+
+package sensor
+
+import "repro/internal/snapshot"
+
+var (
+	_ snapshot.Snapshotter     = (*Model)(nil)
+	_ snapshot.LaneSnapshotter = (*BatchModel)(nil)
+)
+
+// SnapshotState implements snapshot.Snapshotter.
+func (m *Model) SnapshotState(enc *snapshot.Encoder) {
+	enc.Float64(m.noise)
+	enc.Float64(m.drift)
+	enc.Float64(m.lastCalMin)
+	enc.Float64(m.lastReading)
+	enc.Bool(m.haveReading)
+}
+
+// RestoreState implements snapshot.Snapshotter. The model keeps its
+// configuration and rng; callers restore the rng stream separately.
+func (m *Model) RestoreState(dec *snapshot.Decoder) error {
+	noise := dec.Float64()
+	drift := dec.Float64()
+	lastCalMin := dec.Float64()
+	lastReading := dec.Float64()
+	haveReading := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	m.noise = noise
+	m.drift = drift
+	m.lastCalMin = lastCalMin
+	m.lastReading = lastReading
+	m.haveReading = haveReading
+	return nil
+}
+
+// SnapshotLane implements snapshot.LaneSnapshotter.
+func (b *BatchModel) SnapshotLane(lane int, enc *snapshot.Encoder) {
+	b.models[lane].SnapshotState(enc)
+}
+
+// RestoreLane implements snapshot.LaneSnapshotter. The lane must have
+// been configured (SetLane) with the session's config and rng first.
+func (b *BatchModel) RestoreLane(lane int, dec *snapshot.Decoder) error {
+	return b.models[lane].RestoreState(dec)
+}

@@ -1,0 +1,57 @@
+// Snapshot/restore of Glucosym patient state. The physiological state
+// is the seven-compartment y-vector; step inputs (insulin, carbs) are
+// written fresh on every Step before integration and the RK4 workspace
+// is pure scratch, so neither is serialized. A batched lane's bytes are
+// identical to a standalone Patient's because the lane's Patient view
+// aliases its window of the flat state matrix.
+
+package glucosym
+
+import "repro/internal/snapshot"
+
+var (
+	_ snapshot.Snapshotter     = (*Patient)(nil)
+	_ snapshot.LaneSnapshotter = (*Batch)(nil)
+)
+
+// SnapshotState implements snapshot.Snapshotter: the compartment count
+// followed by the state vector.
+func (p *Patient) SnapshotState(enc *snapshot.Encoder) {
+	enc.Int(len(p.y))
+	for _, v := range p.y {
+		enc.Float64(v)
+	}
+}
+
+// RestoreState implements snapshot.Snapshotter. The patient keeps its
+// identity and parameters; only the physiological state is replaced.
+func (p *Patient) RestoreState(dec *snapshot.Decoder) error {
+	n := dec.Count(8)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(p.y) {
+		dec.Fail("glucosym state-vector length mismatch")
+		return dec.Err()
+	}
+	var y [nStates]float64
+	for i := range y {
+		y[i] = dec.Float64()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	copy(p.y, y[:])
+	return nil
+}
+
+// SnapshotLane implements snapshot.LaneSnapshotter.
+func (b *Batch) SnapshotLane(lane int, enc *snapshot.Encoder) {
+	b.pts[lane].SnapshotState(enc)
+}
+
+// RestoreLane implements snapshot.LaneSnapshotter. The lane must have
+// been configured (ConfigureLane) with the session's patient first.
+func (b *Batch) RestoreLane(lane int, dec *snapshot.Decoder) error {
+	return b.pts[lane].RestoreState(dec)
+}

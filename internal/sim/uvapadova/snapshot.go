@@ -1,0 +1,56 @@
+// Snapshot/restore of UVA/Padova patient state. As with the Glucosym
+// backend, the thirteen-compartment y-vector is the whole evolving
+// state: step inputs are rewritten every Step, and the RK4 workspace is
+// scratch. Batched lanes alias the flat state matrix, so lane bytes
+// equal standalone-patient bytes.
+
+package uvapadova
+
+import "repro/internal/snapshot"
+
+var (
+	_ snapshot.Snapshotter     = (*Patient)(nil)
+	_ snapshot.LaneSnapshotter = (*Batch)(nil)
+)
+
+// SnapshotState implements snapshot.Snapshotter: the compartment count
+// followed by the state vector.
+func (p *Patient) SnapshotState(enc *snapshot.Encoder) {
+	enc.Int(len(p.y))
+	for _, v := range p.y {
+		enc.Float64(v)
+	}
+}
+
+// RestoreState implements snapshot.Snapshotter. The patient keeps its
+// identity and parameters; only the physiological state is replaced.
+func (p *Patient) RestoreState(dec *snapshot.Decoder) error {
+	n := dec.Count(8)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(p.y) {
+		dec.Fail("uvapadova state-vector length mismatch")
+		return dec.Err()
+	}
+	var y [nStates]float64
+	for i := range y {
+		y[i] = dec.Float64()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	copy(p.y, y[:])
+	return nil
+}
+
+// SnapshotLane implements snapshot.LaneSnapshotter.
+func (b *Batch) SnapshotLane(lane int, enc *snapshot.Encoder) {
+	b.pts[lane].SnapshotState(enc)
+}
+
+// RestoreLane implements snapshot.LaneSnapshotter. The lane must have
+// been configured (ConfigureLane) with the session's patient first.
+func (b *Batch) RestoreLane(lane int, dec *snapshot.Decoder) error {
+	return b.pts[lane].RestoreState(dec)
+}

@@ -1,0 +1,269 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestRoundTrip pins every primitive through an encode/decode cycle,
+// including the IEEE-754 edge cases the Float64 bit encoding must
+// preserve exactly.
+func TestRoundTrip(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	nanPayload := math.Float64frombits(0x7ff8deadbeef0001)
+
+	enc := NewEncoder()
+	enc.Uvarint(0)
+	enc.Uvarint(1<<63 + 17)
+	enc.Varint(-1)
+	enc.Varint(1 << 40)
+	enc.Int(-123456)
+	enc.Float64(negZero)
+	enc.Float64(nanPayload)
+	enc.Float64(math.Inf(-1))
+	enc.Bool(true)
+	enc.Bool(false)
+	enc.String("")
+	enc.String("héllo")
+	enc.Bytes(nil)
+	enc.Bytes([]byte{0, 255, 7})
+
+	dec := NewDecoder(enc.Payload())
+	if v := dec.Uvarint(); v != 0 {
+		t.Errorf("Uvarint = %d", v)
+	}
+	if v := dec.Uvarint(); v != 1<<63+17 {
+		t.Errorf("Uvarint = %d", v)
+	}
+	if v := dec.Varint(); v != -1 {
+		t.Errorf("Varint = %d", v)
+	}
+	if v := dec.Varint(); v != 1<<40 {
+		t.Errorf("Varint = %d", v)
+	}
+	if v := dec.Int(); v != -123456 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := dec.Float64(); math.Float64bits(v) != math.Float64bits(negZero) {
+		t.Errorf("negative zero lost: %x", math.Float64bits(v))
+	}
+	if v := dec.Float64(); math.Float64bits(v) != math.Float64bits(nanPayload) {
+		t.Errorf("NaN payload lost: %x", math.Float64bits(v))
+	}
+	if v := dec.Float64(); !math.IsInf(v, -1) {
+		t.Errorf("-Inf lost: %v", v)
+	}
+	if v := dec.Bool(); !v {
+		t.Error("Bool true lost")
+	}
+	if v := dec.Bool(); v {
+		t.Error("Bool false lost")
+	}
+	if v := dec.String(); v != "" {
+		t.Errorf("String = %q", v)
+	}
+	if v := dec.String(); v != "héllo" {
+		t.Errorf("String = %q", v)
+	}
+	if v := dec.Bytes(); len(v) != 0 {
+		t.Errorf("Bytes = %v", v)
+	}
+	if v := dec.Bytes(); !bytes.Equal(v, []byte{0, 255, 7}) {
+		t.Errorf("Bytes = %v", v)
+	}
+	if err := dec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecoderStickyErrors drives each accessor into its failure mode
+// and checks the first error sticks: later reads return zero values and
+// report the original error.
+func TestDecoderStickyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		read func(*Decoder)
+	}{
+		{"truncated uvarint", []byte{0x80}, func(d *Decoder) { d.Uvarint() }},
+		{"truncated varint", []byte{0xff}, func(d *Decoder) { d.Varint() }},
+		{"truncated float", []byte{1, 2, 3}, func(d *Decoder) { d.Float64() }},
+		{"truncated bool", nil, func(d *Decoder) { d.Bool() }},
+		{"bad bool", []byte{7}, func(d *Decoder) { d.Bool() }},
+		{"truncated bytes", []byte{200}, func(d *Decoder) { d.Bytes() }},
+		{"negative count", []byte{0x01}, func(d *Decoder) { d.Count(1) }}, // zigzag(-1)
+		{"implausible count", []byte{0xa0, 0x8d, 0x06}, func(d *Decoder) { d.Count(8) }},
+		{"explicit fail", []byte{0}, func(d *Decoder) { d.Fail("capacity exceeded") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(tc.data)
+			tc.read(d)
+			if d.Err() == nil {
+				t.Fatal("no error recorded")
+			}
+			first := d.Err()
+			// Sticky: further reads do not disturb the error or panic.
+			d.Uvarint()
+			d.Float64()
+			d.Bool()
+			d.Bytes()
+			if !errors.Is(d.Err(), first) && d.Err() != first {
+				t.Errorf("error replaced: %v -> %v", first, d.Err())
+			}
+			if err := d.Finish(); err == nil {
+				t.Error("Finish() = nil after decode error")
+			}
+		})
+	}
+
+	t.Run("trailing bytes", func(t *testing.T) {
+		d := NewDecoder([]byte{1, 2})
+		d.Bool()
+		if err := d.Finish(); err == nil {
+			t.Error("Finish() = nil with unread bytes")
+		}
+	})
+}
+
+// TestSealOpen pins the envelope: a sealed payload opens to the same
+// bytes, and EVERY single-byte corruption of the envelope is rejected
+// (the hash covers version and payload; the magic and the hash bytes
+// are checked structurally).
+func TestSealOpen(t *testing.T) {
+	payload := []byte("the quick brown snapshot")
+	sealed := Seal(payload)
+	got, err := Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round-trip: %q", got)
+	}
+	if _, err := Open(Seal(nil)); err != nil {
+		t.Fatalf("empty payload: %v", err)
+	}
+
+	for i := range sealed {
+		bad := append([]byte(nil), sealed...)
+		bad[i] ^= 0x5a
+		if _, err := Open(bad); err == nil {
+			t.Errorf("flip at byte %d opened without error", i)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Errorf("flip at byte %d: unexpected error class %v", i, err)
+		}
+	}
+	for n := 0; n < len(sealed); n++ {
+		if _, err := Open(sealed[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestOpenVersionMismatch pins the loud cross-version failure: an
+// envelope stamped with a future version is rejected with ErrVersion
+// and an error naming both versions.
+func TestOpenVersionMismatch(t *testing.T) {
+	sealed := Seal([]byte("state"))
+	sealed[4] = Version + 1 // version uvarint sits after the 4-byte magic
+	Reseal(sealed)          // fix the hash so only the version differs
+	_, err := Open(sealed)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+// TestEncodeDecodeEncodeIdentity is the canonical-encoding law at the
+// codec level: decoding a payload field by field and re-encoding it
+// reproduces the bytes exactly.
+func TestEncodeDecodeEncodeIdentity(t *testing.T) {
+	enc := NewEncoder()
+	enc.Int(42)
+	enc.Float64(3.14159)
+	enc.String("lane")
+	enc.Bool(true)
+	enc.Bytes([]byte{9, 9, 9})
+	first := append([]byte(nil), enc.Payload()...)
+
+	dec := NewDecoder(first)
+	re := NewEncoder()
+	re.Int(dec.Int())
+	re.Float64(dec.Float64())
+	re.String(dec.String())
+	re.Bool(dec.Bool())
+	re.Bytes(dec.Bytes())
+	if err := dec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, re.Payload()) {
+		t.Fatal("encode(decode(encode(x))) != encode(x)")
+	}
+}
+
+// FuzzOpen feeds arbitrary bytes to the envelope opener: it must never
+// panic, and any input it accepts must re-seal to an envelope it
+// accepts again with the same payload.
+func FuzzOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Seal(nil))
+	f.Add(Seal([]byte("abc")))
+	long := Seal(bytes.Repeat([]byte{7}, 300))
+	f.Add(long)
+	trunc := append([]byte(nil), long[:len(long)-5]...)
+	f.Add(trunc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Open(data)
+		if err != nil {
+			return
+		}
+		again, err := Open(Seal(payload))
+		if err != nil {
+			t.Fatalf("re-seal of accepted payload rejected: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatal("re-sealed payload differs")
+		}
+	})
+}
+
+// FuzzDecoder drives every Decoder accessor over arbitrary payloads:
+// no input may panic, and after any error the decoder must stay in its
+// sticky-error state.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3))
+	enc := NewEncoder()
+	enc.Int(5)
+	enc.Float64(1.5)
+	enc.String("ok")
+	f.Add(enc.Payload(), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, order uint8) {
+		d := NewDecoder(data)
+		for i := 0; i < 16 && d.Err() == nil; i++ {
+			switch (int(order) + i) % 7 {
+			case 0:
+				d.Uvarint()
+			case 1:
+				d.Varint()
+			case 2:
+				d.Float64()
+			case 3:
+				d.Bool()
+			case 4:
+				_ = d.String()
+			case 5:
+				d.Bytes()
+			case 6:
+				n := d.Count(8)
+				for j := 0; j < n && d.Err() == nil; j++ {
+					d.Float64()
+				}
+			}
+		}
+		if d.Err() != nil && d.Finish() == nil {
+			t.Fatal("Finish() = nil while Err() is set")
+		}
+	})
+}

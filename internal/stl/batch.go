@@ -610,6 +610,7 @@ type BatchStreamGroup struct {
 	outRob   [][]float64
 	width    int
 	pushes   uint64
+	laneN    []int // per-lane sample counts (snapshot/restore cursor)
 	ctx      batchCtx
 	seen     []bool // per-lane duplicate check scratch
 }
@@ -626,6 +627,7 @@ func NewBatchStreamGroup(dtMin float64, width int) (*BatchStreamGroup, error) {
 	return &BatchStreamGroup{
 		comp:  newBatchCompiler(dtMin, width),
 		width: width,
+		laneN: make([]int, width),
 		seen:  make([]bool, width),
 	}, nil
 }
@@ -705,6 +707,9 @@ func (g *BatchStreamGroup) PushLanes(lanes []int, vals []float64) error {
 			len(vals), want, len(g.comp.vars), n)
 	}
 	g.pushes++
+	for _, lane := range lanes {
+		g.laneN[lane]++
+	}
 	g.ctx = batchCtx{lanes: lanes, vals: vals, n: n, seq: g.pushes}
 	for i, r := range g.roots {
 		g.outSat[i], g.outRob[i] = r.step(&g.ctx)
@@ -751,7 +756,13 @@ func (g *BatchStreamGroup) ResetLane(lane int) {
 	for _, r := range g.roots {
 		r.resetLane(lane)
 	}
+	g.laneN[lane] = 0
 }
+
+// LaneLen returns the number of samples lane has consumed since its
+// last reset — the per-lane analogue of StreamGroup.Len, and the cursor
+// a lane snapshot records.
+func (g *BatchStreamGroup) LaneLen(lane int) int { return g.laneN[lane] }
 
 // Reset clears all operator state in every lane. Sats/Robs return nil
 // again until the next push, as on a fresh group.
@@ -761,6 +772,9 @@ func (g *BatchStreamGroup) Reset() {
 	}
 	for i := range g.outSat {
 		g.outSat[i], g.outRob[i] = nil, nil
+	}
+	for i := range g.laneN {
+		g.laneN[i] = 0
 	}
 	g.pushes = 0
 }
