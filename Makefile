@@ -9,7 +9,7 @@ DOC_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{.Dir}}' ./... \
 	| grep -v '^repro/cmd/' | grep -v '^repro/examples/' \
 	| awk '{print $$2}')
 
-.PHONY: build test race bench bench-smoke smoke-fleetd smoke-snapshot fuzz-snapshot short vet fmt lint docs ci
+.PHONY: build test race bench bench-smoke smoke-fleetd smoke-snapshot smoke-falsify fuzz-snapshot fuzz-scenario short vet fmt lint docs ci
 
 ## build: compile every package and command
 build:
@@ -73,6 +73,24 @@ FUZZTIME ?= 10s
 fuzz-snapshot:
 	$(GO) test -run '^$$' -fuzz '^FuzzOpen$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+
+## fuzz-scenario: short fuzz pass over the scenario-program codecs —
+## the canonical text parser (accepted text must re-encode and reparse
+## to the identical program) and the tenant JSON wire codec (accepted
+## valid programs must round-trip bit-exactly). One -fuzz pattern per
+## invocation, so two runs.
+fuzz-scenario:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseProgram$$' -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run '^$$' -fuzz '^FuzzProgramJSON$$' -fuzztime $(FUZZTIME) ./internal/fault
+
+## smoke-falsify: end-to-end falsifier smoke — search the built-in
+## meal+occlusion space with a small fixed-seed budget and write the
+## ranked corpus. The command itself replays the hardest scenario from
+## scratch and fails unless the replay reproduces the recorded minimum
+## margin exactly, so a green run certifies a non-empty trustworthy
+## corpus.
+smoke-falsify:
+	$(GO) run ./cmd/falsify -steps 60 -samples 8 -refine 2 -sweeps 1 -seed 1 -polish -out falsify-corpus.json
 
 ## vet: static checks
 vet:

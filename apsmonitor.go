@@ -104,6 +104,11 @@ type (
 	FaultKind = fault.Kind
 	// Scenario couples a fault with an initial condition.
 	Scenario = fault.Scenario
+	// Program is a scenario program: an ordered timeline of typed
+	// disturbance segments (the fleet's native scenario form).
+	Program = fault.Program
+	// ProgramSegment is one typed entry of a program timeline.
+	ProgramSegment = fault.Segment
 )
 
 // Fault kinds of Table II.
@@ -121,6 +126,15 @@ func FullCampaign() []Scenario { return fault.Campaign(nil) }
 
 // QuickScenarios thins the full campaign to one in k scenarios.
 func QuickScenarios(k int) []Scenario { return experiment.ScenarioSubset(k) }
+
+// Programs bridges enum scenarios into scenario-program form — the type
+// FleetConfig.Scenarios takes. The bridged programs execute
+// bit-identically to the enum path.
+func Programs(scs []Scenario) []Program { return fault.Programs(scs) }
+
+// ParsePrograms parses scenario programs from their canonical text form
+// (the fleetsim -scenario-file format; see internal/fault).
+func ParsePrograms(text string) ([]Program, error) { return fault.ParsePrograms(text) }
 
 // Platforms and campaigns.
 type (

@@ -149,7 +149,7 @@ func TestFacadeContinuousShardedSinks(t *testing.T) {
 	res, err := apsmonitor.RunFleet(ctx, apsmonitor.FleetConfig{
 		Platform:     apsmonitor.FleetPlatform(apsmonitor.MustPlatform("glucosym")),
 		Patients:     []int{0},
-		Scenarios:    apsmonitor.QuickScenarios(300),
+		Scenarios:    apsmonitor.Programs(apsmonitor.QuickScenarios(300)),
 		Steps:        5,
 		Continuous:   true,
 		Telemetry:    &apsmonitor.FleetTelemetryConfig{},

@@ -359,7 +359,7 @@ func BenchmarkFleetSessionStep(b *testing.B) {
 	cfg := fleet.Config{
 		Platform:      fleet.Platform(platform),
 		Patients:      []int{0},
-		Scenarios:     []apsmonitor.Scenario{scenario},
+		Scenarios:     []apsmonitor.Program{scenario.Program()},
 		Steps:         b.N,
 		Parallel:      1,
 		DiscardTraces: true,
@@ -459,7 +459,7 @@ func BenchmarkFleetEngine100Sessions(b *testing.B) {
 	base := fleet.Config{
 		Platform:      fleet.Platform(platform),
 		Patients:      []int{0, 1, 2, 3},
-		Scenarios:     experiment.ScenarioSubset(36), // 25 scenarios
+		Scenarios:     apsmonitor.Programs(experiment.ScenarioSubset(36)), // 25 scenarios
 		Sessions:      100,
 		Steps:         50,
 		DiscardTraces: true,
@@ -647,7 +647,7 @@ func BenchmarkFleetTelemetry(b *testing.B) {
 	base := fleet.Config{
 		Platform:      fleet.Platform(platform),
 		Patients:      []int{0, 1, 2, 3},
-		Scenarios:     experiment.ScenarioSubset(36),
+		Scenarios:     apsmonitor.Programs(experiment.ScenarioSubset(36)),
 		Sessions:      100,
 		Steps:         50,
 		DiscardTraces: true,
@@ -721,7 +721,7 @@ func BenchmarkShardedSinkEpochMerge(b *testing.B) {
 	base := fleet.Config{
 		Platform:      fleet.Platform(platform),
 		Patients:      []int{0, 1, 2, 3},
-		Scenarios:     experiment.ScenarioSubset(36),
+		Scenarios:     apsmonitor.Programs(experiment.ScenarioSubset(36)),
 		Sessions:      100,
 		Steps:         50,
 		DiscardTraces: true,

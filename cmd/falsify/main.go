@@ -1,0 +1,131 @@
+// Command falsify searches a scenario-program parameter space for the
+// executions that drive the safety monitor's robustness margin lowest:
+// seeded random exploration, coordinate descent from the hardest
+// seeds, and an optional projected-L-BFGS polish over the continuous
+// magnitudes (see internal/falsify).
+//
+//	falsify -platform glucosym -patient 0 -steps 150 \
+//	        -samples 32 -refine 3 -polish -out corpus.json
+//
+// The space defaults to a built-in meal+occlusion template; pass
+// -space-file to search your own (JSON: {"base": <program>, "params":
+// [{"seg":0,"field":"value","lo":100,"hi":180}, ...]}). After the
+// search the hardest scenario is replayed from scratch and the command
+// fails unless the replay reproduces the recorded minimum margin
+// exactly — the corpus is only written if it is trustworthy.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/falsify"
+	"repro/internal/fault"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "glucosym", "platform: glucosym or t1ds2013")
+		patient      = flag.Int("patient", 0, "cohort patient index")
+		steps        = flag.Int("steps", 150, "run horizon in control cycles")
+		seed         = flag.Int64("seed", 1, "search seed (fixed seed = reproducible corpus)")
+		samples      = flag.Int("samples", 32, "random exploration budget")
+		refine       = flag.Int("refine", 3, "hardest random seeds continued into coordinate descent")
+		sweeps       = flag.Int("sweeps", 2, "coordinate-descent sweeps per refined seed")
+		polish       = flag.Bool("polish", false, "L-BFGS polish over continuous magnitude coordinates")
+		keep         = flag.Int("keep", 16, "ranked corpus size")
+		spaceFile    = flag.String("space-file", "", "JSON search-space file (default: built-in meal+occlusion template)")
+		out          = flag.String("out", "", "write the ranked corpus JSON here")
+		top          = flag.Int("top", 5, "print the N hardest scenarios")
+	)
+	flag.Parse()
+
+	platform, err := experiment.PlatformByName(*platformName)
+	if err != nil {
+		fail(err)
+	}
+	space := defaultSpace()
+	if *spaceFile != "" {
+		data, err := os.ReadFile(*spaceFile)
+		if err != nil {
+			fail(err)
+		}
+		space = falsify.Space{}
+		if err := json.Unmarshal(data, &space); err != nil {
+			fail(fmt.Errorf("space file %s: %w", *spaceFile, err))
+		}
+	}
+	cfg := falsify.Config{
+		Space:    space,
+		Platform: platform,
+		Patient:  *patient,
+		Steps:    *steps,
+		Seed:     *seed,
+		Samples:  *samples,
+		Refine:   *refine,
+		Sweeps:   *sweeps,
+		Polish:   *polish,
+		Keep:     *keep,
+	}
+	corpus, err := falsify.Search(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	// Replay gate: the hardest scenario must reproduce its recorded
+	// minimum margin from a fresh run before the corpus is trusted.
+	hardest := corpus.Evals[0]
+	replay, err := falsify.EvalProgram(cfg, hardest.Program)
+	if err != nil {
+		fail(fmt.Errorf("replay: %w", err))
+	}
+	if replay.MinMargin != hardest.MinMargin || replay.MinStep != hardest.MinStep {
+		fail(fmt.Errorf("replay margin %v@%d diverges from corpus %v@%d",
+			replay.MinMargin, replay.MinStep, hardest.MinMargin, hardest.MinStep))
+	}
+
+	fmt.Printf("falsify: %s patient %d, %d steps: %d evaluated, %d skipped, corpus %d\n",
+		corpus.Platform, corpus.Patient, corpus.Steps, corpus.Visited, corpus.Skipped, len(corpus.Evals))
+	fmt.Printf("falsify: hardest margin %.4f at step %d (replay verified)\n", hardest.MinMargin, hardest.MinStep)
+	for i, ev := range corpus.Top(*top) {
+		fmt.Printf("#%d margin %.4f @%d alarms=%d hazard=%v\n%s\n", i+1, ev.MinMargin, ev.MinStep, ev.Alarms, ev.Hazard, ev.Text)
+	}
+	if *out != "" {
+		data, err := corpus.EncodeJSON()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("falsify: corpus -> %s\n", *out)
+	}
+}
+
+// defaultSpace is the built-in template: initial glucose, an
+// unannounced meal, and a pump occlusion, all free — disturbances the
+// legacy single-fault matrix cannot express together.
+func defaultSpace() falsify.Space {
+	return falsify.Space{
+		Base: fault.Program{Name: "meal-occlusion", Segments: []fault.Segment{
+			{Kind: fault.SegInitBG, Value: 140},
+			{Kind: fault.SegMeal, Value: 60, Start: 10, Duration: 6},
+			{Kind: fault.SegOcclusion, Start: 20, Duration: 12},
+		}},
+		Params: []falsify.Param{
+			{Seg: 0, Field: falsify.FieldValue, Lo: 90, Hi: 180},
+			{Seg: 1, Field: falsify.FieldValue, Lo: 20, Hi: 120},
+			{Seg: 1, Field: falsify.FieldStart, Lo: 0, Hi: 60},
+			{Seg: 2, Field: falsify.FieldStart, Lo: 0, Hi: 90},
+			{Seg: 2, Field: falsify.FieldDuration, Lo: 6, Hi: 36},
+		},
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "falsify:", err)
+	os.Exit(1)
+}

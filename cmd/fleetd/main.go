@@ -58,6 +58,7 @@ func main() {
 		admitEvery   = flag.Int("admit-every", 0, "admission-gate period in rounds (0 = fleet default)")
 		token        = flag.String("token", "", "require this bearer token on /v1/ endpoints (empty = no auth)")
 		alertFloor   = flag.Float64("alert-floor", math.NaN(), "record per-tenant alerts when a robustness margin falls below this floor (NaN = off)")
+		alertPct     = flag.Float64("alert-pct", math.NaN(), "record per-tenant alerts below this adaptive quantile of each tenant's own margin distribution, in (0,1) (NaN = off)")
 		streamBuffer = flag.Int("stream-buffer", 0, "per-subscriber telemetry buffer in events (0 = default 256)")
 		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget after SIGTERM")
 		snapshotFile = flag.String("snapshot-file", "", "on SIGTERM, drain the fleet at an epoch-aligned gate and write the control-plane snapshot here instead of discarding state")
@@ -69,7 +70,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	table := fault.Campaign(nil)
+	table := fault.CampaignPrograms(nil)
 	if *scenarios > 0 && *scenarios < len(table) {
 		table = table[:*scenarios]
 	}
@@ -84,6 +85,7 @@ func main() {
 		AdmitEvery:   *admitEvery,
 		Token:        *token,
 		AlertFloor:   *alertFloor,
+		AlertPct:     *alertPct,
 		StreamBuffer: *streamBuffer,
 	}
 	if *restoreFile != "" {

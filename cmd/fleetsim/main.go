@@ -54,6 +54,7 @@ import (
 	"time"
 
 	apsmonitor "repro"
+	"repro/internal/fault"
 	"repro/internal/sensor"
 )
 
@@ -62,6 +63,7 @@ func main() {
 		platformName = flag.String("platform", "glucosym", "platform: glucosym or t1ds2013")
 		patients     = flag.Int("patients", 0, "limit to the first N patients (0 = whole cohort)")
 		scenarios    = flag.Int("scenarios", 0, "limit to the first M fault scenarios (0 = full 882 matrix)")
+		scenarioFile = flag.String("scenario-file", "", "run the scenario programs declared in this file (canonical text form, see internal/fault) instead of the campaign matrix")
 		sessions     = flag.Int("sessions", 0, "concurrent session slots (0 = one per patient x scenario)")
 		parallel     = flag.Int("parallel", 0, "worker shards (0 = NumCPU)")
 		duration     = flag.Duration("duration", 0, "continuous serving mode: run for this long, recycling sessions (0 = run the matrix once)")
@@ -86,6 +88,7 @@ func main() {
 		sinkEpoch    = flag.Int("sink-epoch", 0, "with -sharded-sinks: merge and deliver buffers every k lock-step rounds (0 = at completion for finite runs; continuous runs default to 64)")
 		ringSize     = flag.Int("ring-size", 1024, "ring sink capacity (events)")
 		alertFloor   = flag.Float64("alert-floor", math.NaN(), "with -sink hist: record an alert whenever a robustness margin falls below this floor (NaN = off)")
+		alertPct     = flag.Float64("alert-pct", math.NaN(), "with -sink hist: record an alert whenever a margin falls below this percentile of the observed distribution, e.g. 0.05 for a p05 floor (NaN = off)")
 		verbose      = flag.Bool("v", false, "stream alarm/hazard events (with -stl: also rule-violation margins)")
 		snapshotPath = flag.String("snapshot", "", "with -duration: drain the fleet at an epoch-aligned admission gate when the duration elapses and write the sealed snapshot here")
 		restorePath  = flag.String("restore", "", "with -duration: resume a fleet from a -snapshot file instead of dealing fresh sessions (requires the same seed, platform, and telemetry flags as the drained run)")
@@ -112,11 +115,26 @@ func main() {
 	// The scenario table is always declared explicitly — continuous mode
 	// (fleet.Config.Validate) refuses to default a serving fleet to the
 	// full 882-scenario campaign silently.
-	allScenarios := apsmonitor.FullCampaign()
-	if *scenarios > 0 && *scenarios < len(allScenarios) {
-		allScenarios = allScenarios[:*scenarios]
+	if *scenarioFile != "" {
+		if *scenarios > 0 {
+			fail(fmt.Errorf("-scenario-file replaces the campaign matrix; drop -scenarios"))
+		}
+		text, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			fail(err)
+		}
+		progs, err := fault.ParsePrograms(string(text))
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *scenarioFile, err))
+		}
+		cfg.Scenarios = progs
+	} else {
+		table := fault.CampaignPrograms(nil)
+		if *scenarios > 0 && *scenarios < len(table) {
+			table = table[:*scenarios]
+		}
+		cfg.Scenarios = table
 	}
-	cfg.Scenarios = allScenarios
 	if *noise != 0 {
 		// Negative means "sensor model on, AR(1) noise explicitly off":
 		// calibration gain/drift and dropout behavior still apply, which
@@ -164,6 +182,9 @@ func main() {
 	}
 	if !math.IsNaN(*alertFloor) && !sinkSelected(*sinkList, "hist") {
 		fail(fmt.Errorf("-alert-floor applies to the histogram sink; add -sink hist"))
+	}
+	if !math.IsNaN(*alertPct) && !sinkSelected(*sinkList, "hist") {
+		fail(fmt.Errorf("-alert-pct applies to the histogram sink; add -sink hist"))
 	}
 	if *stlTelem || *stlFromMon {
 		cfg.Telemetry = &apsmonitor.FleetTelemetryConfig{
@@ -221,6 +242,11 @@ func main() {
 				}
 				if !math.IsNaN(*alertFloor) {
 					histSink.SetAlertFloor(*alertFloor, nil)
+				}
+				if !math.IsNaN(*alertPct) {
+					if err := histSink.SetAlertPercentile(*alertPct, 0, nil); err != nil {
+						fail(err)
+					}
 				}
 				cfg.Sinks = append(cfg.Sinks, histSink)
 			default:
@@ -422,8 +448,19 @@ func main() {
 		for _, line := range strings.Split(strings.TrimRight(histSink.Render(), "\n"), "\n") {
 			fmt.Printf("    %s\n", line)
 		}
-		if !math.IsNaN(*alertFloor) {
-			fmt.Printf("  alerts:     %d margins below floor %.3f\n", histSink.AlertCount(), *alertFloor)
+		if !math.IsNaN(*alertFloor) || !math.IsNaN(*alertPct) {
+			var floors []string
+			if !math.IsNaN(*alertFloor) {
+				floors = append(floors, fmt.Sprintf("floor %.3f", *alertFloor))
+			}
+			if !math.IsNaN(*alertPct) {
+				if f, live := histSink.AlertPercentileFloor(); live {
+					floors = append(floors, fmt.Sprintf("p%g floor %.3f", *alertPct*100, f))
+				} else {
+					floors = append(floors, fmt.Sprintf("p%g floor (not enough samples)", *alertPct*100))
+				}
+			}
+			fmt.Printf("  alerts:     %d margins below %s\n", histSink.AlertCount(), strings.Join(floors, ", "))
 			alerts := histSink.Alerts()
 			for i := len(alerts) - 3; i < len(alerts); i++ {
 				if i >= 0 {

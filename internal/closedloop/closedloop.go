@@ -126,7 +126,13 @@ type Config struct {
 	Patient    Patient
 	Controller control.Controller
 	Fault      *fault.Fault // nil for a fault-free run
-	Monitor    Monitor      // nil to run without a safety monitor
+	// Plan is a compiled scenario program: injections plus the timeline
+	// disturbances (meals, exercise, CGM dropout/bias, pump occlusion)
+	// the enum Fault cannot express. Mutually exclusive with Fault; its
+	// horizon must match Steps/CycleMin. A plan bridged from a legacy
+	// Scenario executes byte-identically to setting Fault.
+	Plan       *fault.Plan
+	Monitor    Monitor // nil to run without a safety monitor
 	Mitigation MitigationConfig
 	Pump       Pump
 	Labeler    risk.Labeler
@@ -153,6 +159,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CycleMin <= 0 {
 		return c, fmt.Errorf("closedloop: invalid cycle length %v", c.CycleMin)
+	}
+	if c.Plan != nil {
+		if c.Fault != nil {
+			return c, fmt.Errorf("closedloop: Fault and Plan are mutually exclusive")
+		}
+		if c.Plan.Steps() != c.Steps || c.Plan.CycleMin() != c.CycleMin {
+			return c, fmt.Errorf("closedloop: plan compiled for %d steps of %v min, loop runs %d of %v",
+				c.Plan.Steps(), c.Plan.CycleMin(), c.Steps, c.CycleMin)
+		}
+		if c.InitialBG == 0 {
+			c.InitialBG = c.Plan.InitialBG()
+		}
 	}
 	if c.InitialBG == 0 {
 		c.InitialBG = 120

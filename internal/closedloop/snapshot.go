@@ -46,9 +46,15 @@ func (st *Stepper) Snapshot(enc *snapshot.Encoder) error {
 
 	st.monIOB.SnapshotState(enc)
 
-	enc.Bool(st.injector != nil)
+	// One presence bit covers both fault paths; for a plan the injector
+	// count is implied by the Config's plan, so a bridged single-inject
+	// plan writes exactly the legacy bytes.
+	planInj := st.exec != nil && st.exec.HasInjectors()
+	enc.Bool(st.injector != nil || planInj)
 	if st.injector != nil {
 		st.injector.SnapshotState(enc)
+	} else if planInj {
+		st.exec.SnapshotState(enc)
 	}
 
 	ctrl, ok := st.cfg.Controller.(snapshot.Snapshotter)
@@ -106,12 +112,17 @@ func (st *Stepper) Restore(dec *snapshot.Decoder) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	if hadInjector != (st.injector != nil) {
+	planInj := st.exec != nil && st.exec.HasInjectors()
+	if hadInjector != (st.injector != nil || planInj) {
 		return fmt.Errorf("closedloop: snapshot fault-injector presence (%v) does not match config (%v)",
-			hadInjector, st.injector != nil)
+			hadInjector, st.injector != nil || planInj)
 	}
 	if st.injector != nil {
 		if err := st.injector.RestoreState(dec); err != nil {
+			return fmt.Errorf("closedloop: fault injector: %w", err)
+		}
+	} else if planInj {
+		if err := st.exec.RestoreState(dec); err != nil {
 			return fmt.Errorf("closedloop: fault injector: %w", err)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -35,6 +36,8 @@ type Stepper struct {
 	cfg      Config
 	opts     StepperOptions
 	injector *fault.Injector
+	exec     *fault.PlanExec  // plan-path injections, nil without a Plan
+	exHost   sim.ExerciseHost // set only when the plan schedules exercise
 	monIOB   *control.IOBTracker
 	tr       *trace.Trace
 
@@ -52,9 +55,11 @@ type Stepper struct {
 // pendingStep carries the half-completed cycle between BeginStep and
 // FinishStep.
 type pendingStep struct {
-	active bool
-	sample trace.Sample
-	obs    Observation
+	active   bool
+	sample   trace.Sample
+	obs      Observation
+	carb     float64 // plan-scheduled carbohydrate ingestion, g/min
+	occluded bool    // plan-scheduled pump occlusion for this cycle
 }
 
 // NewStepper validates the config and prepares the run (resetting the
@@ -77,6 +82,18 @@ func NewStepper(cfg Config, opts StepperOptions) (*Stepper, error) {
 			return nil, fmt.Errorf("closedloop: %w", err)
 		}
 	}
+	if cfg.Plan != nil {
+		st.exec, err = cfg.Plan.NewExec()
+		if err != nil {
+			return nil, fmt.Errorf("closedloop: %w", err)
+		}
+		if cfg.Plan.HasExercise() {
+			st.exHost, err = exerciseHost(cfg.Patient)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	curve, err := control.NewExponentialCurve(cfg.DIA, cfg.PeakT)
 	if err != nil {
@@ -89,6 +106,8 @@ func NewStepper(cfg Config, opts StepperOptions) (*Stepper, error) {
 	// caller's controller (Finish detaches it on the success path).
 	if st.injector != nil {
 		cfg.Controller.SetPerturb(st.injector.Perturb)
+	} else if st.exec != nil && st.exec.HasInjectors() {
+		cfg.Controller.SetPerturb(st.exec.Perturb)
 	}
 
 	st.tr = &trace.Trace{
@@ -103,6 +122,9 @@ func NewStepper(cfg Config, opts StepperOptions) (*Stepper, error) {
 	}
 	if cfg.Fault != nil {
 		st.tr.Fault = cfg.Fault.Info()
+	}
+	if cfg.Plan != nil {
+		st.tr.Fault = cfg.Plan.FaultInfo()
 	}
 	if opts.Samples != nil {
 		st.tr.Samples = opts.Samples[:0]
@@ -171,6 +193,19 @@ func (st *Stepper) BeginStepSensed(cgm float64) Observation {
 		panic("closedloop: BeginStep out of order")
 	}
 	cfg := &st.cfg
+	if pl := cfg.Plan; pl != nil && pl.HasCGMDisturbance() {
+		// Dropout freezes the loop at the previous sensed value (which
+		// already carries any bias applied then); outside a dropout the
+		// bias ramp adds on top of the sensed reading.
+		if pl.Dropout(st.step) && !math.IsNaN(st.prevCGM) {
+			cgm = st.prevCGM
+		} else {
+			cgm += pl.Bias(st.step)
+		}
+	}
+	if st.exHost != nil {
+		st.exHost.SetExercise(cfg.Plan.Exercise(st.step))
+	}
 	now := st.CycleTime()
 	iob := st.monIOB.IOB()
 
@@ -185,6 +220,8 @@ func (st *Stepper) BeginStepSensed(cgm float64) Observation {
 
 	if st.injector != nil {
 		st.injector.BeginStep(st.step)
+	} else if st.exec != nil {
+		st.exec.BeginStep(st.step)
 	}
 	out := cfg.Controller.Decide(control.Input{
 		TimeMin:  now,
@@ -206,6 +243,8 @@ func (st *Stepper) BeginStepSensed(cgm float64) Observation {
 	}
 	if cfg.Fault != nil {
 		sample.FaultActive = cfg.Fault.Active(st.step)
+	} else if cfg.Plan != nil {
+		sample.FaultActive = cfg.Plan.Active(st.step)
 	}
 	obs := Observation{
 		Step: st.step, TimeMin: now, CycleMin: cfg.CycleMin,
@@ -214,6 +253,10 @@ func (st *Stepper) BeginStepSensed(cgm float64) Observation {
 		Basal: cfg.Patient.Basal(),
 	}
 	st.pending = pendingStep{active: true, sample: sample, obs: obs}
+	if pl := cfg.Plan; pl != nil {
+		st.pending.carb = pl.CarbRate(st.step)
+		st.pending.occluded = pl.Occluded(st.step)
+	}
 	st.prevCGM = cgm
 	st.prevIOB = iob
 	return obs
@@ -224,17 +267,29 @@ func (st *Stepper) BeginStepSensed(cgm float64) Observation {
 // scaled by the verdict's robustness margin — then delivers insulin and
 // advances the patient, controller, and IOB model.
 func (st *Stepper) FinishStep(v Verdict) {
-	delivered := st.FinishStepDeferred(v)
-	st.cfg.Patient.Step(delivered, 0, st.cfg.CycleMin)
+	carb := st.pending.carb
+	applied := st.FinishStepDeferred(v)
+	st.cfg.Patient.Step(applied, carb, st.cfg.CycleMin)
 }
+
+// PendingCarb returns the carbohydrate ingestion rate (g/min) the plan
+// schedules for the pending cycle — the value a deferred engine must
+// feed its StepLanes sweep alongside the applied insulin. Zero without
+// a plan or outside a meal window.
+func (st *Stepper) PendingCarb() float64 { return st.pending.carb }
 
 // FinishStepDeferred is FinishStep for engines that advance physiology
 // themselves: it applies the verdict, records the delivery with the
-// controller and IOB model, and returns the delivered rate (U/h) —
-// but does NOT step the patient. The caller must advance this
-// session's physiology by CycleMin minutes at the returned rate (e.g.
-// through one sim.BatchPatient.StepLanes sweep) before the next
-// BeginStep.
+// controller and IOB model, and returns the infusion rate (U/h) the
+// patient actually receives — but does NOT step the patient. The caller
+// must advance this session's physiology by CycleMin minutes at the
+// returned rate and PendingCarb (e.g. through one
+// sim.BatchPatient.StepLanes sweep) before the next BeginStep.
+//
+// Under a plan-scheduled pump occlusion the returned rate is 0 while
+// the trace, controller, and IOB model all record the commanded
+// delivery — the loop believes its insulin went in, the patient
+// receives none.
 func (st *Stepper) FinishStepDeferred(v Verdict) float64 {
 	if !st.pending.active {
 		panic("closedloop: FinishStep without BeginStep")
@@ -270,9 +325,13 @@ func (st *Stepper) FinishStepDeferred(v Verdict) float64 {
 	st.monIOB.Record(delivered, cfg.CycleMin)
 
 	st.prevDelivered = delivered
+	applied := delivered
+	if st.pending.occluded {
+		applied = 0
+	}
 	st.pending.active = false
 	st.step++
-	return delivered
+	return applied
 }
 
 // MonitorVerdict evaluates the attached monitor (if any) on the
@@ -298,9 +357,25 @@ func (st *Stepper) Finish() *trace.Trace {
 		panic("closedloop: Finish called twice")
 	}
 	st.finished = true
-	if st.injector != nil {
+	if st.injector != nil || (st.exec != nil && st.exec.HasInjectors()) {
 		st.cfg.Controller.SetPerturb(nil)
 	}
 	st.cfg.Labeler.Label(st.tr)
 	return st.tr
+}
+
+// exerciseHost resolves the patient's exercise hook: the model itself
+// for scalar patients, the lane's batch (which must support per-lane
+// exercise) for a sim.LaneView.
+func exerciseHost(p Patient) (sim.ExerciseHost, error) {
+	if lv, ok := p.(sim.LaneView); ok {
+		if _, ok := lv.B.(sim.BatchExerciseHost); !ok {
+			return nil, fmt.Errorf("closedloop: batch patient %T does not support exercise", lv.B)
+		}
+		return lv, nil
+	}
+	if h, ok := p.(sim.ExerciseHost); ok {
+		return h, nil
+	}
+	return nil, fmt.Errorf("closedloop: patient %T does not support exercise", p)
 }

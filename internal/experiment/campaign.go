@@ -36,12 +36,14 @@ type CampaignConfig struct {
 // FleetConfig translates the campaign description into its fleet
 // equivalent: one run-to-completion session per patient x scenario pair,
 // traces retained in deterministic order (patients outer, scenarios
-// inner).
+// inner). Legacy enum scenarios bridge into scenario programs here, so
+// every campaign executes through the compiled-plan path (bit-identical
+// to the enum path — the fleet golden differential pins it).
 func (c CampaignConfig) FleetConfig() fleet.Config {
 	return fleet.Config{
 		Platform:   fleet.Platform(c.Platform),
 		Patients:   c.Patients,
-		Scenarios:  c.Scenarios,
+		Scenarios:  fault.Programs(c.Scenarios),
 		Steps:      c.Steps,
 		Parallel:   c.Parallel,
 		NewMonitor: c.NewMonitor,

@@ -1,0 +1,108 @@
+package falsify
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// Eval is one evaluated scenario: the instantiated program and the
+// margin trajectory summary of its closed-loop run.
+type Eval struct {
+	// Program is the instantiated scenario.
+	Program fault.Program `json:"program"`
+	// Text is the program's canonical text encoding (its identity).
+	Text string `json:"text"`
+	// X is the search vector that produced the program; nil for direct
+	// replays.
+	X []float64 `json:"x,omitempty"`
+	// MinMargin is the lowest robustness margin the monitor reported
+	// over the run — the falsification objective. Negative means the
+	// monitor saw a rule violation.
+	MinMargin float64 `json:"min_margin"`
+	// MinStep is the control cycle attaining MinMargin.
+	MinStep int `json:"min_step"`
+	// Alarms counts monitor alarm cycles over the run.
+	Alarms int `json:"alarms"`
+	// Hazard reports whether the run's trace carries a ground-truth
+	// hazard label (the search found an actual safety violation, not
+	// just a near-miss).
+	Hazard bool `json:"hazard"`
+}
+
+// Corpus is a ranked scenario collection: the hardest (lowest-margin)
+// programs a search visited, hardest first, deduplicated by canonical
+// program text.
+type Corpus struct {
+	// Platform and Patient identify the closed loop the corpus was
+	// searched against; Steps is the run horizon in control cycles.
+	Platform string `json:"platform"`
+	Patient  int    `json:"patient"`
+	Steps    int    `json:"steps"`
+	// Seed is the search seed; a corpus regenerates exactly from it.
+	Seed int64 `json:"seed"`
+	// Evals is the ranked scenario list, ascending MinMargin.
+	Evals []Eval `json:"evals"`
+	// Visited counts objective evaluations; Skipped counts search
+	// vectors that instantiated to invalid programs.
+	Visited int `json:"visited"`
+	Skipped int `json:"skipped"`
+
+	keep int
+	seen map[string]int // canonical text -> index in Evals
+}
+
+// newCorpus builds an empty corpus retaining the keep hardest entries.
+func newCorpus(keep int) *Corpus {
+	return &Corpus{Evals: []Eval{}, keep: keep, seen: make(map[string]int)}
+}
+
+// add ranks an evaluation into the corpus. A re-visit of a program
+// already held keeps the existing entry (evaluations are deterministic,
+// so the margins are identical).
+func (c *Corpus) add(ev Eval) {
+	if i, dup := c.seen[ev.Text]; dup {
+		_ = i
+		return
+	}
+	c.Evals = append(c.Evals, ev)
+	sort.SliceStable(c.Evals, func(i, j int) bool { return c.Evals[i].MinMargin < c.Evals[j].MinMargin })
+	if c.keep > 0 && len(c.Evals) > c.keep {
+		c.Evals = c.Evals[:c.keep]
+	}
+	for k := range c.seen {
+		delete(c.seen, k)
+	}
+	for i, e := range c.Evals {
+		c.seen[e.Text] = i
+	}
+}
+
+// Top returns the n hardest scenarios (fewer when the corpus is
+// smaller).
+func (c *Corpus) Top(n int) []Eval {
+	if n > len(c.Evals) {
+		n = len(c.Evals)
+	}
+	return append([]Eval(nil), c.Evals[:n]...)
+}
+
+// EncodeJSON serializes the corpus for regression suites and tooling.
+func (c *Corpus) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// DecodeCorpus parses a corpus written by EncodeJSON.
+func DecodeCorpus(data []byte) (*Corpus, error) {
+	var c Corpus
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("falsify: corpus: %w", err)
+	}
+	c.seen = make(map[string]int)
+	for i, e := range c.Evals {
+		c.seen[e.Text] = i
+	}
+	return &c, nil
+}

@@ -1,0 +1,178 @@
+// Package falsify searches scenario-program parameter spaces for the
+// executions that drive the safety monitor's robustness margin lowest —
+// the falsification loop of STL-guided testing: treat the streaming
+// monitor's margin as a quantitative objective, and search the
+// continuous scenario parameters (injection magnitudes, window starts
+// and durations, meal sizes, initial glucose) for near-violations and
+// outright hazards.
+//
+// A search runs in three stages over a Space (a base fault.Program plus
+// bounded free parameters): seeded uniform random exploration, then
+// coordinate descent from the hardest random seeds, then an optional
+// projected-L-BFGS polish over the continuous magnitude coordinates
+// (reusing internal/optimize with finite-difference gradients). Every
+// evaluation is one deterministic closed-loop run — compile the
+// instantiated program to a fault.Plan, run it through
+// internal/closedloop with a margin-recording monitor wrapper — so a
+// search with a fixed Config.Seed is reproducible run to run, and any
+// corpus entry replays to exactly its recorded margin.
+//
+// Results accumulate in a ranked Corpus (hardest scenario first,
+// deduplicated by canonical program text) that serializes to JSON for
+// regression suites: re-run the corpus after a controller or monitor
+// change and diff the margins.
+package falsify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+)
+
+// Field selects which Segment field a search parameter varies.
+type Field int
+
+// Searchable segment fields. Value is continuous; Start and Duration
+// are control-cycle counts, rounded to the nearest integer at
+// instantiation time.
+const (
+	// FieldValue varies the segment's kind-specific magnitude.
+	FieldValue Field = iota + 1
+	// FieldStart varies the segment window's first active cycle.
+	FieldStart
+	// FieldDuration varies the segment window's length in cycles.
+	FieldDuration
+)
+
+// String implements fmt.Stringer; the names double as the JSON
+// encoding.
+func (f Field) String() string {
+	switch f {
+	case FieldValue:
+		return "value"
+	case FieldStart:
+		return "start"
+	case FieldDuration:
+		return "dur"
+	default:
+		return fmt.Sprintf("field(%d)", int(f))
+	}
+}
+
+// MarshalJSON encodes the field selector as its keyword string.
+func (f Field) MarshalJSON() ([]byte, error) {
+	switch f {
+	case FieldValue, FieldStart, FieldDuration:
+		return []byte(`"` + f.String() + `"`), nil
+	default:
+		return nil, fmt.Errorf("falsify: cannot marshal invalid field %d", int(f))
+	}
+}
+
+// UnmarshalJSON decodes a field-selector keyword string.
+func (f *Field) UnmarshalJSON(data []byte) error {
+	for _, k := range []Field{FieldValue, FieldStart, FieldDuration} {
+		if string(data) == `"`+k.String()+`"` {
+			*f = k
+			return nil
+		}
+	}
+	return fmt.Errorf("falsify: unknown field %s", data)
+}
+
+// Param is one free coordinate of a search space: segment Seg's Field
+// varies over [Lo, Hi].
+type Param struct {
+	// Seg indexes Space.Base.Segments.
+	Seg int `json:"seg"`
+	// Field selects the varied segment field.
+	Field Field `json:"field"`
+	// Lo and Hi bound the coordinate (inclusive).
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// Space is a scenario-program parameter space: a base program plus the
+// bounded coordinates the search may vary. Segments not named by any
+// Param are fixed at their base values.
+type Space struct {
+	// Base is the program template.
+	Base fault.Program `json:"base"`
+	// Params are the free coordinates, in search-vector order.
+	Params []Param `json:"params"`
+}
+
+// Validate checks the base program and every parameter's bounds.
+func (s Space) Validate() error {
+	if err := s.Base.Validate(); err != nil {
+		return fmt.Errorf("falsify: base program: %w", err)
+	}
+	if len(s.Params) == 0 {
+		return fmt.Errorf("falsify: space has no free parameters")
+	}
+	for i, p := range s.Params {
+		if p.Seg < 0 || p.Seg >= len(s.Base.Segments) {
+			return fmt.Errorf("falsify: param %d: segment index %d outside base program (%d segments)",
+				i, p.Seg, len(s.Base.Segments))
+		}
+		switch p.Field {
+		case FieldValue, FieldStart, FieldDuration:
+		default:
+			return fmt.Errorf("falsify: param %d: invalid field %d", i, int(p.Field))
+		}
+		if math.IsNaN(p.Lo) || math.IsNaN(p.Hi) || math.IsInf(p.Lo, 0) || math.IsInf(p.Hi, 0) {
+			return fmt.Errorf("falsify: param %d: non-finite bounds [%v, %v]", i, p.Lo, p.Hi)
+		}
+		if p.Lo > p.Hi {
+			return fmt.Errorf("falsify: param %d: lower bound %v above upper %v", i, p.Lo, p.Hi)
+		}
+		if p.Field == FieldStart && p.Lo < 0 {
+			return fmt.Errorf("falsify: param %d: negative start bound %v", i, p.Lo)
+		}
+		if p.Field == FieldDuration && p.Hi < 1 {
+			return fmt.Errorf("falsify: param %d: duration bound [%v, %v] admits no window", i, p.Lo, p.Hi)
+		}
+	}
+	return nil
+}
+
+// Instantiate applies a search vector to the base program: each
+// coordinate is clamped to its bounds and written into its segment
+// field (integer fields round to the nearest cycle, durations to at
+// least one). The instantiated program is validated, so a vector that
+// lands on a structurally invalid program (say, a zero bias ramp)
+// returns an error rather than a program the compiler would reject
+// later.
+func (s Space) Instantiate(x []float64) (fault.Program, error) {
+	if len(x) != len(s.Params) {
+		return fault.Program{}, fmt.Errorf("falsify: vector has %d coordinates, space has %d", len(x), len(s.Params))
+	}
+	prog := fault.Program{Name: s.Base.Name, Segments: append([]fault.Segment(nil), s.Base.Segments...)}
+	for i, p := range s.Params {
+		v := clamp(x[i], p.Lo, p.Hi)
+		seg := &prog.Segments[p.Seg]
+		switch p.Field {
+		case FieldValue:
+			seg.Value = v
+		case FieldStart:
+			seg.Start = int(math.Round(math.Max(v, 0)))
+		case FieldDuration:
+			seg.Duration = int(math.Round(math.Max(v, 1)))
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return fault.Program{}, err
+	}
+	return prog, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

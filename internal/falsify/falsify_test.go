@@ -1,0 +1,188 @@
+package falsify
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/fault"
+)
+
+// testSpace is a small occlusion+meal space over the glucosym loop:
+// both disturbances push glucose up, so margins vary strongly with the
+// parameters and the search has real gradients to follow.
+func testSpace() Space {
+	return Space{
+		Base: fault.Program{Name: "falsify-test", Segments: []fault.Segment{
+			{Kind: fault.SegInitBG, Value: 140},
+			{Kind: fault.SegMeal, Value: 60, Start: 5, Duration: 6},
+			{Kind: fault.SegOcclusion, Start: 10, Duration: 12},
+		}},
+		Params: []Param{
+			{Seg: 0, Field: FieldValue, Lo: 100, Hi: 180},
+			{Seg: 1, Field: FieldValue, Lo: 20, Hi: 120},
+			{Seg: 2, Field: FieldStart, Lo: 0, Hi: 30},
+			{Seg: 2, Field: FieldDuration, Lo: 4, Hi: 24},
+		},
+	}
+}
+
+func testSearchConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Space:    testSpace(),
+		Platform: experiment.Glucosym(),
+		Steps:    60,
+		Seed:     7,
+		Samples:  6,
+		Refine:   1,
+		Sweeps:   1,
+		Keep:     8,
+	}
+}
+
+func TestSpaceValidateRejects(t *testing.T) {
+	base := testSpace().Base
+	cases := map[string]Space{
+		"no params":        {Base: base},
+		"seg out of range": {Base: base, Params: []Param{{Seg: 9, Field: FieldValue, Lo: 0, Hi: 1}}},
+		"bad field":        {Base: base, Params: []Param{{Seg: 0, Field: 0, Lo: 0, Hi: 1}}},
+		"inverted bounds":  {Base: base, Params: []Param{{Seg: 0, Field: FieldValue, Lo: 2, Hi: 1}}},
+		"negative start":   {Base: base, Params: []Param{{Seg: 2, Field: FieldStart, Lo: -3, Hi: 1}}},
+		"empty duration":   {Base: base, Params: []Param{{Seg: 2, Field: FieldDuration, Lo: 0, Hi: 0.2}}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s.Params)
+		}
+	}
+	if err := testSpace().Validate(); err != nil {
+		t.Fatalf("valid space rejected: %v", err)
+	}
+}
+
+func TestSpaceInstantiate(t *testing.T) {
+	s := testSpace()
+	prog, err := s.Instantiate([]float64{500, 33.3, 12.6, 7.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Segments[0].Value; got != 180 {
+		t.Errorf("init BG %v, want clamp to 180", got)
+	}
+	if got := prog.Segments[1].Value; got != 33.3 {
+		t.Errorf("meal grams %v, want 33.3 untouched", got)
+	}
+	if got := prog.Segments[2].Start; got != 13 {
+		t.Errorf("occlusion start %d, want round(12.6) = 13", got)
+	}
+	if got := prog.Segments[2].Duration; got != 7 {
+		t.Errorf("occlusion duration %d, want round(7.4) = 7", got)
+	}
+	// The base must not be mutated by instantiation.
+	if s.Base.Segments[0].Value != 140 || s.Base.Segments[2].Start != 10 {
+		t.Fatal("Instantiate mutated the base program")
+	}
+	if _, err := s.Instantiate([]float64{140, 60}); err == nil {
+		t.Error("short vector accepted")
+	}
+}
+
+// TestSearchRanksAndReplays is the falsifier's core contract: the
+// search returns a non-empty hardest-first corpus, and its top entry
+// replays through EvalProgram to exactly the recorded minimum margin.
+func TestSearchRanksAndReplays(t *testing.T) {
+	cfg := testSearchConfig(t)
+	corpus, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Evals) == 0 {
+		t.Fatal("empty corpus")
+	}
+	if corpus.Visited == 0 {
+		t.Fatal("corpus claims zero evaluations")
+	}
+	for i := 1; i < len(corpus.Evals); i++ {
+		if corpus.Evals[i-1].MinMargin > corpus.Evals[i].MinMargin {
+			t.Fatalf("corpus not ranked: entry %d margin %v above entry %d margin %v",
+				i-1, corpus.Evals[i-1].MinMargin, i, corpus.Evals[i].MinMargin)
+		}
+	}
+	top := corpus.Evals[0]
+	replay, err := EvalProgram(cfg, top.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.MinMargin != top.MinMargin || replay.MinStep != top.MinStep {
+		t.Fatalf("replay margin %v@%d, corpus recorded %v@%d",
+			replay.MinMargin, replay.MinStep, top.MinMargin, top.MinStep)
+	}
+}
+
+// TestSearchDeterministic pins reproducibility: the same seed yields
+// byte-identical corpora.
+func TestSearchDeterministic(t *testing.T) {
+	a, err := Search(testSearchConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(testSearchConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("same seed produced different corpora")
+	}
+}
+
+func TestCorpusJSONRoundTrip(t *testing.T) {
+	corpus, err := Search(testSearchConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := corpus.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCorpus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Evals, corpus.Evals) {
+		t.Fatal("corpus evals did not survive the JSON round trip")
+	}
+	if back.Platform != corpus.Platform || back.Seed != corpus.Seed {
+		t.Fatal("corpus metadata did not survive the JSON round trip")
+	}
+	if _, err := DecodeCorpus([]byte("{")); err == nil {
+		t.Fatal("truncated corpus accepted")
+	}
+}
+
+// TestPolishDoesNotRegress runs the L-BFGS stage and checks the corpus
+// minimum never worsens relative to the unpolished search.
+func TestPolishDoesNotRegress(t *testing.T) {
+	plain := testSearchConfig(t)
+	polished := testSearchConfig(t)
+	polished.Polish = true
+	a, err := Search(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(polished)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Evals[0].MinMargin > a.Evals[0].MinMargin {
+		t.Fatalf("polish worsened the best margin: %v > %v", b.Evals[0].MinMargin, a.Evals[0].MinMargin)
+	}
+}

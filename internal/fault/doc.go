@@ -1,0 +1,36 @@
+// Package fault implements the source-level fault-injection engine of
+// Section IV-C1 and the scenario program IR built on top of it.
+//
+// The original engine perturbs named internal variables of the APS
+// control software (inputs, estimates, outputs) for a bounded window of
+// control cycles, simulating the accidental faults and attacks of
+// Table II (truncate, hold, max, min, add, sub). A Scenario couples one
+// such Fault with the run's initial glucose — the paper's fixed
+// 6 kinds x 3 targets x 7 windows x 7 initial BGs = 882 matrix.
+//
+// A Program generalizes the Scenario into an ordered timeline of typed
+// segments: controller-variable injections (the Table II faults), CGM
+// disturbances (dropout, bias ramps), physiological disturbances
+// (meals, exercise), pump occlusion, and initial-condition setters.
+// Programs compile once (Program.Compile) into a flat per-step Plan
+// that the closed-loop stepper and both fleet stepping backends
+// (the scalar oracle and the SoA batched lanes) execute bit-identically.
+//
+// # Invariants
+//
+//   - Compiled-legacy equivalence: a Scenario bridged through
+//     Scenario.Program and compiled executes byte-identically to the
+//     legacy enum path — same trace bytes, same fleet sink stream, same
+//     session snapshot bytes. The golden differential tests in
+//     internal/fleet pin this at Parallel in {1,2,3}.
+//   - Canonical encoding: Program.Format emits the canonical text form;
+//     ParseProgram(Format(p)) round-trips every valid program, and
+//     Program.Key (the canonical form) is the identity used for
+//     duplicate detection across fleet.Config and fleetd tenant specs.
+//   - Determinism: compiling and executing a plan consumes no RNG and
+//     depends only on (program, steps, cycleMin); every per-step lookup
+//     is a pure array read.
+//   - Validation before execution: Program.Validate rejects every
+//     structurally invalid segment, and Compile re-validates, so an
+//     executing plan can assume well-formed windows.
+package fault

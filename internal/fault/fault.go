@@ -1,8 +1,3 @@
-// Package fault implements the source-level fault-injection engine of
-// Section IV-C1: it perturbs named internal variables of the APS control
-// software (inputs, estimates, outputs) for a bounded window of control
-// cycles, simulating the accidental faults and attacks of Table II
-// (truncate, hold, max, min, add, sub).
 package fault
 
 import (

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseProgram fuzzes the scenario-file parser: it must never
+// panic, and every text it accepts must re-encode canonically — Format
+// of the parse reparses to the identical program (the parser and
+// printer agree on the grammar).
+func FuzzParseProgram(f *testing.F) {
+	f.Add("scenario -\n")
+	f.Add("scenario max:glucose/s10d120/bg160\n  init bg=160\n  inject max glucose value=400 start=10 dur=120\n")
+	f.Add("scenario storm\n  dropout start=20 dur=12\n  bias value=40 start=40 dur=30\n  meal grams=85 start=10 dur=8\n")
+	f.Add("# comment\nscenario x\n  exercise intensity=0.013 start=60 dur=24\n  occlude start=70 dur=6\n")
+	f.Add("scenario a\n  init bg=1e2\nscenario b\n  meal grams=1.5 start=0 dur=1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		progs, err := ParsePrograms(text)
+		if err != nil {
+			return
+		}
+		for _, p := range progs {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("parser returned invalid program %+v: %v", p, err)
+			}
+			back, err := ParseProgram(p.Format())
+			if err != nil {
+				t.Fatalf("canonical form does not reparse: %v\n%s", err, p.Format())
+			}
+			if !reflect.DeepEqual(back, p) {
+				t.Fatalf("canonical round trip diverged:\n%s\n%+v != %+v", p.Format(), back, p)
+			}
+			if back.Key() != p.Key() {
+				t.Fatalf("key instability: %q != %q", back.Key(), p.Key())
+			}
+		}
+	})
+}
+
+// FuzzProgramJSON fuzzes the tenant wire codec: arbitrary JSON must
+// never panic, and any accepted valid program must survive a
+// marshal/unmarshal round trip bit-exactly.
+func FuzzProgramJSON(f *testing.F) {
+	for _, p := range CampaignPrograms(nil)[:8] {
+		seed, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"name":"x","segments":[{"kind":"meal","value":30,"start":2,"dur":4}]}`))
+	f.Add([]byte(`{"segments":[{"kind":"volcano"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Program
+		if err := json.Unmarshal(data, &p); err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			return // structurally invalid programs are rejected downstream
+		}
+		enc, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("valid program does not marshal: %v (%+v)", err, p)
+		}
+		var back Program
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("re-decode: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(back, p) {
+			t.Fatalf("JSON round trip diverged: %+v != %+v", back, p)
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+)
+
+// Plan is a compiled scenario program: every disturbance resolved to a
+// flat per-step schedule over a fixed horizon, plus the ordered
+// controller-variable injections executed by PlanExec. A plan is
+// immutable after Compile and shared freely across sessions; per-run
+// mutable state (the injectors' hold latches) lives in PlanExec.
+type Plan struct {
+	prog     Program
+	steps    int
+	cycleMin float64
+
+	initialBG float64
+	injects   []Segment // SegInject segments, timeline order
+
+	// Per-step schedules, nil when the program has no segment of that
+	// class — the executing stepper skips the whole feature then, which
+	// is what keeps inject-only (legacy-bridged) plans byte-identical
+	// to the enum path.
+	carb     []float64 // carbohydrate ingestion, g/min
+	exercise []float64 // added glucose clearance, 1/min
+	bias     []float64 // additive CGM bias, mg/dL
+	dropout  []bool    // CGM frozen at previous sensed value
+	occluded []bool    // pump blocked: commanded insulin not delivered
+	active   []bool    // any timeline segment live at this step
+}
+
+// Compile validates the program and resolves it over a fixed horizon of
+// steps control cycles of cycleMin minutes. Windows are clipped to the
+// horizon; a window entirely past it is legal and simply never fires.
+func (p Program) Compile(steps int, cycleMin float64) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("fault: compile %q: non-positive steps %d", p.Name, steps)
+	}
+	if cycleMin <= 0 {
+		return nil, fmt.Errorf("fault: compile %q: non-positive cycle %v", p.Name, cycleMin)
+	}
+	pl := &Plan{prog: p, steps: steps, cycleMin: cycleMin, initialBG: p.InitialBG()}
+	mark := func(dst *[]bool, seg Segment) {
+		if *dst == nil {
+			*dst = make([]bool, steps)
+		}
+		for s := seg.Start; s < seg.Start+seg.Duration && s < steps; s++ {
+			(*dst)[s] = true
+		}
+	}
+	addf := func(dst *[]float64, seg Segment, at func(step int) float64) {
+		if *dst == nil {
+			*dst = make([]float64, steps)
+		}
+		for s := seg.Start; s < seg.Start+seg.Duration && s < steps; s++ {
+			(*dst)[s] += at(s)
+		}
+	}
+	for _, seg := range p.Segments {
+		switch seg.Kind {
+		case SegInject:
+			pl.injects = append(pl.injects, seg)
+		case SegDropout:
+			mark(&pl.dropout, seg)
+		case SegBiasRamp:
+			// Linear ramp reaching seg.Value at the window's last step.
+			addf(&pl.bias, seg, func(s int) float64 {
+				return seg.Value * float64(s-seg.Start+1) / float64(seg.Duration)
+			})
+		case SegMeal:
+			// Value grams spread uniformly across the window.
+			rate := seg.Value / (float64(seg.Duration) * cycleMin)
+			addf(&pl.carb, seg, func(int) float64 { return rate })
+		case SegExercise:
+			addf(&pl.exercise, seg, func(int) float64 { return seg.Value })
+		case SegOcclusion:
+			mark(&pl.occluded, seg)
+		case SegInitBG:
+			// Resolved by Program.InitialBG above.
+		default:
+			return nil, fmt.Errorf("fault: compile %q: invalid segment kind %d", p.Name, int(seg.Kind))
+		}
+		if seg.Kind != SegInitBG {
+			mark(&pl.active, seg)
+		}
+	}
+	return pl, nil
+}
+
+// Program returns the source program the plan was compiled from.
+func (pl *Plan) Program() Program { return pl.prog }
+
+// Steps returns the compile horizon in control cycles.
+func (pl *Plan) Steps() int { return pl.steps }
+
+// CycleMin returns the control-cycle length the plan was compiled for.
+func (pl *Plan) CycleMin() float64 { return pl.cycleMin }
+
+// InitialBG returns the plan's initial glucose, 0 for the platform
+// default.
+func (pl *Plan) InitialBG() float64 { return pl.initialBG }
+
+// CarbRate returns the carbohydrate ingestion rate (g/min) at a step.
+func (pl *Plan) CarbRate(step int) float64 { return atF(pl.carb, step) }
+
+// Exercise returns the added glucose clearance (1/min) at a step.
+func (pl *Plan) Exercise(step int) float64 { return atF(pl.exercise, step) }
+
+// Bias returns the additive CGM bias (mg/dL) at a step.
+func (pl *Plan) Bias(step int) float64 { return atF(pl.bias, step) }
+
+// Dropout reports whether the CGM is frozen at a step.
+func (pl *Plan) Dropout(step int) bool { return atB(pl.dropout, step) }
+
+// Occluded reports whether the pump is blocked at a step.
+func (pl *Plan) Occluded(step int) bool { return atB(pl.occluded, step) }
+
+// Active reports whether any timeline segment is live at a step; for a
+// legacy-bridged single-injection plan this equals Fault.Active.
+func (pl *Plan) Active(step int) bool { return atB(pl.active, step) }
+
+// HasCarbs reports whether the plan schedules any carbohydrate intake.
+func (pl *Plan) HasCarbs() bool { return pl.carb != nil }
+
+// HasExercise reports whether the plan schedules any exercise.
+func (pl *Plan) HasExercise() bool { return pl.exercise != nil }
+
+// HasCGMDisturbance reports whether the plan perturbs the sensed CGM
+// (dropout or bias segments).
+func (pl *Plan) HasCGMDisturbance() bool { return pl.bias != nil || pl.dropout != nil }
+
+// HasOcclusion reports whether the plan blocks the pump anywhere.
+func (pl *Plan) HasOcclusion() bool { return pl.occluded != nil }
+
+func atF(a []float64, step int) float64 {
+	if a == nil || step < 0 || step >= len(a) {
+		return 0
+	}
+	return a[step]
+}
+
+func atB(a []bool, step int) bool {
+	if a == nil || step < 0 || step >= len(a) {
+		return false
+	}
+	return a[step]
+}
+
+// FaultInfo returns the plan's trace annotation. A plan with exactly
+// one timeline segment, that segment an injection, annotates exactly as
+// the legacy enum path (byte-identical traces); a plan with no timeline
+// segments annotates as fault-free; anything richer is summarized under
+// the program's name with the timeline's overall window.
+func (pl *Plan) FaultInfo() trace.FaultInfo {
+	timeline := 0
+	for _, s := range pl.prog.Segments {
+		if s.Kind != SegInitBG {
+			timeline++
+		}
+	}
+	if timeline == 0 {
+		return trace.FaultInfo{}
+	}
+	if timeline == 1 && len(pl.injects) == 1 {
+		seg := pl.injects[0]
+		return Fault{
+			Kind: seg.Fault, Target: seg.Target, Value: seg.Value,
+			StartStep: seg.Start, Duration: seg.Duration,
+		}.Info()
+	}
+	start, end := -1, 0
+	for _, s := range pl.prog.Segments {
+		if s.Kind == SegInitBG {
+			continue
+		}
+		if start < 0 || s.Start < start {
+			start = s.Start
+		}
+		if s.Start+s.Duration > end {
+			end = s.Start + s.Duration
+		}
+	}
+	return trace.FaultInfo{
+		Name:      "program:" + pl.prog.Name,
+		Kind:      "program",
+		StartStep: start,
+		Duration:  end - start,
+	}
+}
+
+// PlanExec is the mutable execution state of one plan run: one injector
+// per injection segment, applied in timeline order. For a
+// legacy-bridged single-injection plan its perturbation behavior and
+// snapshot bytes are byte-identical to the legacy single Injector.
+type PlanExec struct {
+	injectors []*Injector
+}
+
+// NewExec builds fresh execution state for the plan.
+func (pl *Plan) NewExec() (*PlanExec, error) {
+	ex := &PlanExec{}
+	for _, seg := range pl.injects {
+		inj, err := NewInjector(Fault{
+			Kind: seg.Fault, Target: seg.Target, Value: seg.Value,
+			StartStep: seg.Start, Duration: seg.Duration,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fault: plan %q: %w", pl.prog.Name, err)
+		}
+		ex.injectors = append(ex.injectors, inj)
+	}
+	return ex, nil
+}
+
+// BeginStep sets the current control-cycle index on every injector.
+func (e *PlanExec) BeginStep(step int) {
+	for _, inj := range e.injectors {
+		inj.BeginStep(step)
+	}
+}
+
+// Perturb is the control.PerturbFunc for the plan: each injection
+// applies in timeline order.
+func (e *PlanExec) Perturb(stage control.Stage, vars map[string]*float64) {
+	for _, inj := range e.injectors {
+		inj.Perturb(stage, vars)
+	}
+}
+
+// HasInjectors reports whether the plan carries any controller-variable
+// injections (false for disturbance-only programs).
+func (e *PlanExec) HasInjectors() bool { return len(e.injectors) > 0 }
+
+// Reset rewinds every injector for a fresh run.
+func (e *PlanExec) Reset() {
+	for _, inj := range e.injectors {
+		inj.Reset()
+	}
+}
+
+// SnapshotState serializes every injector's progress in timeline order;
+// the count is implied by the plan, so a single-injection plan's bytes
+// equal the legacy injector's.
+func (e *PlanExec) SnapshotState(enc *snapshot.Encoder) {
+	for _, inj := range e.injectors {
+		inj.SnapshotState(enc)
+	}
+}
+
+// RestoreState implements snapshot.Snapshotter for the injector set.
+func (e *PlanExec) RestoreState(dec *snapshot.Decoder) error {
+	for _, inj := range e.injectors {
+		if err := inj.RestoreState(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/control"
+)
+
+// benchProgram exercises every segment class, so the compile cost below
+// is the worst case (all five schedule arrays allocated and filled).
+func benchProgram() Program {
+	return Program{Name: "bench", Segments: []Segment{
+		{Kind: SegInitBG, Value: 160},
+		{Kind: SegInject, Fault: KindMax, Target: "glucose", Value: 400, Start: 10, Duration: 120},
+		{Kind: SegDropout, Start: 40, Duration: 20},
+		{Kind: SegBiasRamp, Value: 30, Start: 60, Duration: 40},
+		{Kind: SegMeal, Value: 75, Start: 100, Duration: 8},
+		{Kind: SegExercise, Value: 0.013, Start: 150, Duration: 24},
+		{Kind: SegOcclusion, Start: 200, Duration: 12},
+	}}
+}
+
+// BenchmarkProgramCompile is the one-time per-session cost of compiling
+// a rich (all-segment-class) program to a day-length plan.
+func BenchmarkProgramCompile(b *testing.B) {
+	p := benchProgram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Compile(288, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignProgramsCompile compiles the full bridged 882-matrix
+// (one op = the whole table): the fleet pays this once per Config, not
+// per session.
+func BenchmarkCampaignProgramsCompile(b *testing.B) {
+	progs := CampaignPrograms(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := p.Compile(288, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPlanExecPerturb is the per-cycle injection cost on the
+// compiled path: BeginStep plus both perturbation stages, the work
+// every session step pays. Compare BenchmarkInjectorPerturb — the plan
+// path must not be slower than the legacy enum injector it replaced.
+func BenchmarkPlanExecPerturb(b *testing.B) {
+	plan, err := benchProgram().Compile(288, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec, err := plan.NewExec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	glucose, rate := 120.0, 1.5
+	vars := map[string]*float64{"glucose": &glucose, "rate": &rate}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.BeginStep(i % 288)
+		exec.Perturb(control.StagePre, vars)
+		exec.Perturb(control.StagePost, vars)
+	}
+}
+
+// BenchmarkInjectorPerturb is the legacy enum injector's per-cycle
+// cost, the baseline for BenchmarkPlanExecPerturb.
+func BenchmarkInjectorPerturb(b *testing.B) {
+	in, err := NewInjector(Fault{Kind: KindMax, Target: "glucose", Value: 400, StartStep: 10, Duration: 120})
+	if err != nil {
+		b.Fatal(err)
+	}
+	glucose, rate := 120.0, 1.5
+	vars := map[string]*float64{"glucose": &glucose, "rate": &rate}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.BeginStep(i % 288)
+		in.Perturb(control.StagePre, vars)
+		in.Perturb(control.StagePost, vars)
+	}
+}

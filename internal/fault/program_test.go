@@ -1,0 +1,310 @@
+package fault
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScenarioProgramBridge checks the legacy enum scenario bridges to
+// exactly the IR the compiler and the rest of the stack expect: an
+// optional initial-BG setter followed by the single injection window.
+func TestScenarioProgramBridge(t *testing.T) {
+	sc := Scenario{
+		Fault:     Fault{Kind: KindMax, Target: "glucose", Value: 400, StartStep: 10, Duration: 120},
+		InitialBG: 160,
+	}
+	p := sc.Program()
+	if p.Name != "max:glucose/s10d120/bg160" {
+		t.Errorf("bridged name %q", p.Name)
+	}
+	want := []Segment{
+		{Kind: SegInitBG, Value: 160},
+		{Kind: SegInject, Fault: KindMax, Target: "glucose", Value: 400, Start: 10, Duration: 120},
+	}
+	if !reflect.DeepEqual(p.Segments, want) {
+		t.Errorf("bridged segments %+v, want %+v", p.Segments, want)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault-free scenarios bridge to an init-only program named baseline.
+	ff := Scenario{InitialBG: 120}.Program()
+	if ff.Name != "baseline/bg120" || len(ff.Segments) != 1 || ff.Segments[0].Kind != SegInitBG {
+		t.Errorf("fault-free bridge = %+v", ff)
+	}
+	// A fully zero scenario is a valid empty program.
+	if err := (Scenario{}).Program().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignProgramsMatchLegacy is the generator identity: the 882
+// matrix emitted as IR is exactly the legacy matrix bridged one
+// scenario at a time, in order.
+func TestCampaignProgramsMatchLegacy(t *testing.T) {
+	progs := CampaignPrograms(nil)
+	legacy := Campaign(nil)
+	if len(progs) != len(legacy) {
+		t.Fatalf("%d programs vs %d scenarios", len(progs), len(legacy))
+	}
+	for i := range progs {
+		if !reflect.DeepEqual(progs[i], legacy[i].Program()) {
+			t.Fatalf("program %d diverges from bridged scenario", i)
+		}
+	}
+	if n := len(FaultFreePrograms(nil)); n != len(FaultFreeScenarios(nil)) {
+		t.Fatalf("fault-free program count %d", n)
+	}
+}
+
+// TestCompileSemantics pins the plan's per-step schedules: window
+// clipping at the horizon, meal carbs spread uniformly, bias ramping
+// linearly to its height, and nil schedules for unused classes.
+func TestCompileSemantics(t *testing.T) {
+	p := Program{Name: "mix", Segments: []Segment{
+		{Kind: SegInitBG, Value: 150},
+		{Kind: SegMeal, Value: 60, Start: 2, Duration: 4},
+		{Kind: SegBiasRamp, Value: 30, Start: 0, Duration: 3},
+		{Kind: SegDropout, Start: 8, Duration: 100},  // clips at the horizon
+		{Kind: SegOcclusion, Start: 20, Duration: 5}, // entirely past it
+	}}
+	pl, err := p.Compile(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.InitialBG() != 150 || pl.Steps() != 10 || pl.CycleMin() != 5 {
+		t.Fatalf("plan header %v/%d/%v", pl.InitialBG(), pl.Steps(), pl.CycleMin())
+	}
+	// 60 g over 4 cycles of 5 min = 3 g/min while active.
+	for step := 0; step < 10; step++ {
+		want := 0.0
+		if step >= 2 && step < 6 {
+			want = 3
+		}
+		if got := pl.CarbRate(step); math.Abs(got-want) > 1e-12 {
+			t.Errorf("carb rate step %d = %v, want %v", step, got, want)
+		}
+	}
+	// The ramp reaches its full height on the window's last cycle.
+	if got := pl.Bias(2); math.Abs(got-30) > 1e-9 {
+		t.Errorf("bias at ramp end = %v, want 30", got)
+	}
+	if pl.Bias(0) >= pl.Bias(1) || pl.Bias(1) >= pl.Bias(2) {
+		t.Errorf("bias not ramping: %v %v %v", pl.Bias(0), pl.Bias(1), pl.Bias(2))
+	}
+	if pl.Bias(3) != 0 {
+		t.Errorf("bias after window = %v", pl.Bias(3))
+	}
+	// Dropout clips to [8, 10); the occlusion never fires but the class
+	// still allocates (it is declared by the program).
+	if !pl.Dropout(8) || !pl.Dropout(9) || pl.Dropout(7) {
+		t.Error("dropout window wrong")
+	}
+	for step := 0; step < 10; step++ {
+		if pl.Occluded(step) {
+			t.Fatalf("past-horizon occlusion fired at %d", step)
+		}
+	}
+	if !pl.HasCarbs() || !pl.HasCGMDisturbance() || !pl.HasOcclusion() || pl.HasExercise() {
+		t.Error("class flags wrong")
+	}
+	// Active is the union of all timeline windows.
+	if !pl.Active(0) || !pl.Active(9) || pl.Active(6) != false && !pl.Dropout(6) {
+		t.Errorf("active union wrong at edges")
+	}
+
+	// Inject-only programs keep every disturbance schedule nil, so the
+	// bridged-legacy path stays byte-identical to the enum path.
+	lp, err := Scenario{Fault: Fault{Kind: KindAdd, Target: "glucose", Value: 50, StartStep: 1, Duration: 3}}.Program().Compile(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.HasCarbs() || lp.HasExercise() || lp.HasCGMDisturbance() || lp.HasOcclusion() {
+		t.Error("bridged inject-only plan allocated disturbance schedules")
+	}
+	exec, err := lp.NewExec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.HasInjectors() {
+		t.Error("inject-only plan has no injectors")
+	}
+
+	if _, err := p.Compile(0, 5); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := p.Compile(10, 0); err == nil {
+		t.Error("zero cycle accepted")
+	}
+	if _, err := (Program{Segments: []Segment{{Kind: SegMeal, Value: -1, Start: 0, Duration: 1}}}).Compile(10, 5); err == nil {
+		t.Error("invalid program compiled")
+	}
+}
+
+// TestPlanFaultInfo pins the trace annotation contract: single-inject
+// plans annotate exactly like the legacy fault, fault-free plans are
+// unannotated, and richer programs carry a program: label.
+func TestPlanFaultInfo(t *testing.T) {
+	f := Fault{Kind: KindMin, Target: "rate", Value: 0, StartStep: 5, Duration: 20}
+	pl, err := (Scenario{Fault: f, InitialBG: 130}).Program().Compile(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pl.FaultInfo(), f.Info(); !reflect.DeepEqual(got, want) {
+		t.Errorf("single-inject info %+v, want legacy %+v", got, want)
+	}
+
+	ffpl, err := (Scenario{InitialBG: 130}).Program().Compile(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffpl.FaultInfo().Name != "" {
+		t.Errorf("fault-free plan annotated as %q", ffpl.FaultInfo().Name)
+	}
+
+	rich, err := (Program{Name: "storm", Segments: []Segment{
+		{Kind: SegMeal, Value: 40, Start: 1, Duration: 4},
+		{Kind: SegDropout, Start: 2, Duration: 8},
+	}}).Compile(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rich.FaultInfo().Name; got != "program:storm" {
+		t.Errorf("rich program annotated as %q", got)
+	}
+}
+
+// TestProgramValidateRejects sweeps the validator's rejection surface.
+func TestProgramValidateRejects(t *testing.T) {
+	cases := map[string]Program{
+		"name with space":  {Name: "a b"},
+		"name with hash":   {Name: "a#b"},
+		"two init setters": {Segments: []Segment{{Kind: SegInitBG, Value: 100}, {Kind: SegInitBG, Value: 120}}},
+		"nan value":        {Segments: []Segment{{Kind: SegMeal, Value: math.NaN(), Start: 0, Duration: 1}}},
+		"negative start":   {Segments: []Segment{{Kind: SegDropout, Start: -1, Duration: 5}}},
+		"zero duration":    {Segments: []Segment{{Kind: SegOcclusion, Start: 0, Duration: 0}}},
+		"zero bias ramp":   {Segments: []Segment{{Kind: SegBiasRamp, Value: 0, Start: 0, Duration: 5}}},
+		"negative meal":    {Segments: []Segment{{Kind: SegMeal, Value: -10, Start: 0, Duration: 5}}},
+		"zero exercise":    {Segments: []Segment{{Kind: SegExercise, Value: 0, Start: 0, Duration: 5}}},
+		"init with window": {Segments: []Segment{{Kind: SegInitBG, Value: 120, Duration: 3}}},
+		"dropout value":    {Segments: []Segment{{Kind: SegDropout, Value: 1, Start: 0, Duration: 5}}},
+		"bad inject":       {Segments: []Segment{{Kind: SegInject, Fault: KindMax, Target: "", Value: 1, Start: 0, Duration: 5}}},
+		"invalid kind":     {Segments: []Segment{{Kind: SegKind(99), Value: 1}}},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", name, p)
+		}
+	}
+}
+
+// TestProgramJSONRoundTrip checks the JSON codec (the fleetd tenant
+// wire format) preserves programs exactly, including keyword-encoded
+// kinds.
+func TestProgramJSONRoundTrip(t *testing.T) {
+	p := Program{Name: "wire", Segments: []Segment{
+		{Kind: SegInitBG, Value: 145},
+		{Kind: SegInject, Fault: KindHold, Target: "insulin", Start: 3, Duration: 40},
+		{Kind: SegMeal, Value: 75, Start: 12, Duration: 6},
+		{Kind: SegExercise, Value: 0.02, Start: 30, Duration: 12},
+	}}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"meal"`) || !strings.Contains(string(data), `"fault":"hold"`) {
+		t.Errorf("kinds not keyword-encoded: %s", data)
+	}
+	var back Program
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, p) {
+		t.Fatalf("round trip %+v != %+v", back, p)
+	}
+	if err := json.Unmarshal([]byte(`{"segments":[{"kind":"volcano"}]}`), &back); err == nil {
+		t.Error("unknown segment kind keyword accepted")
+	}
+	if _, err := json.Marshal(Segment{Kind: SegKind(42)}); err == nil {
+		t.Error("invalid segment kind marshaled")
+	}
+}
+
+// TestTextRoundTrip checks ParseProgram(Format()) is the identity over
+// a representative program set, and that Key equals Format.
+func TestTextRoundTrip(t *testing.T) {
+	progs := []Program{
+		{Name: "", Segments: nil},
+		{Name: "full", Segments: []Segment{
+			{Kind: SegInitBG, Value: 137.5},
+			{Kind: SegInject, Fault: KindSub, Target: "glucose", Value: 25, Start: 4, Duration: 30},
+			{Kind: SegDropout, Start: 10, Duration: 8},
+			{Kind: SegBiasRamp, Value: -15, Start: 0, Duration: 20},
+			{Kind: SegMeal, Value: 90, Start: 50, Duration: 4},
+			{Kind: SegExercise, Value: 0.013, Start: 60, Duration: 24},
+			{Kind: SegOcclusion, Start: 70, Duration: 6},
+		}},
+	}
+	progs = append(progs, CampaignPrograms(nil)[:25]...)
+	for _, p := range progs {
+		if p.Key() != p.Format() {
+			t.Fatalf("Key diverges from Format for %q", p.Name)
+		}
+		back, err := ParseProgram(p.Format())
+		if err != nil {
+			t.Fatalf("parse %q: %v\n%s", p.Name, err, p.Format())
+		}
+		if !reflect.DeepEqual(back, p) {
+			t.Fatalf("text round trip:\n%s\n-> %+v\nwant %+v", p.Format(), back, p)
+		}
+	}
+}
+
+// TestParseProgramsFile exercises the file-level grammar: comments,
+// blank lines, multiple blocks, and the error surface.
+func TestParseProgramsFile(t *testing.T) {
+	text := `
+# fleet scenario file
+scenario lunch-crash
+  init bg=110   # mid-range start
+  meal grams=85 start=10 dur=8
+
+scenario sensor-storm
+  dropout start=20 dur=12
+  bias value=40 start=40 dur=30
+`
+	progs, err := ParsePrograms(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 || progs[0].Name != "lunch-crash" || progs[1].Name != "sensor-storm" {
+		t.Fatalf("parsed %+v", progs)
+	}
+	if progs[0].Segments[1].Value != 85 || progs[1].Segments[0].Duration != 12 {
+		t.Fatalf("segment fields wrong: %+v", progs)
+	}
+
+	bad := []string{
+		"",                            // no blocks
+		"meal grams=10 start=0 dur=1", // segment before header
+		"scenario a b\n",              // extra header token
+		"scenario x\n  meal grams=ten start=0 dur=1",      // bad float
+		"scenario x\n  meal grams=10 start=0 dur=1 dur=2", // duplicate key
+		"scenario x\n  meal grams=10 bogus=1",             // unknown key
+		"scenario x\n  teleport start=0 dur=1",            // unknown kind
+		"scenario x\n  inject max",                        // inject missing target
+		"scenario x\n  meal grams=-5 start=0 dur=1",       // validator runs
+	}
+	for _, text := range bad {
+		if _, err := ParsePrograms(text); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+	if _, err := ParseProgram("scenario a\nscenario b\n"); err == nil {
+		t.Error("ParseProgram accepted two blocks")
+	}
+}

@@ -1,0 +1,203 @@
+// Canonical text encoding of scenario programs — the format behind
+// `fleetsim -scenario-file`, the falsifier corpus, and Program.Key.
+//
+// Grammar (one program; a file may hold several):
+//
+//	scenario <name>
+//	  init bg=<mg/dL>
+//	  inject <kind> <target> value=<v> start=<cycle> dur=<cycles>
+//	  dropout start=<cycle> dur=<cycles>
+//	  bias value=<mg/dL> start=<cycle> dur=<cycles>
+//	  meal grams=<g> start=<cycle> dur=<cycles>
+//	  exercise intensity=<1/min> start=<cycle> dur=<cycles>
+//	  occlude start=<cycle> dur=<cycles>
+//
+// '#' starts a comment; blank lines separate programs only visually
+// (each `scenario` header opens a new program). Format emits the
+// canonical form: two-space indentation, fields in the order above,
+// %g floats, "-" for the empty name. ParseProgram(p.Format()) is the
+// identity for every valid program.
+
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format returns the program's canonical text encoding.
+func (p Program) Format() string {
+	var b strings.Builder
+	name := p.Name
+	if name == "" {
+		name = "-"
+	}
+	fmt.Fprintf(&b, "scenario %s\n", name)
+	for _, s := range p.Segments {
+		b.WriteString("  ")
+		b.WriteString(formatSegment(s))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatSegment renders one canonical segment line (no indentation).
+func formatSegment(s Segment) string {
+	switch s.Kind {
+	case SegInject:
+		return fmt.Sprintf("inject %s %s value=%g start=%d dur=%d", s.Fault, s.Target, s.Value, s.Start, s.Duration)
+	case SegDropout:
+		return fmt.Sprintf("dropout start=%d dur=%d", s.Start, s.Duration)
+	case SegBiasRamp:
+		return fmt.Sprintf("bias value=%g start=%d dur=%d", s.Value, s.Start, s.Duration)
+	case SegMeal:
+		return fmt.Sprintf("meal grams=%g start=%d dur=%d", s.Value, s.Start, s.Duration)
+	case SegExercise:
+		return fmt.Sprintf("exercise intensity=%g start=%d dur=%d", s.Value, s.Start, s.Duration)
+	case SegOcclusion:
+		return fmt.Sprintf("occlude start=%d dur=%d", s.Start, s.Duration)
+	case SegInitBG:
+		return fmt.Sprintf("init bg=%g", s.Value)
+	default:
+		return fmt.Sprintf("segkind(%d)", int(s.Kind))
+	}
+}
+
+// ParseProgram parses exactly one program from its text encoding.
+func ParseProgram(text string) (Program, error) {
+	progs, err := ParsePrograms(text)
+	if err != nil {
+		return Program{}, err
+	}
+	if len(progs) != 1 {
+		return Program{}, fmt.Errorf("fault: expected one program, got %d", len(progs))
+	}
+	return progs[0], nil
+}
+
+// ParsePrograms parses a scenario file: a sequence of `scenario` blocks
+// with '#' comments and arbitrary blank lines. Every parsed program is
+// validated.
+func ParsePrograms(text string) ([]Program, error) {
+	var progs []Program
+	var cur *Program
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "scenario" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fault: line %d: want `scenario <name>`", lineNo+1)
+			}
+			name := fields[1]
+			if name == "-" {
+				name = ""
+			}
+			progs = append(progs, Program{Name: name})
+			cur = &progs[len(progs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fault: line %d: segment before any `scenario` header", lineNo+1)
+		}
+		seg, err := parseSegment(fields)
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: %w", lineNo+1, err)
+		}
+		cur.Segments = append(cur.Segments, seg)
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("fault: no `scenario` blocks found")
+	}
+	for i := range progs {
+		if err := progs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return progs, nil
+}
+
+// parseSegment parses one segment line already split into fields.
+func parseSegment(fields []string) (Segment, error) {
+	kind, err := ParseSegKind(fields[0])
+	if err != nil {
+		return Segment{}, err
+	}
+	seg := Segment{Kind: kind}
+	rest := fields[1:]
+	if kind == SegInject {
+		if len(rest) < 2 {
+			return Segment{}, fmt.Errorf("fault: inject needs `<kind> <target>`")
+		}
+		fk, err := ParseKind(rest[0])
+		if err != nil {
+			return Segment{}, err
+		}
+		seg.Fault = fk
+		seg.Target = rest[1]
+		rest = rest[2:]
+	}
+	keys, err := segKeys(kind)
+	if err != nil {
+		return Segment{}, err
+	}
+	seen := make(map[string]bool, len(rest))
+	for _, kv := range rest {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Segment{}, fmt.Errorf("fault: %s: want key=value, got %q", kind, kv)
+		}
+		if !keys[key] {
+			return Segment{}, fmt.Errorf("fault: %s: unknown key %q", kind, key)
+		}
+		if seen[key] {
+			return Segment{}, fmt.Errorf("fault: %s: duplicate key %q", kind, key)
+		}
+		seen[key] = true
+		switch key {
+		case "start", "dur":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Segment{}, fmt.Errorf("fault: %s: bad %s %q", kind, key, val)
+			}
+			if key == "start" {
+				seg.Start = n
+			} else {
+				seg.Duration = n
+			}
+		default: // the kind's value key
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Segment{}, fmt.Errorf("fault: %s: bad %s %q", kind, key, val)
+			}
+			seg.Value = v
+		}
+	}
+	return seg, nil
+}
+
+// segKeys returns the key=value keys a segment kind accepts.
+func segKeys(kind SegKind) (map[string]bool, error) {
+	switch kind {
+	case SegInject:
+		return map[string]bool{"value": true, "start": true, "dur": true}, nil
+	case SegDropout, SegOcclusion:
+		return map[string]bool{"start": true, "dur": true}, nil
+	case SegBiasRamp:
+		return map[string]bool{"value": true, "start": true, "dur": true}, nil
+	case SegMeal:
+		return map[string]bool{"grams": true, "start": true, "dur": true}, nil
+	case SegExercise:
+		return map[string]bool{"intensity": true, "start": true, "dur": true}, nil
+	case SegInitBG:
+		return map[string]bool{"bg": true}, nil
+	default:
+		return nil, fmt.Errorf("fault: invalid segment kind %d", int(kind))
+	}
+}

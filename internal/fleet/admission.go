@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/monitor"
 )
 
@@ -56,9 +57,16 @@ type AdmitSpec struct {
 	Group string
 	// PatientIdx is the cohort index of the admitted patient.
 	PatientIdx int
-	// ScenIdx indexes Config.Scenarios — admitted sessions choose from
-	// the fleet's declared scenario table.
+	// ScenIdx indexes the fleet's declared scenario table
+	// (Config.Scenarios or Config.LegacyScenarios) — admitted sessions
+	// choose from it. Ignored when Program is set.
 	ScenIdx int
+	// Program, when non-nil, admits an inline scenario program instead
+	// of a table index: the program is validated and compile-checked at
+	// the gate against the fleet's Steps/CycleMin, and the session (and
+	// its continuous-mode replicas) runs the compiled plan. Registry
+	// entries record ScenIdx -1 and the program's canonical text.
+	Program *fault.Program
 	// NewMonitor optionally overrides Config.NewMonitor for this
 	// session, so tenants can attach their own safety monitor. Invalid
 	// on fleets using Config.NewBatchMonitor (the shard-batched monitor
@@ -83,9 +91,13 @@ type LiveSession struct {
 	// Slot is the session's slot index (unique for the fleet's
 	// lifetime; slots are never reused).
 	Slot int
-	// PatientIdx and ScenIdx are the session's coordinates.
+	// PatientIdx and ScenIdx are the session's coordinates; ScenIdx is
+	// -1 for inline-program sessions.
 	PatientIdx int
 	ScenIdx    int
+	// Program is the canonical text of an inline-admitted scenario
+	// program ("" for table-indexed sessions).
+	Program string
 	// Group is the AdmitSpec tag ("" for the initial static slots).
 	Group string
 }
@@ -182,11 +194,15 @@ func (a *Admissions) bind(cfg *Config) error {
 			if ss.PatientIdx < 0 || ss.PatientIdx >= cfg.Platform.NumPatients {
 				return fmt.Errorf("fleet: restore snapshot slot %d: patient index %d outside cohort [0, %d)", ss.Slot, ss.PatientIdx, cfg.Platform.NumPatients)
 			}
-			if ss.ScenIdx < 0 || ss.ScenIdx >= len(cfg.Scenarios) {
-				return fmt.Errorf("fleet: restore snapshot slot %d: scenario index %d outside the declared table [0, %d)", ss.Slot, ss.ScenIdx, len(cfg.Scenarios))
+			if ss.Program == "" && (ss.ScenIdx < 0 || ss.ScenIdx >= cfg.numScenarios()) {
+				return fmt.Errorf("fleet: restore snapshot slot %d: scenario index %d outside the declared table [0, %d)", ss.Slot, ss.ScenIdx, cfg.numScenarios())
+			}
+			sp, err := restoredSpec(ss)
+			if err != nil {
+				return fmt.Errorf("fleet: restore snapshot slot %d: %w", ss.Slot, err)
 			}
 			shard := ss.Slot % cfg.Parallel
-			a.live[ss.Slot] = liveSlot{spec: restoredSpec(ss), shard: shard}
+			a.live[ss.Slot] = liveSlot{spec: sp, shard: shard}
 			a.loads[shard]++
 		}
 		a.nextSlot = snap.NextSlot
@@ -298,10 +314,15 @@ func (a *Admissions) Live() []LiveSession {
 	defer a.mu.Unlock()
 	out := make([]LiveSession, 0, len(a.live))
 	for _, ls := range a.live { //fleetvet:nondeterministic order-independent: entries are sorted by slot before return
+		prog := ""
+		if ls.spec.program != nil {
+			prog = ls.spec.program.Key()
+		}
 		out = append(out, LiveSession{
 			Slot:       ls.spec.index,
 			PatientIdx: ls.spec.patientIdx,
 			ScenIdx:    ls.spec.scenIdx,
+			Program:    prog,
 			Group:      ls.spec.group,
 		})
 	}
@@ -573,9 +594,13 @@ func (g *admissionGate) applyOps(ops []admissionOp) {
 				index:      slot,
 				patientIdx: sp.PatientIdx,
 				scenIdx:    sp.ScenIdx,
+				program:    sp.Program,
 				group:      sp.Group,
 				newMonitor: sp.NewMonitor,
 				mitigate:   sp.Mitigate,
+			}
+			if sp.Program != nil {
+				spc.scenIdx = -1
 			}
 			if snap != nil {
 				// A restored admission resumes the captured session on the
@@ -585,6 +610,18 @@ func (g *admissionGate) applyOps(ops []admissionOp) {
 				spc.scenIdx = snap.ScenIdx
 				spc.replica = snap.Replica
 				spc.mitigate = snap.Mitigate
+				spc.program = nil
+				if snap.Program != "" {
+					// validateSpec already proved the text parses.
+					prog, err := fault.ParseProgram(snap.Program)
+					if err != nil {
+						a.rejectLocked(sp, fmt.Sprintf("snapshot program: %v", err))
+						a.nextSlot-- // slot was never registered; reuse it
+						continue
+					}
+					spc.program = &prog
+					spc.scenIdx = -1
+				}
 				if sp.Group == "" {
 					spc.group = snap.Group
 				}
@@ -629,6 +666,7 @@ func (g *admissionGate) failRestore(shard int, sp spec, err error) {
 		Group:      sp.group,
 		PatientIdx: sp.patientIdx,
 		ScenIdx:    sp.scenIdx,
+		Program:    sp.program,
 		Mitigate:   sp.mitigate,
 	}, fmt.Sprintf("restore failed: %v", err))
 }
@@ -648,16 +686,30 @@ func (g *admissionGate) validateSpec(sp AdmitSpec) (string, *SessionSnapshot) {
 		if snap.PatientIdx < 0 || snap.PatientIdx >= g.cfg.Platform.NumPatients {
 			return fmt.Sprintf("snapshot patient index %d outside cohort [0, %d)", snap.PatientIdx, g.cfg.Platform.NumPatients), nil
 		}
-		if snap.ScenIdx < 0 || snap.ScenIdx >= len(g.cfg.Scenarios) {
-			return fmt.Sprintf("snapshot scenario index %d outside the declared table [0, %d)", snap.ScenIdx, len(g.cfg.Scenarios)), nil
+		if snap.Program != "" {
+			prog, err := fault.ParseProgram(snap.Program)
+			if err != nil {
+				return fmt.Sprintf("snapshot program: %v", err), nil
+			}
+			if _, err := prog.Compile(g.cfg.Steps, g.cfg.CycleMin); err != nil {
+				return fmt.Sprintf("snapshot program: %v", err), nil
+			}
+		} else if snap.ScenIdx < 0 || snap.ScenIdx >= g.cfg.numScenarios() {
+			return fmt.Sprintf("snapshot scenario index %d outside the declared table [0, %d)", snap.ScenIdx, g.cfg.numScenarios()), nil
 		}
 		return "", snap
 	}
 	if sp.PatientIdx < 0 || sp.PatientIdx >= g.cfg.Platform.NumPatients {
 		return fmt.Sprintf("patient index %d outside cohort [0, %d)", sp.PatientIdx, g.cfg.Platform.NumPatients), nil
 	}
-	if sp.ScenIdx < 0 || sp.ScenIdx >= len(g.cfg.Scenarios) {
-		return fmt.Sprintf("scenario index %d outside the declared table [0, %d)", sp.ScenIdx, len(g.cfg.Scenarios)), nil
+	if sp.Program != nil {
+		// An inline program must be executable on this fleet's horizon
+		// before it takes a slot; Compile revalidates and clips windows.
+		if _, err := sp.Program.Compile(g.cfg.Steps, g.cfg.CycleMin); err != nil {
+			return fmt.Sprintf("inline program: %v", err), nil
+		}
+	} else if sp.ScenIdx < 0 || sp.ScenIdx >= g.cfg.numScenarios() {
+		return fmt.Sprintf("scenario index %d outside the declared table [0, %d)", sp.ScenIdx, g.cfg.numScenarios()), nil
 	}
 	if sp.NewMonitor != nil && g.cfg.NewBatchMonitor != nil {
 		return "per-session monitor override conflicts with Config.NewBatchMonitor", nil

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sensor"
+)
+
+// TestFleetLegacyMatrixGoldenDifferential is the scenario-IR golden
+// differential: driving legacy 882-matrix entries through the compiled
+// program path (fault.Programs → Plan) must produce a byte-identical
+// fleet — serialized traces AND the epoch-merged telemetry stream — to
+// the original enum injector path (Config.LegacyScenarios), at every
+// parallelism level. Sensor noise is on, so the comparison covers the
+// per-session RNG threading too.
+func TestFleetLegacyMatrixGoldenDifferential(t *testing.T) {
+	full := fault.Campaign(nil)
+	var legacy []fault.Scenario
+	for _, i := range []int{0, 97, 250, 555, 881} {
+		legacy = append(legacy, full[i])
+	}
+	base := Config{
+		Platform:     glucosymPlatform(),
+		Patients:     []int{0, 3},
+		Steps:        40,
+		Seed:         42,
+		Sensor:       &sensor.Config{NoiseSD: 3},
+		Telemetry:    &TelemetryConfig{},
+		ShardedSinks: true,
+		SinkEpoch:    4,
+	}
+	run := func(parallel int, enumPath bool) (traces, events []byte) {
+		cfg := base
+		cfg.Parallel = parallel
+		if enumPath {
+			cfg.LegacyScenarios = legacy
+		} else {
+			cfg.Scenarios = fault.Programs(legacy)
+		}
+		var buf bytes.Buffer
+		cfg.Sinks = []Sink{NewLogSink(&buf)}
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tracesCSV(t, res.Traces), buf.Bytes()
+	}
+
+	goldenTraces, goldenEvents := run(1, true)
+	if len(goldenTraces) == 0 || len(goldenEvents) == 0 {
+		t.Fatal("golden enum run produced no output")
+	}
+	for parallel := 1; parallel <= 3; parallel++ {
+		for _, enumPath := range []bool{true, false} {
+			if parallel == 1 && enumPath {
+				continue // the golden itself
+			}
+			path := "program"
+			if enumPath {
+				path = "enum"
+			}
+			traces, events := run(parallel, enumPath)
+			if !bytes.Equal(traces, goldenTraces) {
+				t.Fatalf("Parallel=%d %s path: traces differ from enum golden", parallel, path)
+			}
+			if !bytes.Equal(events, goldenEvents) {
+				t.Fatalf("Parallel=%d %s path: telemetry stream differs from enum golden", parallel, path)
+			}
+		}
+	}
+}

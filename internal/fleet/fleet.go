@@ -115,9 +115,16 @@ type Config struct {
 	Platform Platform
 	// Patients selects cohort indices; nil means the whole cohort.
 	Patients []int
-	// Scenarios selects the fault matrix; nil means the full 882-per-
-	// patient campaign.
-	Scenarios []fault.Scenario
+	// Scenarios is the fleet's scenario-program table; nil (with
+	// LegacyScenarios also empty) means the full 882-per-patient campaign
+	// compiled through the program IR. Every program is validated and
+	// compiled once, before any session starts.
+	Scenarios []fault.Program
+	// LegacyScenarios selects the fault matrix through the original
+	// single-fault enum path instead of compiled programs. Mutually
+	// exclusive with Scenarios; this is the oracle the compiled-legacy
+	// golden differential compares against.
+	LegacyScenarios []fault.Scenario
 	// Sessions is the number of concurrent session slots. Zero means one
 	// per patient x scenario pair; larger values wrap around the matrix
 	// with fresh RNG replicas.
@@ -233,6 +240,18 @@ type Config struct {
 	// ProgressEvery emits an EventProgress every k completed sessions
 	// (default 0: no progress events).
 	ProgressEvery int
+
+	// plans caches the compiled form of Scenarios, one *fault.Plan per
+	// program, built by withDefaults once Steps/CycleMin are known.
+	plans []*fault.Plan
+}
+
+// numScenarios is the size of whichever scenario table is in force.
+func (c *Config) numScenarios() int {
+	if len(c.LegacyScenarios) > 0 {
+		return len(c.LegacyScenarios)
+	}
+	return len(c.Scenarios)
 }
 
 // Validate surfaces contradictory configurations as errors without
@@ -265,13 +284,44 @@ func (c Config) Validate() error {
 	if c.NewMonitor != nil && c.NewBatchMonitor != nil {
 		return fmt.Errorf("fleet: NewMonitor and NewBatchMonitor are mutually exclusive")
 	}
+	if len(c.Scenarios) > 0 && len(c.LegacyScenarios) > 0 {
+		return fmt.Errorf("fleet: Scenarios and LegacyScenarios are mutually exclusive")
+	}
+	// Duplicate entries in either axis of the patient x scenario matrix
+	// would run indistinguishable sessions on distinct slots — almost
+	// always a config bug (a tenant admitting the same pair twice), and
+	// one that silently skews completion counts. Reject them up front.
+	patSeen := make(map[int]int, len(c.Patients))
+	for i, p := range c.Patients {
+		if j, dup := patSeen[p]; dup {
+			return fmt.Errorf("fleet: duplicate patient %d at Patients[%d] and [%d]", p, j, i)
+		}
+		patSeen[p] = i
+	}
+	progSeen := make(map[string]int, len(c.Scenarios))
+	for i, p := range c.Scenarios {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("fleet: Scenarios[%d]: %w", i, err)
+		}
+		if j, dup := progSeen[p.Key()]; dup {
+			return fmt.Errorf("fleet: duplicate scenario program %q at Scenarios[%d] and [%d]", p.Name, j, i)
+		}
+		progSeen[p.Key()] = i
+	}
+	scSeen := make(map[fault.Scenario]int, len(c.LegacyScenarios))
+	for i, sc := range c.LegacyScenarios {
+		if j, dup := scSeen[sc]; dup {
+			return fmt.Errorf("fleet: duplicate scenario %s at LegacyScenarios[%d] and [%d]", sc.Fault.Name(), j, i)
+		}
+		scSeen[sc] = i
+	}
 	if c.SinkEpoch < 0 {
 		return fmt.Errorf("fleet: negative SinkEpoch %d", c.SinkEpoch)
 	}
 	if c.SinkEpoch > 0 && !c.ShardedSinks {
 		return fmt.Errorf("fleet: SinkEpoch requires ShardedSinks")
 	}
-	if c.Continuous && len(c.Scenarios) == 0 {
+	if c.Continuous && c.numScenarios() == 0 {
 		// A serving fleet runs its scenario table forever; defaulting to
 		// the full 882-scenario campaign is never what a continuous
 		// deployment meant — declare the table explicitly.
@@ -337,14 +387,14 @@ func (c Config) withDefaults() (Config, error) {
 			c.Patients[i] = i
 		}
 	}
-	if len(c.Scenarios) == 0 {
-		c.Scenarios = fault.Campaign(nil)
+	if c.numScenarios() == 0 {
+		c.Scenarios = fault.CampaignPrograms(nil)
 	}
 	if c.Sessions <= 0 && c.Admissions == nil {
 		// An admission-controlled fleet starts with exactly the declared
 		// static slots (possibly none); only batch runs default to the
 		// full matrix.
-		c.Sessions = len(c.Patients) * len(c.Scenarios)
+		c.Sessions = len(c.Patients) * c.numScenarios()
 	}
 	if c.Steps == 0 {
 		c.Steps = 150
@@ -384,6 +434,18 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		c.Telemetry = &t
 	}
+	// Compile the program table once, now that the loop horizon is known;
+	// every session indexing Scenarios shares these plans.
+	if len(c.LegacyScenarios) == 0 {
+		c.plans = make([]*fault.Plan, len(c.Scenarios))
+		for i := range c.Scenarios {
+			pl, err := c.Scenarios[i].Compile(c.Steps, c.CycleMin)
+			if err != nil {
+				return c, fmt.Errorf("fleet: Scenarios[%d] (%s): %w", i, c.Scenarios[i].Name, err)
+			}
+			c.plans[i] = pl
+		}
+	}
 	return c, nil
 }
 
@@ -393,8 +455,12 @@ func (c Config) withDefaults() (Config, error) {
 type spec struct {
 	index      int // slot index: result slice position
 	patientIdx int
-	scenIdx    int
+	scenIdx    int // index into the scenario table; -1 with program set
 	replica    int
+	// program, when non-nil, is an inline scenario program
+	// (AdmitSpec.Program) the session runs instead of a table entry; it
+	// compiles at session start and rides along into replica refills.
+	program *fault.Program
 
 	group      string
 	newMonitor func(patientIdx int) (monitor.Monitor, error)
@@ -405,12 +471,13 @@ type spec struct {
 }
 
 func (c *Config) specFor(slot, replica int) spec {
-	matrix := len(c.Patients) * len(c.Scenarios)
+	n := c.numScenarios()
+	matrix := len(c.Patients) * n
 	rem := slot % matrix
 	return spec{
 		index:      slot,
-		patientIdx: c.Patients[rem/len(c.Scenarios)],
-		scenIdx:    rem % len(c.Scenarios),
+		patientIdx: c.Patients[rem/n],
+		scenIdx:    rem % n,
 		replica:    slot/matrix + replica,
 	}
 }
@@ -729,7 +796,12 @@ func (e *engine) runShard(shard int) {
 				e.errs[shard] = fmt.Errorf("fleet: shard %d has no free lane for restored session %d", shard, ss.Slot)
 				return
 			}
-			s, err := start(restoredSpec(ss), lane, nil)
+			sp, err := restoredSpec(ss)
+			if err != nil {
+				e.errs[shard] = fmt.Errorf("fleet: restore slot %d: %w", ss.Slot, err)
+				return
+			}
+			s, err := start(sp, lane, nil)
 			if err != nil {
 				e.errs[shard] = err
 				return
@@ -751,10 +823,11 @@ func (e *engine) runShard(shard int) {
 	lanes := make([]int, 0, capLanes)
 	obs := make([]closedloop.Observation, 0, capLanes)
 	verdicts := make([]closedloop.Verdict, capLanes)
-	var cleanCGM, sensedCGM, tMins, delivered []float64
+	var cleanCGM, sensedCGM, tMins, delivered, carbs []float64
 	if batchPat != nil {
 		sensedCGM = make([]float64, capLanes)
 		delivered = make([]float64, capLanes)
+		carbs = make([]float64, capLanes)
 		if batchSensor != nil {
 			cleanCGM = make([]float64, 0, capLanes)
 			tMins = make([]float64, 0, capLanes)
@@ -879,9 +952,13 @@ func (e *engine) runShard(shard int) {
 				}
 			}
 			for i, s := range live {
+				// The plan's scheduled meal for this cycle rides the same
+				// batched ODE step as the insulin; an explicit zero is
+				// bit-identical to the nil carb path.
+				carbs[i] = s.st.PendingCarb()
 				delivered[i] = s.st.FinishStepDeferred(verdicts[i])
 			}
-			batchPat.StepLanes(lanes, delivered[:len(live)], nil, cfg.CycleMin)
+			batchPat.StepLanes(lanes, delivered[:len(live)], carbs[:len(live)], cfg.CycleMin)
 		case bm != nil:
 			lanes, obs = lanes[:0], obs[:0]
 			for _, s := range live {
@@ -945,7 +1022,7 @@ func (e *engine) runShard(shard int) {
 			case cfg.Continuous && e.ctx.Err() == nil:
 				refill = &spec{
 					index: s.Index, patientIdx: s.PatientIdx,
-					scenIdx: s.scenIdx, replica: s.Replica + 1,
+					scenIdx: s.scenIdx, replica: s.Replica + 1, program: s.program,
 					group: s.group, newMonitor: s.newMonitor, mitigate: s.mitigate,
 				}
 			case !cfg.Continuous && next < len(slots):
@@ -1100,10 +1177,33 @@ func (e *engine) finalize(shard int, s *Session) {
 // would, so the two paths draw identical noise.
 func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat sim.BatchPatient, batchSensor *sensor.BatchModel) (*Session, error) {
 	cfg := &e.cfg
-	sc := cfg.Scenarios[sp.scenIdx]
+
+	// Resolve the session's scenario: an inline program (admitted with
+	// AdmitSpec.Program, compiled here against the fleet horizon), a
+	// compiled table entry (the default), or a legacy enum scenario (the
+	// differential oracle, stepped through the original Fault path).
+	var prog fault.Program
+	var plan *fault.Plan
+	var legacy *fault.Scenario
+	switch {
+	case sp.program != nil:
+		prog = *sp.program
+		pl, err := prog.Compile(cfg.Steps, cfg.CycleMin)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: session %d (patient %d): %w", sp.index, sp.patientIdx, err)
+		}
+		plan = pl
+	case len(cfg.LegacyScenarios) > 0:
+		sc := cfg.LegacyScenarios[sp.scenIdx]
+		legacy = &sc
+		prog = sc.Program()
+	default:
+		prog = cfg.Scenarios[sp.scenIdx]
+		plan = cfg.plans[sp.scenIdx]
+	}
 	wrap := func(err error) error {
 		return fmt.Errorf("fleet: session %d (patient %d, %s): %w",
-			sp.index, sp.patientIdx, sc.Fault.Name(), err)
+			sp.index, sp.patientIdx, prog.Name, err)
 	}
 	var patient closedloop.Patient
 	if batchPat != nil {
@@ -1165,15 +1265,19 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 		Platform:   cfg.Platform.Name + "/" + ctrl.Name(),
 		Steps:      cfg.Steps,
 		CycleMin:   cfg.CycleMin,
-		InitialBG:  sc.InitialBG,
 		Patient:    patient,
 		Controller: ctrl,
 		Monitor:    mon,
 		Mitigation: mitigation,
 	}
-	if sc.Fault.Duration > 0 {
-		f := sc.Fault
-		loopCfg.Fault = &f
+	if legacy != nil {
+		loopCfg.InitialBG = legacy.InitialBG
+		if legacy.Fault.Duration > 0 {
+			f := legacy.Fault
+			loopCfg.Fault = &f
+		}
+	} else {
+		loopCfg.Plan = plan // InitialBG resolves from the plan
 	}
 	st, err := closedloop.NewStepper(loopCfg, opts)
 	if err != nil {
@@ -1218,7 +1322,7 @@ func (e *engine) newSession(sp spec, lane int, telem *scs.StreamSet, batchPat si
 	}
 	return &Session{
 		Index: sp.index, PatientIdx: sp.patientIdx, Replica: sp.replica,
-		Scenario: sc, scenIdx: sp.scenIdx, group: sp.group,
+		Program: prog, scenIdx: sp.scenIdx, program: sp.program, group: sp.group,
 		newMonitor: sp.newMonitor, mitigate: sp.mitigate,
 		lane: lane, rng: rng, seed: seed, src: src,
 		mon: mon, sensorModel: sensorModel, st: st,

@@ -40,10 +40,11 @@ func glucosymPlatform() Platform {
 	}
 }
 
-// thinScenarios picks every k-th scenario of the full campaign.
-func thinScenarios(k int) []fault.Scenario {
-	all := fault.Campaign(nil)
-	out := make([]fault.Scenario, 0, len(all)/k+1)
+// thinScenarios picks every k-th scenario of the full campaign, in
+// program form (the fleet's native scenario type).
+func thinScenarios(k int) []fault.Program {
+	all := fault.CampaignPrograms(nil)
+	out := make([]fault.Program, 0, len(all)/k+1)
 	for i := 0; i < len(all); i += k {
 		out = append(out, all[i])
 	}
@@ -69,11 +70,11 @@ func tracesCSV(t *testing.T, traces []*trace.Trace) []byte {
 // simulator: a single session must reproduce closedloop.Run exactly.
 func TestSessionMatchesClosedLoopRun(t *testing.T) {
 	plat := glucosymPlatform()
-	sc := thinScenarios(97)[1]
+	sc := fault.Campaign(nil)[97]
 
 	res, err := Run(context.Background(), Config{
 		Platform: plat, Patients: []int{2},
-		Scenarios: []fault.Scenario{sc}, Steps: 60,
+		Scenarios: []fault.Program{sc.Program()}, Steps: 60,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -252,7 +253,7 @@ func TestFleetContinuous(t *testing.T) {
 }
 
 // trainFleetMLP fits a small MLP on traces from a monitor-less campaign.
-func trainFleetMLP(t *testing.T, scenarios []fault.Scenario) *ml.MLP {
+func trainFleetMLP(t *testing.T, scenarios []fault.Program) *ml.MLP {
 	t.Helper()
 	res, err := Run(context.Background(), Config{
 		Platform: glucosymPlatform(), Patients: []int{0},
@@ -366,7 +367,7 @@ func TestFleetTelemetryMatchesOfflineSTL(t *testing.T) {
 			StartStep: 10, Duration: 40,
 		},
 		InitialBG: 170,
-	})
+	}.Program())
 	cfg := Config{
 		Platform:  glucosymPlatform(),
 		Patients:  []int{0, 2},
@@ -578,8 +579,9 @@ func TestFleetValidation(t *testing.T) {
 }
 
 // allKindScenarios builds a scenario subset guaranteed to cover every
-// fault kind in the Table II campaign, plus a handful of extras.
-func allKindScenarios(perKind int) []fault.Scenario {
+// fault kind in the Table II campaign, plus a handful of extras, in
+// program form.
+func allKindScenarios(perKind int) []fault.Program {
 	all := fault.Campaign(nil)
 	taken := make(map[fault.Kind]int)
 	var out []fault.Scenario
@@ -592,7 +594,7 @@ func allKindScenarios(perKind int) []fault.Scenario {
 	if len(taken) != len(fault.Kinds) {
 		panic("campaign does not cover every fault kind")
 	}
-	return out
+	return fault.Programs(out)
 }
 
 // TestFleetBatchedTelemetryMatchesPerSession is the tentpole

@@ -19,15 +19,18 @@ import (
 type Session struct {
 	// Index is the session's slot in Result.Traces.
 	Index int
-	// PatientIdx is the cohort index; Scenario the fault scenario.
+	// PatientIdx is the cohort index; Program the scenario program the
+	// session runs (legacy enum scenarios appear in their bridged
+	// program form — display metadata, not the execution path).
 	PatientIdx int
-	Scenario   fault.Scenario
+	Program    fault.Program
 	// Replica numbers restarts of this slot in continuous mode; each
 	// replica draws from a fresh RNG stream.
 	Replica int
 
-	scenIdx int
-	group   string // AdmitSpec group tag (admitted sessions)
+	scenIdx int            // scenario-table index; -1 for inline programs
+	program *fault.Program // inline program (AdmitSpec.Program), carried into refills
+	group   string         // AdmitSpec group tag (admitted sessions)
 	// newMonitor/mitigate carry an admitted session's per-spec overrides
 	// into continuous-mode replica restarts.
 	newMonitor func(patientIdx int) (monitor.Monitor, error)

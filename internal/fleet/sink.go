@@ -440,6 +440,16 @@ type HistSink struct {
 	alertFn    func(Alert)
 	alerts     []Alert
 	alertN     int64
+
+	// Adaptive percentile-floor alerting (SetAlertPercentile): the
+	// global margin distribution across every patient, in the same bin
+	// grid as the per-patient histograms.
+	pctOn   bool
+	pct     float64
+	pctMin  int64
+	pctFn   func(Alert)
+	gCounts []int64
+	gN      int64
 }
 
 // Alert records one margin sample that fell below the sink's configured
@@ -494,6 +504,63 @@ func (s *HistSink) SetAlertFloor(floor float64, fn func(Alert)) {
 	s.alertFn = fn
 }
 
+// SetAlertPercentile arms adaptive percentile-floor alerting: the sink
+// tracks the global margin distribution (all patients, one grid) and,
+// once at least minSamples margins have arrived, records an Alert for
+// every margin strictly below the pct-quantile of that distribution —
+// e.g. 0.05 arms a p05 floor that tightens or relaxes as the serving
+// distribution shifts, where a fixed floor would need retuning. The
+// quantile resolves to the lower edge of the first bin whose cumulative
+// count reaches pct of the samples, so the floor moves in bin-width
+// steps and is deterministic for a deterministic event stream.
+// minSamples <= 0 defaults to 100. A margin breaching both an armed
+// fixed floor and the percentile floor records one Alert (the fixed
+// floor wins the callback). Configure before the run starts; fn follows
+// the SetAlertFloor contract.
+func (s *HistSink) SetAlertPercentile(pct float64, minSamples int64, fn func(Alert)) error {
+	if math.IsNaN(pct) || !(pct > 0 && pct < 1) {
+		return fmt.Errorf("fleet: alert percentile must be in (0, 1), got %v", pct)
+	}
+	if minSamples <= 0 {
+		minSamples = 100
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pctOn = true
+	s.pct = pct
+	s.pctMin = minSamples
+	s.pctFn = fn
+	if s.gCounts == nil {
+		s.gCounts = make([]int64, s.bins)
+	}
+	return nil
+}
+
+// AlertPercentileFloor returns the effective adaptive floor (the armed
+// percentile resolved against the margins observed so far) and whether
+// it is live yet (false until minSamples margins have arrived).
+func (s *HistSink) AlertPercentileFloor() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pctFloorLocked()
+}
+
+// pctFloorLocked resolves the percentile floor; caller holds the lock.
+func (s *HistSink) pctFloorLocked() (float64, bool) {
+	if !s.pctOn || s.gN < s.pctMin {
+		return 0, false
+	}
+	target := s.pct * float64(s.gN)
+	var cum int64
+	for i, c := range s.gCounts {
+		cum += c
+		if float64(cum) >= target {
+			return s.lo + float64(i)*(s.hi-s.lo)/float64(s.bins), true
+		}
+	}
+	return s.hi, true
+}
+
 // AlertCount returns how many margins have breached the alert floor.
 func (s *HistSink) AlertCount() int64 {
 	s.mu.Lock()
@@ -542,9 +609,23 @@ func (s *HistSink) Emit(ev Event) error {
 	c[b]++
 	s.sum[ev.PatientIdx] += ev.Margin
 	s.n[ev.PatientIdx]++
+	if s.pctOn {
+		// The sample joins the distribution before the quantile check, so
+		// the floor at any point is a pure function of the stream so far.
+		s.gCounts[b]++
+		s.gN++
+	}
+	breach := s.alertOn && ev.Margin < s.alertFloor
+	fireFn := s.alertFn
+	if !breach && s.pctOn {
+		if floor, live := s.pctFloorLocked(); live && ev.Margin < floor {
+			breach = true
+			fireFn = s.pctFn
+		}
+	}
 	var fire func(Alert)
 	var al Alert
-	if s.alertOn && ev.Margin < s.alertFloor {
+	if breach {
 		al = Alert{
 			Session: ev.Session, PatientIdx: ev.PatientIdx, Replica: ev.Replica,
 			Group: ev.Group, Step: ev.Step, Margin: ev.Margin, Rule: ev.MarginRule,
@@ -554,7 +635,7 @@ func (s *HistSink) Emit(ev Event) error {
 		if len(s.alerts) > maxAlerts {
 			s.alerts = s.alerts[len(s.alerts)-maxAlerts:]
 		}
-		fire = s.alertFn
+		fire = fireFn
 	}
 	s.mu.Unlock()
 	if fire != nil {

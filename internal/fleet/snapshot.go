@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/monitor"
 	"repro/internal/scs"
 	"repro/internal/sensor"
@@ -80,9 +81,14 @@ type SessionSnapshot struct {
 	// preserves it; AdmitSpec.Restore assigns a fresh one.
 	Slot int
 	// PatientIdx and ScenIdx are the session's coordinates in the
-	// restoring fleet's cohort and declared scenario table.
+	// restoring fleet's cohort and declared scenario table. ScenIdx is
+	// -1 for a session running an inline program (Program below).
 	PatientIdx int
 	ScenIdx    int
+	// Program is the canonical text of an inline-admitted scenario
+	// program ("" for table-indexed sessions); a restoring fleet parses
+	// and recompiles it instead of consulting its scenario table.
+	Program string
 	// Replica numbers the slot's continuous-mode restarts.
 	Replica int
 	// Group is the tenant tag the session's events carry.
@@ -131,6 +137,7 @@ func encodeSessionSnapshot(enc *snapshot.Encoder, ss *SessionSnapshot) {
 	enc.Int(ss.Slot)
 	enc.Int(ss.PatientIdx)
 	enc.Int(ss.ScenIdx)
+	enc.String(ss.Program)
 	enc.Int(ss.Replica)
 	enc.String(ss.Group)
 	enc.Bool(ss.Mitigate)
@@ -145,6 +152,7 @@ func decodeSessionSnapshot(dec *snapshot.Decoder) *SessionSnapshot {
 		Slot:       dec.Int(),
 		PatientIdx: dec.Int(),
 		ScenIdx:    dec.Int(),
+		Program:    dec.String(),
 		Replica:    dec.Int(),
 		Group:      dec.String(),
 		Mitigate:   dec.Bool(),
@@ -299,9 +307,10 @@ func (a *Admissions) requestSnapshot(round int, group string, terminal bool) <-c
 	return col.ch
 }
 
-// restoredSpec rebuilds a slot spec from a captured session's header.
-func restoredSpec(ss *SessionSnapshot) spec {
-	return spec{
+// restoredSpec rebuilds a slot spec from a captured session's header,
+// parsing an inline program's canonical text back into executable form.
+func restoredSpec(ss *SessionSnapshot) (spec, error) {
+	sp := spec{
 		index:      ss.Slot,
 		patientIdx: ss.PatientIdx,
 		scenIdx:    ss.ScenIdx,
@@ -310,6 +319,15 @@ func restoredSpec(ss *SessionSnapshot) spec {
 		mitigate:   ss.Mitigate,
 		restore:    ss,
 	}
+	if ss.Program != "" {
+		prog, err := fault.ParseProgram(ss.Program)
+		if err != nil {
+			return spec{}, fmt.Errorf("snapshot program: %w", err)
+		}
+		sp.program = &prog
+		sp.scenIdx = -1
+	}
+	return sp, nil
 }
 
 // snapshotSession serializes one live session at a cycle boundary. The
@@ -363,10 +381,15 @@ func (e *engine) snapshotSession(s *Session, bm monitor.BatchMonitor, batchTelem
 		s.telemetry.SnapshotState(enc)
 	}
 
+	progText := ""
+	if s.program != nil {
+		progText = s.program.Key()
+	}
 	return SessionSnapshot{
 		Slot:       s.Index,
 		PatientIdx: s.PatientIdx,
 		ScenIdx:    s.scenIdx,
+		Program:    progText,
 		Replica:    s.Replica,
 		Group:      s.group,
 		Mitigate:   s.mitigate,

@@ -26,7 +26,7 @@ var updateGolden = flag.Bool("update", false, "rewrite golden snapshot fixtures"
 
 // kindScenarios builds one scenario per fault kind so a small session
 // matrix still exercises every injection mode.
-func kindScenarios() []fault.Scenario {
+func kindScenarios() []fault.Program {
 	all := fault.Campaign(nil)
 	seen := make(map[fault.Kind]bool)
 	var out []fault.Scenario
@@ -36,7 +36,7 @@ func kindScenarios() []fault.Scenario {
 			out = append(out, sc)
 		}
 	}
-	return out
+	return fault.Programs(out)
 }
 
 // snapshotFleetConfig is the golden-differential fleet: continuous and
@@ -483,7 +483,7 @@ func goldenFleetSnapshot(t *testing.T, parallel int) *FleetSnapshot {
 // cross-lane encoding), decode→encode must be the identity, and the
 // checked-in snapshot must remain restorable.
 func TestFleetSnapshotGoldenFixture(t *testing.T) {
-	const path = "testdata/fleet_snapshot_v1.bin"
+	const path = "testdata/fleet_snapshot_v2.bin"
 	data := goldenFleetSnapshot(t, 1).Encode()
 	if p3 := goldenFleetSnapshot(t, 3).Encode(); !bytes.Equal(p3, data) {
 		t.Fatal("snapshot bytes depend on Parallel; lane layout leaked into the canonical encoding")
@@ -498,7 +498,7 @@ func TestFleetSnapshotGoldenFixture(t *testing.T) {
 		t.Fatalf("%v (regenerate with -update)", err)
 	}
 	if !bytes.Equal(data, want) {
-		t.Fatal("snapshot encoding drifted from the checked-in v1 fixture; bump snapshot.Version and regenerate with -update")
+		t.Fatal("snapshot encoding drifted from the checked-in v2 fixture; bump snapshot.Version and regenerate with -update")
 	}
 
 	fs, err := DecodeFleetSnapshot(want)
@@ -528,9 +528,9 @@ func TestFleetSnapshotGoldenFixture(t *testing.T) {
 // refused with an error naming both versions.
 func TestFleetSnapshotVersionGuard(t *testing.T) {
 	data := (&FleetSnapshot{NextSlot: 1}).Encode()
-	// The version uvarint sits right after the 4-byte magic; version 1
-	// occupies one byte, so bumping it in place (and fixing the checksum)
-	// forges a future-format snapshot.
+	// The version uvarint sits right after the 4-byte magic; small
+	// versions occupy one byte, so bumping it in place (and fixing the
+	// checksum) forges a future-format snapshot.
 	forged := append([]byte(nil), data...)
 	forged[4] = snapshot.Version + 1
 	forged = snapshot.Reseal(forged)

@@ -38,10 +38,11 @@ func testPlatform() fleet.Platform {
 	}
 }
 
-// thinScenarios picks every k-th scenario of the full campaign.
-func thinScenarios(k int) []fault.Scenario {
-	all := fault.Campaign(nil)
-	var out []fault.Scenario
+// thinScenarios picks every k-th scenario of the full campaign, in
+// program form (the server's native scenario-table type).
+func thinScenarios(k int) []fault.Program {
+	all := fault.CampaignPrograms(nil)
+	var out []fault.Program
 	for i := 0; i < len(all); i += k {
 		out = append(out, all[i])
 	}
@@ -274,6 +275,87 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServerPercentileAlerts arms only the adaptive percentile floor:
+// status and alerts must surface the quantile (and no fixed floor),
+// and a tenant's live floor must appear once its own margin
+// distribution has enough samples.
+func TestServerPercentileAlerts(t *testing.T) {
+	if _, err := New(Config{
+		Platform: testPlatform(), Scenarios: thinScenarios(90),
+		MaxSessions: 2, AlertFloor: math.NaN(), AlertPct: 1.5,
+	}); err == nil {
+		t.Fatal("AlertPct outside (0,1) should be rejected")
+	}
+
+	cfg := testConfig()
+	cfg.AlertFloor = math.NaN()
+	cfg.AlertPct = 0.25
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _ := request(t, ts, "", http.MethodPut, "/v1/tenants/acme",
+		`{"patients":[0,2],"scenarios":[0,1]}`); code != http.StatusCreated {
+		t.Fatal("PUT acme failed")
+	}
+	waitFor(t, "acme sessions to admit", func() bool { return tenantLive(t, ts, "", "acme")() == 4 })
+
+	code, body := request(t, ts, "", http.MethodGet, "/v1/status", "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.AlertFloor != nil {
+		t.Fatalf("fixed floor %v surfaced with only the percentile armed", *st.AlertFloor)
+	}
+	if st.AlertPct == nil || *st.AlertPct != 0.25 {
+		t.Fatalf("status alert pct = %v, want 0.25", st.AlertPct)
+	}
+
+	// The adaptive floor goes live once the tenant's histogram holds
+	// the default minimum sample count; the continuous fleet gets
+	// there on its own.
+	var alerts struct {
+		Enabled  bool     `json:"enabled"`
+		Floor    float64  `json:"floor"`
+		Pct      float64  `json:"pct"`
+		PctFloor *float64 `json:"pct_floor"`
+	}
+	waitFor(t, "adaptive floor to go live", func() bool {
+		code, body := request(t, ts, "", http.MethodGet, "/v1/tenants/acme/alerts", "")
+		if code != http.StatusOK {
+			t.Fatalf("alerts = %d", code)
+		}
+		if err := json.Unmarshal(body, &alerts); err != nil {
+			t.Fatal(err)
+		}
+		return alerts.PctFloor != nil
+	})
+	if !alerts.Enabled || alerts.Pct != 0.25 || alerts.Floor != 0 {
+		t.Fatalf("alerts = %+v, want enabled at pct 0.25 with no fixed floor", alerts)
+	}
+	if h := srv.alerts.forTenant("acme"); h != nil {
+		if floor, live := h.AlertPercentileFloor(); !live || floor != *alerts.PctFloor {
+			t.Fatalf("wire floor %v disagrees with sink floor %v (live %v)", *alerts.PctFloor, floor, live)
+		}
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
 // streamLines reads n telemetry lines from a tenant's stream.
 func streamLines(t *testing.T, ts *httptest.Server, token, id, accept string, n int) []string {
 	t.Helper()
@@ -447,6 +529,9 @@ func TestServerStalledSubscriberSoak(t *testing.T) {
 
 // TestTenantSpecValidate pins spec validation shapes.
 func TestTenantSpecValidate(t *testing.T) {
+	meal := fault.Program{Name: "lunch", Segments: []fault.Segment{
+		{Kind: fault.SegMeal, Value: 45, Start: 5, Duration: 6},
+	}}
 	cases := []struct {
 		name string
 		spec TenantSpec
@@ -460,10 +545,16 @@ func TestTenantSpecValidate(t *testing.T) {
 		{"negative scenario", TenantSpec{Patients: []int{0}, Scenarios: []int{-1}}, false},
 		{"unknown monitor", TenantSpec{Patients: []int{0}, Scenarios: []int{0}, Monitor: "oracle"}, false},
 		{"duplicate pair", TenantSpec{Patients: []int{0, 0}, Scenarios: []int{1}}, false},
+		{"valid inline program", TenantSpec{Patients: []int{0}, Programs: []fault.Program{meal}}, true},
+		{"mixed table and program", TenantSpec{Patients: []int{0}, Scenarios: []int{0}, Programs: []fault.Program{meal}}, true},
+		{"invalid program", TenantSpec{Patients: []int{0}, Programs: []fault.Program{
+			{Segments: []fault.Segment{{Kind: fault.SegMeal, Value: -1, Start: 0, Duration: 3}}},
+		}}, false},
+		{"duplicate program", TenantSpec{Patients: []int{0}, Programs: []fault.Program{meal, meal}}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := tc.spec.validate(20, 10); (err == nil) != tc.ok {
+			if err := tc.spec.validate(20, 10, 60, serverCycleMin); (err == nil) != tc.ok {
 				t.Errorf("validate = %v, want ok=%v", err, tc.ok)
 			}
 		})

@@ -45,17 +45,19 @@ func (s *Server) reconcile() {
 	ids, specs := s.reg.list()
 	live := s.adm.Live() // sorted by slot
 
-	// Index the live slot set by tenant coordinate. A pair can appear
-	// more than once transiently (never steady-state); surplus copies
-	// are evicted below.
+	// Index the live slot set by tenant coordinate (inline programs are
+	// identified by their canonical text, table sessions by index). A
+	// pair can appear more than once transiently (never steady-state);
+	// surplus copies are evicted below.
 	type pair struct {
 		group   string
 		patient int
 		scen    int
+		program string
 	}
 	liveAt := make(map[pair][]int, len(live))
 	for _, ls := range live {
-		k := pair{ls.Group, ls.PatientIdx, ls.ScenIdx}
+		k := pair{ls.Group, ls.PatientIdx, ls.ScenIdx, ls.Program}
 		liveAt[k] = append(liveAt[k], ls.Slot)
 	}
 
@@ -64,7 +66,11 @@ func (s *Server) reconcile() {
 	claimed := make(map[pair]int, len(live))
 	for _, id := range ids {
 		for _, as := range specSessions(id, specs[id]) {
-			k := pair{as.Group, as.PatientIdx, as.ScenIdx}
+			prog := ""
+			if as.Program != nil {
+				prog = as.Program.Key()
+			}
+			k := pair{as.Group, as.PatientIdx, as.ScenIdx, prog}
 			if slots := liveAt[k]; claimed[k] < len(slots) {
 				claimed[k]++ // keep the lowest-slot copy of the pair
 				continue
@@ -78,7 +84,7 @@ func (s *Server) reconcile() {
 	// lowest slot, matching the claim order above.
 	drop := make(map[pair]int, len(live))
 	for _, ls := range live {
-		k := pair{ls.Group, ls.PatientIdx, ls.ScenIdx}
+		k := pair{ls.Group, ls.PatientIdx, ls.ScenIdx, ls.Program}
 		drop[k]++
 		if drop[k] > claimed[k] {
 			evicts = append(evicts, ls.Slot)

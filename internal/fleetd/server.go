@@ -23,8 +23,10 @@ import (
 type Config struct {
 	// Platform is the closed-loop test bed every session runs on.
 	Platform fleet.Platform
-	// Scenarios is the fault-scenario table tenant specs index into.
-	Scenarios []fault.Scenario
+	// Scenarios is the scenario-program table tenant specs index into;
+	// tenants may also submit inline programs (TenantSpec.Programs),
+	// validated server-side against this fleet's horizon.
+	Scenarios []fault.Program
 	// MaxSessions bounds the fleet-wide live session total; PUTs whose
 	// declared total would exceed it are rejected with 409.
 	MaxSessions int
@@ -49,6 +51,12 @@ type Config struct {
 	Token string
 	// AlertFloor arms per-tenant margin-floor alerting; NaN disables.
 	AlertFloor float64
+	// AlertPct arms adaptive per-tenant percentile-floor alerting:
+	// each tenant's floor tracks the given quantile of its own margin
+	// distribution (must be in (0, 1)). Zero or NaN disables. May be
+	// combined with AlertFloor; the fixed floor wins on a double
+	// breach.
+	AlertPct float64
 	// StreamBuffer is the per-subscriber telemetry buffer in events
 	// (default 256); a subscriber that falls further behind loses
 	// events (counted, never blocking).
@@ -102,8 +110,15 @@ func New(cfg Config) (*Server, error) {
 		fan:       newFanout(),
 		fleetDone: make(chan struct{}),
 	}
-	if !math.IsNaN(cfg.AlertFloor) {
-		s.alerts = newAlertTable(cfg.AlertFloor)
+	pct := cfg.AlertPct
+	if pct == 0 {
+		pct = math.NaN()
+	}
+	if !math.IsNaN(pct) && !(pct > 0 && pct < 1) {
+		return nil, fmt.Errorf("fleetd: AlertPct %v outside (0, 1)", cfg.AlertPct)
+	}
+	if !math.IsNaN(cfg.AlertFloor) || !math.IsNaN(pct) {
+		s.alerts = newAlertTable(cfg.AlertFloor, pct)
 	}
 	if cfg.Restore != nil {
 		if err := s.validateRestore(cfg.Restore); err != nil {
@@ -389,8 +404,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Draining:      draining,
 	}
 	if s.alerts != nil {
-		floor := s.cfg.AlertFloor
-		st.AlertFloor = &floor
+		if !math.IsNaN(s.cfg.AlertFloor) {
+			floor := s.cfg.AlertFloor
+			st.AlertFloor = &floor
+		}
+		if !math.IsNaN(s.alerts.pct) {
+			pct := s.alerts.pct
+			st.AlertPct = &pct
+		}
 	}
 	writeJSON(w, http.StatusOK, st)
 }
@@ -408,7 +429,7 @@ func (s *Server) handlePutTenant(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
 		return
 	}
-	if err := spec.validate(s.cfg.Platform.NumPatients, len(s.cfg.Scenarios)); err != nil {
+	if err := spec.validate(s.cfg.Platform.NumPatients, len(s.cfg.Scenarios), s.cfg.Steps, serverCycleMin); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -589,16 +610,28 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	type resp struct {
-		Enabled bool        `json:"enabled"`
-		Floor   float64     `json:"floor,omitempty"`
-		Count   int64       `json:"count"`
-		Alerts  []alertJSON `json:"alerts"`
+		Enabled bool    `json:"enabled"`
+		Floor   float64 `json:"floor,omitempty"`
+		Pct     float64 `json:"pct,omitempty"`
+		// PctFloor is the tenant's live adaptive floor: null until the
+		// tenant's margin distribution has enough samples.
+		PctFloor *float64    `json:"pct_floor,omitempty"`
+		Count    int64       `json:"count"`
+		Alerts   []alertJSON `json:"alerts"`
 	}
 	out := resp{Alerts: []alertJSON{}}
 	if s.alerts != nil {
 		out.Enabled = true
-		out.Floor = s.cfg.AlertFloor
+		if !math.IsNaN(s.cfg.AlertFloor) {
+			out.Floor = s.cfg.AlertFloor
+		}
+		if !math.IsNaN(s.alerts.pct) {
+			out.Pct = s.alerts.pct
+		}
 		if h := s.alerts.forTenant(id); h != nil {
+			if floor, live := h.AlertPercentileFloor(); live {
+				out.PctFloor = &floor
+			}
 			out.Count = h.AlertCount()
 			for _, al := range h.Alerts() {
 				out.Alerts = append(out.Alerts, alertJSON{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/snapshot"
 )
@@ -66,6 +67,10 @@ func (ss *ServerSnapshot) Encode() []byte {
 		for _, sc := range spec.Scenarios {
 			enc.Int(sc)
 		}
+		enc.Int(len(spec.Programs))
+		for _, pr := range spec.Programs {
+			enc.String(pr.Key())
+		}
 		enc.String(spec.Monitor)
 		enc.Bool(spec.Mitigate)
 	}
@@ -104,6 +109,19 @@ func DecodeSnapshot(data []byte) (*ServerSnapshot, error) {
 		nS := dec.Count(1)
 		for j := 0; j < nS && dec.Err() == nil; j++ {
 			spec.Scenarios = append(spec.Scenarios, dec.Int())
+		}
+		nPr := dec.Count(1)
+		for j := 0; j < nPr && dec.Err() == nil; j++ {
+			text := dec.String()
+			if dec.Err() != nil {
+				break
+			}
+			pr, err := fault.ParseProgram(text)
+			if err != nil {
+				dec.Fail(fmt.Sprintf("tenant %q program %d: %v", id, j, err))
+				break
+			}
+			spec.Programs = append(spec.Programs, pr)
 		}
 		spec.Monitor = dec.String()
 		spec.Mitigate = dec.Bool()
@@ -146,7 +164,7 @@ func (s *Server) validateRestore(ss *ServerSnapshot) error {
 		return fmt.Errorf("fleetd: restore: snapshot ran AdmitEvery %d, server is configured for %d", ss.AdmitEvery, cfg.AdmitEvery)
 	}
 	for id, spec := range ss.Tenants { //fleetvet:nondeterministic validation only; first error wins arbitrarily but deterministically fails
-		if err := spec.validate(cfg.Platform.NumPatients, len(cfg.Scenarios)); err != nil {
+		if err := spec.validate(cfg.Platform.NumPatients, len(cfg.Scenarios), cfg.Steps, serverCycleMin); err != nil {
 			return fmt.Errorf("fleetd: restore: tenant %q: %w", id, err)
 		}
 	}

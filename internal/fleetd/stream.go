@@ -1,6 +1,7 @@
 package fleetd
 
 import (
+	"math"
 	"sync"
 
 	"repro/internal/fleet"
@@ -123,10 +124,13 @@ func (f *fanout) droppedTotal() int64 {
 }
 
 // alertTable routes robustness margins to one margin-floor-armed
-// HistSink per tenant, backing GET /v1/tenants/{id}/alerts.
+// HistSink per tenant, backing GET /v1/tenants/{id}/alerts. Either
+// knob (or both) may be armed: floor is a fixed margin threshold and
+// pct is an adaptive percentile floor; NaN disarms a knob.
 type alertTable struct {
 	mu    sync.Mutex
 	floor float64
+	pct   float64
 	hists map[string]*fleet.HistSink
 }
 
@@ -138,8 +142,8 @@ const (
 	alertHistBins = 40
 )
 
-func newAlertTable(floor float64) *alertTable {
-	return &alertTable{floor: floor, hists: make(map[string]*fleet.HistSink)}
+func newAlertTable(floor, pct float64) *alertTable {
+	return &alertTable{floor: floor, pct: pct, hists: make(map[string]*fleet.HistSink)}
 }
 
 // Emit implements fleet.Sink: tenant-tagged robustness events land in
@@ -156,7 +160,15 @@ func (t *alertTable) Emit(ev fleet.Event) error {
 			t.mu.Unlock()
 			return err
 		}
-		h.SetAlertFloor(t.floor, nil)
+		if !math.IsNaN(t.floor) {
+			h.SetAlertFloor(t.floor, nil)
+		}
+		if !math.IsNaN(t.pct) {
+			if err := h.SetAlertPercentile(t.pct, 0, nil); err != nil {
+				t.mu.Unlock()
+				return err
+			}
+		}
 		t.hists[ev.Group] = h
 	}
 	t.mu.Unlock()

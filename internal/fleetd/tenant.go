@@ -3,10 +3,15 @@ package fleetd
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/monitor"
 	"repro/internal/scs"
 )
+
+// serverCycleMin is the control-cycle length every fleetd fleet runs at
+// (the fleet default); inline tenant programs compile-check against it.
+const serverCycleMin = 5
 
 // MonitorCAWOT names the context-aware without-taper monitor, the
 // paper's best-performing configuration and the server default.
@@ -20,7 +25,12 @@ type TenantSpec struct {
 	Patients []int `json:"patients"`
 	// Scenarios are indices into the server's scenario table
 	// (GET /v1/status reports its size).
-	Scenarios []int `json:"scenarios"`
+	Scenarios []int `json:"scenarios,omitempty"`
+	// Programs are inline scenario programs (the IR of internal/fault)
+	// submitted as JSON; each is validated and compile-checked
+	// server-side against the fleet's horizon before any session is
+	// admitted. A spec may mix table indices and inline programs.
+	Programs []fault.Program `json:"programs,omitempty"`
 	// Monitor selects the safety monitor: "" or "cawot". The empty
 	// string inherits the server default (CAWOT).
 	Monitor string `json:"monitor,omitempty"`
@@ -29,16 +39,18 @@ type TenantSpec struct {
 }
 
 // desired returns the number of sessions the spec asks for.
-func (s TenantSpec) desired() int { return len(s.Patients) * len(s.Scenarios) }
+func (s TenantSpec) desired() int {
+	return len(s.Patients) * (len(s.Scenarios) + len(s.Programs))
+}
 
-// validate checks the spec against the server's platform and scenario
-// table; errors surface as HTTP 400s.
-func (s TenantSpec) validate(numPatients, numScenarios int) error {
+// validate checks the spec against the server's platform, scenario
+// table, and fleet horizon; errors surface as HTTP 400s.
+func (s TenantSpec) validate(numPatients, numScenarios, steps int, cycleMin float64) error {
 	if len(s.Patients) == 0 {
 		return fmt.Errorf("fleetd: spec declares no patients")
 	}
-	if len(s.Scenarios) == 0 {
-		return fmt.Errorf("fleetd: spec declares no scenarios")
+	if len(s.Scenarios) == 0 && len(s.Programs) == 0 {
+		return fmt.Errorf("fleetd: spec declares no scenarios or programs")
 	}
 	for _, p := range s.Patients {
 		if p < 0 || p >= numPatients {
@@ -49,6 +61,24 @@ func (s TenantSpec) validate(numPatients, numScenarios int) error {
 		if sc < 0 || sc >= numScenarios {
 			return fmt.Errorf("fleetd: scenario index %d outside the table [0, %d)", sc, numScenarios)
 		}
+	}
+	if steps == 0 {
+		steps = 288
+	}
+	if cycleMin == 0 {
+		cycleMin = serverCycleMin
+	}
+	progSeen := make(map[string]int, len(s.Programs))
+	for i, pr := range s.Programs {
+		// Compile revalidates the program and proves it executable on the
+		// fleet horizon before the spec is accepted.
+		if _, err := pr.Compile(steps, cycleMin); err != nil {
+			return fmt.Errorf("fleetd: programs[%d]: %w", i, err)
+		}
+		if j, dup := progSeen[pr.Key()]; dup {
+			return fmt.Errorf("fleetd: duplicate program %q at programs[%d] and [%d]", pr.Name, j, i)
+		}
+		progSeen[pr.Key()] = i
 	}
 	switch s.Monitor {
 	case "", MonitorCAWOT:
@@ -117,7 +147,10 @@ type Status struct {
 	StreamDropped int64 `json:"stream_dropped"`
 	// AlertFloor echoes the armed margin floor; null when disabled.
 	AlertFloor *float64 `json:"alert_floor,omitempty"`
-	Draining   bool     `json:"draining"`
+	// AlertPct echoes the armed adaptive percentile floor; null when
+	// disabled.
+	AlertPct *float64 `json:"alert_pct,omitempty"`
+	Draining bool     `json:"draining"`
 }
 
 // tenantIDOK constrains tenant IDs to path- and log-safe names.
@@ -137,7 +170,8 @@ func tenantIDOK(id string) bool {
 }
 
 // specSessions expands a tenant's spec into fleet admission specs in
-// declaration order (patients outer, scenarios inner).
+// declaration order (patients outer; table scenarios then inline
+// programs inner).
 func specSessions(id string, spec TenantSpec) []fleet.AdmitSpec {
 	out := make([]fleet.AdmitSpec, 0, spec.desired())
 	nm := spec.newMonitor()
@@ -145,6 +179,13 @@ func specSessions(id string, spec TenantSpec) []fleet.AdmitSpec {
 		for _, sc := range spec.Scenarios {
 			out = append(out, fleet.AdmitSpec{
 				Group: id, PatientIdx: p, ScenIdx: sc,
+				NewMonitor: nm, Mitigate: spec.Mitigate,
+			})
+		}
+		for i := range spec.Programs {
+			pr := spec.Programs[i]
+			out = append(out, fleet.AdmitSpec{
+				Group: id, PatientIdx: p, ScenIdx: -1, Program: &pr,
 				NewMonitor: nm, Mitigate: spec.Mitigate,
 			})
 		}

@@ -39,7 +39,7 @@ func diffTraces(t *testing.T, noise float64, seed int64) []*trace.Trace {
 			},
 		},
 		Patients:  []int{0, 2, 4},
-		Scenarios: scenarios,
+		Scenarios: fault.Programs(scenarios),
 		Steps:     60,
 		Seed:      seed,
 	}

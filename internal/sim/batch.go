@@ -170,6 +170,27 @@ type BatchPatient interface {
 	StepLanes(lanes []int, insulinUPerH, carbGPerMin []float64, dtMin float64)
 }
 
+// ExerciseHost is implemented by patient models that accept an exercise
+// disturbance: an added fractional glucose clearance (1/min) applied on
+// top of the model's insulin-dependent utilization. The rate is a
+// per-cycle input like insulin and carbs — the caller re-asserts it
+// before every Step, and a rate of 0 restores the undisturbed model
+// exactly (the hook multiplies by the rate, so a zero rate contributes
+// the literal arithmetic of the unmodified equations).
+type ExerciseHost interface {
+	// SetExercise sets the added glucose clearance (1/min) for
+	// subsequent steps.
+	SetExercise(perMin float64)
+}
+
+// BatchExerciseHost is the batched form of ExerciseHost: the exercise
+// rate is set per lane.
+type BatchExerciseHost interface {
+	// SetLaneExercise sets the lane's added glucose clearance (1/min)
+	// for subsequent steps.
+	SetLaneExercise(lane int, perMin float64)
+}
+
 // LaneView adapts one lane of a BatchPatient to the scalar Patient
 // interface, so a closed-loop stepper can read (and, outside the
 // batched hot path, step) its session's physiology without knowing the
@@ -201,4 +222,13 @@ func (v LaneView) Reset(initialBG float64) { v.B.Reset(v.Lane, initialBG) }
 // batched engine advances lanes through StepLanes instead).
 func (v LaneView) Step(insulinUPerH, carbGPerMin, dtMin float64) {
 	v.B.StepLane(v.Lane, insulinUPerH, carbGPerMin, dtMin)
+}
+
+// SetExercise implements ExerciseHost for the viewed lane when the
+// underlying batch supports exercise; otherwise it is a no-op (the
+// stepper checks ExerciseHost support against the plan before running).
+func (v LaneView) SetExercise(perMin float64) {
+	if h, ok := v.B.(BatchExerciseHost); ok {
+		h.SetLaneExercise(v.Lane, perMin)
+	}
 }

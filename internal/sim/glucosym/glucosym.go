@@ -112,9 +112,11 @@ type Patient struct {
 	// step inputs captured for the derivative closure
 	insulinUPerH float64
 	carbGPerMin  float64
+	exercise     float64 // added glucose clearance, 1/min
 }
 
 var _ sim.Patient = (*Patient)(nil)
+var _ sim.ExerciseHost = (*Patient)(nil)
 
 // New builds cohort patient idx (0..NumPatients-1) initialized at
 // TargetBG.
@@ -187,16 +189,23 @@ func (p *Patient) Reset(initialBG float64) {
 	p.y[iGs] = initialBG
 }
 
+// SetExercise implements sim.ExerciseHost: the rate adds to the model's
+// glucose clearance until re-set.
+func (p *Patient) SetExercise(perMin float64) { p.exercise = perMin }
+
 // derivs computes the MVP model right-hand side.
 func (p *Patient) derivs(_ float64, y, dydt []float64) {
-	derivsAt(&p.params, p.insulinUPerH, p.carbGPerMin, y, dydt, 0)
+	derivsAt(&p.params, p.insulinUPerH, p.carbGPerMin, p.exercise, y, dydt, 0)
 }
 
 // derivsAt evaluates the MVP right-hand side for the state window
 // starting at offset o of y/dydt. Both the scalar and batched steppers
 // compile through this one function, which is what makes a batch lane's
 // floating-point trajectory bit-identical to a standalone patient's.
-func derivsAt(prm *Params, insulinUPerH, carbGPerMin float64, y, dydt []float64, o int) {
+// The exercise term is guarded so an idle (zero) rate evaluates the
+// literal undisturbed expression, keeping exercise-free runs bit-exact
+// with the pre-hook model.
+func derivsAt(prm *Params, insulinUPerH, carbGPerMin, ex float64, y, dydt []float64, o int) {
 	idRate := insulinUPerH * 1e6 / 60                 // µU/min
 	ra := prm.MealF * y[o+iQ2] / prm.TauMeal / prm.VG // mg/dL/min
 
@@ -204,6 +213,9 @@ func derivsAt(prm *Params, insulinUPerH, carbGPerMin float64, y, dydt []float64,
 	dydt[o+iIp] = -(y[o+iIp] - y[o+iIsc]) / prm.Tau2
 	dydt[o+iIeff] = -prm.P2*y[o+iIeff] + prm.P2*prm.SI*y[o+iIp]
 	dydt[o+iG] = -(prm.GEZI+y[o+iIeff])*y[o+iG] + prm.EGP + ra
+	if ex != 0 {
+		dydt[o+iG] -= ex * y[o+iG]
+	}
 	dydt[o+iQ1] = -y[o+iQ1]/prm.TauMeal + 1000*carbGPerMin
 	dydt[o+iQ2] = (y[o+iQ1] - y[o+iQ2]) / prm.TauMeal
 	dydt[o+iGs] = (y[o+iG] - y[o+iGs]) / prm.SensorLag

@@ -29,6 +29,7 @@ type Batch struct {
 }
 
 var _ sim.BatchPatient = (*Batch)(nil)
+var _ sim.BatchExerciseHost = (*Batch)(nil)
 
 // NewBatch builds a bank of lanes Dalla Man patients, every lane
 // initially configured as cohort patient 0 at TargetBG; callers
@@ -96,6 +97,10 @@ func (b *Batch) PlasmaInsulin(lane int) float64 { return b.pts[lane].y[iIp] / b.
 // Reset implements sim.BatchPatient.
 func (b *Batch) Reset(lane int, initialBG float64) { b.pts[lane].Reset(initialBG) }
 
+// SetLaneExercise implements sim.BatchExerciseHost: the lane's added
+// glucose clearance (1/min) for subsequent steps.
+func (b *Batch) SetLaneExercise(lane int, perMin float64) { b.pts[lane].exercise = perMin }
+
 // StepLane implements sim.BatchPatient by running the lane through the
 // batched integrator alone — the same code path as StepLanes, so the
 // two are trivially identical.
@@ -140,6 +145,6 @@ func (b *Batch) StepLanes(lanes []int, insulinUPerH, carbGPerMin []float64, dtMi
 func (b *Batch) derivs(_ float64, lanes []int, y, dydt []float64) {
 	for _, l := range lanes {
 		p := &b.pts[l]
-		derivsAt(&p.params, p.ib, p.insulinPmolKgMin, p.carbMgPerMin, y, dydt, l*nStates)
+		derivsAt(&p.params, p.ib, p.insulinPmolKgMin, p.carbMgPerMin, p.exercise, y, dydt, l*nStates)
 	}
 }

@@ -150,9 +150,11 @@ type Patient struct {
 
 	insulinPmolKgMin float64
 	carbMgPerMin     float64
+	exercise         float64 // added glucose clearance, 1/min
 }
 
 var _ sim.Patient = (*Patient)(nil)
+var _ sim.ExerciseHost = (*Patient)(nil)
 
 // New builds cohort patient idx initialized at TargetBG.
 func New(idx int) (*Patient, error) {
@@ -286,15 +288,22 @@ func (p *Patient) Reset(initialBG float64) {
 	p.y[iGs] = initialBG
 }
 
+// SetExercise implements sim.ExerciseHost: the rate adds to tissue
+// glucose utilization until re-set.
+func (p *Patient) SetExercise(perMin float64) { p.exercise = perMin }
+
 func (p *Patient) derivs(_ float64, y, dydt []float64) {
-	derivsAt(&p.params, p.ib, p.insulinPmolKgMin, p.carbMgPerMin, y, dydt, 0)
+	derivsAt(&p.params, p.ib, p.insulinPmolKgMin, p.carbMgPerMin, p.exercise, y, dydt, 0)
 }
 
 // derivsAt evaluates the Dalla Man right-hand side for the state window
 // starting at offset o of y/dydt. Both the scalar and batched steppers
 // compile through this one function, which is what makes a batch lane's
 // floating-point trajectory bit-identical to a standalone patient's.
-func derivsAt(prm *Params, ib, insulinPmolKgMin, carbMgPerMin float64, y, dydt []float64, o int) {
+// The exercise term is guarded so an idle (zero) rate evaluates the
+// literal undisturbed expression, keeping exercise-free runs bit-exact
+// with the pre-hook model.
+func derivsAt(prm *Params, ib, insulinPmolKgMin, carbMgPerMin, ex float64, y, dydt []float64, o int) {
 	gp, gt := y[o+iGp], y[o+iGt]
 	if gp < 0 {
 		gp = 0
@@ -321,6 +330,9 @@ func derivsAt(prm *Params, ib, insulinPmolKgMin, carbMgPerMin float64, y, dydt [
 
 	dydt[o+iGp] = egp + ra - prm.Fsnc - e - prm.K1*gp + prm.K2*gt
 	dydt[o+iGt] = -uid + prm.K1*gp - prm.K2*gt
+	if ex != 0 {
+		dydt[o+iGt] -= ex * gt
+	}
 	dydt[o+iIl] = -(prm.M1+prm.M3)*y[o+iIl] + prm.M2*y[o+iIp]
 	dydt[o+iIp] = -(prm.M2+prm.M4)*y[o+iIp] + prm.M1*y[o+iIl] + rai
 	dydt[o+iX] = -prm.P2U*y[o+iX] + prm.P2U*(i-ib)

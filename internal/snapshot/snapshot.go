@@ -31,7 +31,10 @@ import (
 // Version is the current snapshot format version. Open rejects
 // envelopes sealed with any other version; bump it on any change to
 // the byte layout produced by the component serializers.
-const Version = 1
+//
+// v2: session snapshots carry the scenario program's canonical text
+// (inline admissions), and fleetd tenant records carry program lists.
+const Version = 2
 
 // magic identifies a sealed snapshot envelope.
 var magic = [4]byte{'A', 'P', 'S', 'S'}
